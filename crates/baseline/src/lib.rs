@@ -1,0 +1,50 @@
+//! # soctam-baseline
+//!
+//! Baseline comparators for the DAC 2002 scheduler:
+//!
+//! * [`fixed_width_best`] — the *fixed-width TAM architecture* of the
+//!   paper's predecessors \[12, 13\]: the SOC TAM is statically partitioned
+//!   into a small number of buses, each core rides exactly one bus, and
+//!   cores sharing a bus test serially. The partition and the assignment
+//!   are optimized exhaustively/greedily here, so the comparison flatters
+//!   the baseline.
+//! * [`shelf_pack`] — level-oriented (shelf) rectangle packing after
+//!   Coffman et al. \[8\]: cores are sorted by width and stacked into
+//!   full-width shelves; each shelf lasts as long as its longest test.
+//! * [`session_schedule`] — classic *test sessions*: tests grouped so each
+//!   session starts together and lasts until its slowest member ends, with
+//!   the session count optimized and wires dealt to the gating test.
+//!
+//! Both baselines ignore precedence/power constraints (as the originals
+//! did); compare them on constraint-free instances.
+//!
+//! # Example
+//!
+//! ```
+//! use soctam_baseline::{fixed_width_best, shelf_pack};
+//! use soctam_schedule::{schedule_best, SchedulerConfig};
+//! use soctam_soc::benchmarks;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let soc = benchmarks::d695();
+//! let (flexible, _, _) = schedule_best(&soc, &SchedulerConfig::new(64), 1..=10, 0..=4)?;
+//! let fixed = fixed_width_best(&soc, 64, 3, 64);
+//! let shelf = shelf_pack(&soc, 64, 5, 1, 64);
+//! // The paper's claim: at wide TAMs, flexible-width packing beats static
+//! // partitions (wire fragmentation) and level-oriented shelves.
+//! assert!(flexible.makespan() <= fixed.makespan);
+//! assert!(flexible.makespan() <= shelf.makespan);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod fixed_width;
+mod session;
+mod shelf;
+
+pub use fixed_width::{fixed_width_best, FixedWidthResult};
+pub use session::{session_schedule, SessionResult};
+pub use shelf::{shelf_pack, ShelfResult};

@@ -1,0 +1,165 @@
+//! Level-oriented (shelf) rectangle packing, after Coffman et al. \[8\].
+
+use soctam_schedule::{Schedule, Slice};
+use soctam_soc::{CoreIdx, Soc};
+use soctam_wrapper::{Cycles, RectangleSet, TamWidth};
+
+/// Outcome of the shelf-packing baseline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShelfResult {
+    /// SOC testing time: the sum of shelf durations.
+    pub makespan: Cycles,
+    /// Cores grouped per shelf, in packing order.
+    pub shelves: Vec<Vec<CoreIdx>>,
+    /// The realized schedule.
+    pub schedule: Schedule,
+}
+
+/// Packs every core's preferred-width rectangle into full-width shelves.
+///
+/// Rectangles (height = preferred TAM width computed with the same
+/// `percent`/`bump` rule as the main scheduler) are sorted by decreasing
+/// height and placed first-fit into shelves of total height `w`; a shelf
+/// lasts as long as its longest test, and shelves run back to back. This is
+/// the classic level-oriented discipline: simple, but every shelf pays for
+/// its tallest *and* longest member, which is exactly the idle time the
+/// paper's flexible packer reclaims.
+///
+/// # Panics
+///
+/// Panics if `w == 0` or the SOC is empty.
+pub fn shelf_pack(
+    soc: &Soc,
+    w: TamWidth,
+    percent: u32,
+    bump: TamWidth,
+    w_max: TamWidth,
+) -> ShelfResult {
+    assert!(w > 0, "need at least one wire");
+    assert!(!soc.is_empty(), "SOC has no cores");
+
+    let eff = w.min(w_max).max(1);
+    let prefs: Vec<(TamWidth, Cycles)> = soc
+        .cores()
+        .iter()
+        .map(|c| {
+            let rects = RectangleSet::build(c.test(), eff);
+            let width = rects.preferred_width_bumped(percent, bump);
+            (width, rects.time_at(width))
+        })
+        .collect();
+
+    // Decreasing height, then decreasing time, then index (deterministic).
+    let mut order: Vec<CoreIdx> = (0..prefs.len()).collect();
+    order.sort_by(|&a, &b| {
+        prefs[b]
+            .0
+            .cmp(&prefs[a].0)
+            .then(prefs[b].1.cmp(&prefs[a].1))
+            .then(a.cmp(&b))
+    });
+
+    let mut shelves: Vec<Vec<CoreIdx>> = Vec::new();
+    let mut shelf_width: Vec<TamWidth> = Vec::new();
+    for core in order {
+        let need = prefs[core].0;
+        // First fit over existing shelves.
+        let slot = shelf_width.iter().position(|&used| used + need <= w);
+        match slot {
+            Some(s) => {
+                shelves[s].push(core);
+                shelf_width[s] += need;
+            }
+            None => {
+                shelves.push(vec![core]);
+                shelf_width.push(need);
+            }
+        }
+    }
+
+    let mut slices = Vec::with_capacity(prefs.len());
+    let mut start = 0u64;
+    for shelf in &shelves {
+        let duration = shelf
+            .iter()
+            .map(|&c| prefs[c].1)
+            .max()
+            .expect("shelves are non-empty");
+        for &core in shelf {
+            slices.push(Slice {
+                core,
+                width: prefs[core].0,
+                start,
+                end: start + prefs[core].1,
+            });
+        }
+        start += duration;
+    }
+
+    let schedule = Schedule::from_slices(soc.name(), w, slices);
+    ShelfResult {
+        makespan: start,
+        shelves,
+        schedule,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use soctam_schedule::{ScheduleBuilder, SchedulerConfig};
+    use soctam_soc::benchmarks;
+
+    #[test]
+    fn every_core_lands_on_exactly_one_shelf() {
+        let soc = benchmarks::d695();
+        let r = shelf_pack(&soc, 32, 5, 1, 64);
+        let mut all: Vec<CoreIdx> = r.shelves.iter().flatten().copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..soc.len()).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn width_budget_respected_within_shelves() {
+        let soc = benchmarks::d695();
+        let r = shelf_pack(&soc, 24, 5, 1, 64);
+        let mut events: Vec<u64> = r
+            .schedule
+            .slices()
+            .iter()
+            .flat_map(|s| [s.start, s.end])
+            .collect();
+        events.sort_unstable();
+        events.dedup();
+        for &t in &events {
+            assert!(r.schedule.width_in_use_at(t) <= 24);
+        }
+    }
+
+    #[test]
+    fn makespan_is_sum_of_shelf_durations() {
+        let soc = benchmarks::d695();
+        let r = shelf_pack(&soc, 16, 5, 1, 64);
+        assert_eq!(r.schedule.makespan(), r.makespan);
+    }
+
+    #[test]
+    fn flexible_scheduler_beats_shelves() {
+        let soc = benchmarks::d695();
+        for w in [16u16, 32, 64] {
+            let flexible = ScheduleBuilder::new(&soc, SchedulerConfig::new(w))
+                .run()
+                .unwrap()
+                .makespan();
+            let shelf = shelf_pack(&soc, w, 5, 1, 64).makespan;
+            assert!(flexible <= shelf, "W={w}: {flexible} vs shelf {shelf}");
+        }
+    }
+
+    #[test]
+    fn narrow_tam_degenerates_to_serial_shelves() {
+        let soc = benchmarks::d695();
+        let r = shelf_pack(&soc, 1, 5, 1, 64);
+        assert_eq!(r.shelves.len(), soc.len());
+    }
+}

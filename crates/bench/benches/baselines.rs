@@ -1,0 +1,32 @@
+//! Criterion benches comparing the flexible scheduler's CPU cost against
+//! the baselines (the paper reports orders-of-magnitude speedups over the
+//! exact fixed-width enumeration of \[12\]).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use soctam_core::baseline::{fixed_width_best, shelf_pack};
+use soctam_core::schedule::{ScheduleBuilder, SchedulerConfig};
+use soctam_core::soc::benchmarks;
+
+fn bench_methods(c: &mut Criterion) {
+    let soc = benchmarks::p93791();
+    let mut group = c.benchmark_group("method_cpu_cost_p93791_w32");
+    group.sample_size(20);
+    group.bench_function("flexible_packing", |b| {
+        b.iter(|| {
+            ScheduleBuilder::new(&soc, SchedulerConfig::new(32))
+                .run()
+                .expect("schedulable")
+                .makespan()
+        });
+    });
+    group.bench_function("fixed_width_k3_exhaustive", |b| {
+        b.iter(|| fixed_width_best(&soc, 32, 3, 64).makespan);
+    });
+    group.bench_function("shelf_packing", |b| {
+        b.iter(|| shelf_pack(&soc, 32, 5, 1, 64).makespan);
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_methods);
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! Criterion benches for the scheduler — checks the paper's §6 claim that
+//! a full TAM-optimization-plus-scheduling run is fast (their 333 MHz
+//! Ultra 10 took < 5 s per run; one run here is a single (m, d) point).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use soctam_core::schedule::{ScheduleBuilder, SchedulerConfig};
+use soctam_core::soc::benchmarks;
+use soctam_core::soc::synth::SynthConfig;
+
+fn bench_single_runs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("schedule_single_run");
+    for name in benchmarks::NAMES {
+        let soc = benchmarks::by_name(name).expect("known benchmark");
+        for w in [16u16, 64] {
+            group.bench_with_input(
+                BenchmarkId::new(name, w),
+                &w,
+                |b, &w| {
+                    b.iter(|| {
+                        ScheduleBuilder::new(&soc, SchedulerConfig::new(w))
+                            .run()
+                            .expect("schedulable")
+                            .makespan()
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_constrained_runs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("schedule_constrained");
+    let mut soc = benchmarks::p93791();
+    benchmarks::grant_preemption_to_large_cores(&mut soc, 2);
+    let p_max = soc.max_core_power();
+    group.bench_function("p93791_w64_power_preempt", |b| {
+        b.iter(|| {
+            ScheduleBuilder::new(&soc, SchedulerConfig::new(64).with_power_limit(p_max))
+                .run()
+                .expect("schedulable")
+                .makespan()
+        });
+    });
+    group.finish();
+}
+
+fn bench_scalability(c: &mut Criterion) {
+    // Scalability in core count on synthetic SOCs (the paper's "scalable
+    // for large industrial SOCs" claim).
+    let mut group = c.benchmark_group("schedule_scalability");
+    group.sample_size(20);
+    for cores in [16usize, 64, 256] {
+        let soc = SynthConfig::new(cores).generate(7);
+        group.bench_with_input(BenchmarkId::from_parameter(cores), &soc, |b, soc| {
+            b.iter(|| {
+                ScheduleBuilder::new(soc, SchedulerConfig::new(64))
+                    .run()
+                    .expect("schedulable")
+                    .makespan()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_single_runs, bench_constrained_runs, bench_scalability);
+criterion_main!(benches);

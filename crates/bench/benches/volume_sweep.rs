@@ -1,0 +1,37 @@
+//! Criterion benches for the §5 data-volume machinery: width sweeps and
+//! cost-curve evaluation (the work behind Figure 9 and Table 2).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use soctam_core::schedule::SchedulerConfig;
+use soctam_core::soc::benchmarks;
+use soctam_core::volume::{sweep, CostCurve};
+
+fn bench_width_sweep(c: &mut Criterion) {
+    let soc = benchmarks::d695();
+    let mut group = c.benchmark_group("volume_sweep");
+    group.sample_size(10);
+    group.bench_function("d695_w8_to_64", |b| {
+        b.iter(|| {
+            sweep(&soc, 8..=64, &SchedulerConfig::new(1))
+                .expect("sweep succeeds")
+                .len()
+        });
+    });
+    group.finish();
+}
+
+fn bench_cost_curves(c: &mut Criterion) {
+    let soc = benchmarks::d695();
+    let points = sweep(&soc, 1..=80, &SchedulerConfig::new(1)).expect("sweep succeeds");
+    c.bench_function("cost_curve_eval_80pts_5alphas", |b| {
+        b.iter(|| {
+            [0.1, 0.3, 0.5, 0.75, 0.9]
+                .iter()
+                .map(|&a| CostCurve::new(&points, a).effective_width())
+                .max()
+        });
+    });
+}
+
+criterion_group!(benches, bench_width_sweep, bench_cost_curves);
+criterion_main!(benches);

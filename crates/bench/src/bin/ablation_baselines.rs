@@ -1,0 +1,52 @@
+//! Baseline comparison (§2's motivation): the paper's flexible-width
+//! rectangle packing against fixed-width TAM architectures (\[12, 13\]
+//! style, exhaustively optimized) and level-oriented shelf packing
+//! (Coffman et al. \[8\]).
+//!
+//! Run with: `cargo run --release -p soctam-bench --bin ablation_baselines`
+//! Options:  `--soc <name>` (default: d695 and p93791, the constraint-free
+//! benchmarks).
+
+use soctam_bench::{headline_config, opt_value};
+use soctam_core::baseline::{fixed_width_best, session_schedule, shelf_pack};
+use soctam_core::flow::TestFlow;
+use soctam_core::schedule::bounds::lower_bound;
+use soctam_core::soc::benchmarks;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let socs: Vec<String> = match opt_value(&args, "--soc") {
+        Some(s) => vec![s],
+        None => vec!["d695".to_owned(), "p93791".to_owned()],
+    };
+
+    println!("Flexible-width rectangle packing vs baselines (testing time, cycles)");
+    println!(
+        "{:<8} {:>3} {:>10} {:>10} {:>12} {:>12} {:>12} {:>12}",
+        "SOC", "W", "LB", "flexible", "fixed(k<=3)", "fixed(k<=2)", "shelf", "sessions"
+    );
+
+    for name in &socs {
+        let soc = benchmarks::by_name(name).expect("known benchmark");
+        let flow = TestFlow::new(&soc, headline_config());
+        for w in benchmarks::table1_widths(name) {
+            let lb = lower_bound(&soc, w, 64);
+            let flexible = flow
+                .best_schedule(w)
+                .expect("schedulable")
+                .0
+                .makespan();
+            let fixed3 = fixed_width_best(&soc, w, 3, 64).makespan;
+            let fixed2 = fixed_width_best(&soc, w, 2, 64).makespan;
+            let shelf = shelf_pack(&soc, w, 5, 1, 64).makespan;
+            let sessions = session_schedule(&soc, w, 64).makespan;
+            println!(
+                "{:<8} {:>3} {:>10} {:>10} {:>12} {:>12} {:>12} {:>12}",
+                name, w, lb, flexible, fixed3, fixed2, shelf, sessions
+            );
+        }
+    }
+    println!();
+    println!("fixed(k) = best static partition of W into at most k buses, LPT core assignment");
+    println!("sessions = classic test-session discipline, optimized session count + wire dealing");
+}

@@ -1,0 +1,63 @@
+//! Heuristic ablation: quantifies the contribution of each §4 packing
+//! heuristic — the Pareto preferred-width bump (`d`), rectangle insertion
+//! into idle time (3-bit squeeze), and the width-increase rule — by
+//! disabling them one at a time.
+//!
+//! Run with: `cargo run --release -p soctam-bench --bin ablation_heuristics`
+
+use soctam_core::schedule::{schedule_best, HeuristicToggles, SchedulerConfig};
+use soctam_core::soc::benchmarks;
+
+fn best_with(soc_name: &str, w: u16, toggles: HeuristicToggles) -> u64 {
+    let soc = benchmarks::by_name(soc_name).expect("known benchmark");
+    let base = SchedulerConfig::new(w).with_toggles(toggles);
+    let ms: Vec<u32> = (1..=10).chain([15, 22, 30, 45, 60]).collect();
+    schedule_best(&soc, &base, ms, 0..=4)
+        .expect("schedulable")
+        .0
+        .makespan()
+}
+
+fn main() {
+    println!("Heuristic ablation (testing time in cycles; best over m/d sweep)");
+    println!(
+        "{:<8} {:>3} {:>10} {:>12} {:>12} {:>14} {:>10}",
+        "SOC", "W", "all on", "no bump", "no idlefill", "no widthincr", "none"
+    );
+    for name in benchmarks::NAMES {
+        for w in benchmarks::table1_widths(name) {
+            let all = best_with(name, w, HeuristicToggles::default());
+            let no_bump = best_with(
+                name,
+                w,
+                HeuristicToggles {
+                    pareto_bump: false,
+                    ..HeuristicToggles::default()
+                },
+            );
+            let no_fill = best_with(
+                name,
+                w,
+                HeuristicToggles {
+                    idle_fill: false,
+                    ..HeuristicToggles::default()
+                },
+            );
+            let no_incr = best_with(
+                name,
+                w,
+                HeuristicToggles {
+                    width_increase: false,
+                    ..HeuristicToggles::default()
+                },
+            );
+            let none = best_with(name, w, HeuristicToggles::none());
+            println!(
+                "{:<8} {:>3} {:>10} {:>12} {:>12} {:>14} {:>10}",
+                name, w, all, no_bump, no_fill, no_incr, none
+            );
+        }
+    }
+    println!();
+    println!("columns >= 'all on' show how much each disabled heuristic was contributing");
+}

@@ -1,0 +1,34 @@
+//! Preemption-budget study — the investigation the paper's §6 explicitly
+//! calls for: how do testing time, preemption usage, and scan penalties
+//! move as `max_preempts` grows?
+//!
+//! Run with: `cargo run --release -p soctam-bench --bin ablation_preemption`
+//! Options:  `--soc <name>`, `--width W`.
+
+use soctam_bench::{headline_config, opt_value};
+use soctam_core::report::{preemption_sweep, render_preemption_sweep};
+use soctam_core::soc::benchmarks;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let only = opt_value(&args, "--soc");
+    let width: Option<u16> = opt_value(&args, "--width").and_then(|v| v.parse().ok());
+    let budgets = [0u32, 1, 2, 3, 4];
+    let cfg = headline_config();
+
+    println!("Preemption-budget study (larger cores granted max_preempts = budget)");
+    println!();
+    for name in benchmarks::NAMES {
+        if only.as_deref().is_some_and(|o| o != name) {
+            continue;
+        }
+        let soc = benchmarks::by_name(name).expect("known benchmark");
+        let w = width.unwrap_or(benchmarks::table1_widths(name)[1]);
+        match preemption_sweep(&soc, w, &budgets, &cfg) {
+            Ok(rows) => println!("{}", render_preemption_sweep(name, w, &rows)),
+            Err(e) => eprintln!("{name}: failed: {e}"),
+        }
+    }
+    println!("budget 0 = non-preemptive; time gains beyond budget 2 are usually");
+    println!("exhausted — each further split costs another scan-in + scan-out");
+}

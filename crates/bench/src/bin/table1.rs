@@ -1,0 +1,48 @@
+//! Regenerates **Table 1** of the paper: wrapper/TAM co-optimization and
+//! test scheduling results (lower bound, non-preemptive, preemptive, and
+//! power-constrained testing times) for the four benchmark SOCs.
+//!
+//! Run with: `cargo run --release -p soctam-bench --bin table1`
+//! Options:  `--soc <name>` restricts to one SOC; `--quick` uses the small
+//! parameter sweep.
+
+use std::time::Instant;
+
+use soctam_bench::{headline_config, opt_value};
+use soctam_core::flow::{FlowConfig, ParamSweep};
+use soctam_core::report::{render_table1, table1_rows};
+use soctam_core::soc::benchmarks;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let only = opt_value(&args, "--soc");
+    let cfg = if args.iter().any(|a| a == "--quick") {
+        FlowConfig {
+            sweep: ParamSweep::quick(),
+            ..FlowConfig::new()
+        }
+    } else {
+        headline_config()
+    };
+
+    println!("Table 1: wrapper/TAM co-optimization and test scheduling");
+    println!("(testing time in cycles; best over m/d/slack parameter sweep)");
+    println!();
+
+    let mut rows = Vec::new();
+    for name in benchmarks::NAMES {
+        if only.as_deref().is_some_and(|o| o != name) {
+            continue;
+        }
+        let soc = benchmarks::by_name(name).expect("known benchmark");
+        let t0 = Instant::now();
+        match table1_rows(&soc, &cfg) {
+            Ok(mut r) => {
+                eprintln!("{name}: {:.1}s", t0.elapsed().as_secs_f32());
+                rows.append(&mut r);
+            }
+            Err(e) => eprintln!("{name}: failed: {e}"),
+        }
+    }
+    println!("{}", render_table1(&rows));
+}

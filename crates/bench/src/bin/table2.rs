@@ -1,0 +1,49 @@
+//! Regenerates **Table 2** of the paper: TAM widths for tester data volume
+//! reduction — `T_min`, `V_min`, and the effective TAM widths `W_eff` for
+//! the per-SOC `α` values.
+//!
+//! Run with: `cargo run --release -p soctam-bench --bin table2`
+//! Options:  `--soc <name>`, `--min-width A` (default 16), `--max-width B`
+//! (default 64).
+//!
+//! The sweep starts at 16 wires because `V = W·T` is trivially minimized
+//! by a serial one-wire TAM; the paper's Table 2 minima (W = 22..44)
+//! only emerge over practical width ranges.
+
+use std::time::Instant;
+
+use soctam_bench::{opt_value, sweep_config};
+use soctam_core::report::{paper_alphas, render_table2, table2};
+use soctam_core::soc::benchmarks;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let only = opt_value(&args, "--soc");
+    let min_width: u16 = opt_value(&args, "--min-width")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(16);
+    let max_width: u16 = opt_value(&args, "--max-width")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(64);
+    let cfg = sweep_config();
+
+    println!("Table 2: TAM widths for tester data volume reduction");
+    println!("(sweep over W = {min_width}..={max_width}; V = W*T)");
+    println!();
+
+    for name in benchmarks::NAMES {
+        if only.as_deref().is_some_and(|o| o != name) {
+            continue;
+        }
+        let soc = benchmarks::by_name(name).expect("known benchmark");
+        let alphas = paper_alphas(name);
+        let t0 = Instant::now();
+        match table2(&soc, min_width..=max_width, &alphas, &cfg) {
+            Ok(t) => {
+                eprintln!("{name}: {:.1}s", t0.elapsed().as_secs_f32());
+                println!("{}", render_table2(&t));
+            }
+            Err(e) => eprintln!("{name}: failed: {e}"),
+        }
+    }
+}

@@ -1,0 +1,51 @@
+//! Shared helpers for the `soctam-bench` table/figure regenerators.
+
+use soctam_core::flow::{FlowConfig, ParamSweep};
+
+/// The flow configuration used for headline table reproductions: the
+/// paper's `(m, d)` best-of search, extended with idle-fill slack values
+/// (see EXPERIMENTS.md for the rationale).
+pub fn headline_config() -> FlowConfig {
+    FlowConfig {
+        sweep: ParamSweep::extended(),
+        ..FlowConfig::new()
+    }
+}
+
+/// A cheaper configuration for the wide `W = 1..=80` sweeps behind
+/// Figure 9 and Table 2.
+pub fn sweep_config() -> FlowConfig {
+    FlowConfig {
+        sweep: ParamSweep {
+            percents: vec![1, 4, 8, 15, 25, 40, 60],
+            bumps: vec![0, 2],
+            slacks: vec![3, 8],
+        },
+        ..FlowConfig::new()
+    }
+}
+
+/// Parses a `--flag value` style option from argv.
+pub fn opt_value(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn configs_construct() {
+        assert!(headline_config().sweep.runs() > sweep_config().sweep.runs());
+    }
+
+    #[test]
+    fn opt_value_parses() {
+        let args: Vec<String> = ["--part", "a"].iter().map(|s| s.to_string()).collect();
+        assert_eq!(opt_value(&args, "--part").as_deref(), Some("a"));
+        assert_eq!(opt_value(&args, "--missing"), None);
+    }
+}

@@ -1,0 +1,312 @@
+//! `soctam` — command-line driver for the SOC test automation framework.
+//!
+//! ```text
+//! soctam schedule <soc> --width W [--power] [--no-preempt] [--gantt] [--svg FILE]
+//! soctam sweep <soc> [--from A] [--to B] [--alpha X]
+//! soctam staircase <soc> <core>
+//! soctam wrapper <soc> <core> --width W
+//! soctam bounds <soc>
+//! soctam parse <file.soc>
+//! soctam list
+//! ```
+//!
+//! `<soc>` is a benchmark name (`d695`, `p22810`, `p34392`, `p93791`) or a
+//! path to an ITC'02-style `.soc` file.
+
+use std::process::ExitCode;
+
+use soctam_core::flow::{FlowConfig, ParamSweep, PowerPolicy, TestFlow};
+use soctam_core::report;
+use soctam_core::schedule::bounds::lower_bounds;
+use soctam_core::soc::{benchmarks, itc02, Soc};
+use soctam_core::volume::CostCurve;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!();
+            eprintln!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "usage:
+  soctam schedule <soc> --width W [--power] [--no-preempt] [--gantt] [--svg FILE]
+  soctam sweep <soc> [--from A] [--to B] [--alpha X]
+  soctam staircase <soc> <core-name>
+  soctam wrapper <soc> <core-name> --width W
+  soctam bounds <soc>
+  soctam parse <file.soc>
+  soctam list";
+
+fn run(args: &[String]) -> Result<(), String> {
+    let mut it = args.iter().map(String::as_str);
+    match it.next() {
+        Some("schedule") => cmd_schedule(&args[1..]),
+        Some("sweep") => cmd_sweep(&args[1..]),
+        Some("staircase") => cmd_staircase(&args[1..]),
+        Some("wrapper") => cmd_wrapper(&args[1..]),
+        Some("bounds") => cmd_bounds(&args[1..]),
+        Some("parse") => cmd_parse(&args[1..]),
+        Some("list") => cmd_list(),
+        Some(other) => Err(format!("unknown command `{other}`")),
+        None => Err("missing command".to_owned()),
+    }
+}
+
+fn load_soc(name: &str) -> Result<Soc, String> {
+    if let Some(soc) = benchmarks::by_name(name) {
+        return Ok(soc);
+    }
+    let text = std::fs::read_to_string(name)
+        .map_err(|e| format!("`{name}` is not a benchmark name and reading it failed: {e}"))?;
+    // Auto-detect the classic ITC'02 layout (keyword-per-line, starts with
+    // `SocName`) vs. this crate's compact dialect.
+    let classic = text
+        .lines()
+        .find(|l| !l.trim().is_empty())
+        .is_some_and(|l| l.trim().to_ascii_lowercase().starts_with("socname"));
+    let parsed = if classic {
+        itc02::parse_classic(&text)
+    } else {
+        itc02::parse(&text)
+    };
+    parsed.map_err(|e| format!("parsing `{name}`: {e}"))
+}
+
+fn flag(args: &[String], name: &str) -> bool {
+    args.iter().any(|a| a == name)
+}
+
+fn opt_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+fn cmd_schedule(args: &[String]) -> Result<(), String> {
+    let soc_name = args.first().ok_or("missing SOC name")?;
+    let soc = load_soc(soc_name)?;
+    let width: u16 = opt_value(args, "--width")
+        .ok_or("missing --width")?
+        .parse()
+        .map_err(|_| "invalid --width")?;
+
+    let mut cfg = FlowConfig {
+        sweep: ParamSweep::quick(),
+        ..FlowConfig::new()
+    };
+    if flag(args, "--power") {
+        cfg = cfg.with_power(PowerPolicy::MaxCorePower);
+    }
+    if flag(args, "--no-preempt") {
+        cfg = cfg.without_preemption();
+    }
+    let run = TestFlow::new(&soc, cfg).run(width).map_err(|e| e.to_string())?;
+    println!(
+        "{}: W={width}, testing time {} cycles (lower bound {}), volume {} bits, \
+         utilization {:.1}%, params (m={}, d={}, slack={})",
+        soc.name(),
+        run.schedule.makespan(),
+        run.lower_bound,
+        run.volume,
+        run.schedule.utilization() * 100.0,
+        run.params.0,
+        run.params.1,
+        run.params.2,
+    );
+    if flag(args, "--gantt") {
+        println!();
+        println!(
+            "{}",
+            run.schedule
+                .gantt(&|i| soc.core(i).name().to_string(), 90)
+        );
+    }
+    if let Some(path) = opt_value(args, "--svg") {
+        let svg = run.schedule.to_svg(
+            &|i| soc.core(i).name().to_string(),
+            soctam_core::schedule::SvgOptions::default(),
+        );
+        std::fs::write(path, svg).map_err(|e| format!("writing `{path}`: {e}"))?;
+        println!("wrote {path}");
+    }
+    Ok(())
+}
+
+fn cmd_sweep(args: &[String]) -> Result<(), String> {
+    let soc_name = args.first().ok_or("missing SOC name")?;
+    let soc = load_soc(soc_name)?;
+    let from: u16 = opt_value(args, "--from").unwrap_or("8").parse().map_err(|_| "invalid --from")?;
+    let to: u16 = opt_value(args, "--to").unwrap_or("64").parse().map_err(|_| "invalid --to")?;
+    let alpha: f64 = opt_value(args, "--alpha").unwrap_or("0.5").parse().map_err(|_| "invalid --alpha")?;
+    if from == 0 || from > to {
+        return Err("need 0 < --from <= --to".to_owned());
+    }
+
+    let cfg = FlowConfig {
+        sweep: ParamSweep::quick(),
+        ..FlowConfig::new()
+    };
+    let pts = TestFlow::new(&soc, cfg)
+        .sweep_widths(from..=to)
+        .map_err(|e| e.to_string())?;
+    let curve = CostCurve::new(&pts, alpha);
+    println!("{:>4} {:>12} {:>14} {:>10}", "W", "T (cycles)", "V (bits)", "C");
+    for (p, c) in pts.iter().zip(curve.points()) {
+        println!("{:>4} {:>12} {:>14} {:>10.4}", p.width, p.time, p.volume, c.cost);
+    }
+    let eff = curve.effective_point();
+    println!(
+        "effective width for alpha={alpha}: W_eff={} (C_min={:.4}, T={}, V={})",
+        eff.width, eff.cost, eff.time, eff.volume
+    );
+    Ok(())
+}
+
+fn cmd_staircase(args: &[String]) -> Result<(), String> {
+    let soc_name = args.first().ok_or("missing SOC name")?;
+    let core_name = args.get(1).ok_or("missing core name")?;
+    let soc = load_soc(soc_name)?;
+    let idx = soc
+        .core_by_name(core_name)
+        .ok_or_else(|| format!("no core `{core_name}` in {}", soc.name()))?;
+    let s = report::staircase(soc.core(idx).test(), 64);
+    println!("{:>4} {:>12} {:>10}", "W", "T (cycles)", "Pareto");
+    for p in &s.points {
+        let mark = if s.pareto_widths.contains(&p.width) { "*" } else { "" };
+        println!("{:>4} {:>12} {:>10}", p.width, p.time, mark);
+    }
+    Ok(())
+}
+
+fn cmd_wrapper(args: &[String]) -> Result<(), String> {
+    let soc_name = args.first().ok_or("missing SOC name")?;
+    let core_name = args.get(1).ok_or("missing core name")?;
+    let width: u16 = opt_value(args, "--width")
+        .ok_or("missing --width")?
+        .parse()
+        .map_err(|_| "invalid --width")?;
+    let soc = load_soc(soc_name)?;
+    let idx = soc
+        .core_by_name(core_name)
+        .ok_or_else(|| format!("no core `{core_name}` in {}", soc.name()))?;
+    let layout = soctam_core::wrapper::WrapperLayout::build(soc.core(idx).test(), width)
+        .map_err(|e| e.to_string())?;
+    print!("{}", layout.render(core_name));
+    println!(
+        "test time at this width: {} cycles for {} patterns",
+        layout.design().test_time(),
+        layout.design().patterns()
+    );
+    Ok(())
+}
+
+fn cmd_bounds(args: &[String]) -> Result<(), String> {
+    let soc_name = args.first().ok_or("missing SOC name")?;
+    let soc = load_soc(soc_name)?;
+    let widths: Vec<u16> = benchmarks::table1_widths(soc.name()).to_vec();
+    let lbs = lower_bounds(&soc, &widths, 64);
+    println!("{}: testing-time lower bounds", soc.name());
+    for (w, lb) in widths.iter().zip(lbs) {
+        println!("  W={w:>3}: {lb}");
+    }
+    Ok(())
+}
+
+fn cmd_parse(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or("missing file path")?;
+    let soc = load_soc(path)?;
+    soc.validate().map_err(|e| e.to_string())?;
+    println!(
+        "{}: {} cores, {} precedence, {} concurrency constraints, {} total test bits",
+        soc.name(),
+        soc.len(),
+        soc.precedence().len(),
+        soc.concurrency().len(),
+        soc.total_test_bits()
+    );
+    Ok(())
+}
+
+fn cmd_list() -> Result<(), String> {
+    for name in benchmarks::NAMES {
+        let soc = benchmarks::by_name(name).expect("known benchmark");
+        println!("{name}: {} cores", soc.len());
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(parts: &[&str]) -> Vec<String> {
+        parts.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn unknown_command_is_an_error() {
+        assert!(run(&argv(&["frobnicate"])).is_err());
+        assert!(run(&[]).is_err());
+    }
+
+    #[test]
+    fn list_and_bounds_work() {
+        assert!(run(&argv(&["list"])).is_ok());
+        assert!(run(&argv(&["bounds", "d695"])).is_ok());
+    }
+
+    #[test]
+    fn schedule_requires_width() {
+        assert!(run(&argv(&["schedule", "d695"])).is_err());
+        assert!(run(&argv(&["schedule", "d695", "--width", "banana"])).is_err());
+    }
+
+    #[test]
+    fn staircase_and_wrapper_resolve_cores() {
+        assert!(run(&argv(&["staircase", "d695", "s5378"])).is_ok());
+        assert!(run(&argv(&["staircase", "d695", "ghost"])).is_err());
+        assert!(run(&argv(&["wrapper", "d695", "s5378", "--width", "4"])).is_ok());
+        assert!(run(&argv(&["wrapper", "d695", "s5378"])).is_err());
+    }
+
+    #[test]
+    fn load_soc_rejects_missing_files() {
+        assert!(load_soc("no_such_file.soc").is_err());
+        assert!(load_soc("d695").is_ok());
+    }
+
+    #[test]
+    fn load_soc_autodetects_classic_format() {
+        let dir = std::env::temp_dir();
+        let classic = dir.join("soctam_cli_classic_test.soc");
+        std::fs::write(
+            &classic,
+            "SocName t\nModule 1\nInputs 2\nOutputs 2\nPatterns 5\n",
+        )
+        .unwrap();
+        let soc = load_soc(classic.to_str().unwrap()).unwrap();
+        assert_eq!(soc.name(), "t");
+        std::fs::remove_file(&classic).ok();
+
+        let dialect = dir.join("soctam_cli_dialect_test.soc");
+        std::fs::write(&dialect, "soc t2\ncore a inputs=1 outputs=1 patterns=1\n").unwrap();
+        assert_eq!(load_soc(dialect.to_str().unwrap()).unwrap().name(), "t2");
+        std::fs::remove_file(&dialect).ok();
+    }
+
+    #[test]
+    fn flag_and_opt_value_parse() {
+        let args = argv(&["--power", "--width", "16"]);
+        assert!(flag(&args, "--power"));
+        assert!(!flag(&args, "--gantt"));
+        assert_eq!(opt_value(&args, "--width"), Some("16"));
+        assert_eq!(opt_value(&args, "--absent"), None);
+    }
+}

@@ -1,0 +1,344 @@
+//! The one-stop test automation flow: SOC in, schedule + wires + trade-off
+//! data out.
+
+use soctam_schedule::bounds::lower_bound;
+use soctam_schedule::{
+    Schedule, ScheduleBuilder, ScheduleError, SchedulerConfig, TamWidth,
+};
+use soctam_soc::Soc;
+use soctam_tam::WireAssignment;
+use soctam_volume::{volume_of, CostCurve, SweepPoint};
+
+/// The parameter grid the flow searches per width, mirroring the paper's
+/// "best result over all integer values of m and d" methodology, extended
+/// with the idle-fill slack (which the paper fixes at 3 but explicitly
+/// allows the system integrator to retune).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParamSweep {
+    /// Preferred-width percentages `m` to try.
+    pub percents: Vec<u32>,
+    /// Pareto bump distances `d` to try.
+    pub bumps: Vec<TamWidth>,
+    /// Idle-fill slack values to try.
+    pub slacks: Vec<TamWidth>,
+}
+
+impl ParamSweep {
+    /// The paper's sweep: `1 ≤ m ≤ 10`, `0 ≤ d ≤ 4`, slack fixed at 3.
+    pub fn paper() -> Self {
+        Self {
+            percents: (1..=10).collect(),
+            bumps: (0..=4).collect(),
+            slacks: vec![3],
+        }
+    }
+
+    /// An extended sweep that also explores coarser preferred widths and
+    /// wider idle-fill slack; used for the headline table reproductions.
+    pub fn extended() -> Self {
+        Self {
+            percents: (1..=10)
+                .chain([12, 15, 18, 22, 26, 30, 35, 40, 45, 52, 60])
+                .collect(),
+            bumps: (0..=4).collect(),
+            slacks: vec![3, 5, 8, 12],
+        }
+    }
+
+    /// A small sweep for unit tests and interactive use.
+    pub fn quick() -> Self {
+        Self {
+            percents: vec![1, 5, 10, 25, 45],
+            bumps: vec![0, 1, 3],
+            slacks: vec![3, 8],
+        }
+    }
+
+    /// Number of scheduler runs one width costs under this sweep.
+    pub fn runs(&self) -> usize {
+        self.percents.len() * self.bumps.len() * self.slacks.len()
+    }
+}
+
+/// How the flow derives the power ceiling `P_max`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PowerPolicy {
+    /// No power constraint.
+    Unlimited,
+    /// `P_max` = the largest single-core power rating — the tightest
+    /// feasible ceiling; used for the Table 1 power-constrained column.
+    MaxCorePower,
+    /// `P_max` = an absolute value.
+    Absolute(u64),
+}
+
+impl PowerPolicy {
+    /// Resolves the policy against an SOC.
+    pub fn resolve(self, soc: &Soc) -> Option<u64> {
+        match self {
+            PowerPolicy::Unlimited => None,
+            PowerPolicy::MaxCorePower => Some(soc.max_core_power()),
+            PowerPolicy::Absolute(v) => Some(v),
+        }
+    }
+}
+
+/// Configuration of the integrated flow.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlowConfig {
+    /// Per-core width cap (the paper's `W_max = 64`).
+    pub w_max: TamWidth,
+    /// The parameter grid searched per width.
+    pub sweep: ParamSweep,
+    /// Power policy.
+    pub power: PowerPolicy,
+    /// Whether per-core preemption budgets are honoured.
+    pub allow_preemption: bool,
+}
+
+impl FlowConfig {
+    /// Paper-faithful defaults with the extended sweep.
+    pub fn new() -> Self {
+        Self {
+            w_max: 64,
+            sweep: ParamSweep::extended(),
+            power: PowerPolicy::Unlimited,
+            allow_preemption: true,
+        }
+    }
+
+    /// Cheap configuration for tests and examples.
+    pub fn quick() -> Self {
+        Self {
+            sweep: ParamSweep::quick(),
+            ..Self::new()
+        }
+    }
+
+    /// Sets the power policy.
+    pub fn with_power(mut self, power: PowerPolicy) -> Self {
+        self.power = power;
+        self
+    }
+
+    /// Disables preemption.
+    pub fn without_preemption(mut self) -> Self {
+        self.allow_preemption = false;
+        self
+    }
+}
+
+impl Default for FlowConfig {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Result of one flow run at one TAM width.
+#[derive(Debug, Clone)]
+pub struct FlowRun {
+    /// The winning schedule.
+    pub schedule: Schedule,
+    /// Parameters that won the sweep: `(m, d, slack)`.
+    pub params: (u32, TamWidth, TamWidth),
+    /// Testing-time lower bound at this width.
+    pub lower_bound: u64,
+    /// Concrete fork-and-merge wire assignment (verified).
+    pub wires: WireAssignment,
+    /// Tester data volume `W · T`.
+    pub volume: u64,
+}
+
+/// The integrated framework entry point.
+///
+/// Owns nothing: borrows the SOC, carries a configuration, runs the three
+/// framework components on demand.
+#[derive(Debug, Clone)]
+pub struct TestFlow<'a> {
+    soc: &'a Soc,
+    cfg: FlowConfig,
+}
+
+impl<'a> TestFlow<'a> {
+    /// Creates a flow over `soc` with the given configuration.
+    pub fn new(soc: &'a Soc, cfg: FlowConfig) -> Self {
+        Self { soc, cfg }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &FlowConfig {
+        &self.cfg
+    }
+
+    /// Builds the scheduler configuration for one `(width, m, d, slack)`
+    /// point.
+    fn scheduler_config(&self, w: TamWidth, m: u32, d: TamWidth, slack: TamWidth) -> SchedulerConfig {
+        let mut cfg = SchedulerConfig::new(w)
+            .with_percent(m)
+            .with_bump(d);
+        cfg.w_max = self.cfg.w_max;
+        cfg.idle_fill_slack = slack;
+        cfg.allow_preemption = self.cfg.allow_preemption;
+        cfg.p_max = self.cfg.power.resolve(self.soc);
+        cfg
+    }
+
+    /// Finds the best schedule at `w` over the configured parameter sweep.
+    ///
+    /// # Errors
+    ///
+    /// Propagates scheduling errors if every parameter combination fails
+    /// (e.g. an infeasible power ceiling).
+    pub fn best_schedule(&self, w: TamWidth) -> Result<(Schedule, (u32, TamWidth, TamWidth)), ScheduleError> {
+        let mut best: Option<(Schedule, (u32, TamWidth, TamWidth))> = None;
+        let mut first_err = None;
+        for &slack in &self.cfg.sweep.slacks {
+            for &m in &self.cfg.sweep.percents {
+                for &d in &self.cfg.sweep.bumps {
+                    match ScheduleBuilder::new(self.soc, self.scheduler_config(w, m, d, slack)).run()
+                    {
+                        Ok(s) => {
+                            if best.as_ref().is_none_or(|(b, _)| s.makespan() < b.makespan()) {
+                                best = Some((s, (m, d, slack)));
+                            }
+                        }
+                        Err(e) => {
+                            first_err.get_or_insert(e);
+                        }
+                    }
+                }
+            }
+        }
+        best.ok_or_else(|| {
+            first_err.unwrap_or(ScheduleError::InvalidConfig {
+                reason: "empty parameter sweep".to_owned(),
+            })
+        })
+    }
+
+    /// Runs the full flow at one width: best schedule, lower bound, wire
+    /// assignment, data volume.
+    ///
+    /// # Errors
+    ///
+    /// Scheduling errors as in [`TestFlow::best_schedule`]; wire assignment
+    /// cannot fail for schedules this flow produces.
+    pub fn run(&self, w: TamWidth) -> Result<FlowRun, ScheduleError> {
+        let (schedule, params) = self.best_schedule(w)?;
+        let wires = WireAssignment::assign(&schedule).map_err(|e| ScheduleError::Invalid {
+            reason: e.to_string(),
+        })?;
+        wires.verify().map_err(|e| ScheduleError::Invalid {
+            reason: e.to_string(),
+        })?;
+        let volume = volume_of(w, schedule.makespan());
+        Ok(FlowRun {
+            lower_bound: lower_bound(self.soc, w, self.cfg.w_max),
+            volume,
+            schedule,
+            params,
+            wires,
+        })
+    }
+
+    /// Sweeps a range of SOC TAM widths, producing the `T(W)`/`V(W)` series
+    /// behind Figures 9(a)–(b) and Table 2.
+    ///
+    /// # Errors
+    ///
+    /// Fails on the first width whose entire parameter sweep fails.
+    pub fn sweep_widths(
+        &self,
+        widths: impl IntoIterator<Item = TamWidth>,
+    ) -> Result<Vec<SweepPoint>, ScheduleError> {
+        let mut out = Vec::new();
+        for w in widths {
+            let (schedule, _) = self.best_schedule(w)?;
+            let time = schedule.makespan();
+            out.push(SweepPoint {
+                width: w,
+                time,
+                volume: volume_of(w, time),
+                lower_bound: lower_bound(self.soc, w, self.cfg.w_max),
+            });
+        }
+        Ok(out)
+    }
+
+    /// Evaluates the normalized cost function over a sweep for one `α` —
+    /// the effective-TAM-width analysis of §5.
+    pub fn cost_curve(points: &[SweepPoint], alpha: f64) -> CostCurve {
+        CostCurve::new(points, alpha)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use soctam_schedule::validate::{validate, validate_power};
+    use soctam_soc::benchmarks;
+
+    #[test]
+    fn quick_flow_runs_and_validates() {
+        let soc = benchmarks::d695();
+        let flow = TestFlow::new(&soc, FlowConfig::quick());
+        let run = flow.run(16).unwrap();
+        assert!(run.schedule.makespan() >= run.lower_bound);
+        assert_eq!(run.volume, 16 * run.schedule.makespan());
+        validate(&soc, &run.schedule).unwrap();
+        run.wires.verify().unwrap();
+    }
+
+    #[test]
+    fn power_policy_resolves() {
+        let soc = benchmarks::d695();
+        assert_eq!(PowerPolicy::Unlimited.resolve(&soc), None);
+        assert_eq!(
+            PowerPolicy::MaxCorePower.resolve(&soc),
+            Some(soc.max_core_power())
+        );
+        assert_eq!(PowerPolicy::Absolute(7).resolve(&soc), Some(7));
+    }
+
+    #[test]
+    fn power_constrained_flow_respects_ceiling() {
+        let soc = benchmarks::d695();
+        let cfg = FlowConfig::quick().with_power(PowerPolicy::MaxCorePower);
+        let flow = TestFlow::new(&soc, cfg);
+        let run = flow.run(32).unwrap();
+        validate(&soc, &run.schedule).unwrap();
+        validate_power(&soc, &run.schedule, soc.max_core_power()).unwrap();
+    }
+
+    #[test]
+    fn sweep_produces_monotone_trend() {
+        let soc = benchmarks::d695();
+        let flow = TestFlow::new(&soc, FlowConfig::quick());
+        let pts = flow.sweep_widths([8u16, 16, 32, 64]).unwrap();
+        assert!(pts.last().unwrap().time < pts.first().unwrap().time);
+        for p in &pts {
+            assert!(p.time >= p.lower_bound);
+        }
+    }
+
+    #[test]
+    fn best_schedule_beats_or_ties_every_single_run() {
+        let soc = benchmarks::d695();
+        let flow = TestFlow::new(&soc, FlowConfig::quick());
+        let (best, _) = flow.best_schedule(24).unwrap();
+        let single = ScheduleBuilder::new(&soc, SchedulerConfig::new(24))
+            .run()
+            .unwrap();
+        assert!(best.makespan() <= single.makespan());
+    }
+
+    #[test]
+    fn param_sweep_run_counts() {
+        assert_eq!(ParamSweep::paper().runs(), 10 * 5);
+        assert!(ParamSweep::extended().runs() > ParamSweep::paper().runs());
+        assert_eq!(
+            ParamSweep::quick().runs(),
+            5 * 3 * 2
+        );
+    }
+}

@@ -1,0 +1,54 @@
+//! # soctam-core
+//!
+//! The integrated SOC test automation framework of Iyengar, Chakrabarty &
+//! Marinissen (DAC 2002), assembled from the workspace substrates:
+//!
+//! * wrapper/TAM co-optimization ([`soctam_wrapper`]),
+//! * constraint-driven, selectively preemptive test scheduling
+//!   ([`soctam_schedule`]),
+//! * concrete fork-and-merge wire assignment ([`soctam_tam`]),
+//! * tester data volume reduction and effective TAM width identification
+//!   ([`soctam_volume`]),
+//! * baseline architectures for comparison ([`soctam_baseline`]),
+//! * the SOC substrate, ITC'02-style format, and benchmark models
+//!   ([`soctam_soc`]).
+//!
+//! The [`flow`] module exposes the one-stop API; [`report`] regenerates the
+//! paper's tables and figures as plain-text artifacts.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use soctam_core::flow::{FlowConfig, TestFlow};
+//! use soctam_core::soc::benchmarks;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let soc = benchmarks::d695();
+//! let flow = TestFlow::new(&soc, FlowConfig::quick());
+//! let run = flow.run(16)?;
+//! assert!(run.schedule.makespan() >= run.lower_bound);
+//! println!("{}", run.schedule.gantt(&|i| soc.core(i).name().to_string(), 72));
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod flow;
+pub mod report;
+
+/// Re-export of the SOC substrate crate.
+pub use soctam_soc as soc;
+/// Re-export of the scheduling crate.
+pub use soctam_schedule as schedule;
+/// Re-export of the wrapper-design crate.
+pub use soctam_wrapper as wrapper;
+/// Re-export of the TAM wire-assignment crate.
+pub use soctam_tam as tam;
+/// Re-export of the tester-data-volume crate.
+pub use soctam_volume as volume;
+/// Re-export of the baseline comparators.
+pub use soctam_baseline as baseline;
+/// Re-export of the scan/tester simulation crate.
+pub use soctam_sim as sim;

@@ -1,0 +1,435 @@
+//! Experiment reports: the rows and series of every table and figure in
+//! the paper's evaluation (§6), as plain data plus text renderers.
+
+use std::fmt::Write as _;
+
+use soctam_schedule::{ScheduleError, TamWidth};
+use soctam_soc::{benchmarks, Soc};
+use soctam_volume::{CostCurve, SweepPoint};
+use soctam_wrapper::{CoreTest, RectangleSet, StaircasePoint};
+
+use crate::flow::{FlowConfig, PowerPolicy, TestFlow};
+
+/// One row of Table 1: lower bound and the three scheduling modes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Table1Row {
+    /// SOC name.
+    pub soc: String,
+    /// SOC TAM width `W`.
+    pub width: TamWidth,
+    /// Testing-time lower bound.
+    pub lower_bound: u64,
+    /// Non-preemptive testing time.
+    pub non_preemptive: u64,
+    /// Preemptive testing time (budget 2 on the larger cores).
+    pub preemptive: u64,
+    /// Preemptive + power-constrained testing time.
+    pub power_constrained: u64,
+}
+
+/// Computes the Table 1 rows for one SOC at the paper's widths.
+///
+/// Preemption budgets (2 for the larger cores) and the power ceiling
+/// (`P_max` = the largest core power) are applied as described in §6.
+///
+/// # Errors
+///
+/// Propagates scheduling failures.
+pub fn table1_rows(soc: &Soc, base: &FlowConfig) -> Result<Vec<Table1Row>, ScheduleError> {
+    let mut budgeted = soc.clone();
+    benchmarks::grant_preemption_to_large_cores(&mut budgeted, 2);
+
+    let mut rows = Vec::new();
+    for w in benchmarks::table1_widths(soc.name()) {
+        let non_preemptive = {
+            let cfg = base.clone().without_preemption();
+            TestFlow::new(&budgeted, cfg).best_schedule(w)?.0.makespan()
+        };
+        let preemptive = TestFlow::new(&budgeted, base.clone())
+            .best_schedule(w)?
+            .0
+            .makespan();
+        let power_constrained = {
+            let cfg = base.clone().with_power(PowerPolicy::MaxCorePower);
+            TestFlow::new(&budgeted, cfg).best_schedule(w)?.0.makespan()
+        };
+        rows.push(Table1Row {
+            soc: soc.name().to_owned(),
+            width: w,
+            lower_bound: soctam_schedule::bounds::lower_bound(soc, w, base.w_max),
+            non_preemptive,
+            preemptive,
+            power_constrained,
+        });
+    }
+    Ok(rows)
+}
+
+/// Renders Table 1 rows in the paper's layout.
+pub fn render_table1(rows: &[Table1Row]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<8} {:>3} {:>12} {:>15} {:>12} {:>18}",
+        "SOC", "W", "Lower bound", "Non-preemptive", "Preemptive", "Power-constrained"
+    );
+    let mut last_soc = "";
+    for r in rows {
+        let soc = if r.soc == last_soc { "" } else { &r.soc };
+        last_soc = &r.soc;
+        let _ = writeln!(
+            out,
+            "{:<8} {:>3} {:>12} {:>15} {:>12} {:>18}",
+            soc, r.width, r.lower_bound, r.non_preemptive, r.preemptive, r.power_constrained
+        );
+    }
+    out
+}
+
+/// One `α` entry of Table 2.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table2Entry {
+    /// The trade-off weight.
+    pub alpha: f64,
+    /// Minimum normalized cost `C_min`.
+    pub c_min: f64,
+    /// The effective TAM width `W_eff` achieving it.
+    pub w_eff: TamWidth,
+    /// Testing time at `W_eff`.
+    pub time: u64,
+    /// Data volume at `W_eff`.
+    pub volume: u64,
+}
+
+/// Table 2 for one SOC: global minima of `T` and `V` plus the effective
+/// widths for several `α` values.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table2 {
+    /// SOC name.
+    pub soc: String,
+    /// Minimum testing time over the sweep.
+    pub t_min: u64,
+    /// Width achieving `t_min`.
+    pub w_at_t_min: TamWidth,
+    /// Minimum data volume over the sweep.
+    pub v_min: u64,
+    /// Width achieving `v_min`.
+    pub w_at_v_min: TamWidth,
+    /// Per-α effective widths.
+    pub entries: Vec<Table2Entry>,
+    /// The raw sweep the table was computed from.
+    pub sweep: Vec<SweepPoint>,
+}
+
+/// The `α` values each SOC's Table 2 block uses in the paper.
+pub fn paper_alphas(soc_name: &str) -> Vec<f64> {
+    match soc_name {
+        "d695" => vec![0.1, 0.3, 0.5],
+        "p22810" => vec![0.01, 0.3, 0.5],
+        "p34392" => vec![0.2, 0.25, 0.3],
+        "p93791" => vec![0.5, 0.95, 0.99],
+        _ => vec![0.25, 0.5, 0.75],
+    }
+}
+
+/// Computes Table 2 for one SOC by sweeping `W` over `widths` and
+/// evaluating the cost function at each `α`.
+///
+/// # Errors
+///
+/// Propagates scheduling failures from the sweep.
+pub fn table2(
+    soc: &Soc,
+    widths: impl IntoIterator<Item = TamWidth>,
+    alphas: &[f64],
+    base: &FlowConfig,
+) -> Result<Table2, ScheduleError> {
+    let flow = TestFlow::new(soc, base.clone());
+    let sweep = flow.sweep_widths(widths)?;
+    let t_min_pt = sweep
+        .iter()
+        .min_by_key(|p| (p.time, p.width))
+        .expect("non-empty sweep");
+    let v_min_pt = sweep
+        .iter()
+        .min_by_key(|p| (p.volume, p.width))
+        .expect("non-empty sweep");
+    let entries = alphas
+        .iter()
+        .map(|&alpha| {
+            let curve = CostCurve::new(&sweep, alpha);
+            let eff = curve.effective_point();
+            Table2Entry {
+                alpha,
+                c_min: eff.cost,
+                w_eff: eff.width,
+                time: eff.time,
+                volume: eff.volume,
+            }
+        })
+        .collect();
+    Ok(Table2 {
+        soc: soc.name().to_owned(),
+        t_min: t_min_pt.time,
+        w_at_t_min: t_min_pt.width,
+        v_min: v_min_pt.volume,
+        w_at_v_min: v_min_pt.width,
+        entries,
+        sweep,
+    })
+}
+
+/// Renders a Table 2 block in the paper's layout.
+pub fn render_table2(t: &Table2) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{}", t.soc);
+    let _ = writeln!(
+        out,
+        "  T_min = {} at W = {},  V_min = {} at W = {}",
+        t.t_min, t.w_at_t_min, t.v_min, t.w_at_v_min
+    );
+    let _ = writeln!(
+        out,
+        "  {:>6} {:>8} {:>6} {:>12} {:>14}",
+        "alpha", "C_min", "W_eff", "T at W_eff", "V at W_eff"
+    );
+    for e in &t.entries {
+        let _ = writeln!(
+            out,
+            "  {:>6} {:>8.3} {:>6} {:>12} {:>14}",
+            e.alpha, e.c_min, e.w_eff, e.time, e.volume
+        );
+    }
+    out
+}
+
+/// One row of the preemption-budget study: scheduling outcome when every
+/// "large" core is granted the same preemption budget.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PreemptionSweepRow {
+    /// Budget granted (`max_preempts`) to the larger cores.
+    pub budget: u32,
+    /// Best testing time at this budget.
+    pub time: u64,
+    /// Preemptions actually used across all cores.
+    pub preemptions_used: u32,
+    /// Extra scan cycles those preemptions cost.
+    pub penalty_cycles: u64,
+}
+
+/// Sweeps the preemption budget — the paper's §6 closing remark calls for
+/// "a careful investigation of the effects of preemption and the
+/// `max_preempts` parameter"; this is that experiment.
+///
+/// For each budget, the larger cores get `max_preempts = budget` and the
+/// flow's best schedule is measured, along with how many preemptions it
+/// actually spent and their total scan penalty.
+///
+/// # Errors
+///
+/// Propagates scheduling failures.
+pub fn preemption_sweep(
+    soc: &Soc,
+    width: TamWidth,
+    budgets: &[u32],
+    base: &FlowConfig,
+) -> Result<Vec<PreemptionSweepRow>, ScheduleError> {
+    let mut rows = Vec::with_capacity(budgets.len());
+    for &budget in budgets {
+        let mut budgeted = soc.clone();
+        benchmarks::grant_preemption_to_large_cores(&mut budgeted, budget);
+        let (schedule, _) = TestFlow::new(&budgeted, base.clone()).best_schedule(width)?;
+        let mut preemptions_used = 0u32;
+        let mut penalty_cycles = 0u64;
+        for idx in 0..budgeted.len() {
+            let stats = schedule.core_stats(idx).expect("all cores scheduled");
+            if stats.preemptions > 0 {
+                let rects = RectangleSet::build(budgeted.core(idx).test(), stats.width);
+                preemptions_used += stats.preemptions;
+                penalty_cycles += u64::from(stats.preemptions)
+                    * rects.rect_at(stats.width).preemption_penalty();
+            }
+        }
+        rows.push(PreemptionSweepRow {
+            budget,
+            time: schedule.makespan(),
+            preemptions_used,
+            penalty_cycles,
+        });
+    }
+    Ok(rows)
+}
+
+/// Renders a preemption sweep as a text table.
+pub fn render_preemption_sweep(soc_name: &str, width: TamWidth, rows: &[PreemptionSweepRow]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{soc_name} at W = {width}:");
+    let _ = writeln!(
+        out,
+        "  {:>6} {:>12} {:>10} {:>14}",
+        "budget", "time", "preempts", "penalty cycles"
+    );
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "  {:>6} {:>12} {:>10} {:>14}",
+            r.budget, r.time, r.preemptions_used, r.penalty_cycles
+        );
+    }
+    out
+}
+
+/// The staircase data of Figure 1 for one core: every width's testing time
+/// plus the Pareto-optimal widths.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Staircase {
+    /// The per-width points.
+    pub points: Vec<StaircasePoint>,
+    /// Pareto-optimal widths.
+    pub pareto_widths: Vec<TamWidth>,
+}
+
+/// Computes the Figure 1 staircase for a single core.
+pub fn staircase(core: &CoreTest, w_max: TamWidth) -> Staircase {
+    let rects = RectangleSet::build(core, w_max);
+    Staircase {
+        points: rects.staircase(),
+        pareto_widths: rects.pareto_widths(),
+    }
+}
+
+/// Renders an ASCII line plot of `(x, y)` series; used for Figures 1
+/// and 9.
+pub fn render_plot(title: &str, series: &[(f64, f64)], rows: usize, cols: usize) -> String {
+    let rows = rows.max(4);
+    let cols = cols.max(10);
+    let mut out = format!("{title}\n");
+    if series.is_empty() {
+        return out;
+    }
+    let (mut x_min, mut x_max) = (f64::INFINITY, f64::NEG_INFINITY);
+    let (mut y_min, mut y_max) = (f64::INFINITY, f64::NEG_INFINITY);
+    for &(x, y) in series {
+        x_min = x_min.min(x);
+        x_max = x_max.max(x);
+        y_min = y_min.min(y);
+        y_max = y_max.max(y);
+    }
+    let x_span = (x_max - x_min).max(f64::MIN_POSITIVE);
+    let y_span = (y_max - y_min).max(f64::MIN_POSITIVE);
+    let mut grid = vec![vec![' '; cols]; rows];
+    for &(x, y) in series {
+        let c = (((x - x_min) / x_span) * (cols - 1) as f64).round() as usize;
+        let r = (((y - y_min) / y_span) * (rows - 1) as f64).round() as usize;
+        grid[rows - 1 - r][c] = '*';
+    }
+    for (i, row) in grid.iter().enumerate() {
+        let label = if i == 0 {
+            format!("{y_max:>12.4}")
+        } else if i == rows - 1 {
+            format!("{y_min:>12.4}")
+        } else {
+            " ".repeat(12)
+        };
+        let line: String = row.iter().collect();
+        let _ = writeln!(out, "{label} |{line}");
+    }
+    let _ = writeln!(out, "{:>12}  {x_min:<.1}{:>width$.1}", "", x_max, width = cols - 3);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use soctam_soc::benchmarks;
+
+    #[test]
+    fn table1_rows_have_paper_shape() {
+        let soc = benchmarks::d695();
+        let rows = table1_rows(&soc, &FlowConfig::quick()).unwrap();
+        assert_eq!(rows.len(), 4);
+        for r in &rows {
+            assert!(r.non_preemptive >= r.lower_bound);
+            assert!(r.preemptive >= r.lower_bound);
+            assert!(r.power_constrained >= r.lower_bound);
+        }
+        let text = render_table1(&rows);
+        assert!(text.contains("d695"));
+        assert!(text.contains("Lower bound"));
+    }
+
+    #[test]
+    fn table2_minima_consistent_with_sweep() {
+        let soc = benchmarks::d695();
+        let t = table2(
+            &soc,
+            (8..=32).step_by(4).map(|w| w as u16),
+            &[0.1, 0.5, 0.9],
+            &FlowConfig::quick(),
+        )
+        .unwrap();
+        assert_eq!(t.entries.len(), 3);
+        for p in &t.sweep {
+            assert!(p.time >= t.t_min);
+            assert!(p.volume >= t.v_min);
+        }
+        for e in &t.entries {
+            assert!(e.c_min >= 1.0 - 1e-12);
+            assert!(t.sweep.iter().any(|p| p.width == e.w_eff));
+        }
+        let text = render_table2(&t);
+        assert!(text.contains("T_min"));
+    }
+
+    #[test]
+    fn paper_alphas_known_socs() {
+        assert_eq!(paper_alphas("d695"), vec![0.1, 0.3, 0.5]);
+        assert_eq!(paper_alphas("p93791"), vec![0.5, 0.95, 0.99]);
+        assert_eq!(paper_alphas("other").len(), 3);
+    }
+
+    #[test]
+    fn preemption_sweep_shapes() {
+        let soc = benchmarks::d695();
+        let rows = preemption_sweep(&soc, 16, &[0, 1, 2], &FlowConfig::quick()).unwrap();
+        assert_eq!(rows.len(), 3);
+        // Budget 0 must spend no preemptions and no penalty.
+        assert_eq!(rows[0].preemptions_used, 0);
+        assert_eq!(rows[0].penalty_cycles, 0);
+        // Penalty only accrues when preemptions happen.
+        for r in &rows {
+            assert_eq!(r.penalty_cycles == 0, r.preemptions_used == 0);
+        }
+        let text = render_preemption_sweep("d695", 16, &rows);
+        assert!(text.contains("budget"));
+    }
+
+    #[test]
+    fn staircase_of_benchmark_core() {
+        let soc = benchmarks::p93791();
+        let s = staircase(soc.core(5).test(), 64);
+        assert_eq!(s.points.len(), 64);
+        assert!(!s.pareto_widths.is_empty());
+        // Monotone non-increasing.
+        for pair in s.points.windows(2) {
+            assert!(pair[1].time <= pair[0].time);
+        }
+    }
+
+    #[test]
+    fn plot_renders_extremes() {
+        let series: Vec<(f64, f64)> = (1..=20).map(|i| (i as f64, (i * i) as f64)).collect();
+        let p = render_plot("parabola", &series, 10, 40);
+        assert!(p.contains("parabola"));
+        assert!(p.contains('*'));
+        assert!(p.contains("400"));
+    }
+
+    #[test]
+    fn plot_handles_empty_and_flat() {
+        assert!(render_plot("empty", &[], 5, 20).contains("empty"));
+        let flat = vec![(0.0, 1.0), (1.0, 1.0)];
+        let p = render_plot("flat", &flat, 5, 20);
+        assert!(p.contains('*'));
+    }
+}

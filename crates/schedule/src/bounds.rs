@@ -1,0 +1,137 @@
+//! Lower bounds on SOC testing time.
+//!
+//! The paper's Table 1 reports the bound
+//!
+//! ```text
+//! LB(W) = max(  max_i T_i(min(W, W_max)),  ⌈ Σ_i A_i / W ⌉  )
+//! ```
+//!
+//! where `A_i` is core *i*'s minimal rectangle area (the smallest
+//! width·time product over its wrapper designs): no schedule can finish
+//! before the slowest single core, nor before the total work fits through
+//! `W` wires.
+
+use soctam_soc::Soc;
+use soctam_wrapper::{Cycles, RectangleSet, TamWidth};
+
+/// Computes the testing-time lower bound for `soc` on `w` TAM wires, with
+/// per-core widths capped at `w_max` (the paper uses 64).
+///
+/// # Panics
+///
+/// Panics if `w == 0`.
+///
+/// # Example
+///
+/// ```
+/// use soctam_schedule::bounds::lower_bound;
+/// use soctam_soc::benchmarks;
+///
+/// let soc = benchmarks::d695();
+/// let lb16 = lower_bound(&soc, 16, 64);
+/// let lb64 = lower_bound(&soc, 64, 64);
+/// assert!(lb64 <= lb16);
+/// ```
+pub fn lower_bound(soc: &Soc, w: TamWidth, w_max: TamWidth) -> Cycles {
+    assert!(w > 0, "lower bound needs at least one wire");
+    let w_max = w_max.max(1);
+    let eff = w.min(w_max);
+    let mut max_core_time: Cycles = 0;
+    let mut total_area: u128 = 0;
+    for core in soc.cores() {
+        let rects = RectangleSet::build(core.test(), w_max);
+        max_core_time = max_core_time.max(rects.time_at(eff));
+        total_area += rects.min_area();
+    }
+    let area_bound = total_area.div_ceil(u128::from(w)) as Cycles;
+    max_core_time.max(area_bound)
+}
+
+/// Lower bounds for several widths at once (one rectangle build per core).
+pub fn lower_bounds(soc: &Soc, widths: &[TamWidth], w_max: TamWidth) -> Vec<Cycles> {
+    let w_max = w_max.max(1);
+    let rects: Vec<RectangleSet> = soc
+        .cores()
+        .iter()
+        .map(|c| RectangleSet::build(c.test(), w_max))
+        .collect();
+    let total_area: u128 = rects.iter().map(RectangleSet::min_area).sum();
+    widths
+        .iter()
+        .map(|&w| {
+            assert!(w > 0, "lower bound needs at least one wire");
+            let eff = w.min(w_max);
+            let max_core: Cycles = rects.iter().map(|r| r.time_at(eff)).max().unwrap_or(0);
+            max_core.max(total_area.div_ceil(u128::from(w)) as Cycles)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ScheduleBuilder, SchedulerConfig};
+    use soctam_soc::{benchmarks, synth::SynthConfig};
+
+    #[test]
+    fn bound_is_monotone_in_width() {
+        let soc = benchmarks::d695();
+        let bounds = lower_bounds(&soc, &[8, 16, 24, 32, 48, 64], 64);
+        for pair in bounds.windows(2) {
+            assert!(pair[1] <= pair[0]);
+        }
+    }
+
+    #[test]
+    fn batch_matches_single() {
+        let soc = benchmarks::d695();
+        let batch = lower_bounds(&soc, &[16, 32], 64);
+        assert_eq!(batch[0], lower_bound(&soc, 16, 64));
+        assert_eq!(batch[1], lower_bound(&soc, 32, 64));
+    }
+
+    #[test]
+    fn d695_bounds_near_paper_values() {
+        // Paper Table 1: 41232 / 20616 / 13744 / 10308 for W = 16/32/48/64.
+        let soc = benchmarks::d695();
+        let got = lower_bounds(&soc, &[16, 32, 48, 64], 64);
+        for (g, want) in got.iter().zip([41_232u64, 20_616, 13_744, 10_308]) {
+            let diff = g.abs_diff(want);
+            assert!(
+                diff * 100 <= want,
+                "bound {g} deviates more than 1% from paper {want}"
+            );
+        }
+    }
+
+    #[test]
+    fn schedules_never_beat_the_bound() {
+        let soc = benchmarks::d695();
+        for w in [13, 16, 29, 32, 64] {
+            let lb = lower_bound(&soc, w, 64);
+            let s = ScheduleBuilder::new(&soc, SchedulerConfig::new(w)).run().unwrap();
+            assert!(
+                s.makespan() >= lb,
+                "W={w}: makespan {} below bound {lb}",
+                s.makespan()
+            );
+        }
+    }
+
+    #[test]
+    fn synthetic_socs_respect_bound() {
+        let cfg = SynthConfig::new(12);
+        for seed in 0..8 {
+            let soc = cfg.generate(seed);
+            let lb = lower_bound(&soc, 24, 64);
+            let s = ScheduleBuilder::new(&soc, SchedulerConfig::new(24)).run().unwrap();
+            assert!(s.makespan() >= lb, "seed {seed}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one wire")]
+    fn zero_width_panics() {
+        let _ = lower_bound(&benchmarks::d695(), 0, 64);
+    }
+}

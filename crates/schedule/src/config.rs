@@ -1,0 +1,169 @@
+use soctam_wrapper::TamWidth;
+
+/// Enables or disables the individual packing heuristics of §4, for
+/// ablation studies (see the `ablation_heuristics` bench target).
+///
+/// All heuristics are on by default; the paper's algorithm corresponds to
+/// [`HeuristicToggles::default`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HeuristicToggles {
+    /// Bump preferred widths to the highest Pareto-optimal width when it is
+    /// at most `d` wires away (Figure 5, lines 5–6).
+    pub pareto_bump: bool,
+    /// Squeeze an unstarted core whose preferred width is within
+    /// [`SchedulerConfig::idle_fill_slack`] wires of the idle width
+    /// (Figure 4, lines 13–14).
+    pub idle_fill: bool,
+    /// Give leftover wires to a rectangle that begins at the current
+    /// instant (Figure 4, lines 15–16).
+    pub width_increase: bool,
+}
+
+impl Default for HeuristicToggles {
+    fn default() -> Self {
+        Self {
+            pareto_bump: true,
+            idle_fill: true,
+            width_increase: true,
+        }
+    }
+}
+
+impl HeuristicToggles {
+    /// All heuristics disabled — the plain three-priority packer.
+    pub fn none() -> Self {
+        Self {
+            pareto_bump: false,
+            idle_fill: false,
+            width_increase: false,
+        }
+    }
+}
+
+/// Configuration of one scheduling run.
+///
+/// `tam_width` is the SOC-level TAM width `W`. The remaining knobs default
+/// to the paper's choices: `w_max = 64`, preferred-width percentage
+/// `m = 5`, Pareto bump distance `d = 1`, idle-fill slack of 3 wires, no
+/// power limit, preemption honoured.
+///
+/// # Example
+///
+/// ```
+/// use soctam_schedule::SchedulerConfig;
+///
+/// let cfg = SchedulerConfig::new(32).with_percent(3).with_power_limit(4000);
+/// assert_eq!(cfg.tam_width, 32);
+/// assert_eq!(cfg.p_max, Some(4000));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SchedulerConfig {
+    /// Total SOC TAM width `W`.
+    pub tam_width: TamWidth,
+    /// Maximum width considered when building rectangle menus and
+    /// preferred widths (the paper's `W_max = 64`).
+    pub w_max: TamWidth,
+    /// The preferred-width percentage `m` (usually 1–10).
+    pub percent: u32,
+    /// The Pareto bump distance `d` (usually 0–4).
+    pub bump: TamWidth,
+    /// How many wires short a rectangle may be squeezed during idle fill
+    /// (the paper found 3 most useful).
+    pub idle_fill_slack: TamWidth,
+    /// Maximum simultaneous power dissipation, if constrained.
+    pub p_max: Option<u64>,
+    /// If `false`, all preemption budgets are treated as zero.
+    pub allow_preemption: bool,
+    /// Heuristic ablation switches.
+    pub toggles: HeuristicToggles,
+}
+
+impl SchedulerConfig {
+    /// Paper-default configuration for a given SOC TAM width.
+    pub fn new(tam_width: TamWidth) -> Self {
+        Self {
+            tam_width,
+            w_max: 64,
+            percent: 5,
+            bump: 1,
+            idle_fill_slack: 3,
+            p_max: None,
+            allow_preemption: true,
+            toggles: HeuristicToggles::default(),
+        }
+    }
+
+    /// Sets the preferred-width percentage `m`.
+    pub fn with_percent(mut self, percent: u32) -> Self {
+        self.percent = percent;
+        self
+    }
+
+    /// Sets the Pareto bump distance `d`.
+    pub fn with_bump(mut self, bump: TamWidth) -> Self {
+        self.bump = bump;
+        self
+    }
+
+    /// Sets the power ceiling `P_max`.
+    pub fn with_power_limit(mut self, p_max: u64) -> Self {
+        self.p_max = Some(p_max);
+        self
+    }
+
+    /// Disables preemption regardless of per-core budgets.
+    pub fn without_preemption(mut self) -> Self {
+        self.allow_preemption = false;
+        self
+    }
+
+    /// Replaces the heuristic toggles.
+    pub fn with_toggles(mut self, toggles: HeuristicToggles) -> Self {
+        self.toggles = toggles;
+        self
+    }
+
+    /// The widest rectangle any core may use under this configuration.
+    pub fn effective_w_max(&self) -> TamWidth {
+        self.w_max.min(self.tam_width).max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let cfg = SchedulerConfig::new(16);
+        assert_eq!(cfg.w_max, 64);
+        assert_eq!(cfg.idle_fill_slack, 3);
+        assert!(cfg.allow_preemption);
+        assert_eq!(cfg.p_max, None);
+        assert_eq!(cfg.toggles, HeuristicToggles::default());
+    }
+
+    #[test]
+    fn effective_w_max_clamps_to_tam() {
+        assert_eq!(SchedulerConfig::new(16).effective_w_max(), 16);
+        let mut cfg = SchedulerConfig::new(100);
+        assert_eq!(cfg.effective_w_max(), 64);
+        cfg.w_max = 0;
+        assert_eq!(cfg.effective_w_max(), 1);
+    }
+
+    #[test]
+    fn builder_methods_chain() {
+        let cfg = SchedulerConfig::new(48)
+            .with_percent(7)
+            .with_bump(2)
+            .with_power_limit(1234)
+            .without_preemption()
+            .with_toggles(HeuristicToggles::none());
+        assert_eq!(cfg.percent, 7);
+        assert_eq!(cfg.bump, 2);
+        assert_eq!(cfg.p_max, Some(1234));
+        assert!(!cfg.allow_preemption);
+        assert!(!cfg.toggles.idle_fill);
+    }
+}

@@ -1,0 +1,201 @@
+//! Constraint bookkeeping for the scheduler: the `Conflict` subroutine of
+//! Figure 7, precompiled from the SOC model.
+
+use soctam_soc::{CoreIdx, Soc};
+
+/// Precompiled constraint tables for one SOC.
+///
+/// Precedence is stored as, per core, the list of cores that must complete
+/// *before* it; concurrency (including hierarchy-derived pairs) as a
+/// per-core adjacency list; BIST engines as per-core engine ids. The
+/// scheduler queries [`ConstraintSet::conflicts`] (the paper's `Conflict`)
+/// before every assignment.
+#[derive(Debug, Clone)]
+pub struct ConstraintSet {
+    predecessors: Vec<Vec<CoreIdx>>,
+    excludes: Vec<Vec<CoreIdx>>,
+    bist: Vec<Option<usize>>,
+    power: Vec<u64>,
+}
+
+impl ConstraintSet {
+    /// Compiles the constraint tables from an SOC model.
+    pub fn compile(soc: &Soc) -> Self {
+        let n = soc.len();
+        let mut predecessors = vec![Vec::new(); n];
+        for &(before, after) in soc.precedence() {
+            predecessors[after].push(before);
+        }
+        let mut excludes = vec![Vec::new(); n];
+        for (a, b) in soc.effective_concurrency() {
+            excludes[a].push(b);
+            excludes[b].push(a);
+        }
+        let bist: Vec<Option<usize>> = soc.cores().iter().map(|c| c.bist_engine()).collect();
+        let power: Vec<u64> = soc.cores().iter().map(|c| c.power()).collect();
+        Self {
+            predecessors,
+            excludes,
+            bist,
+            power,
+        }
+    }
+
+    /// Number of cores covered.
+    pub fn len(&self) -> usize {
+        self.power.len()
+    }
+
+    /// Whether the set covers no cores.
+    pub fn is_empty(&self) -> bool {
+        self.power.is_empty()
+    }
+
+    /// Cores that must complete before `core` may start.
+    pub fn predecessors(&self, core: CoreIdx) -> &[CoreIdx] {
+        &self.predecessors[core]
+    }
+
+    /// Cores that may never run concurrently with `core`.
+    pub fn excludes(&self, core: CoreIdx) -> &[CoreIdx] {
+        &self.excludes[core]
+    }
+
+    /// Power rating of `core`'s test.
+    pub fn power(&self, core: CoreIdx) -> u64 {
+        self.power[core]
+    }
+
+    /// The paper's `Conflict` check (Figure 7): would starting `core` now
+    /// violate a precedence, concurrency, power, or BIST constraint?
+    ///
+    /// * `complete` and `scheduled` are per-core status slices;
+    /// * `scheduled_power` is the power of currently scheduled tests;
+    /// * `p_max` is the optional ceiling.
+    pub fn conflicts(
+        &self,
+        core: CoreIdx,
+        complete: &[bool],
+        scheduled: &[bool],
+        scheduled_power: u64,
+        p_max: Option<u64>,
+    ) -> bool {
+        // (i) precedence: all predecessors must have completed.
+        for &p in &self.predecessors[core] {
+            if !complete[p] {
+                return true;
+            }
+        }
+        // (ii) concurrency: no excluded core may be scheduled.
+        for &x in &self.excludes[core] {
+            if scheduled[x] {
+                return true;
+            }
+        }
+        // (iii) power ceiling.
+        if let Some(p_max) = p_max {
+            if scheduled_power + self.power[core] > p_max {
+                return true;
+            }
+        }
+        // (iv) BIST-engine sharing.
+        if let Some(engine) = self.bist[core] {
+            for (j, scheduled_j) in scheduled.iter().enumerate() {
+                if *scheduled_j && j != core && self.bist[j] == Some(engine) {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use soctam_soc::{Core, Soc};
+    use soctam_wrapper::CoreTest;
+
+    fn tiny(name: &str) -> Core {
+        Core::new(name, CoreTest::new(2, 2, 0, vec![4], 5).unwrap())
+    }
+
+    fn soc_with(f: impl FnOnce(&mut Soc)) -> Soc {
+        let mut soc = Soc::new("t");
+        soc.add_core(tiny("a"));
+        soc.add_core(tiny("b"));
+        soc.add_core(tiny("c"));
+        f(&mut soc);
+        soc
+    }
+
+    #[test]
+    fn precedence_blocks_until_complete() {
+        let soc = soc_with(|s| s.add_precedence(0, 1).unwrap());
+        let cs = ConstraintSet::compile(&soc);
+        let scheduled = [false; 3];
+        assert!(cs.conflicts(1, &[false, false, false], &scheduled, 0, None));
+        assert!(!cs.conflicts(1, &[true, false, false], &scheduled, 0, None));
+        // Core 0 itself is unconstrained.
+        assert!(!cs.conflicts(0, &[false; 3], &scheduled, 0, None));
+    }
+
+    #[test]
+    fn concurrency_blocks_while_scheduled() {
+        let soc = soc_with(|s| s.add_concurrency(0, 2).unwrap());
+        let cs = ConstraintSet::compile(&soc);
+        let complete = [false; 3];
+        assert!(cs.conflicts(2, &complete, &[true, false, false], 0, None));
+        assert!(cs.conflicts(0, &complete, &[false, false, true], 0, None));
+        assert!(!cs.conflicts(2, &complete, &[false, true, false], 0, None));
+    }
+
+    #[test]
+    fn hierarchy_pairs_included() {
+        let mut soc = Soc::new("t");
+        let p = soc.add_core(tiny("p"));
+        soc.add_core(
+            Core::builder("child", CoreTest::new(2, 2, 0, vec![4], 5).unwrap())
+                .parent(p)
+                .build(),
+        );
+        let cs = ConstraintSet::compile(&soc);
+        assert!(cs.conflicts(1, &[false; 2], &[true, false], 0, None));
+    }
+
+    #[test]
+    fn power_ceiling_enforced() {
+        let soc = soc_with(|_| ());
+        let cs = ConstraintSet::compile(&soc);
+        let p = cs.power(0);
+        assert!(p > 0);
+        // Another core already burns p; ceiling 2p-1 blocks, 2p admits.
+        assert!(cs.conflicts(0, &[false; 3], &[false; 3], p, Some(2 * p - 1)));
+        assert!(!cs.conflicts(0, &[false; 3], &[false; 3], p, Some(2 * p)));
+        // No ceiling, no conflict.
+        assert!(!cs.conflicts(0, &[false; 3], &[false; 3], u64::MAX - p, None));
+    }
+
+    #[test]
+    fn bist_engine_sharing_blocks() {
+        let mut soc = Soc::new("t");
+        soc.add_core(
+            Core::builder("a", CoreTest::new(2, 2, 0, vec![4], 5).unwrap())
+                .bist_engine(0)
+                .build(),
+        );
+        soc.add_core(
+            Core::builder("b", CoreTest::new(2, 2, 0, vec![4], 5).unwrap())
+                .bist_engine(0)
+                .build(),
+        );
+        soc.add_core(
+            Core::builder("c", CoreTest::new(2, 2, 0, vec![4], 5).unwrap())
+                .bist_engine(1)
+                .build(),
+        );
+        let cs = ConstraintSet::compile(&soc);
+        assert!(cs.conflicts(1, &[false; 3], &[true, false, false], 0, None));
+        assert!(!cs.conflicts(2, &[false; 3], &[true, false, false], 0, None));
+    }
+}

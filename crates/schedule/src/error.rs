@@ -1,0 +1,83 @@
+use std::error::Error;
+use std::fmt;
+
+use soctam_soc::SocError;
+
+/// Errors from scheduling or schedule validation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ScheduleError {
+    /// The SOC model itself is inconsistent.
+    Soc(SocError),
+    /// The configuration is unusable (e.g. zero TAM width).
+    InvalidConfig {
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// No progress is possible: some cores can never be scheduled under the
+    /// given constraints (e.g. a core whose power rating alone exceeds
+    /// `P_max`, or an unsatisfiable concurrency clique).
+    Stuck {
+        /// Indices of the cores that remain unscheduled.
+        remaining: Vec<usize>,
+        /// The time at which the scheduler stalled.
+        at_time: u64,
+    },
+    /// Produced by the validator: the schedule violates a constraint.
+    Invalid {
+        /// Description of the violated invariant.
+        reason: String,
+    },
+}
+
+impl fmt::Display for ScheduleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScheduleError::Soc(e) => write!(f, "invalid SOC model: {e}"),
+            ScheduleError::InvalidConfig { reason } => {
+                write!(f, "invalid scheduler configuration: {reason}")
+            }
+            ScheduleError::Stuck { remaining, at_time } => write!(
+                f,
+                "scheduler stuck at time {at_time}: cores {remaining:?} cannot be scheduled"
+            ),
+            ScheduleError::Invalid { reason } => write!(f, "invalid schedule: {reason}"),
+        }
+    }
+}
+
+impl Error for ScheduleError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ScheduleError::Soc(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SocError> for ScheduleError {
+    fn from(e: SocError) -> Self {
+        ScheduleError::Soc(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stuck_message_names_cores() {
+        let e = ScheduleError::Stuck {
+            remaining: vec![1, 4],
+            at_time: 99,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("99") && msg.contains('4'));
+    }
+
+    #[test]
+    fn soc_error_is_source() {
+        let e = ScheduleError::from(SocError::PrecedenceCycle);
+        assert!(e.source().is_some());
+    }
+}

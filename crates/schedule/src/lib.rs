@@ -1,0 +1,60 @@
+//! # soctam-schedule
+//!
+//! Constraint-driven, selectively preemptive SOC test scheduling via
+//! generalized rectangle packing — the primary contribution of Iyengar,
+//! Chakrabarty & Marinissen, DAC 2002 (Figures 4–8).
+//!
+//! Given an SOC model ([`soctam_soc::Soc`]) and a total TAM width `W`, the
+//! scheduler:
+//!
+//! 1. builds every core's Pareto-optimal rectangle menu and *preferred TAM
+//!    width* (smallest width within `m`% of the core's best time, bumped to
+//!    the highest Pareto-optimal width when at most `d` wires away);
+//! 2. packs one rectangle per core into the `W × time` bin with a
+//!    three-priority selection rule, filling idle wires by squeezing
+//!    near-fit rectangles (within 3 wires) and widening rectangles that
+//!    begin at the current instant;
+//! 3. honours precedence, concurrency, power, and BIST-engine constraints,
+//!    and preempts tests within each core's preemption budget, charging one
+//!    extra scan-in + scan-out per actual interruption.
+//!
+//! The result is a [`Schedule`] of time slices that an independent
+//! [`validate`](crate::validate::validate) re-checks against every
+//! constraint.
+//!
+//! # Example
+//!
+//! ```
+//! use soctam_schedule::{ScheduleBuilder, SchedulerConfig};
+//! use soctam_soc::benchmarks;
+//!
+//! # fn main() -> Result<(), soctam_schedule::ScheduleError> {
+//! let soc = benchmarks::d695();
+//! let schedule = ScheduleBuilder::new(&soc, SchedulerConfig::new(16)).run()?;
+//! assert!(schedule.makespan() > 0);
+//! soctam_schedule::validate::validate(&soc, &schedule)?;
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bounds;
+mod config;
+mod constraints;
+mod error;
+mod optimizer;
+mod schedule;
+mod state;
+mod svg;
+pub mod validate;
+
+pub use config::{HeuristicToggles, SchedulerConfig};
+pub use constraints::ConstraintSet;
+pub use error::ScheduleError;
+pub use optimizer::{schedule_best, ScheduleBuilder};
+pub use schedule::{CoreScheduleStats, Schedule, Slice};
+pub use svg::SvgOptions;
+
+pub use soctam_wrapper::{Cycles, TamWidth};

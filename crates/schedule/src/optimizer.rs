@@ -1,0 +1,567 @@
+//! `TAM_schedule_optimizer` — the integrated wrapper/TAM co-optimization
+//! and constraint-driven test scheduling algorithm (paper Figures 4–8).
+
+use soctam_soc::{CoreIdx, Soc};
+use soctam_wrapper::{Cycles, RectangleSet, TamWidth};
+
+use crate::constraints::ConstraintSet;
+use crate::schedule::{Schedule, Slice};
+use crate::state::CoreState;
+use crate::{ScheduleError, SchedulerConfig};
+
+/// Runs the paper's scheduling algorithm on one SOC for one configuration.
+///
+/// # Example
+///
+/// ```
+/// use soctam_schedule::{ScheduleBuilder, SchedulerConfig};
+/// use soctam_soc::benchmarks;
+///
+/// # fn main() -> Result<(), soctam_schedule::ScheduleError> {
+/// let soc = benchmarks::d695();
+/// let schedule = ScheduleBuilder::new(&soc, SchedulerConfig::new(32)).run()?;
+/// assert!(schedule.utilization() > 0.5);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct ScheduleBuilder<'a> {
+    soc: &'a Soc,
+    cfg: SchedulerConfig,
+}
+
+impl<'a> ScheduleBuilder<'a> {
+    /// Prepares a run of the optimizer.
+    pub fn new(soc: &'a Soc, cfg: SchedulerConfig) -> Self {
+        Self { soc, cfg }
+    }
+
+    /// Executes `TAM_schedule_optimizer` and returns the packed schedule.
+    ///
+    /// # Errors
+    ///
+    /// * [`ScheduleError::InvalidConfig`] — `tam_width == 0` or the SOC has
+    ///   no cores;
+    /// * [`ScheduleError::Soc`] — the SOC model fails validation;
+    /// * [`ScheduleError::Stuck`] — constraints make some core permanently
+    ///   unschedulable (e.g. its power rating alone exceeds `P_max`).
+    pub fn run(self) -> Result<Schedule, ScheduleError> {
+        let cfg = &self.cfg;
+        if cfg.tam_width == 0 {
+            return Err(ScheduleError::InvalidConfig {
+                reason: "TAM width must be at least one wire".to_owned(),
+            });
+        }
+        if self.soc.is_empty() {
+            return Err(ScheduleError::InvalidConfig {
+                reason: "SOC has no cores".to_owned(),
+            });
+        }
+        self.soc.validate()?;
+
+        let constraints = ConstraintSet::compile(self.soc);
+        let mut states = initialize(self.soc, cfg);
+        Packer {
+            cfg,
+            constraints: &constraints,
+            states: &mut states,
+            w_avail: cfg.tam_width,
+            scheduled_power: 0,
+            now: 0,
+            slices: Vec::new(),
+        }
+        .pack()
+        .map(|slices| Schedule::from_slices(self.soc.name(), cfg.tam_width, slices))
+    }
+}
+
+/// Procedure `Initialize` (Figure 5): rectangle menus and preferred widths.
+fn initialize(soc: &Soc, cfg: &SchedulerConfig) -> Vec<CoreState> {
+    let w_eff = cfg.effective_w_max();
+    soc.cores()
+        .iter()
+        .map(|core| {
+            let rects = RectangleSet::build(core.test(), w_eff);
+            let width_pref = if cfg.toggles.pareto_bump {
+                rects.preferred_width_bumped(cfg.percent, cfg.bump)
+            } else {
+                rects.preferred_width(cfg.percent)
+            };
+            let budget = if cfg.allow_preemption {
+                core.max_preemptions()
+            } else {
+                0
+            };
+            let mut state = CoreState::new(rects, width_pref, budget);
+            // Unstarted cores advertise their preferred-width testing time
+            // so the max-time-remaining priorities can rank them.
+            state.time_left = state.time_at(width_pref);
+            state
+        })
+        .collect()
+}
+
+struct Packer<'a> {
+    cfg: &'a SchedulerConfig,
+    constraints: &'a ConstraintSet,
+    states: &'a mut Vec<CoreState>,
+    w_avail: TamWidth,
+    scheduled_power: u64,
+    now: Cycles,
+    slices: Vec<Slice>,
+}
+
+impl Packer<'_> {
+    fn pack(mut self) -> Result<Vec<Slice>, ScheduleError> {
+        let mut remaining = self.states.len();
+        while remaining > 0 {
+            if self.w_avail > 0 && self.try_assign_one() {
+                continue;
+            }
+            if !self.states.iter().any(|s| s.scheduled) {
+                let stuck: Vec<CoreIdx> = self
+                    .states
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, s)| !s.complete)
+                    .map(|(i, _)| i)
+                    .collect();
+                return Err(ScheduleError::Stuck {
+                    remaining: stuck,
+                    at_time: self.now,
+                });
+            }
+            remaining -= self.update();
+        }
+        Ok(self.slices)
+    }
+
+    /// One pass of Figure 4 lines 4–16: returns `true` if some assignment
+    /// (or width increase) happened.
+    fn try_assign_one(&mut self) -> bool {
+        // Priority 1 (line 5): resume budget-exhausted cores unconditionally.
+        if let Some(i) = self.find_priority1() {
+            // A budget-exhausted core is resumed seamlessly in the same
+            // instant it was descheduled, so no preemption is charged.
+            self.assign(i, self.states[i].width_assigned, false);
+            return true;
+        }
+        // Priorities 2 and 3 (lines 7–12): all incomplete tests contend for
+        // the available width, ranked by remaining testing time. A begun
+        // core resumes at its fixed width; an unstarted core begins at its
+        // preferred width. A begun core that loses this contention waits —
+        // that wait is exactly a preemption, possible only while the core
+        // still has budget (Priority 1 pins budget-exhausted cores first,
+        // so non-preemptable tests always resume seamlessly).
+        if let Some(i) = self.find_contender() {
+            let s = &self.states[i];
+            if s.begun {
+                let preempt = s.end < self.now;
+                self.assign(i, s.width_assigned, preempt);
+            } else {
+                self.assign(i, s.width_pref, false);
+            }
+            return true;
+        }
+        // Idle fill (lines 13–14): squeeze a near-fit core into the slack.
+        if self.cfg.toggles.idle_fill {
+            if let Some(i) = self.find_idle_fill() {
+                self.assign(i, self.w_avail, false);
+                return true;
+            }
+        }
+        // Width increase (lines 15–16): widen a rectangle that begins now.
+        if self.cfg.toggles.width_increase && self.try_width_increase() {
+            return true;
+        }
+        false
+    }
+
+    fn conflict(&self, core: CoreIdx) -> bool {
+        let complete: Vec<bool> = self.states.iter().map(|s| s.complete).collect();
+        let scheduled: Vec<bool> = self.states.iter().map(|s| s.scheduled).collect();
+        self.constraints
+            .conflicts(core, &complete, &scheduled, self.scheduled_power, self.cfg.p_max)
+    }
+
+    fn find_priority1(&self) -> Option<CoreIdx> {
+        self.states
+            .iter()
+            .enumerate()
+            .find(|(_, s)| s.must_continue() && s.width_assigned <= self.w_avail)
+            .map(|(i, _)| i)
+    }
+
+    /// The merged Priority 2/3 contention: the eligible core (begun at its
+    /// assigned width, or fresh at its preferred width) with the largest
+    /// remaining testing time.
+    fn find_contender(&self) -> Option<CoreIdx> {
+        let mut best: Option<(Cycles, CoreIdx)> = None;
+        for (i, s) in self.states.iter().enumerate() {
+            let eligible = if s.can_resume() {
+                s.width_assigned <= self.w_avail
+            } else if s.unstarted() {
+                s.width_pref <= self.w_avail
+            } else {
+                false
+            };
+            if eligible && !self.conflict(i) {
+                let key = (s.time_left, i);
+                if best.is_none_or(|(t, j)| key.0 > t || (key.0 == t && i < j)) {
+                    best = Some((s.time_left, i));
+                }
+            }
+        }
+        best.map(|(_, i)| i)
+    }
+
+    fn find_idle_fill(&self) -> Option<CoreIdx> {
+        // Cores whose preferred width exceeds the idle width by at most
+        // `idle_fill_slack` wires; Priority 3 already handled the rest.
+        let mut best: Option<(TamWidth, CoreIdx)> = None;
+        for (i, s) in self.states.iter().enumerate() {
+            if s.unstarted()
+                && s.width_pref > self.w_avail
+                && s.width_pref <= self.w_avail + self.cfg.idle_fill_slack
+                && !self.conflict(i)
+                && best.is_none_or(|(w, j)| {
+                    s.width_pref < w || (s.width_pref == w && i < j)
+                }) {
+                    best = Some((s.width_pref, i));
+                }
+        }
+        best.map(|(_, i)| i)
+    }
+
+    /// Figure 4 lines 15–16: find the rectangle beginning at the current
+    /// instant that benefits most from the leftover wires; widen it to the
+    /// highest Pareto-optimal width not exceeding `assigned + w_avail`.
+    fn try_width_increase(&mut self) -> bool {
+        let w_cap = self.cfg.effective_w_max();
+        let mut best: Option<(Cycles, CoreIdx, TamWidth)> = None;
+        for (i, s) in self.states.iter().enumerate() {
+            if !s.scheduled || s.first_begin != Some(self.now) || s.run_begin != self.now {
+                continue;
+            }
+            let reach = s.width_assigned.saturating_add(self.w_avail).min(w_cap);
+            let Some(new_w) = s.rects.highest_pareto_width_at_most(reach) else {
+                continue;
+            };
+            if new_w <= s.width_assigned {
+                continue;
+            }
+            let gain = s.time_at(s.width_assigned) - s.time_at(new_w);
+            if gain == 0 {
+                continue;
+            }
+            if best.is_none_or(|(g, j, _)| gain > g || (gain == g && i < j)) {
+                best = Some((gain, i, new_w));
+            }
+        }
+        let Some((_, i, new_w)) = best else {
+            return false;
+        };
+        let s = &mut self.states[i];
+        self.w_avail -= new_w - s.width_assigned;
+        s.width_assigned = new_w;
+        s.time_left = s.rects.time_at(new_w);
+        s.end = self.now + s.time_left;
+        true
+    }
+
+    /// Procedure `Assign` (Figure 6).
+    fn assign(&mut self, i: CoreIdx, width: TamWidth, preempt: bool) {
+        let s = &mut self.states[i];
+        debug_assert!(width >= 1 && width <= self.w_avail);
+        debug_assert!(!s.scheduled && !s.complete);
+
+        s.width_assigned = width;
+        self.w_avail -= width;
+        s.scheduled = true;
+        if preempt {
+            s.preempts += 1;
+            s.time_left += s.rects.rect_at(width).preemption_penalty();
+        }
+        if !s.begun {
+            s.begun = true;
+            s.first_begin = Some(self.now);
+            s.time_left = s.rects.time_at(width);
+        }
+        s.run_begin = self.now;
+        s.end = self.now + s.time_left;
+        self.scheduled_power += self.constraints.power(i);
+    }
+
+    /// Procedure `Update` (Figure 8): advance to the earliest completion
+    /// among scheduled tests, deschedule everything, and mark completions.
+    /// Returns the number of cores that completed.
+    fn update(&mut self) -> usize {
+        let dt = self
+            .states
+            .iter()
+            .filter(|s| s.scheduled)
+            .map(|s| s.time_left)
+            .min()
+            .expect("update requires a scheduled core");
+        let new_time = self.now + dt;
+        let mut completed = 0;
+        for (i, s) in self.states.iter_mut().enumerate() {
+            if !s.scheduled {
+                continue;
+            }
+            self.slices.push(Slice {
+                core: i,
+                width: s.width_assigned,
+                start: s.run_begin,
+                end: new_time,
+            });
+            s.scheduled = false;
+            s.time_left -= dt;
+            s.end = new_time;
+            self.scheduled_power -= self.constraints.power(i);
+            if s.time_left == 0 {
+                s.complete = true;
+                completed += 1;
+            }
+        }
+        self.now = new_time;
+        self.w_avail = self.cfg.tam_width;
+        completed
+    }
+}
+
+/// Sweeps the user parameters `m` (percent) and `d` (Pareto bump) over the
+/// paper's ranges and returns the best schedule found, with the winning
+/// `(m, d)` pair.
+///
+/// The paper tabulates the best result over `1 ≤ m ≤ 10`, `0 ≤ d ≤ 4`.
+///
+/// # Errors
+///
+/// Returns the first error if *every* parameter combination fails;
+/// individual failing combinations are skipped otherwise.
+pub fn schedule_best(
+    soc: &Soc,
+    base: &SchedulerConfig,
+    percents: impl IntoIterator<Item = u32>,
+    bumps: impl IntoIterator<Item = TamWidth> + Clone,
+) -> Result<(Schedule, u32, TamWidth), ScheduleError> {
+    let mut best: Option<(Schedule, u32, TamWidth)> = None;
+    let mut first_err: Option<ScheduleError> = None;
+    for m in percents {
+        for d in bumps.clone() {
+            let cfg = base.clone().with_percent(m).with_bump(d);
+            match ScheduleBuilder::new(soc, cfg).run() {
+                Ok(s) => {
+                    if best
+                        .as_ref()
+                        .is_none_or(|(b, _, _)| s.makespan() < b.makespan())
+                    {
+                        best = Some((s, m, d));
+                    }
+                }
+                Err(e) => {
+                    first_err.get_or_insert(e);
+                }
+            }
+        }
+    }
+    best.ok_or_else(|| {
+        first_err.unwrap_or(ScheduleError::InvalidConfig {
+            reason: "empty parameter sweep".to_owned(),
+        })
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::validate::validate;
+    use soctam_soc::{benchmarks, Core, Soc};
+    use soctam_wrapper::CoreTest;
+
+    fn simple_core(name: &str, chains: Vec<u32>, patterns: u64) -> Core {
+        Core::new(name, CoreTest::new(4, 4, 0, chains, patterns).unwrap())
+    }
+
+    fn two_core_soc() -> Soc {
+        let mut soc = Soc::new("two");
+        soc.add_core(simple_core("a", vec![20, 20], 50));
+        soc.add_core(simple_core("b", vec![10, 10, 10], 30));
+        soc
+    }
+
+    #[test]
+    fn rejects_zero_width() {
+        let soc = two_core_soc();
+        let err = ScheduleBuilder::new(&soc, SchedulerConfig::new(0)).run();
+        assert!(matches!(err, Err(ScheduleError::InvalidConfig { .. })));
+    }
+
+    #[test]
+    fn rejects_empty_soc() {
+        let soc = Soc::new("empty");
+        let err = ScheduleBuilder::new(&soc, SchedulerConfig::new(8)).run();
+        assert!(matches!(err, Err(ScheduleError::InvalidConfig { .. })));
+    }
+
+    #[test]
+    fn single_core_runs_alone() {
+        let mut soc = Soc::new("one");
+        soc.add_core(simple_core("a", vec![16], 10));
+        let s = ScheduleBuilder::new(&soc, SchedulerConfig::new(8)).run().unwrap();
+        assert_eq!(s.cores(), vec![0]);
+        validate(&soc, &s).unwrap();
+        let stats = s.core_stats(0).unwrap();
+        assert_eq!(stats.start, 0);
+        assert_eq!(stats.end, s.makespan());
+    }
+
+    #[test]
+    fn schedules_all_cores_and_validates() {
+        let soc = two_core_soc();
+        let s = ScheduleBuilder::new(&soc, SchedulerConfig::new(8)).run().unwrap();
+        assert_eq!(s.cores(), vec![0, 1]);
+        validate(&soc, &s).unwrap();
+    }
+
+    #[test]
+    fn precedence_orders_tests() {
+        let mut soc = two_core_soc();
+        soc.add_precedence(1, 0).unwrap();
+        let s = ScheduleBuilder::new(&soc, SchedulerConfig::new(8)).run().unwrap();
+        let a = s.core_stats(0).unwrap();
+        let b = s.core_stats(1).unwrap();
+        assert!(b.end <= a.start, "b must finish before a starts");
+        validate(&soc, &s).unwrap();
+    }
+
+    #[test]
+    fn concurrency_separates_tests() {
+        let mut soc = two_core_soc();
+        soc.add_concurrency(0, 1).unwrap();
+        let s = ScheduleBuilder::new(&soc, SchedulerConfig::new(64)).run().unwrap();
+        for sa in s.core_slices(0) {
+            for sb in s.core_slices(1) {
+                assert!(!sa.overlaps(&sb));
+            }
+        }
+        validate(&soc, &s).unwrap();
+    }
+
+    #[test]
+    fn power_limit_serializes_hungry_cores() {
+        let mut soc = Soc::new("p");
+        soc.add_core(simple_core("a", vec![40], 20));
+        soc.add_core(simple_core("b", vec![40], 20));
+        let p = soc.core(0).power();
+        let cfg = SchedulerConfig::new(64).with_power_limit(p); // only one at a time
+        let s = ScheduleBuilder::new(&soc, cfg).run().unwrap();
+        for sa in s.core_slices(0) {
+            for sb in s.core_slices(1) {
+                assert!(!sa.overlaps(&sb));
+            }
+        }
+        validate(&soc, &s).unwrap();
+    }
+
+    #[test]
+    fn impossible_power_is_stuck_not_loop() {
+        let mut soc = Soc::new("p");
+        soc.add_core(simple_core("a", vec![40], 20));
+        let cfg = SchedulerConfig::new(64).with_power_limit(1);
+        let err = ScheduleBuilder::new(&soc, cfg).run();
+        assert!(matches!(err, Err(ScheduleError::Stuck { .. })));
+    }
+
+    #[test]
+    fn wider_tam_is_never_worse_on_benchmarks() {
+        let soc = benchmarks::d695();
+        let t16 = ScheduleBuilder::new(&soc, SchedulerConfig::new(16))
+            .run()
+            .unwrap()
+            .makespan();
+        let t64 = ScheduleBuilder::new(&soc, SchedulerConfig::new(64))
+            .run()
+            .unwrap()
+            .makespan();
+        assert!(t64 <= t16);
+    }
+
+    #[test]
+    fn d695_beats_trivial_serial_schedule() {
+        let soc = benchmarks::d695();
+        let s = ScheduleBuilder::new(&soc, SchedulerConfig::new(32)).run().unwrap();
+        let serial: u64 = soc
+            .cores()
+            .iter()
+            .map(|c| RectangleSet::build(c.test(), 32).min_time())
+            .sum();
+        assert!(s.makespan() < serial);
+        validate(&soc, &s).unwrap();
+    }
+
+    #[test]
+    fn preemption_budget_respected_on_benchmarks() {
+        let mut soc = benchmarks::d695();
+        benchmarks::grant_preemption_to_large_cores(&mut soc, 2);
+        let s = ScheduleBuilder::new(&soc, SchedulerConfig::new(16)).run().unwrap();
+        validate(&soc, &s).unwrap();
+        for idx in 0..soc.len() {
+            let stats = s.core_stats(idx).unwrap();
+            assert!(
+                stats.preemptions <= soc.core(idx).max_preemptions(),
+                "core {idx} preempted {} times, budget {}",
+                stats.preemptions,
+                soc.core(idx).max_preemptions()
+            );
+        }
+    }
+
+    #[test]
+    fn no_preemption_flag_forces_single_slices() {
+        let mut soc = benchmarks::d695();
+        benchmarks::grant_preemption_to_large_cores(&mut soc, 2);
+        let cfg = SchedulerConfig::new(16).without_preemption();
+        let s = ScheduleBuilder::new(&soc, cfg).run().unwrap();
+        for idx in 0..soc.len() {
+            assert_eq!(s.core_slices(idx).len(), 1, "core {idx} split");
+        }
+    }
+
+    #[test]
+    fn schedule_best_sweeps_parameters() {
+        let soc = benchmarks::d695();
+        let base = SchedulerConfig::new(16);
+        let (best, m, d) = schedule_best(&soc, &base, 1..=10, 0..=4).unwrap();
+        assert!((1..=10).contains(&m));
+        assert!(d <= 4);
+        // Best-of can only improve on the default single run.
+        let single = ScheduleBuilder::new(&soc, base).run().unwrap();
+        assert!(best.makespan() <= single.makespan());
+    }
+
+    #[test]
+    fn deterministic_output() {
+        let soc = benchmarks::p22810();
+        let a = ScheduleBuilder::new(&soc, SchedulerConfig::new(32)).run().unwrap();
+        let b = ScheduleBuilder::new(&soc, SchedulerConfig::new(32)).run().unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn width_budget_never_exceeded_at_any_instant() {
+        let soc = benchmarks::d695();
+        let s = ScheduleBuilder::new(&soc, SchedulerConfig::new(24)).run().unwrap();
+        let mut events: Vec<u64> = s
+            .slices()
+            .iter()
+            .flat_map(|sl| [sl.start, sl.end])
+            .collect();
+        events.sort_unstable();
+        events.dedup();
+        for &t in &events {
+            assert!(s.width_in_use_at(t) <= 24, "overflow at {t}");
+        }
+    }
+}

@@ -1,0 +1,321 @@
+//! Schedule output types: time slices, per-core statistics, makespan, and
+//! a text Gantt rendering (the paper's Figure 2 view).
+
+use std::fmt;
+
+use soctam_soc::CoreIdx;
+use soctam_wrapper::{Cycles, TamWidth};
+
+/// One contiguous run of a core's test on the TAM.
+///
+/// A non-preempted core has exactly one slice; each preemption adds one.
+/// Slices of the same core never overlap and always use the same width
+/// (the paper fixes a core's width once packing begins).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Slice {
+    /// The core under test.
+    pub core: CoreIdx,
+    /// TAM wires held for the duration of the slice.
+    pub width: TamWidth,
+    /// First cycle of the slice (inclusive).
+    pub start: Cycles,
+    /// One past the last cycle of the slice (exclusive).
+    pub end: Cycles,
+}
+
+impl Slice {
+    /// Duration of the slice in cycles.
+    pub fn duration(&self) -> Cycles {
+        self.end - self.start
+    }
+
+    /// Whether two slices overlap in time (exclusive end).
+    pub fn overlaps(&self, other: &Slice) -> bool {
+        self.start < other.end && other.start < self.end
+    }
+}
+
+/// Summary statistics for one core within a finished schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct CoreScheduleStats {
+    /// TAM width the core tested at.
+    pub width: TamWidth,
+    /// First cycle the core tested.
+    pub start: Cycles,
+    /// Completion cycle.
+    pub end: Cycles,
+    /// Total cycles actually spent testing (sum of slice durations).
+    pub busy: Cycles,
+    /// Number of times the test was preempted (slices − 1).
+    pub preemptions: u32,
+}
+
+/// A complete SOC test schedule: the packed bin of the paper's Figure 2.
+///
+/// Produced by [`ScheduleBuilder::run`](crate::ScheduleBuilder::run);
+/// checked independently by [`validate`](crate::validate::validate).
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Schedule {
+    soc_name: String,
+    tam_width: TamWidth,
+    slices: Vec<Slice>,
+    makespan: Cycles,
+}
+
+impl Schedule {
+    /// Assembles a schedule from raw slices, merging back-to-back slices of
+    /// the same core (seamless resumptions are not preemptions).
+    pub fn from_slices(
+        soc_name: impl Into<String>,
+        tam_width: TamWidth,
+        mut slices: Vec<Slice>,
+    ) -> Self {
+        slices.sort_by_key(|s| (s.core, s.start));
+        let mut merged: Vec<Slice> = Vec::with_capacity(slices.len());
+        for s in slices {
+            if s.start == s.end {
+                continue; // drop empty slices
+            }
+            match merged.last_mut() {
+                Some(last) if last.core == s.core && last.end == s.start && last.width == s.width =>
+                {
+                    last.end = s.end;
+                }
+                _ => merged.push(s),
+            }
+        }
+        let makespan = merged.iter().map(|s| s.end).max().unwrap_or(0);
+        merged.sort_by_key(|s| (s.start, s.core));
+        Self {
+            soc_name: soc_name.into(),
+            tam_width,
+            slices: merged,
+            makespan,
+        }
+    }
+
+    /// Name of the SOC this schedule tests.
+    pub fn soc_name(&self) -> &str {
+        &self.soc_name
+    }
+
+    /// The SOC TAM width `W` the schedule was packed into.
+    pub fn tam_width(&self) -> TamWidth {
+        self.tam_width
+    }
+
+    /// All slices, ordered by start time.
+    pub fn slices(&self) -> &[Slice] {
+        &self.slices
+    }
+
+    /// Slices of one core, in time order.
+    pub fn core_slices(&self, core: CoreIdx) -> Vec<Slice> {
+        let mut v: Vec<Slice> = self
+            .slices
+            .iter()
+            .copied()
+            .filter(|s| s.core == core)
+            .collect();
+        v.sort_by_key(|s| s.start);
+        v
+    }
+
+    /// The SOC testing time — the width to which the bin is filled.
+    pub fn makespan(&self) -> Cycles {
+        self.makespan
+    }
+
+    /// Per-core summary, or `None` if the core never appears.
+    pub fn core_stats(&self, core: CoreIdx) -> Option<CoreScheduleStats> {
+        let slices = self.core_slices(core);
+        let first = slices.first()?;
+        let last = slices.last()?;
+        Some(CoreScheduleStats {
+            width: first.width,
+            start: first.start,
+            end: last.end,
+            busy: slices.iter().map(Slice::duration).sum(),
+            preemptions: (slices.len() - 1) as u32,
+        })
+    }
+
+    /// Total wire·cycles consumed by tests.
+    pub fn busy_area(&self) -> u128 {
+        self.slices
+            .iter()
+            .map(|s| u128::from(s.width) * u128::from(s.duration()))
+            .sum()
+    }
+
+    /// Idle wire·cycles: bin area minus busy area.
+    pub fn idle_area(&self) -> u128 {
+        u128::from(self.tam_width) * u128::from(self.makespan) - self.busy_area()
+    }
+
+    /// TAM wire utilization in `[0, 1]`.
+    pub fn utilization(&self) -> f64 {
+        if self.makespan == 0 {
+            return 0.0;
+        }
+        self.busy_area() as f64 / (self.tam_width as f64 * self.makespan as f64)
+    }
+
+    /// TAM wires in use at a given cycle.
+    pub fn width_in_use_at(&self, time: Cycles) -> u32 {
+        self.slices
+            .iter()
+            .filter(|s| s.start <= time && time < s.end)
+            .map(|s| u32::from(s.width))
+            .sum()
+    }
+
+    /// The distinct cores appearing in the schedule.
+    pub fn cores(&self) -> Vec<CoreIdx> {
+        let mut v: Vec<CoreIdx> = self.slices.iter().map(|s| s.core).collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+
+    /// Renders an ASCII Gantt chart (one row per core), the textual
+    /// equivalent of the paper's Figure 2.
+    ///
+    /// `columns` is the chart width in characters; names supplies a label
+    /// per core index.
+    pub fn gantt(&self, names: &dyn Fn(CoreIdx) -> String, columns: usize) -> String {
+        let columns = columns.max(10);
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{} on W={} wires, makespan {} cycles, utilization {:.1}%\n",
+            self.soc_name,
+            self.tam_width,
+            self.makespan,
+            self.utilization() * 100.0
+        ));
+        if self.makespan == 0 {
+            return out;
+        }
+        let scale = self.makespan as f64 / columns as f64;
+        for core in self.cores() {
+            let label = names(core);
+            let mut row = vec![' '; columns];
+            for s in self.core_slices(core) {
+                let a = (s.start as f64 / scale).floor() as usize;
+                let b = (((s.end as f64) / scale).ceil() as usize).min(columns);
+                for cell in row.iter_mut().take(b).skip(a) {
+                    *cell = '#';
+                }
+            }
+            let bar: String = row.into_iter().collect();
+            let first = self.core_slices(core)[0];
+            out.push_str(&format!("{label:>10} |{bar}| w={}\n", first.width));
+        }
+        out
+    }
+}
+
+impl fmt::Display for Schedule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "schedule of {} on {} wires: {} slices, makespan {}",
+            self.soc_name,
+            self.tam_width,
+            self.slices.len(),
+            self.makespan
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sl(core: CoreIdx, width: TamWidth, start: Cycles, end: Cycles) -> Slice {
+        Slice {
+            core,
+            width,
+            start,
+            end,
+        }
+    }
+
+    #[test]
+    fn merges_seamless_resumptions() {
+        let s = Schedule::from_slices(
+            "t",
+            8,
+            vec![sl(0, 4, 0, 10), sl(0, 4, 10, 20), sl(1, 4, 0, 5)],
+        );
+        assert_eq!(s.core_slices(0), vec![sl(0, 4, 0, 20)]);
+        assert_eq!(s.core_stats(0).unwrap().preemptions, 0);
+        assert_eq!(s.makespan(), 20);
+    }
+
+    #[test]
+    fn preemption_counted_from_gaps() {
+        let s = Schedule::from_slices("t", 8, vec![sl(0, 4, 0, 10), sl(0, 4, 15, 25)]);
+        let stats = s.core_stats(0).unwrap();
+        assert_eq!(stats.preemptions, 1);
+        assert_eq!(stats.busy, 20);
+        assert_eq!(stats.start, 0);
+        assert_eq!(stats.end, 25);
+    }
+
+    #[test]
+    fn drops_empty_slices() {
+        let s = Schedule::from_slices("t", 8, vec![sl(0, 4, 5, 5), sl(1, 2, 0, 4)]);
+        assert_eq!(s.slices().len(), 1);
+        assert!(s.core_stats(0).is_none());
+    }
+
+    #[test]
+    fn width_in_use_accounts_overlaps() {
+        let s = Schedule::from_slices("t", 8, vec![sl(0, 3, 0, 10), sl(1, 5, 5, 15)]);
+        assert_eq!(s.width_in_use_at(0), 3);
+        assert_eq!(s.width_in_use_at(7), 8);
+        assert_eq!(s.width_in_use_at(12), 5);
+        assert_eq!(s.width_in_use_at(15), 0);
+    }
+
+    #[test]
+    fn area_accounting() {
+        let s = Schedule::from_slices("t", 8, vec![sl(0, 3, 0, 10), sl(1, 5, 0, 10)]);
+        assert_eq!(s.busy_area(), 80);
+        assert_eq!(s.idle_area(), 0);
+        assert!((s.utilization() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn slice_overlap_predicate() {
+        assert!(sl(0, 1, 0, 10).overlaps(&sl(1, 1, 9, 12)));
+        assert!(!sl(0, 1, 0, 10).overlaps(&sl(1, 1, 10, 12)));
+    }
+
+    #[test]
+    fn gantt_renders_rows() {
+        let s = Schedule::from_slices("t", 8, vec![sl(0, 3, 0, 50), sl(1, 5, 25, 100)]);
+        let g = s.gantt(&|i| format!("core{i}"), 40);
+        assert!(g.contains("core0"));
+        assert!(g.contains("core1"));
+        assert!(g.contains("makespan 100"));
+    }
+
+    #[test]
+    fn empty_schedule_is_sane() {
+        let s = Schedule::from_slices("t", 8, vec![]);
+        assert_eq!(s.makespan(), 0);
+        assert_eq!(s.utilization(), 0.0);
+        assert!(s.cores().is_empty());
+    }
+
+    #[test]
+    fn display_mentions_makespan() {
+        let s = Schedule::from_slices("demo", 4, vec![sl(0, 2, 0, 7)]);
+        assert!(s.to_string().contains("makespan 7"));
+    }
+}

@@ -1,0 +1,120 @@
+//! The per-core scheduling state of Figure 3.
+
+use soctam_wrapper::{Cycles, RectangleSet, TamWidth};
+
+/// Mutable scheduling state of one core, mirroring the paper's Figure 3
+/// data structure field for field.
+#[derive(Debug, Clone)]
+pub(crate) struct CoreState {
+    /// `width_pref[i]` — preferred TAM width.
+    pub width_pref: TamWidth,
+    /// `width_assigned[i]` — TAM width in force (fixed once begun).
+    pub width_assigned: TamWidth,
+    /// `first_begin_time[i]` — when the core first started testing.
+    pub first_begin: Option<Cycles>,
+    /// `end[i]` — projected end of the current run while scheduled; after a
+    /// descheduling, the time the core last ran.
+    pub end: Cycles,
+    /// `sched_times[i]` — begin time of the current run (slice emission).
+    pub run_begin: Cycles,
+    /// `time_left[i]` — remaining testing time, including accrued
+    /// preemption penalties.
+    pub time_left: Cycles,
+    /// `begun[i]`.
+    pub begun: bool,
+    /// `scheduled[i]`.
+    pub scheduled: bool,
+    /// `complete[i]`.
+    pub complete: bool,
+    /// `preempts[i]` — preemptions suffered so far.
+    pub preempts: u32,
+    /// `max_preempts[i]` — preemption budget.
+    pub max_preempts: u32,
+    /// The rectangle menu for this core.
+    pub rects: RectangleSet,
+}
+
+impl CoreState {
+    /// Fresh state for a core whose rectangle menu and preferred width were
+    /// computed by `Initialize`.
+    pub fn new(rects: RectangleSet, width_pref: TamWidth, max_preempts: u32) -> Self {
+        Self {
+            width_pref,
+            width_assigned: 0,
+            first_begin: None,
+            end: 0,
+            run_begin: 0,
+            time_left: 0,
+            begun: false,
+            scheduled: false,
+            complete: false,
+            preempts: 0,
+            max_preempts,
+            rects,
+        }
+    }
+
+    /// Testing time of this core at width `w` (monotone staircase lookup).
+    pub fn time_at(&self, w: TamWidth) -> Cycles {
+        self.rects.time_at(w)
+    }
+
+    /// Whether the core is waiting to resume and has exhausted its
+    /// preemption budget (the paper's Priority 1 predicate).
+    pub fn must_continue(&self) -> bool {
+        self.begun && !self.scheduled && !self.complete && self.preempts >= self.max_preempts
+    }
+
+    /// Whether the core is waiting to resume with budget remaining
+    /// (Priority 2 candidate).
+    pub fn can_resume(&self) -> bool {
+        self.begun && !self.scheduled && !self.complete
+    }
+
+    /// Whether the core has not started yet (Priority 3 / idle-fill
+    /// candidate).
+    pub fn unstarted(&self) -> bool {
+        !self.begun && !self.complete
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use soctam_wrapper::CoreTest;
+
+    fn state() -> CoreState {
+        let core = CoreTest::new(4, 4, 0, vec![16, 8], 10).unwrap();
+        CoreState::new(RectangleSet::build(&core, 8), 2, 1)
+    }
+
+    #[test]
+    fn predicates_follow_lifecycle() {
+        let mut s = state();
+        assert!(s.unstarted());
+        assert!(!s.can_resume());
+        assert!(!s.must_continue());
+
+        s.begun = true;
+        s.scheduled = true;
+        assert!(!s.unstarted());
+        assert!(!s.can_resume());
+
+        s.scheduled = false; // descheduled at an update point
+        assert!(s.can_resume());
+        assert!(!s.must_continue()); // budget 1, used 0
+
+        s.preempts = 1;
+        assert!(s.must_continue());
+
+        s.complete = true;
+        assert!(!s.can_resume());
+        assert!(!s.must_continue());
+    }
+
+    #[test]
+    fn time_lookup_delegates_to_rects() {
+        let s = state();
+        assert_eq!(s.time_at(2), s.rects.time_at(2));
+    }
+}

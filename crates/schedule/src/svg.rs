@@ -1,0 +1,189 @@
+//! SVG rendering of schedules — a publication-quality version of the
+//! paper's Figure 2.
+
+use std::fmt::Write as _;
+
+use soctam_soc::CoreIdx;
+
+use crate::Schedule;
+
+/// Options for SVG rendering.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SvgOptions {
+    /// Total image width in pixels.
+    pub width_px: u32,
+    /// Pixel height of one TAM wire row.
+    pub wire_px: u32,
+    /// Left margin reserved for labels.
+    pub margin_px: u32,
+}
+
+impl Default for SvgOptions {
+    fn default() -> Self {
+        Self {
+            width_px: 900,
+            wire_px: 10,
+            margin_px: 90,
+        }
+    }
+}
+
+/// Distinct, printable fill colors cycled per core.
+const PALETTE: [&str; 12] = [
+    "#4e79a7", "#f28e2b", "#e15759", "#76b7b2", "#59a14f", "#edc948", "#b07aa1", "#ff9da7",
+    "#9c755f", "#bab0ac", "#1170aa", "#fc7d0b",
+];
+
+impl Schedule {
+    /// Renders the schedule as a standalone SVG document.
+    ///
+    /// Each slice becomes a rectangle: x spans its time interval, height
+    /// its TAM width (stacked by a simple per-instant wire packing that
+    /// matches the `soctam-tam` greedy assignment visually, though exact
+    /// wire rows are cosmetic here). Labels use `names`.
+    pub fn to_svg(&self, names: &dyn Fn(CoreIdx) -> String, opts: SvgOptions) -> String {
+        let makespan = self.makespan().max(1);
+        let rows = u32::from(self.tam_width());
+        let plot_w = opts.width_px.saturating_sub(opts.margin_px).max(100);
+        let height = rows * opts.wire_px + 40;
+        let scale = f64::from(plot_w) / makespan as f64;
+
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            r#"<svg xmlns="http://www.w3.org/2000/svg" width="{}" height="{}" font-family="monospace" font-size="10">"#,
+            opts.width_px, height
+        );
+        let _ = writeln!(
+            out,
+            r##"<rect x="{}" y="20" width="{plot_w}" height="{}" fill="#f5f5f5" stroke="#333"/>"##,
+            opts.margin_px,
+            rows * opts.wire_px
+        );
+        let _ = writeln!(
+            out,
+            r#"<text x="{}" y="14">{} — W={} wires, makespan {} cycles, utilization {:.1}%</text>"#,
+            opts.margin_px,
+            xml_escape(self.soc_name()),
+            self.tam_width(),
+            self.makespan(),
+            self.utilization() * 100.0
+        );
+
+        // Greedy visual row allocation (first-fit per wire row, like the
+        // concrete wire assigner).
+        let mut row_free_at = vec![0u64; rows as usize];
+        for (i, slice) in self.slices().iter().enumerate() {
+            let need = usize::from(slice.width);
+            let mut taken = Vec::with_capacity(need);
+            for (row, free_at) in row_free_at.iter_mut().enumerate() {
+                if taken.len() == need {
+                    break;
+                }
+                if *free_at <= slice.start {
+                    taken.push(row);
+                    *free_at = slice.end;
+                }
+            }
+            let color = PALETTE[slice.core % PALETTE.len()];
+            let x = opts.margin_px as f64 + slice.start as f64 * scale;
+            let w = (slice.duration() as f64 * scale).max(1.0);
+            // Taken rows may be non-contiguous (fork-and-merge); draw one
+            // rect per contiguous run.
+            let mut run_start = None;
+            let mut prev: Option<usize> = None;
+            let flush = |a: usize, b: usize, out: &mut String| {
+                let y = 20 + a as u32 * opts.wire_px;
+                let h = ((b - a + 1) as u32) * opts.wire_px;
+                let _ = writeln!(
+                    out,
+                    r##"<rect x="{x:.1}" y="{y}" width="{w:.1}" height="{h}" fill="{color}" stroke="#222" stroke-width="0.5"><title>{} [{}..{}) w={}</title></rect>"##,
+                    xml_escape(&names(slice.core)),
+                    slice.start,
+                    slice.end,
+                    slice.width
+                );
+            };
+            for &row in &taken {
+                match (run_start, prev) {
+                    (None, _) => run_start = Some(row),
+                    (Some(_), Some(p)) if row != p + 1 => {
+                        flush(run_start.unwrap(), p, &mut out);
+                        run_start = Some(row);
+                    }
+                    _ => {}
+                }
+                prev = Some(row);
+            }
+            if let (Some(a), Some(p)) = (run_start, prev) {
+                flush(a, p, &mut out);
+            }
+            // Label the first slice of each core.
+            if self
+                .slices()
+                .iter()
+                .position(|s| s.core == slice.core)
+                == Some(i)
+            {
+                if let Some(&row) = taken.first() {
+                    let y = 20 + row as u32 * opts.wire_px + opts.wire_px.min(9);
+                    let _ = writeln!(
+                        out,
+                        r##"<text x="{:.1}" y="{y}" fill="#fff">{}</text>"##,
+                        x + 2.0,
+                        xml_escape(&names(slice.core))
+                    );
+                }
+            }
+        }
+        let _ = writeln!(out, "</svg>");
+        out
+    }
+}
+
+fn xml_escape(s: &str) -> String {
+    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ScheduleBuilder, SchedulerConfig};
+    use soctam_soc::benchmarks;
+
+    #[test]
+    fn svg_is_well_formed_and_complete() {
+        let soc = benchmarks::d695();
+        let s = ScheduleBuilder::new(&soc, SchedulerConfig::new(16))
+            .run()
+            .unwrap();
+        let svg = s.to_svg(&|i| soc.core(i).name().to_string(), SvgOptions::default());
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.trim_end().ends_with("</svg>"));
+        // One <title> per drawn rect group >= one per slice.
+        let titles = svg.matches("<title>").count();
+        assert!(titles >= s.slices().len());
+        // Every core's name appears.
+        for core in soc.cores() {
+            assert!(svg.contains(core.name()), "{} missing", core.name());
+        }
+    }
+
+    #[test]
+    fn escapes_markup_in_names() {
+        let soc = benchmarks::d695();
+        let s = ScheduleBuilder::new(&soc, SchedulerConfig::new(8))
+            .run()
+            .unwrap();
+        let svg = s.to_svg(&|_| "<evil&core>".to_owned(), SvgOptions::default());
+        assert!(!svg.contains("<evil"));
+        assert!(svg.contains("&lt;evil&amp;core&gt;"));
+    }
+
+    #[test]
+    fn empty_schedule_renders() {
+        let s = Schedule::from_slices("empty", 4, vec![]);
+        let svg = s.to_svg(&|i| format!("c{i}"), SvgOptions::default());
+        assert!(svg.contains("</svg>"));
+    }
+}

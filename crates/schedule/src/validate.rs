@@ -1,0 +1,310 @@
+//! Independent schedule validation.
+//!
+//! [`validate`] re-derives every constraint from the SOC model and checks a
+//! finished [`Schedule`] against them *without* trusting any bookkeeping of
+//! the optimizer. It is deliberately written as a separate, simpler
+//! implementation so that scheduler bugs cannot hide behind shared code.
+
+use soctam_soc::Soc;
+use soctam_wrapper::RectangleSet;
+
+use crate::{Schedule, ScheduleError};
+
+fn invalid(reason: String) -> ScheduleError {
+    ScheduleError::Invalid { reason }
+}
+
+/// Checks a schedule against the SOC's structural constraints:
+///
+/// 1. every core is tested to completion, with the exact cycle count its
+///    wrapper design implies (including preemption penalties);
+/// 2. each core holds a constant TAM width, at least 1 and at most `W`;
+/// 3. the sum of widths in use never exceeds `W`;
+/// 4. precedence, concurrency (incl. hierarchy), and BIST-engine
+///    constraints hold;
+/// 5. no core is preempted beyond its budget.
+///
+/// Power is checked separately by [`validate_power`] because `P_max` is a
+/// run parameter, not a property of the SOC.
+///
+/// # Errors
+///
+/// [`ScheduleError::Invalid`] describing the first violated invariant.
+pub fn validate(soc: &Soc, schedule: &Schedule) -> Result<(), ScheduleError> {
+    let w = schedule.tam_width();
+
+    // --- per-core structure and timing -------------------------------
+    for (idx, core) in soc.cores().iter().enumerate() {
+        let slices = schedule.core_slices(idx);
+        if slices.is_empty() {
+            return Err(invalid(format!("core {idx} is never tested")));
+        }
+        let width = slices[0].width;
+        if width == 0 || width > w {
+            return Err(invalid(format!("core {idx} uses width {width} of {w}")));
+        }
+        for pair in slices.windows(2) {
+            if pair[0].width != pair[1].width {
+                return Err(invalid(format!("core {idx} changes width mid-test")));
+            }
+            if pair[0].end > pair[1].start {
+                return Err(invalid(format!("core {idx} overlaps itself")));
+            }
+        }
+        let busy: u64 = slices.iter().map(|s| s.duration()).sum();
+        let preemptions = (slices.len() - 1) as u32;
+        if preemptions > core.max_preemptions() {
+            return Err(invalid(format!(
+                "core {idx} preempted {preemptions} times, budget {}",
+                core.max_preemptions()
+            )));
+        }
+        let rects = RectangleSet::build(core.test(), width);
+        let expected =
+            rects.time_at(width) + u64::from(preemptions) * rects.rect_at(width).preemption_penalty();
+        if busy != expected {
+            return Err(invalid(format!(
+                "core {idx} tested for {busy} cycles, expected {expected} \
+                 ({} base + {preemptions} preemptions)",
+                rects.time_at(width)
+            )));
+        }
+    }
+
+    // --- TAM width budget at every instant ---------------------------
+    let mut events: Vec<u64> = schedule
+        .slices()
+        .iter()
+        .flat_map(|s| [s.start, s.end])
+        .collect();
+    events.sort_unstable();
+    events.dedup();
+    for &t in &events {
+        let used = schedule.width_in_use_at(t);
+        if used > u32::from(w) {
+            return Err(invalid(format!("width {used} in use at cycle {t}, budget {w}")));
+        }
+    }
+
+    // --- precedence ---------------------------------------------------
+    for &(before, after) in soc.precedence() {
+        let b_end = schedule
+            .core_slices(before)
+            .last()
+            .map(|s| s.end)
+            .unwrap_or(0);
+        let a_start = schedule
+            .core_slices(after)
+            .first()
+            .map(|s| s.start)
+            .unwrap_or(0);
+        if b_end > a_start {
+            return Err(invalid(format!(
+                "precedence {before} < {after} violated: {before} ends at {b_end}, \
+                 {after} starts at {a_start}"
+            )));
+        }
+    }
+
+    // --- concurrency (explicit + hierarchy) ---------------------------
+    for (a, b) in soc.effective_concurrency() {
+        for sa in schedule.core_slices(a) {
+            for sb in schedule.core_slices(b) {
+                if sa.overlaps(&sb) {
+                    return Err(invalid(format!(
+                        "concurrency {a} >< {b} violated in [{}..{}) and [{}..{})",
+                        sa.start, sa.end, sb.start, sb.end
+                    )));
+                }
+            }
+        }
+    }
+
+    // --- shared BIST engines ------------------------------------------
+    for (a, ca) in soc.cores().iter().enumerate() {
+        let Some(engine) = ca.bist_engine() else {
+            continue;
+        };
+        for (b, cb) in soc.cores().iter().enumerate().skip(a + 1) {
+            if cb.bist_engine() != Some(engine) {
+                continue;
+            }
+            for sa in schedule.core_slices(a) {
+                for sb in schedule.core_slices(b) {
+                    if sa.overlaps(&sb) {
+                        return Err(invalid(format!(
+                            "cores {a} and {b} share BIST engine {engine} but overlap"
+                        )));
+                    }
+                }
+            }
+        }
+    }
+
+    Ok(())
+}
+
+/// Checks that total power of concurrently running tests never exceeds
+/// `p_max`, using the cores' model power ratings.
+///
+/// # Errors
+///
+/// [`ScheduleError::Invalid`] naming the first overloaded instant.
+pub fn validate_power(soc: &Soc, schedule: &Schedule, p_max: u64) -> Result<(), ScheduleError> {
+    let mut events: Vec<u64> = schedule
+        .slices()
+        .iter()
+        .flat_map(|s| [s.start, s.end])
+        .collect();
+    events.sort_unstable();
+    events.dedup();
+    for &t in &events {
+        let power: u64 = schedule
+            .slices()
+            .iter()
+            .filter(|s| s.start <= t && t < s.end)
+            .map(|s| soc.core(s.core).power())
+            .sum();
+        if power > p_max {
+            return Err(invalid(format!(
+                "power {power} exceeds limit {p_max} at cycle {t}"
+            )));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Slice;
+    use soctam_soc::{Core, Soc};
+    use soctam_wrapper::CoreTest;
+
+    fn soc1() -> Soc {
+        let mut soc = Soc::new("v");
+        soc.add_core(Core::new("a", CoreTest::new(4, 4, 0, vec![16], 10).unwrap()));
+        soc
+    }
+
+    fn correct_time(soc: &Soc, idx: usize, w: u16) -> u64 {
+        RectangleSet::build(soc.core(idx).test(), w).time_at(w)
+    }
+
+    #[test]
+    fn accepts_exact_single_core_schedule() {
+        let soc = soc1();
+        let t = correct_time(&soc, 0, 4);
+        let s = Schedule::from_slices(
+            "v",
+            8,
+            vec![Slice {
+                core: 0,
+                width: 4,
+                start: 0,
+                end: t,
+            }],
+        );
+        assert!(validate(&soc, &s).is_ok());
+    }
+
+    #[test]
+    fn rejects_missing_core() {
+        let soc = soc1();
+        let s = Schedule::from_slices("v", 8, vec![]);
+        let err = validate(&soc, &s).unwrap_err();
+        assert!(err.to_string().contains("never tested"));
+    }
+
+    #[test]
+    fn rejects_wrong_duration() {
+        let soc = soc1();
+        let t = correct_time(&soc, 0, 4);
+        let s = Schedule::from_slices(
+            "v",
+            8,
+            vec![Slice {
+                core: 0,
+                width: 4,
+                start: 0,
+                end: t + 1,
+            }],
+        );
+        assert!(validate(&soc, &s).is_err());
+    }
+
+    #[test]
+    fn rejects_budget_violation() {
+        let soc = soc1(); // budget 0
+        let t = correct_time(&soc, 0, 4);
+        let penalty = RectangleSet::build(soc.core(0).test(), 4)
+            .rect_at(4)
+            .preemption_penalty();
+        let total = t + penalty;
+        let cut = total / 2;
+        let s = Schedule::from_slices(
+            "v",
+            8,
+            vec![
+                Slice { core: 0, width: 4, start: 0, end: cut },
+                Slice { core: 0, width: 4, start: cut + 5, end: total + 5 },
+            ],
+        );
+        let err = validate(&soc, &s).unwrap_err();
+        assert!(err.to_string().contains("preempted"));
+    }
+
+    #[test]
+    fn rejects_width_overflow() {
+        let mut soc = soc1();
+        soc.add_core(Core::new("b", CoreTest::new(4, 4, 0, vec![16], 10).unwrap()));
+        let t = correct_time(&soc, 0, 6);
+        let s = Schedule::from_slices(
+            "v",
+            8,
+            vec![
+                Slice { core: 0, width: 6, start: 0, end: t },
+                Slice { core: 1, width: 6, start: 0, end: t },
+            ],
+        );
+        let err = validate(&soc, &s).unwrap_err();
+        assert!(err.to_string().contains("budget 8"));
+    }
+
+    #[test]
+    fn rejects_precedence_violation() {
+        let mut soc = soc1();
+        soc.add_core(Core::new("b", CoreTest::new(4, 4, 0, vec![16], 10).unwrap()));
+        soc.add_precedence(1, 0).unwrap();
+        let t0 = correct_time(&soc, 0, 4);
+        let t1 = correct_time(&soc, 1, 4);
+        let s = Schedule::from_slices(
+            "v",
+            8,
+            vec![
+                Slice { core: 0, width: 4, start: 0, end: t0 },
+                Slice { core: 1, width: 4, start: 0, end: t1 },
+            ],
+        );
+        let err = validate(&soc, &s).unwrap_err();
+        assert!(err.to_string().contains("precedence"));
+    }
+
+    #[test]
+    fn power_validator_catches_overload() {
+        let mut soc = soc1();
+        soc.add_core(Core::new("b", CoreTest::new(4, 4, 0, vec![16], 10).unwrap()));
+        let t = correct_time(&soc, 0, 4);
+        let s = Schedule::from_slices(
+            "v",
+            8,
+            vec![
+                Slice { core: 0, width: 4, start: 0, end: t },
+                Slice { core: 1, width: 4, start: 0, end: t },
+            ],
+        );
+        let one = soc.core(0).power();
+        assert!(validate_power(&soc, &s, 2 * one).is_ok());
+        assert!(validate_power(&soc, &s, 2 * one - 1).is_err());
+    }
+}

@@ -1,0 +1,44 @@
+//! # soctam-sim
+//!
+//! Phase-accurate simulation of scan test application and tester memory —
+//! the executable semantics behind the analytic models the rest of the
+//! workspace relies on.
+//!
+//! The paper's framework stands on two closed-form models:
+//!
+//! * the **testing time** of a wrapped core on `w` TAM wires,
+//!   `T = (1 + max(sᵢ, sₒ))·p + min(sᵢ, sₒ)`, and
+//! * the **tester data volume** of a schedule, `V = W · T` (every TAM pin's
+//!   vector memory holds one bit per cycle of the schedule).
+//!
+//! Closed forms are easy to get subtly wrong, so this crate *simulates*
+//! instead of calculating: [`ScanTestSim`] steps a wrapped core through
+//! its shift-in / capture / overlapped shift-out phases pattern by
+//! pattern, and [`TesterSim`] replays a whole schedule against its wire
+//! assignment, metering every bit each tester channel drives. Tests then
+//! assert the simulations agree with the closed forms exactly.
+//!
+//! # Example
+//!
+//! ```
+//! use soctam_sim::ScanTestSim;
+//! use soctam_wrapper::{CoreTest, WrapperDesign};
+//!
+//! # fn main() -> Result<(), soctam_wrapper::WrapperError> {
+//! let core = CoreTest::new(8, 4, 0, vec![30, 20, 10], 50)?;
+//! let design = WrapperDesign::design(&core, 3)?;
+//! let sim = ScanTestSim::new(&design).run();
+//! // The simulation lands exactly on the analytic testing time.
+//! assert_eq!(sim.cycles, design.test_time());
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod scan;
+mod tester;
+
+pub use scan::{ScanPhase, ScanTestSim, ScanTrace};
+pub use tester::{CoreDelivery, TesterImage, TesterSim};

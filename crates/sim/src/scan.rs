@@ -1,0 +1,211 @@
+//! Phase-accurate simulation of one core's scan test.
+
+use soctam_wrapper::{Cycles, WrapperDesign};
+
+/// One phase of the scan test protocol.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScanPhase {
+    /// Shifting the first pattern into the wrapper chains.
+    InitialShiftIn,
+    /// One capture cycle applying a pattern.
+    Capture,
+    /// Shifting a response out while the next pattern shifts in
+    /// (pipelined; lasts `max(sᵢ, sₒ)` cycles).
+    OverlappedShift,
+    /// Shifting the final response out.
+    FinalShiftOut,
+}
+
+/// The phase sequence and cycle counts of one simulated scan test.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScanTrace {
+    /// Total cycles the test occupied the TAM.
+    pub cycles: Cycles,
+    /// Stimulus bits shifted into the wrapper (per-chain fill, summed).
+    pub bits_in: u64,
+    /// Response bits shifted out of the wrapper.
+    pub bits_out: u64,
+    /// Number of capture cycles (= pattern count).
+    pub captures: u64,
+    /// The phases in protocol order with their durations.
+    pub phases: Vec<(ScanPhase, Cycles)>,
+}
+
+/// Simulates scan test application through a concrete [`WrapperDesign`].
+///
+/// The simulator walks the standard scan protocol: fill all wrapper chains
+/// (`sᵢ` cycles — the longest scan-in path gates the phase), then for each
+/// pattern a capture cycle followed by an overlapped shift (responses of
+/// pattern *j* leave while pattern *j+1* enters, `max(sᵢ, sₒ)` cycles),
+/// and a final response shift-out (`sₒ` cycles). No closed-form timing is
+/// consulted — agreement with [`WrapperDesign::test_time`] is a theorem
+/// the test suite checks, not an assumption.
+#[derive(Debug, Clone)]
+pub struct ScanTestSim<'a> {
+    design: &'a WrapperDesign,
+}
+
+impl<'a> ScanTestSim<'a> {
+    /// Prepares a simulation of the given wrapper design.
+    pub fn new(design: &'a WrapperDesign) -> Self {
+        Self { design }
+    }
+
+    /// Runs the protocol to completion.
+    pub fn run(&self) -> ScanTrace {
+        let d = self.design;
+        let si = d.scan_in();
+        let so = d.scan_out();
+        let p = d.patterns();
+        let overlap = si.max(so);
+
+        let mut phases = Vec::new();
+        let mut cycles: Cycles = 0;
+        let mut bits_in: u64 = 0;
+        let mut bits_out: u64 = 0;
+
+        // Fill the chains with the first pattern. Each of the k chains
+        // loads its own cells; the longest scan-in path gates the phase.
+        if p > 0 {
+            phases.push((ScanPhase::InitialShiftIn, si));
+            cycles += si;
+            bits_in += per_pattern_in_bits(d);
+        }
+
+        for pattern in 1..=p {
+            phases.push((ScanPhase::Capture, 1));
+            cycles += 1;
+
+            if pattern < p {
+                // Response of `pattern` leaves while `pattern + 1` enters.
+                phases.push((ScanPhase::OverlappedShift, overlap));
+                cycles += overlap;
+                bits_in += per_pattern_in_bits(d);
+                bits_out += per_pattern_out_bits(d);
+            } else {
+                phases.push((ScanPhase::FinalShiftOut, so));
+                cycles += so;
+                bits_out += per_pattern_out_bits(d);
+            }
+        }
+
+        ScanTrace {
+            cycles,
+            bits_in,
+            bits_out,
+            captures: p,
+            phases,
+        }
+    }
+}
+
+fn per_pattern_in_bits(d: &WrapperDesign) -> u64 {
+    d.chain_flops()
+        .iter()
+        .zip(d.chain_inputs())
+        .map(|(f, i)| f + i)
+        .sum()
+}
+
+fn per_pattern_out_bits(d: &WrapperDesign) -> u64 {
+    d.chain_flops()
+        .iter()
+        .zip(d.chain_outputs())
+        .map(|(f, o)| f + o)
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use soctam_wrapper::CoreTest;
+
+    fn design(inputs: u32, outputs: u32, chains: Vec<u32>, patterns: u64, w: u16) -> WrapperDesign {
+        let core = CoreTest::new(inputs, outputs, 0, chains, patterns).unwrap();
+        WrapperDesign::design(&core, w).unwrap()
+    }
+
+    #[test]
+    fn simulation_matches_closed_form() {
+        let d = design(8, 4, vec![30, 20, 10], 50, 3);
+        let trace = ScanTestSim::new(&d).run();
+        assert_eq!(trace.cycles, d.test_time());
+        assert_eq!(trace.captures, 50);
+    }
+
+    #[test]
+    fn bit_accounting() {
+        let d = design(8, 4, vec![30, 20, 10], 50, 3);
+        let trace = ScanTestSim::new(&d).run();
+        // Every pattern writes all writable cells and reads all readable.
+        assert_eq!(trace.bits_in, 50 * (60 + 8));
+        assert_eq!(trace.bits_out, 50 * (60 + 4));
+    }
+
+    #[test]
+    fn phase_sequence_shape() {
+        let d = design(4, 4, vec![16], 3, 2);
+        let trace = ScanTestSim::new(&d).run();
+        assert_eq!(trace.phases[0].0, ScanPhase::InitialShiftIn);
+        assert_eq!(
+            trace.phases.last().unwrap().0,
+            ScanPhase::FinalShiftOut
+        );
+        let captures = trace
+            .phases
+            .iter()
+            .filter(|(p, _)| *p == ScanPhase::Capture)
+            .count();
+        assert_eq!(captures, 3);
+        let overlaps = trace
+            .phases
+            .iter()
+            .filter(|(p, _)| *p == ScanPhase::OverlappedShift)
+            .count();
+        assert_eq!(overlaps, 2); // p - 1
+    }
+
+    #[test]
+    fn single_pattern_has_no_overlap() {
+        let d = design(4, 4, vec![16], 1, 2);
+        let trace = ScanTestSim::new(&d).run();
+        assert!(trace
+            .phases
+            .iter()
+            .all(|(p, _)| *p != ScanPhase::OverlappedShift));
+        assert_eq!(trace.cycles, d.test_time());
+    }
+
+    #[test]
+    fn combinational_core_simulates() {
+        let d = design(32, 32, vec![], 12, 8);
+        let trace = ScanTestSim::new(&d).run();
+        assert_eq!(trace.cycles, d.test_time());
+        assert_eq!(trace.bits_in, 12 * 32);
+        assert_eq!(trace.bits_out, 12 * 32);
+    }
+
+    proptest! {
+        /// The simulator and the closed form agree on every design.
+        #[test]
+        fn sim_equals_formula(
+            inputs in 0u32..60,
+            outputs in 0u32..60,
+            chains in proptest::collection::vec(1u32..80, 0..10),
+            patterns in 1u64..300,
+            width in 1u16..24,
+        ) {
+            prop_assume!(inputs + outputs > 0 || !chains.is_empty());
+            let core = CoreTest::new(inputs, outputs, 0, chains, patterns).unwrap();
+            let d = WrapperDesign::design(&core, width).unwrap();
+            let trace = ScanTestSim::new(&d).run();
+            prop_assert_eq!(trace.cycles, d.test_time());
+            prop_assert_eq!(trace.bits_in, patterns * core.scan_in_bits());
+            prop_assert_eq!(trace.bits_out, patterns * core.scan_out_bits());
+            // Phase durations sum to the total.
+            let total: u64 = trace.phases.iter().map(|&(_, c)| c).sum();
+            prop_assert_eq!(total, trace.cycles);
+        }
+    }
+}

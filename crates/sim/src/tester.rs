@@ -1,0 +1,220 @@
+//! Tester-memory simulation of a full SOC schedule.
+
+use soctam_schedule::Schedule;
+use soctam_soc::{CoreIdx, Soc};
+use soctam_tam::WireAssignment;
+use soctam_wrapper::{RectangleSet, WrapperDesign};
+
+/// Per-core delivery metering from a tester simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CoreDelivery {
+    /// The core.
+    pub core: CoreIdx,
+    /// Cycles during which the tester drove this core's wires.
+    pub cycles_driven: u64,
+    /// Cycles the core's test actually needs at its scheduled width,
+    /// including preemption penalties.
+    pub cycles_needed: u64,
+    /// Payload bits (stimulus + response) moved for this core.
+    pub payload_bits: u64,
+}
+
+/// The tester's view of a finished schedule: per-channel memory depth and
+/// the padding (don't-care bits) that idle wires cost.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TesterImage {
+    /// Vector memory depth every active channel must provision — the
+    /// schedule makespan (channels cannot skip cycles).
+    pub depth_per_pin: u64,
+    /// Number of channels (the SOC TAM width).
+    pub channels: u16,
+    /// Total vector memory: `channels × depth` — the paper's `V = W·T`.
+    pub total_bits: u64,
+    /// Bits per channel actually carrying test data, indexed by wire id.
+    pub payload_per_wire: Vec<u64>,
+    /// Total padding bits (idle wire·cycles).
+    pub padding_bits: u64,
+    /// Per-core delivery metering.
+    pub deliveries: Vec<CoreDelivery>,
+}
+
+impl TesterImage {
+    /// Fraction of tester memory holding real test data.
+    pub fn payload_fraction(&self) -> f64 {
+        if self.total_bits == 0 {
+            return 0.0;
+        }
+        1.0 - self.padding_bits as f64 / self.total_bits as f64
+    }
+}
+
+/// Replays a schedule against its wire assignment, metering every channel.
+///
+/// The simulation is slice-accurate: for each slice, the wires listed in
+/// the assignment are driven for the slice's duration; all other cycles on
+/// a channel are padding. The resulting [`TesterImage`] derives the
+/// paper's `V = W·T` from first principles instead of assuming it.
+#[derive(Debug)]
+pub struct TesterSim<'a> {
+    soc: &'a Soc,
+    schedule: &'a Schedule,
+    wires: &'a WireAssignment,
+}
+
+impl<'a> TesterSim<'a> {
+    /// Prepares a simulation of `schedule` on the tester.
+    pub fn new(soc: &'a Soc, schedule: &'a Schedule, wires: &'a WireAssignment) -> Self {
+        Self {
+            soc,
+            schedule,
+            wires,
+        }
+    }
+
+    /// Runs the replay and returns the tester image.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the wire assignment references wires outside the TAM; use
+    /// [`WireAssignment::verify`] first for untrusted inputs.
+    pub fn run(&self) -> TesterImage {
+        let channels = self.schedule.tam_width();
+        let depth = self.schedule.makespan();
+        let mut payload_per_wire = vec![0u64; usize::from(channels)];
+        let mut driven = vec![0u64; self.soc.len()];
+
+        for assigned in self.wires.assignments() {
+            let duration = assigned.slice.duration();
+            for &wire in &assigned.wires {
+                payload_per_wire[usize::from(wire)] += duration;
+            }
+            driven[assigned.slice.core] += duration;
+        }
+
+        let deliveries = (0..self.soc.len())
+            .map(|core| {
+                let slices = self.schedule.core_slices(core);
+                let width = slices.first().map(|s| s.width).unwrap_or(0);
+                let cycles_needed = if width == 0 {
+                    0
+                } else {
+                    let rects = RectangleSet::build(self.soc.core(core).test(), width);
+                    let preemptions = (slices.len() - 1) as u64;
+                    rects.time_at(width)
+                        + preemptions * rects.rect_at(width).preemption_penalty()
+                };
+                // Payload: what the scan protocol actually moves, counted
+                // by the phase-level simulator on the same design.
+                let payload_bits = if width == 0 {
+                    0
+                } else {
+                    let design = WrapperDesign::design(self.soc.core(core).test(), width)
+                        .expect("schedule widths are valid");
+                    let trace = crate::ScanTestSim::new(&design).run();
+                    trace.bits_in + trace.bits_out
+                };
+                CoreDelivery {
+                    core,
+                    cycles_driven: driven[core],
+                    cycles_needed,
+                    payload_bits,
+                }
+            })
+            .collect();
+
+        let payload_total: u64 = payload_per_wire.iter().sum();
+        let total_bits = u64::from(channels) * depth;
+        TesterImage {
+            depth_per_pin: depth,
+            channels,
+            total_bits,
+            padding_bits: total_bits - payload_total,
+            payload_per_wire,
+            deliveries,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use soctam_schedule::{ScheduleBuilder, SchedulerConfig};
+    use soctam_soc::{benchmarks, synth::SynthConfig};
+    use soctam_volume::volume_of;
+
+    fn image_for(soc: &Soc, w: u16) -> TesterImage {
+        let schedule = ScheduleBuilder::new(soc, SchedulerConfig::new(w))
+            .run()
+            .unwrap();
+        let wires = WireAssignment::assign(&schedule).unwrap();
+        TesterSim::new(soc, &schedule, &wires).run()
+    }
+
+    #[test]
+    fn total_bits_reproduce_volume_model() {
+        let soc = benchmarks::d695();
+        for w in [16u16, 32, 64] {
+            let schedule = ScheduleBuilder::new(&soc, SchedulerConfig::new(w))
+                .run()
+                .unwrap();
+            let wires = WireAssignment::assign(&schedule).unwrap();
+            let image = TesterSim::new(&soc, &schedule, &wires).run();
+            assert_eq!(image.total_bits, volume_of(w, schedule.makespan()));
+            assert_eq!(image.depth_per_pin, schedule.makespan());
+        }
+    }
+
+    #[test]
+    fn every_core_driven_exactly_as_needed() {
+        let soc = benchmarks::d695();
+        let image = image_for(&soc, 24);
+        for d in &image.deliveries {
+            assert_eq!(d.cycles_driven, d.cycles_needed, "core {}", d.core);
+            assert!(d.payload_bits > 0);
+        }
+    }
+
+    #[test]
+    fn padding_complements_payload() {
+        let soc = benchmarks::p22810();
+        let image = image_for(&soc, 32);
+        let payload: u64 = image.payload_per_wire.iter().sum();
+        assert_eq!(payload + image.padding_bits, image.total_bits);
+        let frac = image.payload_fraction();
+        assert!(frac > 0.5 && frac <= 1.0, "fraction {frac}");
+    }
+
+    #[test]
+    fn per_wire_payload_bounded_by_depth() {
+        let soc = benchmarks::p93791();
+        let image = image_for(&soc, 48);
+        for (wire, &bits) in image.payload_per_wire.iter().enumerate() {
+            assert!(bits <= image.depth_per_pin, "wire {wire}");
+        }
+    }
+
+    #[test]
+    fn preempted_schedules_meter_penalties() {
+        let mut soc = benchmarks::d695();
+        benchmarks::grant_preemption_to_large_cores(&mut soc, 2);
+        let schedule = ScheduleBuilder::new(&soc, SchedulerConfig::new(16))
+            .run()
+            .unwrap();
+        let wires = WireAssignment::assign(&schedule).unwrap();
+        let image = TesterSim::new(&soc, &schedule, &wires).run();
+        for d in &image.deliveries {
+            assert_eq!(d.cycles_driven, d.cycles_needed, "core {}", d.core);
+        }
+    }
+
+    #[test]
+    fn synthetic_socs_replay_cleanly() {
+        let cfg = SynthConfig::new(10).with_constraints();
+        for seed in 0..6 {
+            let soc = cfg.generate(seed);
+            let image = image_for(&soc, 20);
+            assert_eq!(image.channels, 20);
+            assert_eq!(image.deliveries.len(), soc.len());
+        }
+    }
+}

@@ -1,0 +1,228 @@
+//! Embedded-core descriptors: a [`CoreTest`] plus the system-level test
+//! attributes the scheduler needs (power, BIST engine, hierarchy,
+//! preemption budget).
+
+use soctam_wrapper::{CoreTest, WrapperError};
+
+use crate::CoreIdx;
+
+/// One embedded core of an SOC, as seen by the test scheduler.
+///
+/// Wraps the core's raw test-set parameters ([`CoreTest`]) with:
+///
+/// * a **power** rating per active test (defaults to the paper's model:
+///   the number of test data bits per pattern);
+/// * an optional **BIST engine** id — two cores sharing an engine can never
+///   test concurrently;
+/// * an optional **parent** core in the test hierarchy — a parent in Intest
+///   conflicts with its children (their wrappers must be in Extest), which
+///   the model turns into concurrency constraints;
+/// * a **preemption budget** — how many times this core's test may be
+///   interrupted (0 = non-preemptable).
+///
+/// # Example
+///
+/// ```
+/// use soctam_soc::Core;
+/// use soctam_wrapper::CoreTest;
+///
+/// # fn main() -> Result<(), soctam_soc::SocError> {
+/// let test = CoreTest::new(35, 49, 0, vec![46, 45, 44, 44], 97)?;
+/// let core = Core::builder("s5378", test)
+///     .max_preemptions(2)
+///     .build();
+/// assert_eq!(core.power(), 214 + 228); // bits per pattern
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Core {
+    name: String,
+    test: CoreTest,
+    power: Option<u64>,
+    bist_engine: Option<usize>,
+    parent: Option<CoreIdx>,
+    max_preemptions: u32,
+}
+
+impl Core {
+    /// Creates a core with default attributes (derived power, no BIST, no
+    /// parent, non-preemptable).
+    pub fn new(name: impl Into<String>, test: CoreTest) -> Self {
+        Self {
+            name: name.into(),
+            test,
+            power: None,
+            bist_engine: None,
+            parent: None,
+            max_preemptions: 0,
+        }
+    }
+
+    /// Starts a builder for richer construction.
+    pub fn builder(name: impl Into<String>, test: CoreTest) -> CoreBuilder {
+        CoreBuilder {
+            core: Core::new(name, test),
+        }
+    }
+
+    /// Convenience constructor straight from raw test-set parameters.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`WrapperError`] from [`CoreTest::new`].
+    pub fn from_parameters(
+        name: impl Into<String>,
+        inputs: u32,
+        outputs: u32,
+        bidirs: u32,
+        scan_chains: Vec<u32>,
+        patterns: u64,
+    ) -> Result<Self, WrapperError> {
+        Ok(Self::new(
+            name,
+            CoreTest::new(inputs, outputs, bidirs, scan_chains, patterns)?,
+        ))
+    }
+
+    /// The core's name (unique within an SOC).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The core's raw test-set parameters.
+    pub fn test(&self) -> &CoreTest {
+        &self.test
+    }
+
+    /// Power dissipated while this core's test runs.
+    ///
+    /// Defaults to the paper's hypothetical model — the number of test data
+    /// bits per pattern (`scan-in bits + scan-out bits`) — unless overridden
+    /// via [`CoreBuilder::power`].
+    pub fn power(&self) -> u64 {
+        self.power
+            .unwrap_or_else(|| self.test.scan_in_bits() + self.test.scan_out_bits())
+    }
+
+    /// Whether the power value was explicitly set (vs. derived).
+    pub fn power_override(&self) -> Option<u64> {
+        self.power
+    }
+
+    /// The on-chip BIST engine this core's test occupies, if any.
+    pub fn bist_engine(&self) -> Option<usize> {
+        self.bist_engine
+    }
+
+    /// The parent core in the test hierarchy, if this is a child core.
+    pub fn parent(&self) -> Option<CoreIdx> {
+        self.parent
+    }
+
+    /// Maximum number of times this core's test may be preempted.
+    pub fn max_preemptions(&self) -> u32 {
+        self.max_preemptions
+    }
+
+    /// Returns a copy with a different preemption budget; used by
+    /// experiment drivers that toggle preemption globally.
+    pub fn with_max_preemptions(mut self, max: u32) -> Self {
+        self.max_preemptions = max;
+        self
+    }
+
+    /// Returns a copy with a different test set, keeping every other
+    /// attribute (power override, BIST engine, parent, preemption budget).
+    pub fn with_test(mut self, test: CoreTest) -> Self {
+        self.test = test;
+        self
+    }
+}
+
+/// Builder for [`Core`].
+#[derive(Debug, Clone)]
+pub struct CoreBuilder {
+    core: Core,
+}
+
+impl CoreBuilder {
+    /// Overrides the derived power rating.
+    pub fn power(mut self, power: u64) -> Self {
+        self.core.power = Some(power);
+        self
+    }
+
+    /// Marks the core as using an on-chip BIST engine.
+    pub fn bist_engine(mut self, engine: usize) -> Self {
+        self.core.bist_engine = Some(engine);
+        self
+    }
+
+    /// Sets the parent core index in the test hierarchy.
+    pub fn parent(mut self, parent: CoreIdx) -> Self {
+        self.core.parent = Some(parent);
+        self
+    }
+
+    /// Sets the preemption budget (0 = non-preemptable).
+    pub fn max_preemptions(mut self, max: u32) -> Self {
+        self.core.max_preemptions = max;
+        self
+    }
+
+    /// Finishes the build.
+    pub fn build(self) -> Core {
+        self.core
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn test_set() -> CoreTest {
+        CoreTest::new(4, 6, 2, vec![10, 8], 20).unwrap()
+    }
+
+    #[test]
+    fn derived_power_is_bits_per_pattern() {
+        let c = Core::new("x", test_set());
+        // in: 4+2+18 = 24, out: 6+2+18 = 26
+        assert_eq!(c.power(), 50);
+        assert_eq!(c.power_override(), None);
+    }
+
+    #[test]
+    fn power_override_wins() {
+        let c = Core::builder("x", test_set()).power(7).build();
+        assert_eq!(c.power(), 7);
+        assert_eq!(c.power_override(), Some(7));
+    }
+
+    #[test]
+    fn builder_sets_all_attributes() {
+        let c = Core::builder("x", test_set())
+            .bist_engine(3)
+            .parent(1)
+            .max_preemptions(2)
+            .build();
+        assert_eq!(c.bist_engine(), Some(3));
+        assert_eq!(c.parent(), Some(1));
+        assert_eq!(c.max_preemptions(), 2);
+    }
+
+    #[test]
+    fn from_parameters_validates() {
+        assert!(Core::from_parameters("bad", 0, 0, 0, vec![], 5).is_err());
+        let c = Core::from_parameters("ok", 1, 1, 0, vec![4], 5).unwrap();
+        assert_eq!(c.name(), "ok");
+    }
+
+    #[test]
+    fn with_max_preemptions_rewrites_budget() {
+        let c = Core::new("x", test_set()).with_max_preemptions(9);
+        assert_eq!(c.max_preemptions(), 9);
+    }
+}

@@ -1,0 +1,107 @@
+use std::error::Error;
+use std::fmt;
+
+use soctam_wrapper::WrapperError;
+
+/// Errors produced while building, validating, or parsing an SOC model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SocError {
+    /// A core referenced by index does not exist.
+    UnknownCore {
+        /// The out-of-range index.
+        index: usize,
+        /// Number of cores actually present.
+        len: usize,
+    },
+    /// A core referenced by name does not exist (text format).
+    UnknownCoreName {
+        /// The unresolved name.
+        name: String,
+    },
+    /// Two cores share a name; the text format requires unique names.
+    DuplicateCoreName {
+        /// The duplicated name.
+        name: String,
+    },
+    /// A constraint relates a core to itself.
+    SelfConstraint {
+        /// The offending core index.
+        index: usize,
+    },
+    /// The precedence relation contains a cycle, so no schedule can satisfy
+    /// it.
+    PrecedenceCycle,
+    /// A core's parent chain loops back on itself.
+    HierarchyCycle {
+        /// A core on the cycle.
+        index: usize,
+    },
+    /// An embedded core description is invalid.
+    Wrapper(WrapperError),
+    /// A line of the `.soc` text format could not be parsed.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
+}
+
+impl fmt::Display for SocError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SocError::UnknownCore { index, len } => {
+                write!(f, "core index {index} out of range ({len} cores)")
+            }
+            SocError::UnknownCoreName { name } => write!(f, "unknown core name `{name}`"),
+            SocError::DuplicateCoreName { name } => write!(f, "duplicate core name `{name}`"),
+            SocError::SelfConstraint { index } => {
+                write!(f, "core {index} cannot be constrained against itself")
+            }
+            SocError::PrecedenceCycle => write!(f, "precedence constraints contain a cycle"),
+            SocError::HierarchyCycle { index } => {
+                write!(f, "core {index} is its own ancestor in the test hierarchy")
+            }
+            SocError::Wrapper(e) => write!(f, "invalid core test set: {e}"),
+            SocError::Parse { line, message } => write!(f, "line {line}: {message}"),
+        }
+    }
+}
+
+impl Error for SocError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SocError::Wrapper(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<WrapperError> for SocError {
+    fn from(e: WrapperError) -> Self {
+        SocError::Wrapper(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        let e = SocError::UnknownCore { index: 7, len: 3 };
+        assert!(e.to_string().contains('7'));
+        let e = SocError::Parse {
+            line: 12,
+            message: "bad token".into(),
+        };
+        assert!(e.to_string().contains("12"));
+    }
+
+    #[test]
+    fn wrapper_error_is_source() {
+        let e = SocError::from(WrapperError::ZeroWidth);
+        assert!(e.source().is_some());
+    }
+}

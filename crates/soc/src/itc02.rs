@@ -1,0 +1,647 @@
+//! An ITC'02-style `.soc` text format.
+//!
+//! The ITC 2002 SOC Test Benchmarks initiative \[17\] distributed SOC test
+//! instances as line-oriented text files. This module implements a compact
+//! dialect carrying exactly the information the DAC 2002 framework consumes:
+//! per-core test-set parameters, power ratings, BIST engine sharing, test
+//! hierarchy, preemption budgets, and the system integrator's precedence
+//! and concurrency constraints.
+//!
+//! # Grammar
+//!
+//! ```text
+//! file        := line*
+//! line        := comment | soc | core | precedence | concurrency | blank
+//! comment     := '#' .*
+//! soc         := 'soc' NAME
+//! core        := 'core' NAME field*
+//! field       := 'inputs=' INT | 'outputs=' INT | 'bidirs=' INT
+//!              | 'patterns=' INT | 'scan=' chains | 'power=' INT
+//!              | 'bist=' INT | 'parent=' NAME | 'preempt=' INT
+//! chains      := group (',' group)*        e.g. scan=16x41,1x54  or  scan=46,45,44
+//! group       := INT | INT 'x' INT         count 'x' length, or a single length
+//! precedence  := 'precedence' NAME '<' NAME
+//! concurrency := 'concurrency' NAME '><' NAME
+//! ```
+//!
+//! A `parent=` field may forward-reference a core defined later in the
+//! file; names are resolved after all cores are read.
+//!
+//! # Example
+//!
+//! ```
+//! let text = "\
+//! soc demo
+//! core alu inputs=16 outputs=16 patterns=50 scan=32,32
+//! core mem inputs=8 outputs=8 patterns=200 scan=4x64 preempt=2
+//! precedence mem < alu
+//! ";
+//! let soc = soctam_soc::itc02::parse(text)?;
+//! assert_eq!(soc.len(), 2);
+//! assert_eq!(soc.precedence(), &[(1, 0)]);
+//! # Ok::<(), soctam_soc::SocError>(())
+//! ```
+
+use std::collections::HashMap;
+
+use soctam_wrapper::CoreTest;
+
+use crate::{Core, CoreIdx, Soc, SocError};
+
+/// Parses a `.soc` document into a validated [`Soc`].
+///
+/// # Errors
+///
+/// [`SocError::Parse`] with a 1-based line number for syntax problems;
+/// other [`SocError`] variants for semantic problems (unknown names,
+/// constraint cycles, invalid core data).
+pub fn parse(text: &str) -> Result<Soc, SocError> {
+    let mut name = String::from("unnamed");
+    struct PendingCore {
+        name: String,
+        inputs: u32,
+        outputs: u32,
+        bidirs: u32,
+        patterns: u64,
+        scan: Vec<u32>,
+        power: Option<u64>,
+        bist: Option<usize>,
+        parent: Option<String>,
+        preempt: u32,
+        line: usize,
+    }
+    let mut cores: Vec<PendingCore> = Vec::new();
+    let mut raw_constraints: Vec<(bool, String, String, usize)> = Vec::new();
+
+    for (lineno, raw) in text.lines().enumerate() {
+        let lineno = lineno + 1;
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut tokens = line.split_whitespace();
+        let keyword = tokens.next().expect("non-empty line");
+        match keyword {
+            "soc" => {
+                name = tokens
+                    .next()
+                    .ok_or_else(|| err(lineno, "missing SOC name"))?
+                    .to_owned();
+            }
+            "core" => {
+                let core_name = tokens
+                    .next()
+                    .ok_or_else(|| err(lineno, "missing core name"))?
+                    .to_owned();
+                let mut pc = PendingCore {
+                    name: core_name,
+                    inputs: 0,
+                    outputs: 0,
+                    bidirs: 0,
+                    patterns: 0,
+                    scan: Vec::new(),
+                    power: None,
+                    bist: None,
+                    parent: None,
+                    preempt: 0,
+                    line: lineno,
+                };
+                for tok in tokens {
+                    let (key, value) = tok
+                        .split_once('=')
+                        .ok_or_else(|| err(lineno, &format!("expected key=value, got `{tok}`")))?;
+                    match key {
+                        "inputs" => pc.inputs = parse_int(value, lineno)?,
+                        "outputs" => pc.outputs = parse_int(value, lineno)?,
+                        "bidirs" => pc.bidirs = parse_int(value, lineno)?,
+                        "patterns" => pc.patterns = parse_int(value, lineno)?,
+                        "power" => pc.power = Some(parse_int(value, lineno)?),
+                        "bist" => pc.bist = Some(parse_int(value, lineno)?),
+                        "preempt" => pc.preempt = parse_int(value, lineno)?,
+                        "parent" => pc.parent = Some(value.to_owned()),
+                        "scan" => pc.scan = parse_chains(value, lineno)?,
+                        other => {
+                            return Err(err(lineno, &format!("unknown field `{other}`")));
+                        }
+                    }
+                }
+                cores.push(pc);
+            }
+            "precedence" => {
+                let (a, b) = parse_relation(&mut tokens, "<", lineno)?;
+                raw_constraints.push((true, a, b, lineno));
+            }
+            "concurrency" => {
+                let (a, b) = parse_relation(&mut tokens, "><", lineno)?;
+                raw_constraints.push((false, a, b, lineno));
+            }
+            other => {
+                return Err(err(lineno, &format!("unknown directive `{other}`")));
+            }
+        }
+    }
+
+    // Resolve names (parents may forward-reference).
+    let mut index: HashMap<&str, CoreIdx> = HashMap::new();
+    for (i, pc) in cores.iter().enumerate() {
+        if index.insert(pc.name.as_str(), i).is_some() {
+            return Err(SocError::DuplicateCoreName {
+                name: pc.name.clone(),
+            });
+        }
+    }
+
+    let mut soc = Soc::new(name);
+    for pc in &cores {
+        let test = CoreTest::new(pc.inputs, pc.outputs, pc.bidirs, pc.scan.clone(), pc.patterns)
+            .map_err(|e| err(pc.line, &format!("invalid core `{}`: {e}", pc.name)))?;
+        let mut builder = Core::builder(pc.name.clone(), test).max_preemptions(pc.preempt);
+        if let Some(p) = pc.power {
+            builder = builder.power(p);
+        }
+        if let Some(b) = pc.bist {
+            builder = builder.bist_engine(b);
+        }
+        if let Some(parent_name) = &pc.parent {
+            let parent = *index
+                .get(parent_name.as_str())
+                .ok_or_else(|| SocError::UnknownCoreName {
+                    name: parent_name.clone(),
+                })?;
+            builder = builder.parent(parent);
+        }
+        soc.add_core(builder.build());
+    }
+
+    for (is_precedence, a, b, _line) in raw_constraints {
+        let ia = *index
+            .get(a.as_str())
+            .ok_or(SocError::UnknownCoreName { name: a })?;
+        let ib = *index
+            .get(b.as_str())
+            .ok_or(SocError::UnknownCoreName { name: b })?;
+        if is_precedence {
+            soc.add_precedence(ia, ib)?;
+        } else {
+            soc.add_concurrency(ia, ib)?;
+        }
+    }
+
+    soc.validate()?;
+    Ok(soc)
+}
+
+/// Serializes an SOC to the `.soc` text format; [`parse`] inverts this.
+pub fn to_string(soc: &Soc) -> String {
+    use std::fmt::Write;
+
+    let mut out = String::new();
+    let _ = writeln!(out, "# soctam .soc format");
+    let _ = writeln!(out, "soc {}", soc.name());
+    for core in soc.cores() {
+        let t = core.test();
+        let _ = write!(
+            out,
+            "core {} inputs={} outputs={} bidirs={} patterns={}",
+            core.name(),
+            t.inputs(),
+            t.outputs(),
+            t.bidirs(),
+            t.patterns()
+        );
+        if !t.scan_chains().is_empty() {
+            let _ = write!(out, " scan={}", format_chains(t.scan_chains()));
+        }
+        if let Some(p) = core.power_override() {
+            let _ = write!(out, " power={p}");
+        }
+        if let Some(b) = core.bist_engine() {
+            let _ = write!(out, " bist={b}");
+        }
+        if let Some(p) = core.parent() {
+            let _ = write!(out, " parent={}", soc.core(p).name());
+        }
+        if core.max_preemptions() > 0 {
+            let _ = write!(out, " preempt={}", core.max_preemptions());
+        }
+        out.push('\n');
+    }
+    for &(a, b) in soc.precedence() {
+        let _ = writeln!(
+            out,
+            "precedence {} < {}",
+            soc.core(a).name(),
+            soc.core(b).name()
+        );
+    }
+    for &(a, b) in soc.concurrency() {
+        let _ = writeln!(
+            out,
+            "concurrency {} >< {}",
+            soc.core(a).name(),
+            soc.core(b).name()
+        );
+    }
+    out
+}
+
+fn format_chains(chains: &[u32]) -> String {
+    // Run-length encode equal consecutive lengths as COUNTxLEN.
+    let mut parts: Vec<String> = Vec::new();
+    let mut i = 0;
+    while i < chains.len() {
+        let mut j = i;
+        while j + 1 < chains.len() && chains[j + 1] == chains[i] {
+            j += 1;
+        }
+        let count = j - i + 1;
+        if count > 1 {
+            parts.push(format!("{}x{}", count, chains[i]));
+        } else {
+            parts.push(chains[i].to_string());
+        }
+        i = j + 1;
+    }
+    parts.join(",")
+}
+
+fn parse_chains(value: &str, line: usize) -> Result<Vec<u32>, SocError> {
+    let mut chains = Vec::new();
+    for group in value.split(',') {
+        if let Some((count, len)) = group.split_once('x') {
+            let count: usize = parse_int(count, line)?;
+            let len: u32 = parse_int(len, line)?;
+            if count > 4096 {
+                return Err(err(line, "scan chain group count too large"));
+            }
+            chains.extend(std::iter::repeat_n(len, count));
+        } else {
+            chains.push(parse_int(group, line)?);
+        }
+    }
+    Ok(chains)
+}
+
+fn parse_relation<'a>(
+    tokens: &mut impl Iterator<Item = &'a str>,
+    op: &str,
+    line: usize,
+) -> Result<(String, String), SocError> {
+    let a = tokens
+        .next()
+        .ok_or_else(|| err(line, "missing first core name"))?;
+    let got_op = tokens.next().ok_or_else(|| err(line, "missing operator"))?;
+    if got_op != op {
+        return Err(err(line, &format!("expected `{op}`, got `{got_op}`")));
+    }
+    let b = tokens
+        .next()
+        .ok_or_else(|| err(line, "missing second core name"))?;
+    Ok((a.to_owned(), b.to_owned()))
+}
+
+fn parse_int<T: std::str::FromStr>(value: &str, line: usize) -> Result<T, SocError> {
+    value
+        .parse()
+        .map_err(|_| err(line, &format!("invalid integer `{value}`")))
+}
+
+/// Parses the *classic* ITC'02 SOC Test Benchmarks file layout
+/// (best-effort common subset).
+///
+/// The original benchmark distribution used a keyword-per-line layout:
+///
+/// ```text
+/// SocName d695
+/// TotalModules 11
+/// Module 0
+///   Level 0
+///   Inputs 32  Outputs 32  Bidirs 0
+///   ScanChains 0
+///   TotalTests 1
+///   Test 1
+///     TotalPatterns 12
+/// Module 1
+///   ...
+/// ```
+///
+/// This reader accepts that structure with the following conventions:
+///
+/// * keywords are case-insensitive; indentation and blank lines are free;
+/// * `ScanChainLengths` (or inline counts after `ScanChains n: l1 l2 ...`)
+///   lists the chain lengths;
+/// * multiple `Test` blocks per module are merged by summing their
+///   pattern counts (the DAC 2002 framework schedules one test per core);
+/// * **unknown keywords are skipped** — real benchmark files carry many
+///   fields (port lists, test protocols) this framework does not consume;
+/// * modules with no patterns or no testable content (often `Module 0`,
+///   the SOC shell) are dropped.
+///
+/// # Errors
+///
+/// [`SocError::Parse`] for malformed numbers, or any semantic error from
+/// model validation.
+pub fn parse_classic(text: &str) -> Result<Soc, SocError> {
+    struct Module {
+        name: String,
+        inputs: u32,
+        outputs: u32,
+        bidirs: u32,
+        scan: Vec<u32>,
+        patterns: u64,
+        line: usize,
+    }
+    let mut soc_name = String::from("unnamed");
+    let mut modules: Vec<Module> = Vec::new();
+
+    for (lineno, raw) in text.lines().enumerate() {
+        let lineno = lineno + 1;
+        let line = raw.split('#').next().unwrap_or("").replace(':', " ");
+        let mut tokens = line.split_whitespace();
+        let Some(keyword) = tokens.next() else {
+            continue;
+        };
+        match keyword.to_ascii_lowercase().as_str() {
+            "socname" => {
+                if let Some(n) = tokens.next() {
+                    soc_name = n.to_owned();
+                }
+            }
+            "module" => {
+                let id = tokens.next().unwrap_or("?");
+                let name = tokens
+                    .next()
+                    .map(str::to_owned)
+                    .unwrap_or_else(|| format!("module{id}"));
+                modules.push(Module {
+                    name,
+                    inputs: 0,
+                    outputs: 0,
+                    bidirs: 0,
+                    scan: Vec::new(),
+                    patterns: 0,
+                    line: lineno,
+                });
+            }
+            "inputs" => {
+                if let Some(m) = modules.last_mut() {
+                    m.inputs = parse_int(tokens.next().unwrap_or(""), lineno)?;
+                }
+            }
+            "outputs" => {
+                if let Some(m) = modules.last_mut() {
+                    m.outputs = parse_int(tokens.next().unwrap_or(""), lineno)?;
+                }
+            }
+            "bidirs" | "bidirectionals" => {
+                if let Some(m) = modules.last_mut() {
+                    m.bidirs = parse_int(tokens.next().unwrap_or(""), lineno)?;
+                }
+            }
+            "scanchains" => {
+                // `ScanChains 4` alone declares the count; lengths may
+                // follow inline (`ScanChains 4 46 45 44 44`) or on a
+                // separate ScanChainLengths line.
+                if let Some(m) = modules.last_mut() {
+                    let _count: usize = parse_int(tokens.next().unwrap_or("0"), lineno)?;
+                    for t in tokens.by_ref() {
+                        m.scan.push(parse_int(t, lineno)?);
+                    }
+                }
+            }
+            "scanchainlengths" | "scanchainlength" => {
+                if let Some(m) = modules.last_mut() {
+                    for t in tokens.by_ref() {
+                        m.scan.push(parse_int(t, lineno)?);
+                    }
+                }
+            }
+            "totalpatterns" | "patterns" => {
+                if let Some(m) = modules.last_mut() {
+                    let p: u64 = parse_int(tokens.next().unwrap_or(""), lineno)?;
+                    m.patterns += p;
+                }
+            }
+            // Structural or informational keywords we accept and skip.
+            "totalmodules" | "level" | "totaltests" | "test" => {}
+            // Anything else: unknown field, skipped by design.
+            _ => {}
+        }
+    }
+
+    let mut soc = Soc::new(soc_name);
+    for m in modules {
+        if m.patterns == 0 {
+            continue; // untested shell module
+        }
+        let test = CoreTest::new(m.inputs, m.outputs, m.bidirs, m.scan.clone(), m.patterns)
+            .map_err(|e| err(m.line, &format!("invalid module `{}`: {e}", m.name)))?;
+        soc.add_core(Core::new(m.name, test));
+    }
+    soc.validate()?;
+    Ok(soc)
+}
+
+fn err(line: usize, message: &str) -> SocError {
+    SocError::Parse {
+        line,
+        message: message.to_owned(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "\
+# a demo SOC
+soc demo
+core alu inputs=16 outputs=16 patterns=50 scan=32,32
+core mem inputs=8 outputs=8 patterns=200 scan=4x64 power=999 bist=1 preempt=2
+core sub inputs=4 outputs=4 patterns=10 parent=alu
+precedence mem < alu
+concurrency alu >< mem
+";
+
+    #[test]
+    fn parses_sample() {
+        let soc = parse(SAMPLE).unwrap();
+        assert_eq!(soc.name(), "demo");
+        assert_eq!(soc.len(), 3);
+        let mem = soc.core(1);
+        assert_eq!(mem.test().scan_chains(), &[64, 64, 64, 64]);
+        assert_eq!(mem.power_override(), Some(999));
+        assert_eq!(mem.bist_engine(), Some(1));
+        assert_eq!(mem.max_preemptions(), 2);
+        assert_eq!(soc.core(2).parent(), Some(0));
+        assert_eq!(soc.precedence(), &[(1, 0)]);
+        assert_eq!(soc.concurrency(), &[(0, 1)]);
+    }
+
+    #[test]
+    fn round_trip_preserves_model() {
+        let soc = parse(SAMPLE).unwrap();
+        let text = to_string(&soc);
+        let back = parse(&text).unwrap();
+        assert_eq!(soc, back);
+    }
+
+    #[test]
+    fn forward_parent_reference_resolves() {
+        let text = "soc t\ncore child inputs=1 outputs=1 patterns=1 parent=parent\ncore parent inputs=1 outputs=1 patterns=1\n";
+        let soc = parse(text).unwrap();
+        assert_eq!(soc.core(0).parent(), Some(1));
+    }
+
+    #[test]
+    fn reports_line_numbers() {
+        let text = "soc t\ncore a inputs=zzz patterns=1\n";
+        match parse(text) {
+            Err(SocError::Parse { line, message }) => {
+                assert_eq!(line, 2);
+                assert!(message.contains("zzz"));
+            }
+            other => panic!("expected parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_unknown_directive() {
+        assert!(matches!(
+            parse("banana split\n"),
+            Err(SocError::Parse { line: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_unknown_field() {
+        assert!(matches!(
+            parse("soc t\ncore a inputs=1 outputs=1 patterns=1 wibble=2\n"),
+            Err(SocError::Parse { line: 2, .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_unknown_constraint_name() {
+        let text = "soc t\ncore a inputs=1 outputs=1 patterns=1\nprecedence a < ghost\n";
+        assert!(matches!(
+            parse(text),
+            Err(SocError::UnknownCoreName { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_bad_operator() {
+        let text = "soc t\ncore a inputs=1 outputs=1 patterns=1\ncore b inputs=1 outputs=1 patterns=1\nprecedence a >> b\n";
+        assert!(matches!(parse(text), Err(SocError::Parse { line: 4, .. })));
+    }
+
+    #[test]
+    fn rejects_duplicate_core_names() {
+        let text = "soc t\ncore a inputs=1 outputs=1 patterns=1\ncore a inputs=1 outputs=1 patterns=1\n";
+        assert!(matches!(
+            parse(text),
+            Err(SocError::DuplicateCoreName { .. })
+        ));
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let text = "\n# hi\nsoc t   # trailing\n\ncore a inputs=1 outputs=1 patterns=1 # more\n";
+        let soc = parse(text).unwrap();
+        assert_eq!(soc.len(), 1);
+    }
+
+    #[test]
+    fn chain_run_length_encoding() {
+        assert_eq!(format_chains(&[64, 64, 64, 3, 5, 5]), "3x64,3,2x5");
+        assert_eq!(format_chains(&[7]), "7");
+        assert_eq!(format_chains(&[]), "");
+    }
+
+    #[test]
+    fn rejects_invalid_core_semantics() {
+        // zero patterns is a semantic (wrapper) error surfaced with a line.
+        let text = "soc t\ncore a inputs=1 outputs=1 patterns=0\n";
+        assert!(matches!(parse(text), Err(SocError::Parse { line: 2, .. })));
+    }
+
+    const CLASSIC: &str = "\
+SocName mini
+TotalModules 3
+
+Module 0
+  Level 0
+  Inputs 100 Outputs 100 Bidirs 0
+  ScanChains 0
+  TotalTests 0
+
+Module 1 alu
+  Level 1
+  Inputs 16
+  Outputs 16
+  Bidirs 2
+  ScanChains 2
+  ScanChainLengths 32 32
+  TotalTests 1
+  Test 1:
+    TotalPatterns 50
+
+Module 2
+  Inputs 8 Outputs 8
+  ScanChains 4 64 64 64 64
+  TotalTests 2
+  Test 1
+    Patterns 120
+  Test 2
+    Patterns 80
+";
+
+    #[test]
+    fn classic_format_parses_modules() {
+        let soc = parse_classic(CLASSIC).unwrap();
+        assert_eq!(soc.name(), "mini");
+        // Module 0 (untested shell) dropped.
+        assert_eq!(soc.len(), 2);
+        let alu = soc.core(soc.core_by_name("alu").unwrap());
+        assert_eq!(alu.test().inputs(), 16);
+        assert_eq!(alu.test().bidirs(), 2);
+        assert_eq!(alu.test().scan_chains(), &[32, 32]);
+        assert_eq!(alu.test().patterns(), 50);
+        // Module 2: auto-named, tests merged (120 + 80), inline chain list.
+        let m2 = soc.core(soc.core_by_name("module2").unwrap());
+        assert_eq!(m2.test().patterns(), 200);
+        assert_eq!(m2.test().scan_chains(), &[64, 64, 64, 64]);
+    }
+
+    #[test]
+    fn classic_format_ignores_unknown_keywords() {
+        let text = "SocName x\nTamType TestBus\nModule 1\nInputs 2\nOutputs 2\nPatterns 5\nPowerDomain 3\n";
+        let soc = parse_classic(text).unwrap();
+        assert_eq!(soc.len(), 1);
+    }
+
+    #[test]
+    fn classic_format_reports_bad_numbers() {
+        let text = "SocName x\nModule 1\nInputs zz\nPatterns 5\n";
+        assert!(matches!(
+            parse_classic(text),
+            Err(SocError::Parse { line: 3, .. })
+        ));
+    }
+
+    #[test]
+    fn classic_format_round_trips_through_dialect() {
+        // classic -> Soc -> our dialect -> Soc must be stable.
+        let soc = parse_classic(CLASSIC).unwrap();
+        let text = to_string(&soc);
+        let back = parse(&text).unwrap();
+        assert_eq!(soc, back);
+    }
+
+    #[test]
+    fn rejects_huge_chain_group() {
+        let text = "soc t\ncore a inputs=1 outputs=1 patterns=1 scan=99999x4\n";
+        assert!(matches!(parse(text), Err(SocError::Parse { .. })));
+    }
+}

@@ -1,0 +1,40 @@
+//! # soctam-soc
+//!
+//! The SOC substrate for the `soctam` framework: embedded-core descriptors,
+//! the system-on-chip model with test hierarchy and scheduling constraints,
+//! an ITC'02-style `.soc` text format (parser and writer), embedded
+//! reconstructions of the four benchmark SOCs evaluated in the DAC 2002
+//! paper (`d695`, `p22810`, `p34392`, `p93791`), and a seeded synthetic SOC
+//! generator.
+//!
+//! # Example
+//!
+//! ```
+//! use soctam_soc::{benchmarks, Soc};
+//!
+//! let soc: Soc = benchmarks::d695();
+//! assert_eq!(soc.len(), 10);
+//! assert!(soc.validate().is_ok());
+//!
+//! // Round-trip through the text format.
+//! let text = soctam_soc::itc02::to_string(&soc);
+//! let back = soctam_soc::itc02::parse(&text).unwrap();
+//! assert_eq!(back.name(), "d695");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod benchmarks;
+mod core_desc;
+mod error;
+pub mod itc02;
+mod model;
+pub mod synth;
+
+pub use core_desc::{Core, CoreBuilder};
+pub use error::SocError;
+pub use model::{ConstraintKind, Soc};
+
+/// Index of a core within its [`Soc`], assigned in insertion order.
+pub type CoreIdx = usize;

@@ -1,0 +1,199 @@
+//! Seeded synthetic SOC generation.
+//!
+//! Property tests, fuzz-style scheduler checks, and the scalability benches
+//! need a supply of diverse-but-reproducible SOC instances. [`SynthConfig`]
+//! describes the distribution; [`SynthConfig::generate`] draws a model from
+//! a seeded [`rand::rngs::StdRng`], so the same `(config, seed)` pair always
+//! yields the same SOC.
+//!
+//! # Example
+//!
+//! ```
+//! use soctam_soc::synth::SynthConfig;
+//!
+//! let soc = SynthConfig::new(12).generate(42);
+//! assert_eq!(soc.len(), 12);
+//! assert!(soc.validate().is_ok());
+//! // Reproducible:
+//! assert_eq!(soc, SynthConfig::new(12).generate(42));
+//! ```
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use soctam_wrapper::CoreTest;
+
+use crate::{Core, Soc};
+
+/// Distribution parameters for synthetic SOC generation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SynthConfig {
+    /// Number of cores to generate.
+    pub cores: usize,
+    /// Inclusive range of scan chain counts for sequential cores.
+    pub chains: (usize, usize),
+    /// Inclusive range of individual scan chain lengths.
+    pub chain_len: (u32, u32),
+    /// Inclusive range of pattern counts.
+    pub patterns: (u64, u64),
+    /// Inclusive range of functional input/output counts.
+    pub terminals: (u32, u32),
+    /// Probability that a core is purely combinational (no scan).
+    pub combinational_prob: f64,
+    /// Probability that a core is nested under an earlier core.
+    pub hierarchy_prob: f64,
+    /// Probability of each possible precedence edge `(i, j)`, `i < j`
+    /// (kept sparse; edges only point forward so the result is acyclic).
+    pub precedence_prob: f64,
+    /// Probability that a core shares one of [`SynthConfig::bist_engines`].
+    pub bist_prob: f64,
+    /// Number of distinct BIST engines to share among cores.
+    pub bist_engines: usize,
+    /// Preemption budget granted to each core with probability 1/2.
+    pub preemption_budget: u32,
+}
+
+impl SynthConfig {
+    /// A reasonable default distribution for `cores` cores: mid-size scan
+    /// cores, sparse constraints, no hierarchy.
+    pub fn new(cores: usize) -> Self {
+        Self {
+            cores,
+            chains: (1, 16),
+            chain_len: (8, 200),
+            patterns: (10, 500),
+            terminals: (2, 120),
+            combinational_prob: 0.15,
+            hierarchy_prob: 0.0,
+            precedence_prob: 0.0,
+            bist_prob: 0.0,
+            bist_engines: 2,
+            preemption_budget: 0,
+        }
+    }
+
+    /// Enables sparse precedence edges and hierarchy, for constraint-heavy
+    /// scheduler tests.
+    pub fn with_constraints(mut self) -> Self {
+        self.hierarchy_prob = 0.15;
+        self.precedence_prob = 0.05;
+        self.bist_prob = 0.2;
+        self
+    }
+
+    /// Grants every core a preemption budget drawn as 0 or `budget`.
+    pub fn with_preemption(mut self, budget: u32) -> Self {
+        self.preemption_budget = budget;
+        self
+    }
+
+    /// Draws an SOC from this distribution; deterministic in `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cores == 0` or a range is empty (`lo > hi`).
+    pub fn generate(&self, seed: u64) -> Soc {
+        assert!(self.cores > 0, "need at least one core");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut soc = Soc::new(format!("synth{seed}"));
+
+        for i in 0..self.cores {
+            let inputs = rng.gen_range(self.terminals.0..=self.terminals.1);
+            let outputs = rng.gen_range(self.terminals.0..=self.terminals.1);
+            let combinational = rng.gen_bool(self.combinational_prob);
+            let chains: Vec<u32> = if combinational {
+                Vec::new()
+            } else {
+                let n = rng.gen_range(self.chains.0..=self.chains.1);
+                (0..n)
+                    .map(|_| rng.gen_range(self.chain_len.0..=self.chain_len.1))
+                    .collect()
+            };
+            let patterns = rng.gen_range(self.patterns.0..=self.patterns.1);
+            let test = CoreTest::new(inputs.max(1), outputs, 0, chains, patterns)
+                .expect("generated cores are valid");
+            let mut builder = Core::builder(format!("core{i}"), test);
+            if i > 0 && rng.gen_bool(self.hierarchy_prob) {
+                builder = builder.parent(rng.gen_range(0..i));
+            }
+            if rng.gen_bool(self.bist_prob) && self.bist_engines > 0 {
+                builder = builder.bist_engine(rng.gen_range(0..self.bist_engines));
+            }
+            if self.preemption_budget > 0 && rng.gen_bool(0.5) {
+                builder = builder.max_preemptions(self.preemption_budget);
+            }
+            soc.add_core(builder.build());
+        }
+
+        if self.precedence_prob > 0.0 {
+            for i in 0..self.cores {
+                for j in i + 1..self.cores {
+                    if rng.gen_bool(self.precedence_prob) {
+                        soc.add_precedence(i, j).expect("forward edge is valid");
+                    }
+                }
+            }
+        }
+
+        debug_assert!(soc.validate().is_ok());
+        soc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let cfg = SynthConfig::new(8).with_constraints();
+        assert_eq!(cfg.generate(1), cfg.generate(1));
+        assert_ne!(cfg.generate(1), cfg.generate(2));
+    }
+
+    #[test]
+    fn generated_socs_validate() {
+        let cfg = SynthConfig::new(20).with_constraints().with_preemption(2);
+        for seed in 0..20 {
+            let soc = cfg.generate(seed);
+            assert!(soc.validate().is_ok(), "seed {seed}");
+            assert_eq!(soc.len(), 20);
+        }
+    }
+
+    #[test]
+    fn combinational_probability_respected_at_extremes() {
+        let mut cfg = SynthConfig::new(30);
+        cfg.combinational_prob = 1.0;
+        let soc = cfg.generate(7);
+        assert!(soc.cores().iter().all(|c| !c.test().is_sequential()));
+        cfg.combinational_prob = 0.0;
+        let soc = cfg.generate(7);
+        assert!(soc.cores().iter().all(|c| c.test().is_sequential()));
+    }
+
+    #[test]
+    fn precedence_edges_point_forward() {
+        let mut cfg = SynthConfig::new(15);
+        cfg.precedence_prob = 0.3;
+        let soc = cfg.generate(3);
+        for &(a, b) in soc.precedence() {
+            assert!(a < b);
+        }
+    }
+
+    #[test]
+    fn round_trips_through_text_format() {
+        let cfg = SynthConfig::new(10).with_constraints();
+        let soc = cfg.generate(11);
+        let text = crate::itc02::to_string(&soc);
+        let back = crate::itc02::parse(&text).unwrap();
+        assert_eq!(soc, back);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one core")]
+    fn zero_cores_panics() {
+        let _ = SynthConfig::new(0).generate(0);
+    }
+}

@@ -1,0 +1,42 @@
+//! # soctam-tam
+//!
+//! Concrete TAM wire assignment with fork-and-merge.
+//!
+//! The scheduler (`soctam-schedule`) only guarantees that the *sum* of TAM
+//! widths in use never exceeds the SOC TAM width `W`. The paper's
+//! architecture permits a core to receive a group of **non-contiguous**
+//! wires (fork-and-merge of TAM wires, §3), which is exactly what makes
+//! that budget sufficient. This crate materializes the promise: it maps
+//! every schedule slice to a concrete set of wire ids, preferring wires the
+//! core already used (stability across preemptions) and low wire ids
+//! otherwise, then proves the assignment legal (no wire serves two
+//! overlapping slices) and reports per-wire utilization and fork statistics.
+//!
+//! # Example
+//!
+//! ```
+//! use soctam_schedule::{ScheduleBuilder, SchedulerConfig};
+//! use soctam_soc::benchmarks;
+//! use soctam_tam::WireAssignment;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let soc = benchmarks::d695();
+//! let schedule = ScheduleBuilder::new(&soc, SchedulerConfig::new(16)).run()?;
+//! let wires = WireAssignment::assign(&schedule)?;
+//! wires.verify()?;
+//! assert!(wires.stats().max_wire_busy <= schedule.makespan());
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod assign;
+mod stats;
+
+pub use assign::{SliceWires, WireAssignment, WireError};
+pub use stats::{TamStats, WireStats};
+
+/// Identifier of a physical TAM wire, `0..W`.
+pub type WireId = u16;

@@ -1,0 +1,107 @@
+//! Per-wire utilization and fork statistics.
+
+use crate::{WireAssignment, WireId};
+
+/// Usage summary of a single TAM wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WireStats {
+    /// The wire id.
+    pub wire: WireId,
+    /// Cycles the wire spends carrying test data.
+    pub busy: u64,
+    /// Number of slices routed over the wire.
+    pub slices: usize,
+}
+
+/// Aggregate statistics of a wire assignment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TamStats {
+    /// Per-wire usage, indexed by wire id.
+    pub wires: Vec<WireStats>,
+    /// Busiest single wire's busy cycles.
+    pub max_wire_busy: u64,
+    /// Mean wire utilization over the makespan, in `[0, 1]`.
+    pub mean_utilization: f64,
+    /// Number of slices whose wires are non-contiguous (forked).
+    pub forked_slices: usize,
+    /// Total number of slices.
+    pub total_slices: usize,
+}
+
+impl WireAssignment {
+    /// Computes per-wire and aggregate usage statistics.
+    pub fn stats(&self) -> TamStats {
+        let w = usize::from(self.tam_width());
+        let mut busy = vec![0u64; w];
+        let mut slices = vec![0usize; w];
+        let mut forked = 0usize;
+        for a in self.assignments() {
+            if a.contiguous_groups() > 1 {
+                forked += 1;
+            }
+            for &wire in &a.wires {
+                busy[usize::from(wire)] += a.slice.duration();
+                slices[usize::from(wire)] += 1;
+            }
+        }
+        let wires: Vec<WireStats> = (0..w)
+            .map(|i| WireStats {
+                wire: i as WireId,
+                busy: busy[i],
+                slices: slices[i],
+            })
+            .collect();
+        let max_wire_busy = busy.iter().copied().max().unwrap_or(0);
+        let mean_utilization = if self.makespan() == 0 || w == 0 {
+            0.0
+        } else {
+            busy.iter().sum::<u64>() as f64 / (self.makespan() as f64 * w as f64)
+        };
+        TamStats {
+            wires,
+            max_wire_busy,
+            mean_utilization,
+            forked_slices: forked,
+            total_slices: self.assignments().len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use soctam_schedule::{Schedule, ScheduleBuilder, SchedulerConfig, Slice};
+    use soctam_soc::benchmarks;
+
+    #[test]
+    fn stats_account_every_wire_cycle() {
+        let s = Schedule::from_slices(
+            "t",
+            4,
+            vec![
+                Slice { core: 0, width: 2, start: 0, end: 10 },
+                Slice { core: 1, width: 2, start: 0, end: 6 },
+            ],
+        );
+        let wa = WireAssignment::assign(&s).unwrap();
+        let stats = wa.stats();
+        let total: u64 = stats.wires.iter().map(|w| w.busy).sum();
+        assert_eq!(total, 2 * 10 + 2 * 6);
+        assert_eq!(stats.max_wire_busy, 10);
+        assert_eq!(stats.total_slices, 2);
+        let expected = 32.0 / 40.0;
+        assert!((stats.mean_utilization - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn utilization_matches_schedule_on_benchmarks() {
+        let soc = benchmarks::d695();
+        let s = ScheduleBuilder::new(&soc, SchedulerConfig::new(16))
+            .run()
+            .unwrap();
+        let wa = WireAssignment::assign(&s).unwrap();
+        let stats = wa.stats();
+        assert!((stats.mean_utilization - s.utilization()).abs() < 1e-9);
+        assert!(stats.max_wire_busy <= s.makespan());
+    }
+}

@@ -1,0 +1,46 @@
+//! # soctam-volume
+//!
+//! Tester data volume modelling and effective TAM width identification —
+//! the third component of the DAC 2002 framework (§5).
+//!
+//! Testing time `T(W)` falls in a staircase as the SOC TAM widens, but the
+//! tester must fill one memory channel per TAM pin for the whole schedule,
+//! so the *total data volume* `V(W) = W · T(W)` is non-monotonic: it dips
+//! at exactly the Pareto-optimal points of the `T` curve and climbs in
+//! between. The normalized cost
+//!
+//! ```text
+//! C(W) = α · T(W)/T_min + (1 − α) · V(W)/V_min
+//! ```
+//!
+//! is "U"-shaped in `W`; its minimizer `W_eff` lets the system integrator
+//! trade testing time against tester memory (multisite test, buffer
+//! limits).
+//!
+//! # Example
+//!
+//! ```
+//! use soctam_soc::benchmarks;
+//! use soctam_volume::{sweep, CostCurve};
+//! use soctam_schedule::SchedulerConfig;
+//!
+//! # fn main() -> Result<(), soctam_schedule::ScheduleError> {
+//! let soc = benchmarks::d695();
+//! let points = sweep(&soc, 4..=32, &SchedulerConfig::new(1))?;
+//! let curve = CostCurve::new(&points, 0.5);
+//! let eff = curve.effective_point();
+//! assert!(eff.cost >= 1.0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cost;
+mod model;
+mod sweep;
+
+pub use cost::{CostCurve, CostPoint};
+pub use model::{volume_of, TesterMemoryModel};
+pub use sweep::{sweep, sweep_best, SweepPoint};

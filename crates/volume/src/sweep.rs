@@ -1,0 +1,130 @@
+//! TAM width sweeps: the data behind Figures 9(a) and 9(b).
+
+use soctam_schedule::bounds::lower_bound;
+use soctam_schedule::{schedule_best, ScheduleBuilder, ScheduleError, SchedulerConfig};
+use soctam_soc::Soc;
+use soctam_wrapper::{Cycles, TamWidth};
+
+use crate::model::volume_of;
+
+/// One point of a TAM-width sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SweepPoint {
+    /// SOC TAM width `W`.
+    pub width: TamWidth,
+    /// SOC testing time `T(W)` achieved by the scheduler.
+    pub time: Cycles,
+    /// Tester data volume `V(W) = W · T(W)`.
+    pub volume: u64,
+    /// Testing-time lower bound at this width.
+    pub lower_bound: Cycles,
+}
+
+/// Schedules the SOC at every width in `widths` with a fixed configuration
+/// and reports `T`, `V`, and the lower bound per width.
+///
+/// `base.tam_width` is overridden by each sweep width.
+///
+/// # Errors
+///
+/// Propagates the first [`ScheduleError`]; all widths share one
+/// configuration, so a failure at one width (e.g. an unsatisfiable power
+/// ceiling) fails the sweep.
+pub fn sweep(
+    soc: &Soc,
+    widths: impl IntoIterator<Item = TamWidth>,
+    base: &SchedulerConfig,
+) -> Result<Vec<SweepPoint>, ScheduleError> {
+    let mut out = Vec::new();
+    for w in widths {
+        let mut cfg = base.clone();
+        cfg.tam_width = w;
+        let schedule = ScheduleBuilder::new(soc, cfg).run()?;
+        let time = schedule.makespan();
+        out.push(SweepPoint {
+            width: w,
+            time,
+            volume: volume_of(w, time),
+            lower_bound: lower_bound(soc, w, base.w_max),
+        });
+    }
+    Ok(out)
+}
+
+/// Like [`sweep`], but runs the paper's best-of search over `m ∈ percents`
+/// and `d ∈ bumps` at every width (slower, tighter times).
+///
+/// # Errors
+///
+/// Propagates the first width at which every parameter combination fails.
+pub fn sweep_best(
+    soc: &Soc,
+    widths: impl IntoIterator<Item = TamWidth>,
+    base: &SchedulerConfig,
+    percents: impl IntoIterator<Item = u32> + Clone,
+    bumps: impl IntoIterator<Item = TamWidth> + Clone,
+) -> Result<Vec<SweepPoint>, ScheduleError> {
+    let mut out = Vec::new();
+    for w in widths {
+        let mut cfg = base.clone();
+        cfg.tam_width = w;
+        let (schedule, _, _) = schedule_best(soc, &cfg, percents.clone(), bumps.clone())?;
+        let time = schedule.makespan();
+        out.push(SweepPoint {
+            width: w,
+            time,
+            volume: volume_of(w, time),
+            lower_bound: lower_bound(soc, w, base.w_max),
+        });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use soctam_soc::benchmarks;
+
+    #[test]
+    fn sweep_times_are_roughly_staircase() {
+        let soc = benchmarks::d695();
+        let pts = sweep(&soc, (8..=32).step_by(4).map(|w| w as u16), &SchedulerConfig::new(1))
+            .unwrap();
+        assert_eq!(pts.len(), 7);
+        // Heuristic times may wobble a little, but the broad trend must
+        // fall: the widest point is well below the narrowest.
+        let first = pts.first().unwrap();
+        let last = pts.last().unwrap();
+        assert!(last.time < first.time);
+        for p in &pts {
+            assert!(p.time >= p.lower_bound);
+            assert_eq!(p.volume, u64::from(p.width) * p.time);
+        }
+    }
+
+    #[test]
+    fn volume_dips_at_pareto_drops() {
+        // Where T stays flat between consecutive widths, V must rise;
+        // local V minima therefore sit at time-staircase drops.
+        let soc = benchmarks::d695();
+        let pts = sweep(&soc, 8..=40, &SchedulerConfig::new(1)).unwrap();
+        let mut rises_on_flat = true;
+        for pair in pts.windows(2) {
+            if pair[1].time == pair[0].time && pair[1].volume <= pair[0].volume {
+                rises_on_flat = false;
+            }
+        }
+        assert!(rises_on_flat);
+    }
+
+    #[test]
+    fn sweep_best_is_no_worse_pointwise() {
+        let soc = benchmarks::d695();
+        let base = SchedulerConfig::new(1);
+        let plain = sweep(&soc, [16u16, 32], &base).unwrap();
+        let best = sweep_best(&soc, [16u16, 32], &base, [1u32, 5, 10], [0u16, 1]).unwrap();
+        for (p, b) in plain.iter().zip(&best) {
+            assert!(b.time <= p.time, "width {}", p.width);
+        }
+    }
+}

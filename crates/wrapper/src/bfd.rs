@@ -1,0 +1,180 @@
+//! Best-Fit-Decreasing partitioning of scan chains onto wrapper chains.
+//!
+//! `Design_wrapper` (Iyengar et al., JETTA 2002) reduces wrapper design to a
+//! multiprocessor-scheduling-style problem: place the core's internal scan
+//! chains on `k` wrapper scan chains so the longest wrapper chain is as
+//! short as possible. The heuristic used there — and here — sorts the scan
+//! chains by decreasing length and repeatedly places the next chain on the
+//! currently shortest wrapper chain.
+
+/// Result of partitioning items onto `k` bins: per-bin loads and the
+/// assignment of each input item to its bin.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Partition {
+    loads: Vec<u64>,
+    assignment: Vec<usize>,
+}
+
+impl Partition {
+    /// Load (sum of item sizes) of each bin.
+    pub fn loads(&self) -> &[u64] {
+        &self.loads
+    }
+
+    /// For each input item (in the original input order), the bin index it
+    /// was placed on.
+    pub fn assignment(&self) -> &[usize] {
+        &self.assignment
+    }
+
+    /// The maximum bin load — the quantity BFD minimizes.
+    pub fn max_load(&self) -> u64 {
+        self.loads.iter().copied().max().unwrap_or(0)
+    }
+
+    /// The minimum bin load.
+    pub fn min_load(&self) -> u64 {
+        self.loads.iter().copied().min().unwrap_or(0)
+    }
+}
+
+/// Partitions `items` onto `bins` bins with Best-Fit-Decreasing, minimizing
+/// the maximum bin load.
+///
+/// Ties between equally loaded bins are broken toward the lowest bin index,
+/// and ties between equally sized items toward the earlier input index, so
+/// the result is deterministic.
+///
+/// # Panics
+///
+/// Panics if `bins == 0`.
+///
+/// # Example
+///
+/// ```
+/// use soctam_wrapper::partition_bfd;
+///
+/// let p = partition_bfd(&[8, 5, 5, 3, 2], 2);
+/// // 8+3 vs 5+5+2 -> max load 12, optimal here is 12 as well (23 total).
+/// assert_eq!(p.max_load(), 12);
+/// ```
+pub fn partition_bfd(items: &[u32], bins: usize) -> Partition {
+    assert!(bins > 0, "cannot partition onto zero bins");
+    let mut order: Vec<usize> = (0..items.len()).collect();
+    // Decreasing size, stable on input index.
+    order.sort_by(|&a, &b| items[b].cmp(&items[a]).then(a.cmp(&b)));
+
+    let mut loads = vec![0u64; bins];
+    let mut assignment = vec![0usize; items.len()];
+    for idx in order {
+        let bin = min_load_bin(&loads);
+        loads[bin] += u64::from(items[idx]);
+        assignment[idx] = bin;
+    }
+    Partition { loads, assignment }
+}
+
+/// Index of the first bin with the minimum load.
+pub(crate) fn min_load_bin(loads: &[u64]) -> usize {
+    let mut best = 0;
+    for (i, &l) in loads.iter().enumerate() {
+        if l < loads[best] {
+            best = i;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn single_bin_takes_everything() {
+        let p = partition_bfd(&[4, 9, 1], 1);
+        assert_eq!(p.loads(), &[14]);
+        assert_eq!(p.assignment(), &[0, 0, 0]);
+    }
+
+    #[test]
+    fn more_bins_than_items_leaves_empties() {
+        let p = partition_bfd(&[7, 3], 4);
+        assert_eq!(p.max_load(), 7);
+        assert_eq!(p.min_load(), 0);
+        assert_eq!(p.loads().iter().sum::<u64>(), 10);
+    }
+
+    #[test]
+    fn empty_items() {
+        let p = partition_bfd(&[], 3);
+        assert_eq!(p.max_load(), 0);
+        assert!(p.assignment().is_empty());
+    }
+
+    #[test]
+    fn deterministic_tie_break() {
+        let a = partition_bfd(&[5, 5, 5, 5], 2);
+        let b = partition_bfd(&[5, 5, 5, 5], 2);
+        assert_eq!(a, b);
+        assert_eq!(a.loads(), &[10, 10]);
+    }
+
+    #[test]
+    fn classic_lpt_instance() {
+        // LPT on {8,7,6,5,4} over 2 bins: 8+5+4 vs 7+6 -> 17 vs 13? LPT gives
+        // 8;7;6->bin1(7+6=13)? Walk: 8->b0, 7->b1, 6->b1? no, min load bin is
+        // b1(7)? b0=8,b1=7 -> 6 goes to b1 => 13; 5 -> b0 => 13; 4 -> either
+        // (13,13) -> b0 => 17,13 -> max 17. Optimal is 15. LPT bound 4/3·OPT
+        // holds: 17 <= 20.
+        let p = partition_bfd(&[8, 7, 6, 5, 4], 2);
+        assert_eq!(p.max_load(), 17);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero bins")]
+    fn zero_bins_panics() {
+        let _ = partition_bfd(&[1], 0);
+    }
+
+    proptest! {
+        /// Every item lands on exactly one bin and loads add up.
+        #[test]
+        fn conservation(items in proptest::collection::vec(1u32..500, 0..40),
+                        bins in 1usize..16) {
+            let p = partition_bfd(&items, bins);
+            prop_assert_eq!(p.assignment().len(), items.len());
+            let total: u64 = items.iter().map(|&i| u64::from(i)).sum();
+            prop_assert_eq!(p.loads().iter().sum::<u64>(), total);
+            let mut recomputed = vec![0u64; bins];
+            for (item, &bin) in items.iter().zip(p.assignment()) {
+                prop_assert!(bin < bins);
+                recomputed[bin] += u64::from(*item);
+            }
+            prop_assert_eq!(recomputed, p.loads().to_vec());
+        }
+
+        /// Greedy max load never exceeds the trivial bounds:
+        /// avg ≤ max_load ≤ avg + largest item (LPT-style guarantee).
+        #[test]
+        fn load_bounds(items in proptest::collection::vec(1u32..500, 1..40),
+                       bins in 1usize..16) {
+            let p = partition_bfd(&items, bins);
+            let total: u64 = items.iter().map(|&i| u64::from(i)).sum();
+            let largest = u64::from(*items.iter().max().unwrap());
+            prop_assert!(p.max_load() >= total.div_ceil(bins as u64).max(largest).min(total));
+            prop_assert!(p.max_load() >= total / bins as u64);
+            prop_assert!(p.max_load() >= largest);
+            prop_assert!(p.max_load() <= total / bins as u64 + largest);
+        }
+
+        /// Adding a bin never increases the BFD max load.
+        #[test]
+        fn monotone_in_bins(items in proptest::collection::vec(1u32..200, 1..30),
+                            bins in 1usize..12) {
+            let narrow = partition_bfd(&items, bins);
+            let wide = partition_bfd(&items, bins + 1);
+            prop_assert!(wide.max_load() <= narrow.max_load());
+        }
+    }
+}

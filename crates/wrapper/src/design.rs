@@ -1,0 +1,319 @@
+//! The `Design_wrapper` algorithm: wrapper scan chain construction for a
+//! given TAM width.
+
+use crate::bfd::{min_load_bin, partition_bfd};
+use crate::{CoreTest, Cycles, TamWidth, WrapperError};
+
+/// A concrete wrapper design for one core at one TAM width.
+///
+/// A wrapper design arranges the core's internal scan chains, wrapper input
+/// cells (functional inputs), wrapper output cells (functional outputs), and
+/// bidirectional cells into `width` *wrapper scan chains*. The tester shifts
+/// stimuli in through the longest scan-in path and captures responses out
+/// through the longest scan-out path, so the two quantities that matter are:
+///
+/// * `scan_in`  — `max_k (input-side cells on chain k + scan flops on k)`
+/// * `scan_out` — `max_k (scan flops on k + output-side cells on k)`
+///
+/// The test application time for `p` patterns follows the classic formula
+/// used throughout the paper (and its references \[12, 14\]):
+///
+/// ```text
+/// T = (1 + max(scan_in, scan_out)) · p + min(scan_in, scan_out)
+/// ```
+///
+/// # Example
+///
+/// ```
+/// use soctam_wrapper::{CoreTest, WrapperDesign};
+///
+/// # fn main() -> Result<(), soctam_wrapper::WrapperError> {
+/// let core = CoreTest::new(8, 4, 0, vec![30, 20, 10], 50)?;
+/// let narrow = WrapperDesign::design(&core, 1)?;
+/// let wide = WrapperDesign::design(&core, 3)?;
+/// assert!(wide.test_time() < narrow.test_time());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct WrapperDesign {
+    width: TamWidth,
+    scan_in: u64,
+    scan_out: u64,
+    patterns: u64,
+    chain_flops: Vec<u64>,
+    chain_inputs: Vec<u64>,
+    chain_outputs: Vec<u64>,
+}
+
+impl WrapperDesign {
+    /// Designs a wrapper for `core` using `width` TAM wires via
+    /// Best-Fit-Decreasing.
+    ///
+    /// The internal scan chains are partitioned first (longest chains
+    /// placed on the least-loaded wrapper chain); wrapper input cells are
+    /// then spread to equalize scan-in lengths, output cells to equalize
+    /// scan-out lengths, and bidirectional cells to equalize the larger of
+    /// the two.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WrapperError::ZeroWidth`] if `width == 0`.
+    pub fn design(core: &CoreTest, width: TamWidth) -> Result<Self, WrapperError> {
+        Ok(Self::design_with_placement(core, width)?.0)
+    }
+
+    /// Like [`WrapperDesign::design`], additionally reporting which
+    /// internal scan chain landed on which wrapper chain (as
+    /// `placement[chain_index] = wrapper_chain_index`, in the core's scan
+    /// chain order) and the per-chain bidirectional cell counts.
+    ///
+    /// Used by the cell-level [`crate::WrapperLayout`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WrapperError::ZeroWidth`] if `width == 0`.
+    pub(crate) fn design_with_placement(
+        core: &CoreTest,
+        width: TamWidth,
+    ) -> Result<(Self, Vec<usize>, Vec<u64>), WrapperError> {
+        if width == 0 {
+            return Err(WrapperError::ZeroWidth);
+        }
+        let k = usize::from(width);
+        let partition = partition_bfd(core.scan_chains(), k);
+        let chain_flops: Vec<u64> = partition.loads().to_vec();
+        let placement = partition.assignment().to_vec();
+
+        let mut chain_inputs = vec![0u64; k];
+        let mut chain_outputs = vec![0u64; k];
+        let mut chain_bidirs = vec![0u64; k];
+
+        // Wrapper input cells: each lengthens one chain's scan-in path.
+        // Greedily place each cell on the chain with the shortest current
+        // scan-in (flops + input cells so far).
+        let mut in_len: Vec<u64> = chain_flops.clone();
+        for _ in 0..core.inputs() {
+            let bin = min_load_bin(&in_len);
+            in_len[bin] += 1;
+            chain_inputs[bin] += 1;
+        }
+
+        // Wrapper output cells likewise for scan-out.
+        let mut out_len: Vec<u64> = chain_flops.clone();
+        for _ in 0..core.outputs() {
+            let bin = min_load_bin(&out_len);
+            out_len[bin] += 1;
+            chain_outputs[bin] += 1;
+        }
+
+        // Bidirectional cells sit on both the scan-in and scan-out paths of
+        // their chain; place each on the chain minimizing the worse of the
+        // two resulting lengths.
+        for _ in 0..core.bidirs() {
+            let mut best = 0usize;
+            let mut best_cost = u64::MAX;
+            for i in 0..k {
+                let cost = (in_len[i] + 1).max(out_len[i] + 1);
+                if cost < best_cost {
+                    best_cost = cost;
+                    best = i;
+                }
+            }
+            in_len[best] += 1;
+            out_len[best] += 1;
+            chain_inputs[best] += 1;
+            chain_outputs[best] += 1;
+            chain_bidirs[best] += 1;
+        }
+
+        let design = Self {
+            width,
+            scan_in: in_len.iter().copied().max().unwrap_or(0),
+            scan_out: out_len.iter().copied().max().unwrap_or(0),
+            patterns: core.patterns(),
+            chain_flops,
+            chain_inputs,
+            chain_outputs,
+        };
+        Ok((design, placement, chain_bidirs))
+    }
+
+    /// The TAM width (number of wrapper scan chains) of this design.
+    pub fn width(&self) -> TamWidth {
+        self.width
+    }
+
+    /// Longest scan-in path over all wrapper chains, in cycles per pattern.
+    pub fn scan_in(&self) -> u64 {
+        self.scan_in
+    }
+
+    /// Longest scan-out path over all wrapper chains, in cycles per pattern.
+    pub fn scan_out(&self) -> u64 {
+        self.scan_out
+    }
+
+    /// Number of external test patterns the design applies.
+    pub fn patterns(&self) -> u64 {
+        self.patterns
+    }
+
+    /// Scan flops placed on each wrapper chain.
+    pub fn chain_flops(&self) -> &[u64] {
+        &self.chain_flops
+    }
+
+    /// Input-side wrapper cells on each wrapper chain (includes bidirs).
+    pub fn chain_inputs(&self) -> &[u64] {
+        &self.chain_inputs
+    }
+
+    /// Output-side wrapper cells on each wrapper chain (includes bidirs).
+    pub fn chain_outputs(&self) -> &[u64] {
+        &self.chain_outputs
+    }
+
+    /// Test application time in cycles:
+    /// `(1 + max(si, so)) · p + min(si, so)`.
+    ///
+    /// Scan-in of pattern *i+1* overlaps scan-out of pattern *i*, hence the
+    /// `max` per pattern, one capture cycle per pattern, and a final
+    /// residual shift-out of `min(si, so)`.
+    pub fn test_time(&self) -> Cycles {
+        let long = self.scan_in.max(self.scan_out);
+        let short = self.scan_in.min(self.scan_out);
+        (1 + long) * self.patterns + short
+    }
+
+    /// Extra cycles charged when a test of this design is preempted and
+    /// later resumed: the interrupted pattern's response must be scanned
+    /// out and its state scanned back in.
+    pub fn preemption_penalty(&self) -> Cycles {
+        self.scan_in + self.scan_out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn core(inputs: u32, outputs: u32, chains: Vec<u32>, patterns: u64) -> CoreTest {
+        CoreTest::new(inputs, outputs, 0, chains, patterns).unwrap()
+    }
+
+    #[test]
+    fn zero_width_rejected() {
+        let c = core(1, 1, vec![4], 1);
+        assert_eq!(WrapperDesign::design(&c, 0), Err(WrapperError::ZeroWidth));
+    }
+
+    #[test]
+    fn width_one_serializes_everything() {
+        let c = core(8, 4, vec![30, 20, 10], 50);
+        let d = WrapperDesign::design(&c, 1).unwrap();
+        assert_eq!(d.scan_in(), 60 + 8);
+        assert_eq!(d.scan_out(), 60 + 4);
+        assert_eq!(d.test_time(), (1 + 68) * 50 + 64);
+    }
+
+    #[test]
+    fn combinational_core_times() {
+        // 32-in/32-out combinational core, 12 patterns, width 8:
+        // si = ceil(32/8) = 4 = so; T = (1+4)*12 + 4 = 64.
+        let c = core(32, 32, vec![], 12);
+        let d = WrapperDesign::design(&c, 8).unwrap();
+        assert_eq!(d.scan_in(), 4);
+        assert_eq!(d.scan_out(), 4);
+        assert_eq!(d.test_time(), 64);
+    }
+
+    #[test]
+    fn wider_never_slower() {
+        let c = core(35, 49, vec![46, 45, 44, 44], 97);
+        let mut last = u64::MAX;
+        for w in 1..=16 {
+            let t = WrapperDesign::design(&c, w).unwrap().test_time();
+            assert!(t <= last, "width {w} got slower: {t} > {last}");
+            last = t;
+        }
+    }
+
+    #[test]
+    fn bidir_cells_lengthen_both_sides() {
+        let c = CoreTest::new(0, 0, 6, vec![], 10).unwrap();
+        let d = WrapperDesign::design(&c, 3).unwrap();
+        assert_eq!(d.scan_in(), 2);
+        assert_eq!(d.scan_out(), 2);
+    }
+
+    #[test]
+    fn excess_width_is_harmless() {
+        let c = core(2, 2, vec![5], 9);
+        let tight = WrapperDesign::design(&c, 3).unwrap();
+        let loose = WrapperDesign::design(&c, 64).unwrap();
+        assert_eq!(loose.scan_in(), 5); // single chain dominates
+        assert!(loose.test_time() <= tight.test_time());
+    }
+
+    #[test]
+    fn preemption_penalty_is_si_plus_so() {
+        let c = core(8, 4, vec![30, 20, 10], 50);
+        let d = WrapperDesign::design(&c, 2).unwrap();
+        assert_eq!(d.preemption_penalty(), d.scan_in() + d.scan_out());
+    }
+
+    #[test]
+    fn chain_accounting_conserves_cells() {
+        let c = CoreTest::new(13, 7, 3, vec![9, 9, 4], 5).unwrap();
+        let d = WrapperDesign::design(&c, 4).unwrap();
+        assert_eq!(d.chain_flops().iter().sum::<u64>(), 22);
+        assert_eq!(d.chain_inputs().iter().sum::<u64>(), 13 + 3);
+        assert_eq!(d.chain_outputs().iter().sum::<u64>(), 7 + 3);
+    }
+
+    proptest! {
+        /// scan_in/scan_out never drop below the trivial lower bounds and
+        /// test time matches the formula recomputed from parts.
+        #[test]
+        fn design_invariants(
+            inputs in 0u32..60,
+            outputs in 0u32..60,
+            chains in proptest::collection::vec(1u32..80, 0..12),
+            patterns in 1u64..500,
+            width in 1u16..32,
+        ) {
+            prop_assume!(inputs + outputs > 0 || !chains.is_empty());
+            let c = CoreTest::new(inputs, outputs, 0, chains.clone(), patterns).unwrap();
+            let d = WrapperDesign::design(&c, width).unwrap();
+
+            let longest_chain = chains.iter().copied().max().unwrap_or(0) as u64;
+            prop_assert!(d.scan_in() >= longest_chain);
+            prop_assert!(d.scan_out() >= longest_chain);
+            prop_assert!(d.scan_in() >= c.scan_in_bits().div_ceil(u64::from(width)));
+            prop_assert!(d.scan_out() >= c.scan_out_bits().div_ceil(u64::from(width)));
+
+            let long = d.scan_in().max(d.scan_out());
+            let short = d.scan_in().min(d.scan_out());
+            prop_assert_eq!(d.test_time(), (1 + long) * patterns + short);
+        }
+
+        /// Monotonicity: test time is non-increasing in TAM width.
+        #[test]
+        fn time_monotone_in_width(
+            inputs in 0u32..40,
+            outputs in 0u32..40,
+            chains in proptest::collection::vec(1u32..60, 0..10),
+            patterns in 1u64..200,
+            width in 1u16..31,
+        ) {
+            prop_assume!(inputs + outputs > 0 || !chains.is_empty());
+            let c = CoreTest::new(inputs, outputs, 0, chains, patterns).unwrap();
+            let t_narrow = WrapperDesign::design(&c, width).unwrap().test_time();
+            let t_wide = WrapperDesign::design(&c, width + 1).unwrap().test_time();
+            prop_assert!(t_wide <= t_narrow);
+        }
+    }
+}

@@ -1,0 +1,64 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while describing a core test set or designing a wrapper.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum WrapperError {
+    /// The core has no test content at all: no functional terminals, no scan
+    /// chains, or zero test patterns.
+    EmptyCore,
+    /// A scan chain of length zero was supplied.
+    ZeroLengthScanChain {
+        /// Index of the offending chain in the input order.
+        index: usize,
+    },
+    /// A TAM width of zero was requested; at least one wire is required.
+    ZeroWidth,
+}
+
+impl fmt::Display for WrapperError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WrapperError::EmptyCore => {
+                write!(f, "core has no terminals, scan chains, or patterns to test")
+            }
+            WrapperError::ZeroLengthScanChain { index } => {
+                write!(f, "scan chain {index} has length zero")
+            }
+            WrapperError::ZeroWidth => write!(f, "TAM width must be at least one wire"),
+        }
+    }
+}
+
+impl Error for WrapperError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_unpunctuated() {
+        for err in [
+            WrapperError::EmptyCore,
+            WrapperError::ZeroLengthScanChain { index: 3 },
+            WrapperError::ZeroWidth,
+        ] {
+            let msg = err.to_string();
+            // Lowercase first letter unless it begins with an acronym.
+            let first_word = msg.split(' ').next().unwrap();
+            let acronym = first_word.chars().all(|c| c.is_uppercase());
+            assert!(
+                acronym || msg.chars().next().unwrap().is_lowercase(),
+                "{msg}"
+            );
+            assert!(!msg.ends_with('.'), "{msg}");
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<WrapperError>();
+    }
+}

@@ -1,0 +1,261 @@
+//! Cell-level wrapper layouts.
+//!
+//! [`WrapperDesign`] answers the scheduler's question — how long does the
+//! test take — with per-chain *counts*. A DFT engineer implementing the
+//! wrapper needs the *composition*: which internal scan chains concatenate
+//! on which wrapper chain, and how many wrapper boundary cells pad each
+//! side. [`WrapperLayout`] materializes exactly that, sharing one code
+//! path with `Design_wrapper` so the layout provably realizes the design's
+//! scan-in/scan-out lengths.
+
+use crate::{CoreTest, TamWidth, WrapperDesign, WrapperError};
+
+/// The composition of one wrapper scan chain.
+///
+/// In Intest mode the chain shifts through: wrapper input cells → the
+/// concatenated internal scan chain segments → wrapper output cells.
+/// Bidirectional cells count on both the input and the output side.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct WrapperChainLayout {
+    /// Position of this wrapper chain (0-based; one TAM wire each).
+    pub index: usize,
+    /// Wrapper input cells at the head of the chain (excluding bidirs).
+    pub input_cells: u64,
+    /// Bidirectional wrapper cells (on both scan paths).
+    pub bidir_cells: u64,
+    /// Internal scan chain lengths concatenated on this wrapper chain, in
+    /// the core's scan chain order.
+    pub segments: Vec<u32>,
+    /// Wrapper output cells at the tail (excluding bidirs).
+    pub output_cells: u64,
+}
+
+impl WrapperChainLayout {
+    /// Total internal scan flops on this wrapper chain.
+    pub fn flops(&self) -> u64 {
+        self.segments.iter().map(|&l| u64::from(l)).sum()
+    }
+
+    /// Scan-in path length: writable cells shifted per pattern.
+    pub fn scan_in_length(&self) -> u64 {
+        self.input_cells + self.bidir_cells + self.flops()
+    }
+
+    /// Scan-out path length: readable cells shifted per pattern.
+    pub fn scan_out_length(&self) -> u64 {
+        self.flops() + self.bidir_cells + self.output_cells
+    }
+
+    /// Whether the chain carries nothing (legal on over-wide TAMs).
+    pub fn is_empty(&self) -> bool {
+        self.input_cells == 0
+            && self.bidir_cells == 0
+            && self.output_cells == 0
+            && self.segments.is_empty()
+    }
+}
+
+/// A complete cell-level wrapper layout for one core at one TAM width.
+///
+/// # Example
+///
+/// ```
+/// use soctam_wrapper::{CoreTest, WrapperLayout};
+///
+/// # fn main() -> Result<(), soctam_wrapper::WrapperError> {
+/// let core = CoreTest::new(8, 4, 0, vec![30, 20, 10], 50)?;
+/// let layout = WrapperLayout::build(&core, 3)?;
+/// // The layout realizes exactly the design's scan paths.
+/// assert_eq!(layout.scan_in(), layout.design().scan_in());
+/// println!("{}", layout.render("my_core"));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct WrapperLayout {
+    design: WrapperDesign,
+    chains: Vec<WrapperChainLayout>,
+}
+
+impl WrapperLayout {
+    /// Builds the cell-level layout for `core` on `width` wires, running
+    /// the same `Design_wrapper` pass as [`WrapperDesign::design`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WrapperError::ZeroWidth`] if `width == 0`.
+    pub fn build(core: &CoreTest, width: TamWidth) -> Result<Self, WrapperError> {
+        let (design, placement, bidirs) = WrapperDesign::design_with_placement(core, width)?;
+        let k = usize::from(width);
+        let mut chains: Vec<WrapperChainLayout> = (0..k)
+            .map(|index| WrapperChainLayout {
+                index,
+                input_cells: design.chain_inputs()[index] - bidirs[index],
+                bidir_cells: bidirs[index],
+                segments: Vec::new(),
+                output_cells: design.chain_outputs()[index] - bidirs[index],
+            })
+            .collect();
+        for (scan_chain, &wrapper_chain) in placement.iter().enumerate() {
+            chains[wrapper_chain]
+                .segments
+                .push(core.scan_chains()[scan_chain]);
+        }
+        Ok(Self { design, chains })
+    }
+
+    /// The timing-level design this layout realizes.
+    pub fn design(&self) -> &WrapperDesign {
+        &self.design
+    }
+
+    /// The wrapper chains, one per TAM wire.
+    pub fn chains(&self) -> &[WrapperChainLayout] {
+        &self.chains
+    }
+
+    /// Longest scan-in path, recomputed from the cell-level layout.
+    pub fn scan_in(&self) -> u64 {
+        self.chains
+            .iter()
+            .map(WrapperChainLayout::scan_in_length)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Longest scan-out path, recomputed from the cell-level layout.
+    pub fn scan_out(&self) -> u64 {
+        self.chains
+            .iter()
+            .map(WrapperChainLayout::scan_out_length)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Total wrapper boundary cells (inputs + outputs + bidirs).
+    pub fn boundary_cells(&self) -> u64 {
+        self.chains
+            .iter()
+            .map(|c| c.input_cells + c.output_cells + c.bidir_cells)
+            .sum()
+    }
+
+    /// Renders a human-readable wrapper description.
+    pub fn render(&self, core_name: &str) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "wrapper {core_name}: {} chains, scan-in {}, scan-out {}",
+            self.chains.len(),
+            self.scan_in(),
+            self.scan_out()
+        );
+        for chain in &self.chains {
+            if chain.is_empty() {
+                let _ = writeln!(out, "  chain {:>2}: (unused)", chain.index);
+                continue;
+            }
+            let segs: Vec<String> = chain.segments.iter().map(|s| format!("sc[{s}]")).collect();
+            let _ = writeln!(
+                out,
+                "  chain {:>2}: {} WIC + {} WBC | {} | {} WOC  (in {}, out {})",
+                chain.index,
+                chain.input_cells,
+                chain.bidir_cells,
+                if segs.is_empty() {
+                    "-".to_owned()
+                } else {
+                    segs.join(" -> ")
+                },
+                chain.output_cells,
+                chain.scan_in_length(),
+                chain.scan_out_length(),
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn layout(inputs: u32, outputs: u32, bidirs: u32, chains: Vec<u32>, w: TamWidth) -> WrapperLayout {
+        let core = CoreTest::new(inputs, outputs, bidirs, chains, 10).unwrap();
+        WrapperLayout::build(&core, w).unwrap()
+    }
+
+    #[test]
+    fn layout_realizes_design_lengths() {
+        let l = layout(8, 4, 2, vec![30, 20, 10], 3);
+        assert_eq!(l.scan_in(), l.design().scan_in());
+        assert_eq!(l.scan_out(), l.design().scan_out());
+    }
+
+    #[test]
+    fn every_scan_chain_placed_once() {
+        let l = layout(8, 4, 0, vec![30, 20, 10, 5, 5], 3);
+        let mut placed: Vec<u32> = l
+            .chains()
+            .iter()
+            .flat_map(|c| c.segments.iter().copied())
+            .collect();
+        placed.sort_unstable();
+        assert_eq!(placed, vec![5, 5, 10, 20, 30]);
+    }
+
+    #[test]
+    fn boundary_cells_counted_once() {
+        let l = layout(8, 4, 2, vec![16], 4);
+        assert_eq!(l.boundary_cells(), 8 + 4 + 2);
+    }
+
+    #[test]
+    fn unused_chains_render_as_unused() {
+        let l = layout(1, 1, 0, vec![9], 4);
+        assert!(l.chains().iter().any(WrapperChainLayout::is_empty));
+        let text = l.render("tiny");
+        assert!(text.contains("(unused)"));
+        assert!(text.contains("sc[9]"));
+    }
+
+    #[test]
+    fn zero_width_rejected() {
+        let core = CoreTest::new(1, 1, 0, vec![4], 2).unwrap();
+        assert_eq!(
+            WrapperLayout::build(&core, 0),
+            Err(WrapperError::ZeroWidth)
+        );
+    }
+
+    proptest! {
+        /// Cell-level recomputation always agrees with the timing design,
+        /// and no cell is lost or duplicated.
+        #[test]
+        fn layout_conserves_and_agrees(
+            inputs in 0u32..50,
+            outputs in 0u32..50,
+            bidirs in 0u32..20,
+            chains in proptest::collection::vec(1u32..60, 0..10),
+            width in 1u16..24,
+        ) {
+            prop_assume!(inputs + outputs + bidirs > 0 || !chains.is_empty());
+            let core = CoreTest::new(inputs, outputs, bidirs, chains.clone(), 5).unwrap();
+            let l = WrapperLayout::build(&core, width).unwrap();
+
+            prop_assert_eq!(l.scan_in(), l.design().scan_in());
+            prop_assert_eq!(l.scan_out(), l.design().scan_out());
+            prop_assert_eq!(l.boundary_cells(), u64::from(inputs + outputs + bidirs));
+
+            let total_flops: u64 = l.chains().iter().map(WrapperChainLayout::flops).sum();
+            prop_assert_eq!(total_flops, core.scan_flops());
+
+            let placed: usize = l.chains().iter().map(|c| c.segments.len()).sum();
+            prop_assert_eq!(placed, chains.len());
+        }
+    }
+}

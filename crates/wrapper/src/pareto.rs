@@ -1,0 +1,73 @@
+//! Staircase testing-time curves and their Pareto-optimal points.
+
+use crate::{Cycles, TamWidth};
+
+/// One point of the testing-time-vs-TAM-width staircase of a core.
+///
+/// See Figure 1 of the paper: the curve drops only at *Pareto-optimal*
+/// widths; between them extra wires buy nothing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct StaircasePoint {
+    /// TAM width offered to the core.
+    pub width: TamWidth,
+    /// Best testing time achievable with at most `width` wires.
+    pub time: Cycles,
+    /// The smallest width that actually achieves `time` (the width the
+    /// paper assigns, so spare wires stay available for other cores).
+    pub effective_width: TamWidth,
+}
+
+/// A Pareto-optimal point: a width at which the testing time strictly
+/// drops relative to every smaller width.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct ParetoPoint {
+    /// The Pareto-optimal TAM width.
+    pub width: TamWidth,
+    /// Testing time at that width.
+    pub time: Cycles,
+}
+
+/// Extracts the Pareto-optimal points from a monotone staircase
+/// (`times[w-1]` = best time with `w` wires).
+pub(crate) fn pareto_points(times: &[Cycles]) -> Vec<ParetoPoint> {
+    let mut out = Vec::new();
+    let mut last = Cycles::MAX;
+    for (i, &t) in times.iter().enumerate() {
+        if t < last {
+            out.push(ParetoPoint {
+                width: (i + 1) as TamWidth,
+                time: t,
+            });
+            last = t;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn extracts_strict_drops_only() {
+        let times = [100, 60, 60, 40, 40, 40, 39];
+        let p = pareto_points(&times);
+        let widths: Vec<u16> = p.iter().map(|q| q.width).collect();
+        assert_eq!(widths, vec![1, 2, 4, 7]);
+        assert_eq!(p[2].time, 40);
+    }
+
+    #[test]
+    fn flat_curve_has_single_point() {
+        let p = pareto_points(&[5, 5, 5]);
+        assert_eq!(p.len(), 1);
+        assert_eq!(p[0], ParetoPoint { width: 1, time: 5 });
+    }
+
+    #[test]
+    fn empty_curve() {
+        assert!(pareto_points(&[]).is_empty());
+    }
+}

@@ -1,0 +1,74 @@
+//! End-to-end integration: the full framework on every benchmark SOC.
+
+use soctam::flow::{FlowConfig, PowerPolicy, TestFlow};
+use soctam::schedule::validate::{validate, validate_power};
+use soctam::soc::benchmarks;
+
+#[test]
+fn full_flow_on_every_benchmark() {
+    for soc in benchmarks::all() {
+        let flow = TestFlow::new(&soc, FlowConfig::quick());
+        for w in [16u16, 32] {
+            let run = flow.run(w).unwrap_or_else(|e| panic!("{} W={w}: {e}", soc.name()));
+            // The schedule satisfies every constraint independently.
+            validate(&soc, &run.schedule)
+                .unwrap_or_else(|e| panic!("{} W={w}: {e}", soc.name()));
+            // It respects the information-theoretic lower bound.
+            assert!(run.schedule.makespan() >= run.lower_bound);
+            // Its volume obeys the tester memory model.
+            assert_eq!(run.volume, u64::from(w) * run.schedule.makespan());
+            // Its wires are concretely assignable with fork-and-merge.
+            run.wires.verify().unwrap();
+            assert_eq!(run.wires.tam_width(), w);
+        }
+    }
+}
+
+#[test]
+fn power_constrained_flow_on_every_benchmark() {
+    for soc in benchmarks::all() {
+        let p_max = soc.max_core_power();
+        let cfg = FlowConfig::quick().with_power(PowerPolicy::MaxCorePower);
+        let run = TestFlow::new(&soc, cfg).run(32).unwrap();
+        validate(&soc, &run.schedule).unwrap();
+        validate_power(&soc, &run.schedule, p_max).unwrap();
+    }
+}
+
+#[test]
+fn preemption_budgets_respected_end_to_end() {
+    for mut soc in benchmarks::all() {
+        benchmarks::grant_preemption_to_large_cores(&mut soc, 2);
+        let run = TestFlow::new(&soc, FlowConfig::quick()).run(24).unwrap();
+        validate(&soc, &run.schedule).unwrap();
+        for idx in 0..soc.len() {
+            let stats = run.schedule.core_stats(idx).expect("core tested");
+            assert!(
+                stats.preemptions <= soc.core(idx).max_preemptions(),
+                "{} core {idx}",
+                soc.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn flow_is_deterministic() {
+    let soc = benchmarks::p22810();
+    let a = TestFlow::new(&soc, FlowConfig::quick()).run(32).unwrap();
+    let b = TestFlow::new(&soc, FlowConfig::quick()).run(32).unwrap();
+    assert_eq!(a.schedule, b.schedule);
+    assert_eq!(a.params, b.params);
+    assert_eq!(a.wires, b.wires);
+}
+
+#[test]
+fn wider_tams_reduce_time_but_not_always_volume() {
+    let soc = benchmarks::d695();
+    let flow = TestFlow::new(&soc, FlowConfig::quick());
+    let narrow = flow.run(16).unwrap();
+    let wide = flow.run(64).unwrap();
+    assert!(wide.schedule.makespan() < narrow.schedule.makespan());
+    // §5's motivation: quadrupling the wires did not quarter the volume.
+    assert!(wide.volume * 2 > narrow.volume);
+}

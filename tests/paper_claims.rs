@@ -1,0 +1,157 @@
+//! Qualitative claims of the paper, checked as executable assertions.
+//! EXPERIMENTS.md records the quantitative (paper-vs-measured) side.
+
+use soctam::flow::{FlowConfig, PowerPolicy, TestFlow};
+use soctam::schedule::bounds::{lower_bound, lower_bounds};
+use soctam::soc::benchmarks;
+use soctam::volume::CostCurve;
+use soctam::wrapper::RectangleSet;
+
+/// §3 / Figure 1: testing time decreases only at Pareto-optimal points,
+/// and assigning more than the highest Pareto width buys nothing.
+#[test]
+fn fig1_staircase_claims() {
+    let soc = benchmarks::p93791();
+    let rects = RectangleSet::build(soc.core(5).test(), 64);
+    let pw = rects.pareto_widths();
+    // Drops exactly at Pareto widths.
+    for w in 2..=64u16 {
+        let dropped = rects.time_at(w) < rects.time_at(w - 1);
+        assert_eq!(dropped, pw.contains(&w), "width {w}");
+    }
+    // Flat beyond the highest Pareto width (the paper's 47 for this core).
+    let hi = rects.highest_pareto_width();
+    assert_eq!(hi, 47);
+    assert_eq!(rects.time_at(hi), rects.time_at(64));
+}
+
+/// Table 1: the lower bound halves as the TAM doubles (area-dominated
+/// regime), except where a bottleneck core saturates it (p34392).
+#[test]
+fn table1_lower_bound_scaling() {
+    let d695 = benchmarks::d695();
+    let lbs = lower_bounds(&d695, &[16, 32, 64], 64);
+    // Area-dominated: LB(16) ~ 2*LB(32) ~ 4*LB(64) within rounding.
+    assert!(lbs[0].abs_diff(2 * lbs[1]) <= 2);
+    assert!(lbs[0].abs_diff(4 * lbs[2]) <= 4);
+
+    let p34392 = benchmarks::p34392();
+    let saturated = lower_bounds(&p34392, &[28, 32], 64);
+    // The bottleneck core pins both.
+    assert_eq!(saturated[0], saturated[1]);
+}
+
+/// §6: at `W = 32`, p34392 reaches its minimum testing time — the
+/// bottleneck Core 18's own minimum time (paper: 544,579; ours ≈ 544,602).
+#[test]
+fn p34392_saturates_at_core18_minimum() {
+    let soc = benchmarks::p34392();
+    let idx = soc.core_by_name("c18").expect("core 18 exists");
+    let core18_min = RectangleSet::build(soc.core(idx).test(), 64).min_time();
+    let run = TestFlow::new(&soc, FlowConfig::quick()).run(32).unwrap();
+    assert_eq!(run.schedule.makespan(), core18_min);
+    assert_eq!(run.schedule.makespan(), lower_bound(&soc, 32, 64));
+}
+
+/// §5 / Figure 9(b): tester data volume is non-monotonic in W, with local
+/// minima at the time-staircase drops; the global V minimum does NOT sit
+/// at the minimum-time width.
+#[test]
+fn fig9_volume_nonmonotonic() {
+    let soc = benchmarks::d695();
+    let flow = TestFlow::new(&soc, FlowConfig::quick());
+    let pts = flow.sweep_widths(8..=64).unwrap();
+
+    // Non-monotonic: volume both rises and falls somewhere.
+    let rises = pts.windows(2).any(|p| p[1].volume > p[0].volume);
+    let falls = pts.windows(2).any(|p| p[1].volume < p[0].volume);
+    assert!(rises && falls);
+
+    // Wherever T is flat between consecutive widths, V strictly rises.
+    for pair in pts.windows(2) {
+        if pair[1].time == pair[0].time {
+            assert!(pair[1].volume > pair[0].volume);
+        }
+    }
+
+    // The minimum-volume width is narrower than the minimum-time width.
+    let v_min = pts.iter().min_by_key(|p| (p.volume, p.width)).unwrap();
+    let t_min = pts.iter().min_by_key(|p| (p.time, p.width)).unwrap();
+    assert!(v_min.width < t_min.width);
+}
+
+/// §5 / Figures 9(c)–(d): the cost curve interpolates between the V curve
+/// (α = 0) and the T curve (α = 1), and the effective width moves outward
+/// (wider) as α grows.
+#[test]
+fn cost_curve_interpolates_and_w_eff_grows() {
+    let soc = benchmarks::d695();
+    let flow = TestFlow::new(&soc, FlowConfig::quick());
+    let pts = flow.sweep_widths(8..=64).unwrap();
+
+    let w_at_v_min = CostCurve::new(&pts, 0.0).effective_width();
+    let w_at_t_min = CostCurve::new(&pts, 1.0).effective_width();
+    let mut last = w_at_v_min;
+    for alpha in [0.25, 0.5, 0.75] {
+        let w = CostCurve::new(&pts, alpha).effective_width();
+        assert!(w >= last, "W_eff must not shrink as alpha grows");
+        last = w;
+    }
+    assert!(w_at_t_min >= last);
+}
+
+/// Table 1: preemption helps on at least one benchmark at `W = 32`, and
+/// every constrained variant still respects the lower bound. (Whether the
+/// preemption *penalty* nets out negative on a given SOC depends on the
+/// parameter sweep; EXPERIMENTS.md records the per-cell outcomes, which —
+/// like the paper's — go both ways.)
+#[test]
+fn constrained_schedules_ordering() {
+    let mut faster_somewhere = false;
+    for mut soc in benchmarks::all() {
+        benchmarks::grant_preemption_to_large_cores(&mut soc, 2);
+        let w = 32;
+        let np = TestFlow::new(&soc, FlowConfig::quick().without_preemption())
+            .run(w)
+            .unwrap()
+            .schedule
+            .makespan();
+        let pre = TestFlow::new(&soc, FlowConfig::quick())
+            .run(w)
+            .unwrap()
+            .schedule
+            .makespan();
+        let pow = TestFlow::new(
+            &soc,
+            FlowConfig::quick().with_power(PowerPolicy::MaxCorePower),
+        )
+        .run(w)
+        .unwrap()
+        .schedule
+        .makespan();
+        if pre < np {
+            faster_somewhere = true;
+        }
+        let _ = np;
+        // All heuristic variants respect the information bound.
+        assert!(pow >= lower_bound(&soc, w, 64));
+    }
+    assert!(
+        faster_somewhere,
+        "preemption should help at least one benchmark"
+    );
+}
+
+/// §6: our reconstruction of d695 lands close to the paper's published
+/// lower bounds, so Table 1 magnitudes are directly comparable.
+#[test]
+fn d695_lower_bounds_match_paper_within_one_percent() {
+    let soc = benchmarks::d695();
+    for (w, paper) in [(16u16, 41_232u64), (32, 20_616), (48, 13_744), (64, 10_308)] {
+        let got = lower_bound(&soc, w, 64);
+        assert!(
+            got.abs_diff(paper) * 100 <= paper,
+            "W={w}: got {got}, paper {paper}"
+        );
+    }
+}

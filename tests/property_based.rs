@@ -1,0 +1,99 @@
+//! Cross-crate property tests: random SOCs through the whole pipeline.
+
+use proptest::prelude::*;
+
+use soctam::schedule::bounds::lower_bound;
+use soctam::schedule::validate::{validate, validate_power};
+use soctam::schedule::{ScheduleBuilder, SchedulerConfig};
+use soctam::soc::synth::SynthConfig;
+use soctam::soc::itc02;
+use soctam::tam::WireAssignment;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Any generated SOC schedules successfully at any width; the result
+    /// validates, respects the lower bound, and is wire-assignable.
+    #[test]
+    fn pipeline_holds_for_random_socs(
+        cores in 2usize..18,
+        seed in 0u64..1000,
+        width in 1u16..72,
+        percent in 1u32..40,
+        bump in 0u16..5,
+    ) {
+        let soc = SynthConfig::new(cores).generate(seed);
+        let cfg = SchedulerConfig::new(width)
+            .with_percent(percent)
+            .with_bump(bump);
+        let schedule = ScheduleBuilder::new(&soc, cfg).run().expect("schedulable");
+        prop_assert!(validate(&soc, &schedule).is_ok());
+        prop_assert!(schedule.makespan() >= lower_bound(&soc, width, 64));
+        let wires = WireAssignment::assign(&schedule).expect("assignable");
+        prop_assert!(wires.verify().is_ok());
+    }
+
+    /// Constraint-heavy SOCs with preemption budgets also hold: budgets,
+    /// precedence, hierarchy, and BIST exclusion all validate.
+    #[test]
+    fn constrained_pipeline_holds(
+        cores in 2usize..14,
+        seed in 0u64..500,
+        width in 4u16..48,
+    ) {
+        let soc = SynthConfig::new(cores)
+            .with_constraints()
+            .with_preemption(2)
+            .generate(seed);
+        let schedule = ScheduleBuilder::new(&soc, SchedulerConfig::new(width))
+            .run()
+            .expect("schedulable");
+        prop_assert!(validate(&soc, &schedule).is_ok());
+        for idx in 0..soc.len() {
+            let stats = schedule.core_stats(idx).expect("core tested");
+            prop_assert!(stats.preemptions <= soc.core(idx).max_preemptions());
+        }
+    }
+
+    /// A power ceiling of the maximum core power is always feasible and
+    /// always honoured.
+    #[test]
+    fn power_ceiling_always_honoured(
+        cores in 2usize..12,
+        seed in 0u64..300,
+        width in 4u16..40,
+    ) {
+        let soc = SynthConfig::new(cores).generate(seed);
+        let p_max = soc.max_core_power();
+        let cfg = SchedulerConfig::new(width).with_power_limit(p_max);
+        let schedule = ScheduleBuilder::new(&soc, cfg).run().expect("schedulable");
+        prop_assert!(validate_power(&soc, &schedule, p_max).is_ok());
+    }
+
+    /// The `.soc` text format round-trips every generated model exactly.
+    #[test]
+    fn text_format_round_trips(cores in 1usize..20, seed in 0u64..1000) {
+        let soc = SynthConfig::new(cores)
+            .with_constraints()
+            .with_preemption(3)
+            .generate(seed);
+        let text = itc02::to_string(&soc);
+        let back = itc02::parse(&text).expect("parses back");
+        prop_assert_eq!(soc, back);
+    }
+
+    /// Non-preemptive schedules consist of exactly one slice per core.
+    #[test]
+    fn non_preemptive_means_contiguous(
+        cores in 2usize..14,
+        seed in 0u64..300,
+        width in 4u16..48,
+    ) {
+        let soc = SynthConfig::new(cores).with_preemption(3).generate(seed);
+        let cfg = SchedulerConfig::new(width).without_preemption();
+        let schedule = ScheduleBuilder::new(&soc, cfg).run().expect("schedulable");
+        for idx in 0..soc.len() {
+            prop_assert_eq!(schedule.core_slices(idx).len(), 1);
+        }
+    }
+}

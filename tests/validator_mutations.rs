@@ -1,0 +1,212 @@
+//! Failure injection: corrupt valid schedules in targeted ways and assert
+//! the independent validator rejects every corruption. This guards the
+//! guard — a validator that silently accepts broken schedules would let
+//! scheduler bugs through the whole test suite.
+
+use soctam::schedule::validate::{validate, validate_power};
+use soctam::schedule::{Schedule, ScheduleBuilder, SchedulerConfig, Slice};
+use soctam::soc::{benchmarks, Soc};
+
+fn valid_pair() -> (Soc, Schedule) {
+    let mut soc = benchmarks::d695();
+    benchmarks::grant_preemption_to_large_cores(&mut soc, 2);
+    let schedule = ScheduleBuilder::new(&soc, SchedulerConfig::new(16))
+        .run()
+        .expect("schedulable");
+    validate(&soc, &schedule).expect("baseline schedule is valid");
+    (soc, schedule)
+}
+
+fn rebuild(original: &Schedule, slices: Vec<Slice>) -> Schedule {
+    Schedule::from_slices(original.soc_name().to_owned(), original.tam_width(), slices)
+}
+
+#[test]
+fn dropping_a_core_is_caught() {
+    let (soc, schedule) = valid_pair();
+    let victim = schedule.slices()[0].core;
+    let slices: Vec<Slice> = schedule
+        .slices()
+        .iter()
+        .copied()
+        .filter(|s| s.core != victim)
+        .collect();
+    let err = validate(&soc, &rebuild(&schedule, slices)).unwrap_err();
+    assert!(err.to_string().contains("never tested"));
+}
+
+#[test]
+fn truncating_a_test_is_caught() {
+    let (soc, schedule) = valid_pair();
+    let mut slices: Vec<Slice> = schedule.slices().to_vec();
+    // Shorten the longest slice by one cycle.
+    let longest = slices
+        .iter()
+        .enumerate()
+        .max_by_key(|(_, s)| s.duration())
+        .map(|(i, _)| i)
+        .unwrap();
+    slices[longest].end -= 1;
+    assert!(validate(&soc, &rebuild(&schedule, slices)).is_err());
+}
+
+#[test]
+fn stretching_a_test_is_caught() {
+    let (soc, schedule) = valid_pair();
+    let mut slices: Vec<Slice> = schedule.slices().to_vec();
+    // Lengthen the slice that ends last (cannot collide with a later one).
+    let last = slices
+        .iter()
+        .enumerate()
+        .max_by_key(|(_, s)| s.end)
+        .map(|(i, _)| i)
+        .unwrap();
+    slices[last].end += 1;
+    assert!(validate(&soc, &rebuild(&schedule, slices)).is_err());
+}
+
+#[test]
+fn width_change_mid_test_is_caught() {
+    let (soc, schedule) = valid_pair();
+    // Find a core with >= 2 slices (preempted) and change one slice width;
+    // if none is preempted, split one slice into two different widths.
+    let mut slices: Vec<Slice> = schedule.slices().to_vec();
+    let preempted = soc
+        .cores()
+        .iter()
+        .enumerate()
+        .find(|(i, _)| schedule.core_slices(*i).len() >= 2)
+        .map(|(i, _)| i);
+    if let Some(core) = preempted {
+        let idx = slices.iter().position(|s| s.core == core).unwrap();
+        slices[idx].width += 1;
+        // keep duration; the width flip alone must trip the validator
+        let err = validate(&soc, &rebuild(&schedule, slices)).unwrap_err();
+        let msg = err.to_string();
+        assert!(
+            msg.contains("width") || msg.contains("cycles"),
+            "unexpected: {msg}"
+        );
+    } else {
+        // No preemption in this schedule: fabricate a two-width core.
+        let s = slices.iter().position(|s| s.duration() >= 2).unwrap();
+        let orig = slices[s];
+        let mid = orig.start + orig.duration() / 2;
+        slices[s] = Slice { end: mid, ..orig };
+        slices.push(Slice {
+            start: mid,
+            width: orig.width + 1,
+            ..orig
+        });
+        let err = validate(&soc, &rebuild(&schedule, slices)).unwrap_err();
+        assert!(err.to_string().contains("width"));
+    }
+}
+
+#[test]
+fn overbooking_the_tam_is_caught() {
+    let (soc, schedule) = valid_pair();
+    // Inflate every slice's width by a lot; the budget check must fire.
+    let slices: Vec<Slice> = schedule
+        .slices()
+        .iter()
+        .map(|s| Slice {
+            width: s.width + schedule.tam_width(),
+            ..*s
+        })
+        .collect();
+    let err = validate(&soc, &rebuild(&schedule, slices)).unwrap_err();
+    let msg = err.to_string();
+    assert!(msg.contains("width") || msg.contains("budget"), "{msg}");
+}
+
+#[test]
+fn excess_preemptions_are_caught() {
+    let (soc, schedule) = valid_pair();
+    // Split a non-preemptable core's slice with a gap.
+    let victim = (0..soc.len())
+        .find(|&i| soc.core(i).max_preemptions() == 0 && schedule.core_slices(i)[0].duration() > 10)
+        .expect("a rigid core exists");
+    let mut slices: Vec<Slice> = schedule
+        .slices()
+        .iter()
+        .copied()
+        .filter(|s| s.core != victim)
+        .collect();
+    let orig = schedule.core_slices(victim)[0];
+    let mid = orig.start + orig.duration() / 2;
+    slices.push(Slice { end: mid, ..orig });
+    slices.push(Slice {
+        start: mid + 1,
+        end: orig.end + 1,
+        ..orig
+    });
+    let err = validate(&soc, &rebuild(&schedule, slices)).unwrap_err();
+    let msg = err.to_string();
+    assert!(msg.contains("preempted") || msg.contains("cycles"), "{msg}");
+}
+
+#[test]
+fn precedence_violations_are_caught() {
+    let (mut soc, schedule) = valid_pair();
+    // Add a precedence edge that the existing schedule certainly violates:
+    // the last-finishing core must precede the first-starting one.
+    let first = schedule.slices().first().unwrap().core;
+    let last = schedule
+        .slices()
+        .iter()
+        .max_by_key(|s| s.end)
+        .unwrap()
+        .core;
+    if first != last {
+        soc.add_precedence(last, first).unwrap();
+        let err = validate(&soc, &schedule).unwrap_err();
+        assert!(err.to_string().contains("precedence"));
+    }
+}
+
+#[test]
+fn concurrency_violations_are_caught() {
+    let (mut soc, schedule) = valid_pair();
+    // Find two cores that overlap in the valid schedule and declare them
+    // mutually exclusive after the fact.
+    let slices = schedule.slices();
+    let mut found = None;
+    'outer: for a in slices {
+        for b in slices {
+            if a.core != b.core && a.overlaps(b) {
+                found = Some((a.core, b.core));
+                break 'outer;
+            }
+        }
+    }
+    let (a, b) = found.expect("some concurrency exists at W=16");
+    soc.add_concurrency(a, b).unwrap();
+    let err = validate(&soc, &schedule).unwrap_err();
+    assert!(err.to_string().contains("concurrency"));
+}
+
+#[test]
+fn power_overload_is_caught_by_power_validator() {
+    let (soc, schedule) = valid_pair();
+    // The schedule was built unconstrained; a ceiling of the smallest core
+    // power must be violated somewhere.
+    let p_min = soc.cores().iter().map(|c| c.power()).min().unwrap();
+    assert!(validate_power(&soc, &schedule, p_min.saturating_sub(1)).is_err());
+    // And the trivially generous ceiling passes.
+    assert!(validate_power(&soc, &schedule, u64::MAX).is_ok());
+}
+
+#[test]
+fn self_overlap_is_caught() {
+    let (soc, schedule) = valid_pair();
+    let mut slices: Vec<Slice> = schedule.slices().to_vec();
+    // Duplicate a slice shifted by one cycle: same core overlaps itself.
+    let s = slices[0];
+    slices.push(Slice {
+        start: s.start + 1,
+        end: s.end + 1,
+        ..s
+    });
+    assert!(validate(&soc, &rebuild(&schedule, slices)).is_err());
+}
