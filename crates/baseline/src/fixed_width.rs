@@ -216,14 +216,20 @@ mod tests {
         for w in [48u16, 64] {
             let flexible = flexible_best(&soc, w);
             let fixed = fixed_width_best(&soc, w, 3, 64).makespan;
-            assert!(flexible <= fixed, "W={w}: flexible {flexible} vs fixed {fixed}");
+            assert!(
+                flexible <= fixed,
+                "W={w}: flexible {flexible} vs fixed {fixed}"
+            );
         }
         for w in [16u16, 32] {
             let flexible = flexible_best(&soc, w);
             // Two-bus architectures (the scale [12, 13] actually explored
             // for narrow TAMs) lose to flexible packing everywhere...
             let fixed2 = fixed_width_best(&soc, w, 2, 64).makespan;
-            assert!(flexible <= fixed2, "W={w}: flexible {flexible} vs 2-bus {fixed2}");
+            assert!(
+                flexible <= fixed2,
+                "W={w}: flexible {flexible} vs 2-bus {fixed2}"
+            );
             // ...while a fully exhaustive 3-bus search stays within 10%.
             let fixed3 = fixed_width_best(&soc, w, 3, 64).makespan;
             assert!(

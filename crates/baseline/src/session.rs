@@ -278,6 +278,9 @@ mod tests {
         ));
         let r = session_schedule(&soc, 8, 64);
         assert_eq!(r.sessions.len(), 1);
-        assert_eq!(r.makespan, RectangleSet::build(soc.core(0).test(), 8).min_time());
+        assert_eq!(
+            r.makespan,
+            RectangleSet::build(soc.core(0).test(), 8).min_time()
+        );
     }
 }

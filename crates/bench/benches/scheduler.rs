@@ -12,18 +12,14 @@ fn bench_single_runs(c: &mut Criterion) {
     for name in benchmarks::NAMES {
         let soc = benchmarks::by_name(name).expect("known benchmark");
         for w in [16u16, 64] {
-            group.bench_with_input(
-                BenchmarkId::new(name, w),
-                &w,
-                |b, &w| {
-                    b.iter(|| {
-                        ScheduleBuilder::new(&soc, SchedulerConfig::new(w))
-                            .run()
-                            .expect("schedulable")
-                            .makespan()
-                    });
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(name, w), &w, |b, &w| {
+                b.iter(|| {
+                    ScheduleBuilder::new(&soc, SchedulerConfig::new(w))
+                        .run()
+                        .expect("schedulable")
+                        .makespan()
+                });
+            });
         }
     }
     group.finish();
@@ -64,5 +60,10 @@ fn bench_scalability(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_single_runs, bench_constrained_runs, bench_scalability);
+criterion_group!(
+    benches,
+    bench_single_runs,
+    bench_constrained_runs,
+    bench_scalability
+);
 criterion_main!(benches);

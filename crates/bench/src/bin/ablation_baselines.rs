@@ -31,11 +31,7 @@ fn main() {
         let flow = TestFlow::new(&soc, headline_config());
         for w in benchmarks::table1_widths(name) {
             let lb = lower_bound(&soc, w, 64);
-            let flexible = flow
-                .best_schedule(w)
-                .expect("schedulable")
-                .0
-                .makespan();
+            let flexible = flow.best_schedule(w).expect("schedulable").0.makespan();
             let fixed3 = fixed_width_best(&soc, w, 3, 64).makespan;
             let fixed2 = fixed_width_best(&soc, w, 2, 64).makespan;
             let shelf = shelf_pack(&soc, w, 5, 1, 64).makespan;

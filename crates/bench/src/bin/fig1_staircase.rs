@@ -47,5 +47,8 @@ fn main() {
     let t47 = s.points[46].time;
     let t64 = s.points[63].time;
     println!();
-    println!("T(46) = {t46}, T(47) = {t47}, T(48..64) = {t64} (flat: {})", t47 == t64);
+    println!(
+        "T(46) = {t46}, T(47) = {t47}, T(48..64) = {t64} (flat: {})",
+        t47 == t64
+    );
 }

@@ -34,7 +34,9 @@ fn main() {
     let soc = benchmarks::by_name(&soc_name).expect("known benchmark");
     let flow = TestFlow::new(&soc, sweep_config());
     eprintln!("sweeping {soc_name} over W = {min_width}..={max_width} ...");
-    let points = flow.sweep_widths(min_width..=max_width).expect("sweep succeeds");
+    let points = flow
+        .sweep_widths(min_width..=max_width)
+        .expect("sweep succeeds");
 
     let want = |p: &str| part.as_deref().is_none_or(|x| x == p);
 
@@ -69,8 +71,14 @@ fn main() {
         );
         // The paper's headline observation: the global V minimum does not
         // sit at the width of minimum testing time.
-        let v_min = points.iter().min_by_key(|p| (p.volume, p.width)).expect("points");
-        let t_min = points.iter().min_by_key(|p| (p.time, p.width)).expect("points");
+        let v_min = points
+            .iter()
+            .min_by_key(|p| (p.volume, p.width))
+            .expect("points");
+        let t_min = points
+            .iter()
+            .min_by_key(|p| (p.time, p.width))
+            .expect("points");
         println!(
             "global V minimum at W = {} (V = {}), while T minimum at W = {} (T = {})",
             v_min.width, v_min.volume, t_min.width, t_min.time

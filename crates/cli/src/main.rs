@@ -107,7 +107,9 @@ fn cmd_schedule(args: &[String]) -> Result<(), String> {
     if flag(args, "--no-preempt") {
         cfg = cfg.without_preemption();
     }
-    let run = TestFlow::new(&soc, cfg).run(width).map_err(|e| e.to_string())?;
+    let run = TestFlow::new(&soc, cfg)
+        .run(width)
+        .map_err(|e| e.to_string())?;
     println!(
         "{}: W={width}, testing time {} cycles (lower bound {}), volume {} bits, \
          utilization {:.1}%, params (m={}, d={}, slack={})",
@@ -124,8 +126,7 @@ fn cmd_schedule(args: &[String]) -> Result<(), String> {
         println!();
         println!(
             "{}",
-            run.schedule
-                .gantt(&|i| soc.core(i).name().to_string(), 90)
+            run.schedule.gantt(&|i| soc.core(i).name().to_string(), 90)
         );
     }
     if let Some(path) = opt_value(args, "--svg") {
@@ -142,9 +143,18 @@ fn cmd_schedule(args: &[String]) -> Result<(), String> {
 fn cmd_sweep(args: &[String]) -> Result<(), String> {
     let soc_name = args.first().ok_or("missing SOC name")?;
     let soc = load_soc(soc_name)?;
-    let from: u16 = opt_value(args, "--from").unwrap_or("8").parse().map_err(|_| "invalid --from")?;
-    let to: u16 = opt_value(args, "--to").unwrap_or("64").parse().map_err(|_| "invalid --to")?;
-    let alpha: f64 = opt_value(args, "--alpha").unwrap_or("0.5").parse().map_err(|_| "invalid --alpha")?;
+    let from: u16 = opt_value(args, "--from")
+        .unwrap_or("8")
+        .parse()
+        .map_err(|_| "invalid --from")?;
+    let to: u16 = opt_value(args, "--to")
+        .unwrap_or("64")
+        .parse()
+        .map_err(|_| "invalid --to")?;
+    let alpha: f64 = opt_value(args, "--alpha")
+        .unwrap_or("0.5")
+        .parse()
+        .map_err(|_| "invalid --alpha")?;
     if from == 0 || from > to {
         return Err("need 0 < --from <= --to".to_owned());
     }
@@ -157,9 +167,15 @@ fn cmd_sweep(args: &[String]) -> Result<(), String> {
         .sweep_widths(from..=to)
         .map_err(|e| e.to_string())?;
     let curve = CostCurve::new(&pts, alpha);
-    println!("{:>4} {:>12} {:>14} {:>10}", "W", "T (cycles)", "V (bits)", "C");
+    println!(
+        "{:>4} {:>12} {:>14} {:>10}",
+        "W", "T (cycles)", "V (bits)", "C"
+    );
     for (p, c) in pts.iter().zip(curve.points()) {
-        println!("{:>4} {:>12} {:>14} {:>10.4}", p.width, p.time, p.volume, c.cost);
+        println!(
+            "{:>4} {:>12} {:>14} {:>10.4}",
+            p.width, p.time, p.volume, c.cost
+        );
     }
     let eff = curve.effective_point();
     println!(
@@ -179,7 +195,11 @@ fn cmd_staircase(args: &[String]) -> Result<(), String> {
     let s = report::staircase(soc.core(idx).test(), 64);
     println!("{:>4} {:>12} {:>10}", "W", "T (cycles)", "Pareto");
     for p in &s.points {
-        let mark = if s.pareto_widths.contains(&p.width) { "*" } else { "" };
+        let mark = if s.pareto_widths.contains(&p.width) {
+            "*"
+        } else {
+            ""
+        };
         println!("{:>4} {:>12} {:>10}", p.width, p.time, mark);
     }
     Ok(())

@@ -2,9 +2,7 @@
 //! data out.
 
 use soctam_schedule::bounds::lower_bound;
-use soctam_schedule::{
-    Schedule, ScheduleBuilder, ScheduleError, SchedulerConfig, TamWidth,
-};
+use soctam_schedule::{Schedule, ScheduleBuilder, ScheduleError, SchedulerConfig, TamWidth};
 use soctam_soc::Soc;
 use soctam_tam::WireAssignment;
 use soctam_volume::{volume_of, CostCurve, SweepPoint};
@@ -172,10 +170,14 @@ impl<'a> TestFlow<'a> {
 
     /// Builds the scheduler configuration for one `(width, m, d, slack)`
     /// point.
-    fn scheduler_config(&self, w: TamWidth, m: u32, d: TamWidth, slack: TamWidth) -> SchedulerConfig {
-        let mut cfg = SchedulerConfig::new(w)
-            .with_percent(m)
-            .with_bump(d);
+    fn scheduler_config(
+        &self,
+        w: TamWidth,
+        m: u32,
+        d: TamWidth,
+        slack: TamWidth,
+    ) -> SchedulerConfig {
+        let mut cfg = SchedulerConfig::new(w).with_percent(m).with_bump(d);
         cfg.w_max = self.cfg.w_max;
         cfg.idle_fill_slack = slack;
         cfg.allow_preemption = self.cfg.allow_preemption;
@@ -189,16 +191,23 @@ impl<'a> TestFlow<'a> {
     ///
     /// Propagates scheduling errors if every parameter combination fails
     /// (e.g. an infeasible power ceiling).
-    pub fn best_schedule(&self, w: TamWidth) -> Result<(Schedule, (u32, TamWidth, TamWidth)), ScheduleError> {
+    pub fn best_schedule(
+        &self,
+        w: TamWidth,
+    ) -> Result<(Schedule, (u32, TamWidth, TamWidth)), ScheduleError> {
         let mut best: Option<(Schedule, (u32, TamWidth, TamWidth))> = None;
         let mut first_err = None;
         for &slack in &self.cfg.sweep.slacks {
             for &m in &self.cfg.sweep.percents {
                 for &d in &self.cfg.sweep.bumps {
-                    match ScheduleBuilder::new(self.soc, self.scheduler_config(w, m, d, slack)).run()
+                    match ScheduleBuilder::new(self.soc, self.scheduler_config(w, m, d, slack))
+                        .run()
                     {
                         Ok(s) => {
-                            if best.as_ref().is_none_or(|(b, _)| s.makespan() < b.makespan()) {
+                            if best
+                                .as_ref()
+                                .is_none_or(|(b, _)| s.makespan() < b.makespan())
+                            {
                                 best = Some((s, (m, d, slack)));
                             }
                         }
@@ -336,9 +345,6 @@ mod tests {
     fn param_sweep_run_counts() {
         assert_eq!(ParamSweep::paper().runs(), 10 * 5);
         assert!(ParamSweep::extended().runs() > ParamSweep::paper().runs());
-        assert_eq!(
-            ParamSweep::quick().runs(),
-            5 * 3 * 2
-        );
+        assert_eq!(ParamSweep::quick().runs(), 5 * 3 * 2);
     }
 }

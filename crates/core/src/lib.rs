@@ -38,17 +38,17 @@
 pub mod flow;
 pub mod report;
 
-/// Re-export of the SOC substrate crate.
-pub use soctam_soc as soc;
+/// Re-export of the baseline comparators.
+pub use soctam_baseline as baseline;
 /// Re-export of the scheduling crate.
 pub use soctam_schedule as schedule;
-/// Re-export of the wrapper-design crate.
-pub use soctam_wrapper as wrapper;
+/// Re-export of the scan/tester simulation crate.
+pub use soctam_sim as sim;
+/// Re-export of the SOC substrate crate.
+pub use soctam_soc as soc;
 /// Re-export of the TAM wire-assignment crate.
 pub use soctam_tam as tam;
 /// Re-export of the tester-data-volume crate.
 pub use soctam_volume as volume;
-/// Re-export of the baseline comparators.
-pub use soctam_baseline as baseline;
-/// Re-export of the scan/tester simulation crate.
-pub use soctam_sim as sim;
+/// Re-export of the wrapper-design crate.
+pub use soctam_wrapper as wrapper;

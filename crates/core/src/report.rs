@@ -246,8 +246,8 @@ pub fn preemption_sweep(
             if stats.preemptions > 0 {
                 let rects = RectangleSet::build(budgeted.core(idx).test(), stats.width);
                 preemptions_used += stats.preemptions;
-                penalty_cycles += u64::from(stats.preemptions)
-                    * rects.rect_at(stats.width).preemption_penalty();
+                penalty_cycles +=
+                    u64::from(stats.preemptions) * rects.rect_at(stats.width).preemption_penalty();
             }
         }
         rows.push(PreemptionSweepRow {
@@ -261,7 +261,11 @@ pub fn preemption_sweep(
 }
 
 /// Renders a preemption sweep as a text table.
-pub fn render_preemption_sweep(soc_name: &str, width: TamWidth, rows: &[PreemptionSweepRow]) -> String {
+pub fn render_preemption_sweep(
+    soc_name: &str,
+    width: TamWidth,
+    rows: &[PreemptionSweepRow],
+) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "{soc_name} at W = {width}:");
     let _ = writeln!(
@@ -334,7 +338,13 @@ pub fn render_plot(title: &str, series: &[(f64, f64)], rows: usize, cols: usize)
         let line: String = row.iter().collect();
         let _ = writeln!(out, "{label} |{line}");
     }
-    let _ = writeln!(out, "{:>12}  {x_min:<.1}{:>width$.1}", "", x_max, width = cols - 3);
+    let _ = writeln!(
+        out,
+        "{:>12}  {x_min:<.1}{:>width$.1}",
+        "",
+        x_max,
+        width = cols - 3
+    );
     out
 }
 

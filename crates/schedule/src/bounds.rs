@@ -109,7 +109,9 @@ mod tests {
         let soc = benchmarks::d695();
         for w in [13, 16, 29, 32, 64] {
             let lb = lower_bound(&soc, w, 64);
-            let s = ScheduleBuilder::new(&soc, SchedulerConfig::new(w)).run().unwrap();
+            let s = ScheduleBuilder::new(&soc, SchedulerConfig::new(w))
+                .run()
+                .unwrap();
             assert!(
                 s.makespan() >= lb,
                 "W={w}: makespan {} below bound {lb}",
@@ -124,7 +126,9 @@ mod tests {
         for seed in 0..8 {
             let soc = cfg.generate(seed);
             let lb = lower_bound(&soc, 24, 64);
-            let s = ScheduleBuilder::new(&soc, SchedulerConfig::new(24)).run().unwrap();
+            let s = ScheduleBuilder::new(&soc, SchedulerConfig::new(24))
+                .run()
+                .unwrap();
             assert!(s.makespan() >= lb, "seed {seed}");
         }
     }

@@ -180,8 +180,13 @@ impl Packer<'_> {
     fn conflict(&self, core: CoreIdx) -> bool {
         let complete: Vec<bool> = self.states.iter().map(|s| s.complete).collect();
         let scheduled: Vec<bool> = self.states.iter().map(|s| s.scheduled).collect();
-        self.constraints
-            .conflicts(core, &complete, &scheduled, self.scheduled_power, self.cfg.p_max)
+        self.constraints.conflicts(
+            core,
+            &complete,
+            &scheduled,
+            self.scheduled_power,
+            self.cfg.p_max,
+        )
     }
 
     fn find_priority1(&self) -> Option<CoreIdx> {
@@ -224,11 +229,10 @@ impl Packer<'_> {
                 && s.width_pref > self.w_avail
                 && s.width_pref <= self.w_avail + self.cfg.idle_fill_slack
                 && !self.conflict(i)
-                && best.is_none_or(|(w, j)| {
-                    s.width_pref < w || (s.width_pref == w && i < j)
-                }) {
-                    best = Some((s.width_pref, i));
-                }
+                && best.is_none_or(|(w, j)| s.width_pref < w || (s.width_pref == w && i < j))
+            {
+                best = Some((s.width_pref, i));
+            }
         }
         best.map(|(_, i)| i)
     }
@@ -409,7 +413,9 @@ mod tests {
     fn single_core_runs_alone() {
         let mut soc = Soc::new("one");
         soc.add_core(simple_core("a", vec![16], 10));
-        let s = ScheduleBuilder::new(&soc, SchedulerConfig::new(8)).run().unwrap();
+        let s = ScheduleBuilder::new(&soc, SchedulerConfig::new(8))
+            .run()
+            .unwrap();
         assert_eq!(s.cores(), vec![0]);
         validate(&soc, &s).unwrap();
         let stats = s.core_stats(0).unwrap();
@@ -420,7 +426,9 @@ mod tests {
     #[test]
     fn schedules_all_cores_and_validates() {
         let soc = two_core_soc();
-        let s = ScheduleBuilder::new(&soc, SchedulerConfig::new(8)).run().unwrap();
+        let s = ScheduleBuilder::new(&soc, SchedulerConfig::new(8))
+            .run()
+            .unwrap();
         assert_eq!(s.cores(), vec![0, 1]);
         validate(&soc, &s).unwrap();
     }
@@ -429,7 +437,9 @@ mod tests {
     fn precedence_orders_tests() {
         let mut soc = two_core_soc();
         soc.add_precedence(1, 0).unwrap();
-        let s = ScheduleBuilder::new(&soc, SchedulerConfig::new(8)).run().unwrap();
+        let s = ScheduleBuilder::new(&soc, SchedulerConfig::new(8))
+            .run()
+            .unwrap();
         let a = s.core_stats(0).unwrap();
         let b = s.core_stats(1).unwrap();
         assert!(b.end <= a.start, "b must finish before a starts");
@@ -440,7 +450,9 @@ mod tests {
     fn concurrency_separates_tests() {
         let mut soc = two_core_soc();
         soc.add_concurrency(0, 1).unwrap();
-        let s = ScheduleBuilder::new(&soc, SchedulerConfig::new(64)).run().unwrap();
+        let s = ScheduleBuilder::new(&soc, SchedulerConfig::new(64))
+            .run()
+            .unwrap();
         for sa in s.core_slices(0) {
             for sb in s.core_slices(1) {
                 assert!(!sa.overlaps(&sb));
@@ -491,7 +503,9 @@ mod tests {
     #[test]
     fn d695_beats_trivial_serial_schedule() {
         let soc = benchmarks::d695();
-        let s = ScheduleBuilder::new(&soc, SchedulerConfig::new(32)).run().unwrap();
+        let s = ScheduleBuilder::new(&soc, SchedulerConfig::new(32))
+            .run()
+            .unwrap();
         let serial: u64 = soc
             .cores()
             .iter()
@@ -505,7 +519,9 @@ mod tests {
     fn preemption_budget_respected_on_benchmarks() {
         let mut soc = benchmarks::d695();
         benchmarks::grant_preemption_to_large_cores(&mut soc, 2);
-        let s = ScheduleBuilder::new(&soc, SchedulerConfig::new(16)).run().unwrap();
+        let s = ScheduleBuilder::new(&soc, SchedulerConfig::new(16))
+            .run()
+            .unwrap();
         validate(&soc, &s).unwrap();
         for idx in 0..soc.len() {
             let stats = s.core_stats(idx).unwrap();
@@ -544,15 +560,21 @@ mod tests {
     #[test]
     fn deterministic_output() {
         let soc = benchmarks::p22810();
-        let a = ScheduleBuilder::new(&soc, SchedulerConfig::new(32)).run().unwrap();
-        let b = ScheduleBuilder::new(&soc, SchedulerConfig::new(32)).run().unwrap();
+        let a = ScheduleBuilder::new(&soc, SchedulerConfig::new(32))
+            .run()
+            .unwrap();
+        let b = ScheduleBuilder::new(&soc, SchedulerConfig::new(32))
+            .run()
+            .unwrap();
         assert_eq!(a, b);
     }
 
     #[test]
     fn width_budget_never_exceeded_at_any_instant() {
         let soc = benchmarks::d695();
-        let s = ScheduleBuilder::new(&soc, SchedulerConfig::new(24)).run().unwrap();
+        let s = ScheduleBuilder::new(&soc, SchedulerConfig::new(24))
+            .run()
+            .unwrap();
         let mut events: Vec<u64> = s
             .slices()
             .iter()

@@ -80,7 +80,8 @@ impl Schedule {
                 continue; // drop empty slices
             }
             match merged.last_mut() {
-                Some(last) if last.core == s.core && last.end == s.start && last.width == s.width =>
+                Some(last)
+                    if last.core == s.core && last.end == s.start && last.width == s.width =>
                 {
                     last.end = s.end;
                 }

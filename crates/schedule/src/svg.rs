@@ -119,12 +119,7 @@ impl Schedule {
                 flush(a, p, &mut out);
             }
             // Label the first slice of each core.
-            if self
-                .slices()
-                .iter()
-                .position(|s| s.core == slice.core)
-                == Some(i)
-            {
+            if self.slices().iter().position(|s| s.core == slice.core) == Some(i) {
                 if let Some(&row) = taken.first() {
                     let y = 20 + row as u32 * opts.wire_px + opts.wire_px.min(9);
                     let _ = writeln!(
@@ -142,7 +137,9 @@ impl Schedule {
 }
 
 fn xml_escape(s: &str) -> String {
-    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
 }
 
 #[cfg(test)]

@@ -60,8 +60,8 @@ pub fn validate(soc: &Soc, schedule: &Schedule) -> Result<(), ScheduleError> {
             )));
         }
         let rects = RectangleSet::build(core.test(), width);
-        let expected =
-            rects.time_at(width) + u64::from(preemptions) * rects.rect_at(width).preemption_penalty();
+        let expected = rects.time_at(width)
+            + u64::from(preemptions) * rects.rect_at(width).preemption_penalty();
         if busy != expected {
             return Err(invalid(format!(
                 "core {idx} tested for {busy} cycles, expected {expected} \
@@ -82,7 +82,9 @@ pub fn validate(soc: &Soc, schedule: &Schedule) -> Result<(), ScheduleError> {
     for &t in &events {
         let used = schedule.width_in_use_at(t);
         if used > u32::from(w) {
-            return Err(invalid(format!("width {used} in use at cycle {t}, budget {w}")));
+            return Err(invalid(format!(
+                "width {used} in use at cycle {t}, budget {w}"
+            )));
         }
     }
 
@@ -183,7 +185,10 @@ mod tests {
 
     fn soc1() -> Soc {
         let mut soc = Soc::new("v");
-        soc.add_core(Core::new("a", CoreTest::new(4, 4, 0, vec![16], 10).unwrap()));
+        soc.add_core(Core::new(
+            "a",
+            CoreTest::new(4, 4, 0, vec![16], 10).unwrap(),
+        ));
         soc
     }
 
@@ -246,8 +251,18 @@ mod tests {
             "v",
             8,
             vec![
-                Slice { core: 0, width: 4, start: 0, end: cut },
-                Slice { core: 0, width: 4, start: cut + 5, end: total + 5 },
+                Slice {
+                    core: 0,
+                    width: 4,
+                    start: 0,
+                    end: cut,
+                },
+                Slice {
+                    core: 0,
+                    width: 4,
+                    start: cut + 5,
+                    end: total + 5,
+                },
             ],
         );
         let err = validate(&soc, &s).unwrap_err();
@@ -257,14 +272,27 @@ mod tests {
     #[test]
     fn rejects_width_overflow() {
         let mut soc = soc1();
-        soc.add_core(Core::new("b", CoreTest::new(4, 4, 0, vec![16], 10).unwrap()));
+        soc.add_core(Core::new(
+            "b",
+            CoreTest::new(4, 4, 0, vec![16], 10).unwrap(),
+        ));
         let t = correct_time(&soc, 0, 6);
         let s = Schedule::from_slices(
             "v",
             8,
             vec![
-                Slice { core: 0, width: 6, start: 0, end: t },
-                Slice { core: 1, width: 6, start: 0, end: t },
+                Slice {
+                    core: 0,
+                    width: 6,
+                    start: 0,
+                    end: t,
+                },
+                Slice {
+                    core: 1,
+                    width: 6,
+                    start: 0,
+                    end: t,
+                },
             ],
         );
         let err = validate(&soc, &s).unwrap_err();
@@ -274,7 +302,10 @@ mod tests {
     #[test]
     fn rejects_precedence_violation() {
         let mut soc = soc1();
-        soc.add_core(Core::new("b", CoreTest::new(4, 4, 0, vec![16], 10).unwrap()));
+        soc.add_core(Core::new(
+            "b",
+            CoreTest::new(4, 4, 0, vec![16], 10).unwrap(),
+        ));
         soc.add_precedence(1, 0).unwrap();
         let t0 = correct_time(&soc, 0, 4);
         let t1 = correct_time(&soc, 1, 4);
@@ -282,8 +313,18 @@ mod tests {
             "v",
             8,
             vec![
-                Slice { core: 0, width: 4, start: 0, end: t0 },
-                Slice { core: 1, width: 4, start: 0, end: t1 },
+                Slice {
+                    core: 0,
+                    width: 4,
+                    start: 0,
+                    end: t0,
+                },
+                Slice {
+                    core: 1,
+                    width: 4,
+                    start: 0,
+                    end: t1,
+                },
             ],
         );
         let err = validate(&soc, &s).unwrap_err();
@@ -293,14 +334,27 @@ mod tests {
     #[test]
     fn power_validator_catches_overload() {
         let mut soc = soc1();
-        soc.add_core(Core::new("b", CoreTest::new(4, 4, 0, vec![16], 10).unwrap()));
+        soc.add_core(Core::new(
+            "b",
+            CoreTest::new(4, 4, 0, vec![16], 10).unwrap(),
+        ));
         let t = correct_time(&soc, 0, 4);
         let s = Schedule::from_slices(
             "v",
             8,
             vec![
-                Slice { core: 0, width: 4, start: 0, end: t },
-                Slice { core: 1, width: 4, start: 0, end: t },
+                Slice {
+                    core: 0,
+                    width: 4,
+                    start: 0,
+                    end: t,
+                },
+                Slice {
+                    core: 1,
+                    width: 4,
+                    start: 0,
+                    end: t,
+                },
             ],
         );
         let one = soc.core(0).power();

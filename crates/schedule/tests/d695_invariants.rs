@@ -1,0 +1,130 @@
+//! Hot-path unit tests for `ScheduleBuilder` on the d695 benchmark:
+//! utilization accounting and power-constraint invariants.
+
+use soctam_schedule::validate::{validate, validate_power};
+use soctam_schedule::{Schedule, ScheduleBuilder, SchedulerConfig};
+use soctam_soc::benchmarks;
+use soctam_soc::Soc;
+
+/// Every distinct instant at which the set of running slices can change.
+fn event_times(schedule: &Schedule) -> Vec<u64> {
+    let mut times: Vec<u64> = schedule
+        .slices()
+        .iter()
+        .flat_map(|s| [s.start, s.end])
+        .collect();
+    times.sort_unstable();
+    times.dedup();
+    times
+}
+
+#[test]
+fn utilization_accounting_is_exact() {
+    let soc = benchmarks::d695();
+    for w in [8u16, 16, 24, 32, 48, 64] {
+        let schedule = ScheduleBuilder::new(&soc, SchedulerConfig::new(w))
+            .run()
+            .expect("schedulable");
+        validate(&soc, &schedule).expect("valid schedule");
+
+        // busy + idle partition the W x makespan bin exactly.
+        let bin = u128::from(w) * u128::from(schedule.makespan());
+        assert_eq!(schedule.busy_area() + schedule.idle_area(), bin, "W={w}");
+
+        // busy_area equals the sum of slice areas.
+        let slice_area: u128 = schedule
+            .slices()
+            .iter()
+            .map(|s| u128::from(s.width) * u128::from(s.duration()))
+            .sum();
+        assert_eq!(schedule.busy_area(), slice_area, "W={w}");
+
+        // Utilization is busy/bin, in (0, 1].
+        let util = schedule.utilization();
+        assert!(util > 0.0 && util <= 1.0, "W={w}: {util}");
+        assert!((util - schedule.busy_area() as f64 / bin as f64).abs() < 1e-12);
+    }
+}
+
+#[test]
+fn tam_width_never_oversubscribed_on_d695() {
+    let soc = benchmarks::d695();
+    for w in [8u16, 16, 32, 64] {
+        let schedule = ScheduleBuilder::new(&soc, SchedulerConfig::new(w))
+            .run()
+            .expect("schedulable");
+        for t in event_times(&schedule) {
+            assert!(
+                schedule.width_in_use_at(t) <= u32::from(w),
+                "W={w}: {} wires at t={t}",
+                schedule.width_in_use_at(t)
+            );
+        }
+    }
+}
+
+/// Recomputes instantaneous power from the slices, independently of the
+/// validator's bookkeeping.
+fn peak_power(soc: &Soc, schedule: &Schedule) -> u64 {
+    event_times(schedule)
+        .iter()
+        .map(|&t| {
+            schedule
+                .slices()
+                .iter()
+                .filter(|s| s.start <= t && t < s.end)
+                .map(|s| soc.core(s.core).power())
+                .sum()
+        })
+        .max()
+        .unwrap_or(0)
+}
+
+#[test]
+fn power_limit_is_honoured_on_d695() {
+    let soc = benchmarks::d695();
+    // d695's hungriest core draws 3811; that is the tightest feasible
+    // ceiling (anything lower leaves that core unschedulable).
+    let p_max = soc.max_core_power();
+    for w in [16u16, 32, 64] {
+        let constrained =
+            ScheduleBuilder::new(&soc, SchedulerConfig::new(w).with_power_limit(p_max))
+                .run()
+                .expect("schedulable under power budget");
+        validate(&soc, &constrained).expect("valid schedule");
+        validate_power(&soc, &constrained, p_max).expect("within budget");
+        assert!(peak_power(&soc, &constrained) <= p_max, "W={w}");
+    }
+
+    // An infeasible ceiling (below the hungriest core) must be rejected,
+    // not silently violated.
+    let starved =
+        ScheduleBuilder::new(&soc, SchedulerConfig::new(32).with_power_limit(p_max - 1)).run();
+    assert!(starved.is_err());
+}
+
+#[test]
+fn tightest_feasible_budget_still_schedules() {
+    let soc = benchmarks::d695();
+    let p_max = soc.max_core_power();
+    let schedule = ScheduleBuilder::new(&soc, SchedulerConfig::new(24).with_power_limit(p_max))
+        .run()
+        .expect("schedulable at the tightest budget");
+    validate_power(&soc, &schedule, p_max).expect("within budget");
+    // With the budget pinned at the hungriest single core, that core must
+    // run alone whenever it runs.
+    let hungry: Vec<usize> = (0..soc.len())
+        .filter(|&i| soc.core(i).power() == p_max)
+        .collect();
+    for t in event_times(&schedule) {
+        let running: Vec<usize> = schedule
+            .slices()
+            .iter()
+            .filter(|s| s.start <= t && t < s.end)
+            .map(|s| s.core)
+            .collect();
+        if running.iter().any(|c| hungry.contains(c)) {
+            assert_eq!(running.len(), 1, "t={t}: {running:?}");
+        }
+    }
+}

@@ -148,10 +148,7 @@ mod tests {
         let d = design(4, 4, vec![16], 3, 2);
         let trace = ScanTestSim::new(&d).run();
         assert_eq!(trace.phases[0].0, ScanPhase::InitialShiftIn);
-        assert_eq!(
-            trace.phases.last().unwrap().0,
-            ScanPhase::FinalShiftOut
-        );
+        assert_eq!(trace.phases.last().unwrap().0, ScanPhase::FinalShiftOut);
         let captures = trace
             .phases
             .iter()

@@ -100,8 +100,7 @@ impl<'a> TesterSim<'a> {
                 } else {
                     let rects = RectangleSet::build(self.soc.core(core).test(), width);
                     let preemptions = (slices.len() - 1) as u64;
-                    rects.time_at(width)
-                        + preemptions * rects.rect_at(width).preemption_penalty()
+                    rects.time_at(width) + preemptions * rects.rect_at(width).preemption_penalty()
                 };
                 // Payload: what the scan protocol actually moves, counted
                 // by the phase-level simulator on the same design.

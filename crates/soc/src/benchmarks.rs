@@ -40,7 +40,10 @@ pub fn by_name(name: &str) -> Option<Soc> {
 
 /// All four benchmark SOCs in paper order.
 pub fn all() -> Vec<Soc> {
-    NAMES.iter().map(|n| by_name(n).expect("known name")).collect()
+    NAMES
+        .iter()
+        .map(|n| by_name(n).expect("known name"))
+        .collect()
 }
 
 /// The TAM widths evaluated in Table 1 for the given SOC.

@@ -153,8 +153,14 @@ pub fn parse(text: &str) -> Result<Soc, SocError> {
 
     let mut soc = Soc::new(name);
     for pc in &cores {
-        let test = CoreTest::new(pc.inputs, pc.outputs, pc.bidirs, pc.scan.clone(), pc.patterns)
-            .map_err(|e| err(pc.line, &format!("invalid core `{}`: {e}", pc.name)))?;
+        let test = CoreTest::new(
+            pc.inputs,
+            pc.outputs,
+            pc.bidirs,
+            pc.scan.clone(),
+            pc.patterns,
+        )
+        .map_err(|e| err(pc.line, &format!("invalid core `{}`: {e}", pc.name)))?;
         let mut builder = Core::builder(pc.name.clone(), test).max_preemptions(pc.preempt);
         if let Some(p) = pc.power {
             builder = builder.power(p);
@@ -163,11 +169,12 @@ pub fn parse(text: &str) -> Result<Soc, SocError> {
             builder = builder.bist_engine(b);
         }
         if let Some(parent_name) = &pc.parent {
-            let parent = *index
-                .get(parent_name.as_str())
-                .ok_or_else(|| SocError::UnknownCoreName {
-                    name: parent_name.clone(),
-                })?;
+            let parent =
+                *index
+                    .get(parent_name.as_str())
+                    .ok_or_else(|| SocError::UnknownCoreName {
+                        name: parent_name.clone(),
+                    })?;
             builder = builder.parent(parent);
         }
         soc.add_core(builder.build());
@@ -524,10 +531,7 @@ concurrency alu >< mem
     #[test]
     fn rejects_unknown_constraint_name() {
         let text = "soc t\ncore a inputs=1 outputs=1 patterns=1\nprecedence a < ghost\n";
-        assert!(matches!(
-            parse(text),
-            Err(SocError::UnknownCoreName { .. })
-        ));
+        assert!(matches!(parse(text), Err(SocError::UnknownCoreName { .. })));
     }
 
     #[test]
@@ -538,7 +542,8 @@ concurrency alu >< mem
 
     #[test]
     fn rejects_duplicate_core_names() {
-        let text = "soc t\ncore a inputs=1 outputs=1 patterns=1\ncore a inputs=1 outputs=1 patterns=1\n";
+        let text =
+            "soc t\ncore a inputs=1 outputs=1 patterns=1\ncore a inputs=1 outputs=1 patterns=1\n";
         assert!(matches!(
             parse(text),
             Err(SocError::DuplicateCoreName { .. })

@@ -163,10 +163,8 @@ impl Soc {
     /// into Extest.
     pub fn effective_concurrency(&self) -> Vec<(CoreIdx, CoreIdx)> {
         let mut out: Vec<(CoreIdx, CoreIdx)> = self.concurrency.clone();
-        let mut seen: HashSet<(CoreIdx, CoreIdx)> = out
-            .iter()
-            .map(|&(a, b)| (a.min(b), a.max(b)))
-            .collect();
+        let mut seen: HashSet<(CoreIdx, CoreIdx)> =
+            out.iter().map(|&(a, b)| (a.min(b), a.max(b))).collect();
         for idx in 0..self.cores.len() {
             let mut cur = self.cores[idx].parent();
             let mut hops = 0;

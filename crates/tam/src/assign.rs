@@ -35,7 +35,10 @@ impl fmt::Display for WireError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             WireError::Overcommitted { at_time } => {
-                write!(f, "schedule demands more wires than available at cycle {at_time}")
+                write!(
+                    f,
+                    "schedule demands more wires than available at cycle {at_time}"
+                )
             }
             WireError::WireClash { wire } => {
                 write!(f, "wire {wire} assigned to overlapping slices")
@@ -195,8 +198,10 @@ impl WireAssignment {
             }
         }
         for (wire, slices) in per_wire {
-            let mut intervals: Vec<(u64, u64)> =
-                slices.iter().map(|a| (a.slice.start, a.slice.end)).collect();
+            let mut intervals: Vec<(u64, u64)> = slices
+                .iter()
+                .map(|a| (a.slice.start, a.slice.end))
+                .collect();
             intervals.sort_unstable();
             for pair in intervals.windows(2) {
                 if pair[1].0 < pair[0].1 {
@@ -242,7 +247,12 @@ mod tests {
     }
 
     fn sl(core: usize, width: u16, start: u64, end: u64) -> Slice {
-        Slice { core, width, start, end }
+        Slice {
+            core,
+            width,
+            start,
+            end,
+        }
     }
 
     #[test]
@@ -307,12 +317,12 @@ mod tests {
         );
         let wa = WireAssignment::assign(&s).unwrap();
         wa.verify().unwrap();
-        let d = wa
-            .assignments()
-            .iter()
-            .find(|a| a.slice.core == 3)
-            .unwrap();
-        assert!(d.contiguous_groups() >= 2, "expected a fork, got {:?}", d.wires);
+        let d = wa.assignments().iter().find(|a| a.slice.core == 3).unwrap();
+        assert!(
+            d.contiguous_groups() >= 2,
+            "expected a fork, got {:?}",
+            d.wires
+        );
     }
 
     #[test]

@@ -79,8 +79,18 @@ mod tests {
             "t",
             4,
             vec![
-                Slice { core: 0, width: 2, start: 0, end: 10 },
-                Slice { core: 1, width: 2, start: 0, end: 6 },
+                Slice {
+                    core: 0,
+                    width: 2,
+                    start: 0,
+                    end: 10,
+                },
+                Slice {
+                    core: 1,
+                    width: 2,
+                    start: 0,
+                    end: 6,
+                },
             ],
         );
         let wa = WireAssignment::assign(&s).unwrap();

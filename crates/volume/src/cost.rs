@@ -130,10 +130,30 @@ mod tests {
 
     fn pts() -> Vec<SweepPoint> {
         vec![
-            SweepPoint { width: 8, time: 200, volume: 1600, lower_bound: 0 },
-            SweepPoint { width: 16, time: 110, volume: 1760, lower_bound: 0 },
-            SweepPoint { width: 24, time: 80, volume: 1920, lower_bound: 0 },
-            SweepPoint { width: 32, time: 70, volume: 2240, lower_bound: 0 },
+            SweepPoint {
+                width: 8,
+                time: 200,
+                volume: 1600,
+                lower_bound: 0,
+            },
+            SweepPoint {
+                width: 16,
+                time: 110,
+                volume: 1760,
+                lower_bound: 0,
+            },
+            SweepPoint {
+                width: 24,
+                time: 80,
+                volume: 1920,
+                lower_bound: 0,
+            },
+            SweepPoint {
+                width: 32,
+                time: 70,
+                volume: 2240,
+                lower_bound: 0,
+            },
         ]
     }
 
@@ -179,8 +199,18 @@ mod tests {
     #[test]
     fn tie_breaks_to_narrow_width() {
         let flat = vec![
-            SweepPoint { width: 8, time: 100, volume: 800, lower_bound: 0 },
-            SweepPoint { width: 16, time: 100, volume: 800, lower_bound: 0 },
+            SweepPoint {
+                width: 8,
+                time: 100,
+                volume: 800,
+                lower_bound: 0,
+            },
+            SweepPoint {
+                width: 16,
+                time: 100,
+                volume: 800,
+                lower_bound: 0,
+            },
         ];
         let c = CostCurve::new(&flat, 0.5);
         assert_eq!(c.effective_width(), 8);

@@ -88,8 +88,12 @@ mod tests {
     #[test]
     fn sweep_times_are_roughly_staircase() {
         let soc = benchmarks::d695();
-        let pts = sweep(&soc, (8..=32).step_by(4).map(|w| w as u16), &SchedulerConfig::new(1))
-            .unwrap();
+        let pts = sweep(
+            &soc,
+            (8..=32).step_by(4).map(|w| w as u16),
+            &SchedulerConfig::new(1),
+        )
+        .unwrap();
         assert_eq!(pts.len(), 7);
         // Heuristic times may wobble a little, but the broad trend must
         // fall: the widest point is well below the narrowest.

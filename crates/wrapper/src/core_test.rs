@@ -50,8 +50,7 @@ impl CoreTest {
         if let Some(index) = scan_chains.iter().position(|&len| len == 0) {
             return Err(WrapperError::ZeroLengthScanChain { index });
         }
-        if patterns == 0 || (inputs == 0 && outputs == 0 && bidirs == 0 && scan_chains.is_empty())
-        {
+        if patterns == 0 || (inputs == 0 && outputs == 0 && bidirs == 0 && scan_chains.is_empty()) {
             return Err(WrapperError::EmptyCore);
         }
         Ok(Self {

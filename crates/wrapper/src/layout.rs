@@ -184,7 +184,13 @@ mod tests {
     use super::*;
     use proptest::prelude::*;
 
-    fn layout(inputs: u32, outputs: u32, bidirs: u32, chains: Vec<u32>, w: TamWidth) -> WrapperLayout {
+    fn layout(
+        inputs: u32,
+        outputs: u32,
+        bidirs: u32,
+        chains: Vec<u32>,
+        w: TamWidth,
+    ) -> WrapperLayout {
         let core = CoreTest::new(inputs, outputs, bidirs, chains, 10).unwrap();
         WrapperLayout::build(&core, w).unwrap()
     }
@@ -226,10 +232,7 @@ mod tests {
     #[test]
     fn zero_width_rejected() {
         let core = CoreTest::new(1, 1, 0, vec![4], 2).unwrap();
-        assert_eq!(
-            WrapperLayout::build(&core, 0),
-            Err(WrapperError::ZeroWidth)
-        );
+        assert_eq!(WrapperLayout::build(&core, 0), Err(WrapperError::ZeroWidth));
     }
 
     proptest! {

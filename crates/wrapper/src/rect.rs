@@ -260,7 +260,13 @@ mod tests {
     use super::*;
     use proptest::prelude::*;
 
-    fn set(inputs: u32, outputs: u32, chains: Vec<u32>, patterns: u64, w: TamWidth) -> RectangleSet {
+    fn set(
+        inputs: u32,
+        outputs: u32,
+        chains: Vec<u32>,
+        patterns: u64,
+        w: TamWidth,
+    ) -> RectangleSet {
         let c = CoreTest::new(inputs, outputs, 0, chains, patterns).unwrap();
         RectangleSet::build(&c, w)
     }
@@ -359,7 +365,10 @@ mod tests {
         let pw = s.pareto_widths();
         let cap = pw[pw.len() / 2];
         assert_eq!(s.highest_pareto_width_at_most(cap), Some(cap));
-        assert_eq!(s.highest_pareto_width_at_most(64), Some(*pw.last().unwrap()));
+        assert_eq!(
+            s.highest_pareto_width_at_most(64),
+            Some(*pw.last().unwrap())
+        );
         if pw[0] == 1 {
             assert_eq!(s.highest_pareto_width_at_most(1), Some(1));
         }

@@ -39,7 +39,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let sram = soc.add_core(
         Core::builder(
             "sram",
-            CoreTest::builder().inputs(20).outputs(20).patterns(400).build()?,
+            CoreTest::builder()
+                .inputs(20)
+                .outputs(20)
+                .patterns(400)
+                .build()?,
         )
         .bist_engine(0)
         .parent(dsp)
@@ -63,7 +67,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         run.lower_bound
     );
     println!();
-    println!("{}", run.schedule.gantt(&|i| soc.core(i).name().to_string(), 80));
+    println!(
+        "{}",
+        run.schedule.gantt(&|i| soc.core(i).name().to_string(), 80)
+    );
 
     for a in run.wires.assignments() {
         println!(

@@ -24,10 +24,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .map(|p| (p.width as f64, p.volume as f64))
         .collect();
     println!("{}", render_plot("testing time T(W)", &t_series, 12, 60));
-    println!("{}", render_plot("tester data volume V(W) = W*T(W)", &v_series, 12, 60));
+    println!(
+        "{}",
+        render_plot("tester data volume V(W) = W*T(W)", &v_series, 12, 60)
+    );
 
     // Figure 9(c)/(d) and Table 2: the cost function and W_eff per alpha.
-    println!("{:>6} {:>6} {:>8} {:>12} {:>14}", "alpha", "W_eff", "C_min", "T", "V");
+    println!(
+        "{:>6} {:>6} {:>8} {:>12} {:>14}",
+        "alpha", "W_eff", "C_min", "T", "V"
+    );
     for alpha in [0.1, 0.3, 0.5, 0.75] {
         let curve = CostCurve::new(&points, alpha);
         let eff = curve.effective_point();

@@ -45,7 +45,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // Peak concurrent power with and without the ceiling.
-    for (label, run) in [("unconstrained", &unconstrained), ("power-limited", &constrained)] {
+    for (label, run) in [
+        ("unconstrained", &unconstrained),
+        ("power-limited", &constrained),
+    ] {
         let peak = run
             .schedule
             .slices()

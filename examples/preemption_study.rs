@@ -15,7 +15,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     benchmarks::grant_preemption_to_large_cores(&mut soc, 2);
 
     let width = 48;
-    let non_preemptive = TestFlow::new(&soc, FlowConfig::quick().without_preemption()).run(width)?;
+    let non_preemptive =
+        TestFlow::new(&soc, FlowConfig::quick().without_preemption()).run(width)?;
     let preemptive = TestFlow::new(&soc, FlowConfig::quick()).run(width)?;
     validate(&soc, &non_preemptive.schedule)?;
     validate(&soc, &preemptive.schedule)?;
@@ -47,7 +48,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             continue;
         }
         let rects = RectangleSet::build(soc.core(idx).test(), stats.width);
-        let penalty = u64::from(stats.preemptions) * rects.rect_at(stats.width).preemption_penalty();
+        let penalty =
+            u64::from(stats.preemptions) * rects.rect_at(stats.width).preemption_penalty();
         total_penalty += penalty;
         println!(
             "{:<6} {:>6} {:>10} {:>14}",

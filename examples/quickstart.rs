@@ -28,7 +28,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         run.schedule.utilization() * 100.0
     );
     println!();
-    println!("{}", run.schedule.gantt(&|i| soc.core(i).name().to_string(), 90));
+    println!(
+        "{}",
+        run.schedule.gantt(&|i| soc.core(i).name().to_string(), 90)
+    );
 
     // The schedule is re-checked by an independent validator, and the
     // fork-and-merge wire assignment is concrete and verified.

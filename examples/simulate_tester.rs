@@ -60,6 +60,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
         assert_eq!(d.cycles_driven, d.cycles_needed);
     }
-    println!("  ... (all {} cores delivered exactly)", image.deliveries.len());
+    println!(
+        "  ... (all {} cores delivered exactly)",
+        image.deliveries.len()
+    );
     Ok(())
 }

@@ -9,10 +9,11 @@ fn full_flow_on_every_benchmark() {
     for soc in benchmarks::all() {
         let flow = TestFlow::new(&soc, FlowConfig::quick());
         for w in [16u16, 32] {
-            let run = flow.run(w).unwrap_or_else(|e| panic!("{} W={w}: {e}", soc.name()));
-            // The schedule satisfies every constraint independently.
-            validate(&soc, &run.schedule)
+            let run = flow
+                .run(w)
                 .unwrap_or_else(|e| panic!("{} W={w}: {e}", soc.name()));
+            // The schedule satisfies every constraint independently.
+            validate(&soc, &run.schedule).unwrap_or_else(|e| panic!("{} W={w}: {e}", soc.name()));
             // It respects the information-theoretic lower bound.
             assert!(run.schedule.makespan() >= run.lower_bound);
             // Its volume obeys the tester memory model.

@@ -4,10 +4,11 @@ use proptest::prelude::*;
 
 use soctam::schedule::bounds::lower_bound;
 use soctam::schedule::validate::{validate, validate_power};
-use soctam::schedule::{ScheduleBuilder, SchedulerConfig};
-use soctam::soc::synth::SynthConfig;
+use soctam::schedule::{ScheduleBuilder, SchedulerConfig, Slice};
 use soctam::soc::itc02;
+use soctam::soc::synth::SynthConfig;
 use soctam::tam::WireAssignment;
+use soctam::wrapper::RectangleSet;
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
@@ -94,6 +95,66 @@ proptest! {
         let schedule = ScheduleBuilder::new(&soc, cfg).run().expect("schedulable");
         for idx in 0..soc.len() {
             prop_assert_eq!(schedule.core_slices(idx).len(), 1);
+        }
+    }
+
+    /// Every schedule of a random valid SOC passes `schedule::validate`,
+    /// and the invariants the validator promises hold when recomputed
+    /// from the raw slices: the TAM is never over-subscribed, an imposed
+    /// power budget is never exceeded, and no core overlaps itself.
+    #[test]
+    fn validated_schedules_hold_under_recomputation(
+        cores in 2usize..16,
+        seed in 0u64..800,
+        width in 2u16..64,
+        constrained in 0u8..2,
+    ) {
+        let mut config = SynthConfig::new(cores).with_preemption(2);
+        if constrained == 1 {
+            config = config.with_constraints();
+        }
+        let soc = config.generate(seed);
+        let p_max = soc.max_core_power();
+        let cfg = SchedulerConfig::new(width).with_power_limit(p_max);
+        let schedule = ScheduleBuilder::new(&soc, cfg).run().expect("schedulable");
+
+        // The library validator accepts it...
+        prop_assert!(validate(&soc, &schedule).is_ok());
+        prop_assert!(validate_power(&soc, &schedule, p_max).is_ok());
+
+        // ...and an independent recomputation agrees. Check at every
+        // event time (slice starts suffice: widths and powers in use are
+        // piecewise-constant and only rise at starts).
+        let mut starts: Vec<u64> = schedule.slices().iter().map(|s| s.start).collect();
+        starts.sort_unstable();
+        starts.dedup();
+        for &t in &starts {
+            let running: Vec<&Slice> = schedule
+                .slices()
+                .iter()
+                .filter(|s| s.start <= t && t < s.end)
+                .collect();
+            let wires: u32 = running.iter().map(|s| u32::from(s.width)).sum();
+            prop_assert!(wires <= u32::from(width), "t={}: {} wires", t, wires);
+            let power: u64 = running.iter().map(|s| soc.core(s.core).power()).sum();
+            prop_assert!(power <= p_max, "t={}: power {} > {}", t, power, p_max);
+        }
+
+        // No core overlaps itself, and its slices cover exactly the
+        // wrapper model's testing time at the assigned width, plus one
+        // scan-in/scan-out penalty per actual interruption.
+        for idx in 0..soc.len() {
+            let mut slices = schedule.core_slices(idx);
+            slices.sort_by_key(|s| s.start);
+            for pair in slices.windows(2) {
+                prop_assert!(pair[0].end <= pair[1].start, "core {} overlaps itself", idx);
+            }
+            let busy: u64 = slices.iter().map(Slice::duration).sum();
+            let rects = RectangleSet::build(soc.core(idx).test(), slices[0].width);
+            let preemptions = (slices.len() - 1) as u64;
+            let expected = rects.time_at(slices[0].width)
+                + preemptions * rects.rect_at(slices[0].width).preemption_penalty();
+            prop_assert_eq!(busy, expected, "core {}", idx);
         }
     }
 }

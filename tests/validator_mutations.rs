@@ -152,12 +152,7 @@ fn precedence_violations_are_caught() {
     // Add a precedence edge that the existing schedule certainly violates:
     // the last-finishing core must precede the first-starting one.
     let first = schedule.slices().first().unwrap().core;
-    let last = schedule
-        .slices()
-        .iter()
-        .max_by_key(|s| s.end)
-        .unwrap()
-        .core;
+    let last = schedule.slices().iter().max_by_key(|s| s.end).unwrap().core;
     if first != last {
         soc.add_precedence(last, first).unwrap();
         let err = validate(&soc, &schedule).unwrap_err();
