@@ -3,7 +3,8 @@
 //! Ultra 10 took < 5 s per run; one run here is a single (m, d) point).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use soctam_core::schedule::{ScheduleBuilder, SchedulerConfig};
+use soctam_core::flow::{FlowConfig, ParamSweep, TestFlow};
+use soctam_core::schedule::{RectangleMenus, ScheduleBuilder, SchedulerConfig};
 use soctam_core::soc::benchmarks;
 use soctam_core::soc::synth::SynthConfig;
 
@@ -60,10 +61,62 @@ fn bench_scalability(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_menu_sharing(c: &mut Criterion) {
+    // The sweep-scale hot path: one shared menu build vs a rebuild per run.
+    let mut group = c.benchmark_group("schedule_menu_sharing");
+    let soc = benchmarks::p22810();
+    let cfg = SchedulerConfig::new(64);
+    group.bench_function("p22810_w64_rebuild_per_run", |b| {
+        b.iter(|| {
+            ScheduleBuilder::new(&soc, cfg.clone())
+                .run()
+                .expect("schedulable")
+                .makespan()
+        });
+    });
+    let menus = RectangleMenus::for_config(&soc, &cfg);
+    group.bench_function("p22810_w64_shared_menus", |b| {
+        b.iter(|| {
+            ScheduleBuilder::new(&soc, cfg.clone())
+                .with_menus(&menus)
+                .run()
+                .expect("schedulable")
+                .makespan()
+        });
+    });
+    group.finish();
+}
+
+fn bench_flow_sweep(c: &mut Criterion) {
+    // The quick (m, d, slack) grid end to end: shared menus + dedup +
+    // parallel execution inside `best_schedule`.
+    let mut group = c.benchmark_group("flow_quick_sweep");
+    group.sample_size(10);
+    for name in ["d695", "p22810"] {
+        let soc = benchmarks::by_name(name).expect("known benchmark");
+        let cfg = FlowConfig {
+            sweep: ParamSweep::quick(),
+            ..FlowConfig::new()
+        };
+        group.bench_function(BenchmarkId::from_parameter(name), |b| {
+            b.iter(|| {
+                TestFlow::new(&soc, cfg.clone())
+                    .best_schedule(64)
+                    .expect("schedulable")
+                    .0
+                    .makespan()
+            });
+        });
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_single_runs,
     bench_constrained_runs,
-    bench_scalability
+    bench_scalability,
+    bench_menu_sharing,
+    bench_flow_sweep
 );
 criterion_main!(benches);

@@ -1,0 +1,136 @@
+//! Performance snapshot of the flow's sweep hot path.
+//!
+//! For each benchmark SOC, times the best-of parameter sweep at the SOC's
+//! widest Table 1 TAM width — the quick sweep always, the headline
+//! (extended) sweep unless `--quick` — and writes the measurements to
+//! `BENCH_sweep.json`, seeding the repo's perf trajectory.
+//!
+//! Run with: `cargo run --release -p soctam-bench --bin perfsnap`
+//! Options:  `--quick` times only the quick sweep (the CI perf smoke);
+//!           `--soc <name>` restricts to one SOC;
+//!           `--out <file>` changes the output path.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use soctam_bench::{headline_config, json_escape, opt_value};
+use soctam_core::flow::{FlowConfig, ParamSweep, SweepStats, TestFlow};
+use soctam_core::soc::benchmarks;
+
+struct Timing {
+    sweep: &'static str,
+    seconds: f64,
+    makespan: u64,
+    params: (u32, u16, u16),
+    stats: SweepStats,
+}
+
+fn time_sweep(
+    soc: &soctam_core::soc::Soc,
+    width: u16,
+    sweep: &'static str,
+    cfg: &FlowConfig,
+) -> Timing {
+    let flow = TestFlow::new(soc, cfg.clone());
+    let t0 = Instant::now();
+    let (schedule, params, stats) = flow
+        .best_schedule_detailed(width)
+        .expect("benchmark SOCs are schedulable");
+    Timing {
+        sweep,
+        seconds: t0.elapsed().as_secs_f64(),
+        makespan: schedule.makespan(),
+        params,
+        stats,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let only = opt_value(&args, "--soc");
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = opt_value(&args, "--out").unwrap_or_else(|| "BENCH_sweep.json".to_owned());
+    let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+
+    let mut soc_blocks = Vec::new();
+    for name in benchmarks::NAMES {
+        if only.as_deref().is_some_and(|o| o != name) {
+            continue;
+        }
+        let soc = benchmarks::by_name(name).expect("known benchmark");
+        let width = *benchmarks::table1_widths(name).last().expect("four widths");
+
+        let mut timings = vec![time_sweep(
+            &soc,
+            width,
+            "quick",
+            &FlowConfig {
+                sweep: ParamSweep::quick(),
+                ..FlowConfig::new()
+            },
+        )];
+        if !quick {
+            timings.push(time_sweep(&soc, width, "headline", &headline_config()));
+        }
+        for t in &timings {
+            println!(
+                "{name} W={width} {:>8}: {:.3}s, T = {} (m={}, d={}, slack={}), \
+                 {} of {} runs ({} deduped)",
+                t.sweep,
+                t.seconds,
+                t.makespan,
+                t.params.0,
+                t.params.1,
+                t.params.2,
+                t.stats.runs_executed,
+                t.stats.runs_total,
+                t.stats.runs_skipped,
+            );
+        }
+        soc_blocks.push((name, width, timings));
+    }
+
+    let mut json = String::new();
+    json.push_str("{\n  \"bench\": \"perfsnap\",\n");
+    let _ = writeln!(
+        json,
+        "  \"mode\": \"{}\",",
+        if quick { "quick" } else { "full" }
+    );
+    let _ = writeln!(json, "  \"threads\": {threads},");
+    json.push_str("  \"socs\": [\n");
+    for (i, (name, width, timings)) in soc_blocks.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"soc\": \"{}\", \"width\": {width}, \"sweeps\": [",
+            json_escape(name)
+        );
+        for (j, t) in timings.iter().enumerate() {
+            let sep = if j + 1 == timings.len() { "" } else { "," };
+            let _ = writeln!(
+                json,
+                "      {{\"sweep\": \"{}\", \"seconds\": {:.6}, \"makespan\": {}, \
+                 \"m\": {}, \"d\": {}, \"slack\": {}, \"runs_total\": {}, \
+                 \"runs_executed\": {}, \"runs_skipped\": {}}}{sep}",
+                t.sweep,
+                t.seconds,
+                t.makespan,
+                t.params.0,
+                t.params.1,
+                t.params.2,
+                t.stats.runs_total,
+                t.stats.runs_executed,
+                t.stats.runs_skipped,
+            );
+        }
+        let sep = if i + 1 == soc_blocks.len() { "" } else { "," };
+        let _ = writeln!(json, "    ]}}{sep}");
+    }
+    json.push_str("  ]\n}\n");
+
+    if let Err(e) = std::fs::write(&out_path, &json) {
+        eprintln!("error: writing `{out_path}`: {e}");
+        std::process::exit(1);
+    }
+    println!("wrote {out_path}");
+}

@@ -4,19 +4,45 @@
 //!
 //! Run with: `cargo run --release -p soctam-bench --bin table1`
 //! Options:  `--soc <name>` restricts to one SOC; `--quick` uses the small
-//! parameter sweep.
+//! parameter sweep; `--json` emits the rows as a JSON document instead of
+//! the text table.
 
 use std::time::Instant;
 
-use soctam_bench::{headline_config, opt_value};
+use soctam_bench::{headline_config, json_escape, opt_value};
 use soctam_core::flow::{FlowConfig, ParamSweep};
-use soctam_core::report::{render_table1, table1_rows};
+use soctam_core::report::{render_table1, table1_rows, Table1Row};
 use soctam_core::soc::benchmarks;
+
+fn json_table1(sweep: &str, rows: &[Table1Row]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"table\": \"table1\",\n");
+    out.push_str(&format!("  \"sweep\": \"{}\",\n", json_escape(sweep)));
+    out.push_str("  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let sep = if i + 1 == rows.len() { "" } else { "," };
+        out.push_str(&format!(
+            "    {{\"soc\": \"{}\", \"width\": {}, \"lower_bound\": {}, \
+             \"non_preemptive\": {}, \"preemptive\": {}, \"power_constrained\": {}}}{sep}\n",
+            json_escape(&r.soc),
+            r.width,
+            r.lower_bound,
+            r.non_preemptive,
+            r.preemptive,
+            r.power_constrained
+        ));
+    }
+    out.push_str("  ]\n}");
+    out
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let only = opt_value(&args, "--soc");
-    let cfg = if args.iter().any(|a| a == "--quick") {
+    let quick = args.iter().any(|a| a == "--quick");
+    let json = args.iter().any(|a| a == "--json");
+    let cfg = if quick {
         FlowConfig {
             sweep: ParamSweep::quick(),
             ..FlowConfig::new()
@@ -25,9 +51,11 @@ fn main() {
         headline_config()
     };
 
-    println!("Table 1: wrapper/TAM co-optimization and test scheduling");
-    println!("(testing time in cycles; best over m/d/slack parameter sweep)");
-    println!();
+    if !json {
+        println!("Table 1: wrapper/TAM co-optimization and test scheduling");
+        println!("(testing time in cycles; best over m/d/slack parameter sweep)");
+        println!();
+    }
 
     let mut rows = Vec::new();
     for name in benchmarks::NAMES {
@@ -44,5 +72,10 @@ fn main() {
             Err(e) => eprintln!("{name}: failed: {e}"),
         }
     }
-    println!("{}", render_table1(&rows));
+    if json {
+        let sweep = if quick { "quick" } else { "headline" };
+        println!("{}", json_table1(sweep, &rows));
+    } else {
+        println!("{}", render_table1(&rows));
+    }
 }

@@ -33,6 +33,24 @@ pub fn opt_value(args: &[String], name: &str) -> Option<String> {
         .cloned()
 }
 
+/// Escapes a string for embedding in a JSON document (the bench bins emit
+/// JSON by hand; the workspace is vendored-only, so no serde).
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -47,5 +65,12 @@ mod tests {
         let args: Vec<String> = ["--part", "a"].iter().map(|s| s.to_string()).collect();
         assert_eq!(opt_value(&args, "--part").as_deref(), Some("a"));
         assert_eq!(opt_value(&args, "--missing"), None);
+    }
+
+    #[test]
+    fn json_escape_handles_specials() {
+        assert_eq!(json_escape("plain"), "plain");
+        assert_eq!(json_escape("a\"b\\c"), "a\\\"b\\\\c");
+        assert_eq!(json_escape("line\nbreak\u{1}"), "line\\nbreak\\u0001");
     }
 }

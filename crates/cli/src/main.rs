@@ -122,6 +122,10 @@ fn cmd_schedule(args: &[String]) -> Result<(), String> {
         run.params.1,
         run.params.2,
     );
+    println!(
+        "sweep: {} of {} grid points run ({} deduplicated)",
+        run.sweep.runs_executed, run.sweep.runs_total, run.sweep.runs_skipped,
+    );
     if flag(args, "--gantt") {
         println!();
         println!(

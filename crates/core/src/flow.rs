@@ -1,8 +1,26 @@
 //! The one-stop test automation flow: SOC in, schedule + wires + trade-off
 //! data out.
+//!
+//! The flow's `(m, d, slack)` best-of search is the system's hot path: one
+//! table reproduction executes the scheduler hundreds of times per TAM
+//! width. Three sweep-scale optimizations keep it fast without changing a
+//! single output bit:
+//!
+//! 1. **Shared menus** — rectangle menus are invariant across the grid, so
+//!    one [`RectangleMenus`] build per width feeds every run;
+//! 2. **Deduplication** — `(m, d)` pairs that resolve to identical per-core
+//!    preferred-width vectors schedule identically and run once;
+//! 3. **Parallelism** — the surviving runs execute on scoped threads, and
+//!    the winner is reduced in grid order, bit-identical to the
+//!    sequential sweep.
+
+use std::collections::{HashMap, HashSet};
+use std::num::NonZeroUsize;
 
 use soctam_schedule::bounds::lower_bound;
-use soctam_schedule::{Schedule, ScheduleBuilder, ScheduleError, SchedulerConfig, TamWidth};
+use soctam_schedule::{
+    RectangleMenus, Schedule, ScheduleBuilder, ScheduleError, SchedulerConfig, TamWidth,
+};
 use soctam_soc::Soc;
 use soctam_tam::WireAssignment;
 use soctam_volume::{volume_of, CostCurve, SweepPoint};
@@ -92,6 +110,10 @@ pub struct FlowConfig {
     pub power: PowerPolicy,
     /// Whether per-core preemption budgets are honoured.
     pub allow_preemption: bool,
+    /// Run the parameter grid on scoped threads (`true`, the default) or
+    /// sequentially. Results are bit-identical either way; the switch
+    /// exists for debugging and for the equivalence test suite.
+    pub parallel: bool,
 }
 
 impl FlowConfig {
@@ -102,6 +124,7 @@ impl FlowConfig {
             sweep: ParamSweep::extended(),
             power: PowerPolicy::Unlimited,
             allow_preemption: true,
+            parallel: true,
         }
     }
 
@@ -124,6 +147,12 @@ impl FlowConfig {
         self.allow_preemption = false;
         self
     }
+
+    /// Selects parallel or sequential sweep execution.
+    pub fn with_parallel(mut self, parallel: bool) -> Self {
+        self.parallel = parallel;
+        self
+    }
 }
 
 impl Default for FlowConfig {
@@ -132,19 +161,37 @@ impl Default for FlowConfig {
     }
 }
 
+/// Winning sweep parameters: `(m, d, slack)`.
+pub type SweepParams = (u32, TamWidth, TamWidth);
+
+/// Tally of one parameter sweep: how many grid points there were and how
+/// many actually had to run after deduplication.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SweepStats {
+    /// Grid points in the configured sweep.
+    pub runs_total: usize,
+    /// Scheduler runs actually executed.
+    pub runs_executed: usize,
+    /// Grid points skipped because an earlier point had the same slack and
+    /// per-core preferred-width vector (identical schedule guaranteed).
+    pub runs_skipped: usize,
+}
+
 /// Result of one flow run at one TAM width.
 #[derive(Debug, Clone)]
 pub struct FlowRun {
     /// The winning schedule.
     pub schedule: Schedule,
     /// Parameters that won the sweep: `(m, d, slack)`.
-    pub params: (u32, TamWidth, TamWidth),
+    pub params: SweepParams,
     /// Testing-time lower bound at this width.
     pub lower_bound: u64,
     /// Concrete fork-and-merge wire assignment (verified).
     pub wires: WireAssignment,
     /// Tester data volume `W · T`.
     pub volume: u64,
+    /// Sweep dedup tally.
+    pub sweep: SweepStats,
 }
 
 /// The integrated framework entry point.
@@ -185,44 +232,151 @@ impl<'a> TestFlow<'a> {
         cfg
     }
 
+    /// The per-core width cap a run at SOC width `w` uses. Delegates to
+    /// `SchedulerConfig::effective_w_max` (the clamp the scheduler checks
+    /// shared menus against) so the two can never drift apart; the sweep
+    /// parameters passed here don't affect the cap.
+    fn effective_w_max(&self, w: TamWidth) -> TamWidth {
+        self.scheduler_config(w, 1, 0, 3).effective_w_max()
+    }
+
+    /// Builds the shared rectangle menus for one SOC width.
+    pub fn menus_for(&self, w: TamWidth) -> RectangleMenus {
+        RectangleMenus::build(self.soc, self.effective_w_max(w))
+    }
+
     /// Finds the best schedule at `w` over the configured parameter sweep.
     ///
     /// # Errors
     ///
     /// Propagates scheduling errors if every parameter combination fails
     /// (e.g. an infeasible power ceiling).
-    pub fn best_schedule(
+    pub fn best_schedule(&self, w: TamWidth) -> Result<(Schedule, SweepParams), ScheduleError> {
+        self.best_schedule_detailed(w)
+            .map(|(schedule, params, _)| (schedule, params))
+    }
+
+    /// [`TestFlow::best_schedule`] plus the sweep dedup tally.
+    ///
+    /// # Errors
+    ///
+    /// As for [`TestFlow::best_schedule`].
+    pub fn best_schedule_detailed(
         &self,
         w: TamWidth,
-    ) -> Result<(Schedule, (u32, TamWidth, TamWidth)), ScheduleError> {
-        let mut best: Option<(Schedule, (u32, TamWidth, TamWidth))> = None;
-        let mut first_err = None;
+    ) -> Result<(Schedule, SweepParams, SweepStats), ScheduleError> {
+        let menus = self.menus_for(w);
+        self.best_schedule_with_menus(w, &menus)
+    }
+
+    /// The sweep proper, over caller-provided menus (so a width sweep can
+    /// reuse one build across widths with the same effective cap).
+    fn best_schedule_with_menus(
+        &self,
+        w: TamWidth,
+        menus: &RectangleMenus,
+    ) -> Result<(Schedule, SweepParams, SweepStats), ScheduleError> {
+        // Preferred widths depend only on (m, d), never on slack; compute
+        // each vector once instead of once per slack value.
+        let prefs_by_md: Vec<Vec<TamWidth>> = self
+            .cfg
+            .sweep
+            .percents
+            .iter()
+            .flat_map(|&m| {
+                self.cfg.sweep.bumps.iter().map(move |&d| {
+                    // The slack knob is irrelevant to preferred widths.
+                    menus.preferred_widths(&self.scheduler_config(w, m, d, 0))
+                })
+            })
+            .collect();
+
+        // Enumerate the grid in its canonical order (slack, then m, then d)
+        // and drop points whose (slack, preferred-width vector) was already
+        // seen: m and d influence a run only through the preferred widths,
+        // so such points schedule identically to their representative, and
+        // the strict `<` winner rule means skipping them cannot change the
+        // winning schedule or the reported parameters.
+        let mut unique: Vec<(SchedulerConfig, SweepParams)> = Vec::new();
+        let mut seen: HashSet<(TamWidth, &[TamWidth])> = HashSet::new();
+        let mut runs_total = 0usize;
         for &slack in &self.cfg.sweep.slacks {
-            for &m in &self.cfg.sweep.percents {
-                for &d in &self.cfg.sweep.bumps {
-                    match ScheduleBuilder::new(self.soc, self.scheduler_config(w, m, d, slack))
-                        .run()
-                    {
-                        Ok(s) => {
-                            if best
-                                .as_ref()
-                                .is_none_or(|(b, _)| s.makespan() < b.makespan())
-                            {
-                                best = Some((s, (m, d, slack)));
-                            }
-                        }
-                        Err(e) => {
-                            first_err.get_or_insert(e);
-                        }
+            for (mi, &m) in self.cfg.sweep.percents.iter().enumerate() {
+                for (di, &d) in self.cfg.sweep.bumps.iter().enumerate() {
+                    runs_total += 1;
+                    let prefs = &prefs_by_md[mi * self.cfg.sweep.bumps.len() + di];
+                    if seen.insert((slack, prefs)) {
+                        unique.push((self.scheduler_config(w, m, d, slack), (m, d, slack)));
                     }
                 }
             }
         }
-        best.ok_or_else(|| {
-            first_err.unwrap_or(ScheduleError::InvalidConfig {
-                reason: "empty parameter sweep".to_owned(),
+        let stats = SweepStats {
+            runs_total,
+            runs_executed: unique.len(),
+            runs_skipped: runs_total - unique.len(),
+        };
+
+        // Execute the surviving runs, in parallel when configured. Each
+        // slot is written by exactly one thread; the reduction below walks
+        // the slots in grid order, so the winner (first strictly smaller
+        // makespan) and the reported error (first failing grid point) are
+        // bit-identical to the sequential sweep.
+        let run_one = |cfg: &SchedulerConfig| {
+            ScheduleBuilder::new(self.soc, cfg.clone())
+                .with_menus(menus)
+                .run()
+        };
+        let mut results: Vec<Option<Result<Schedule, ScheduleError>>> =
+            (0..unique.len()).map(|_| None).collect();
+        let threads = if self.cfg.parallel {
+            std::thread::available_parallelism()
+                .map(NonZeroUsize::get)
+                .unwrap_or(1)
+                .min(unique.len().max(1))
+        } else {
+            1
+        };
+        if threads <= 1 {
+            for (slot, (cfg, _)) in results.iter_mut().zip(&unique) {
+                *slot = Some(run_one(cfg));
+            }
+        } else {
+            let chunk = unique.len().div_ceil(threads);
+            std::thread::scope(|scope| {
+                for (slots, cfgs) in results.chunks_mut(chunk).zip(unique.chunks(chunk)) {
+                    scope.spawn(move || {
+                        for (slot, (cfg, _)) in slots.iter_mut().zip(cfgs) {
+                            *slot = Some(run_one(cfg));
+                        }
+                    });
+                }
+            });
+        }
+
+        let mut best: Option<(Schedule, SweepParams)> = None;
+        let mut first_err = None;
+        for ((_, params), result) in unique.iter().zip(results) {
+            match result.expect("every slot filled") {
+                Ok(s) => {
+                    if best
+                        .as_ref()
+                        .is_none_or(|(b, _)| s.makespan() < b.makespan())
+                    {
+                        best = Some((s, *params));
+                    }
+                }
+                Err(e) => {
+                    first_err.get_or_insert(e);
+                }
+            }
+        }
+        best.map(|(schedule, params)| (schedule, params, stats))
+            .ok_or_else(|| {
+                first_err.unwrap_or(ScheduleError::InvalidConfig {
+                    reason: "empty parameter sweep".to_owned(),
+                })
             })
-        })
     }
 
     /// Runs the full flow at one width: best schedule, lower bound, wire
@@ -233,7 +387,7 @@ impl<'a> TestFlow<'a> {
     /// Scheduling errors as in [`TestFlow::best_schedule`]; wire assignment
     /// cannot fail for schedules this flow produces.
     pub fn run(&self, w: TamWidth) -> Result<FlowRun, ScheduleError> {
-        let (schedule, params) = self.best_schedule(w)?;
+        let (schedule, params, sweep) = self.best_schedule_detailed(w)?;
         let wires = WireAssignment::assign(&schedule).map_err(|e| ScheduleError::Invalid {
             reason: e.to_string(),
         })?;
@@ -247,6 +401,7 @@ impl<'a> TestFlow<'a> {
             schedule,
             params,
             wires,
+            sweep,
         })
     }
 
@@ -260,9 +415,15 @@ impl<'a> TestFlow<'a> {
         &self,
         widths: impl IntoIterator<Item = TamWidth>,
     ) -> Result<Vec<SweepPoint>, ScheduleError> {
+        // Widths above `w_max` share one effective cap and hence one menu
+        // build; cache menus by cap across the whole width sweep.
+        let mut menu_cache: HashMap<TamWidth, RectangleMenus> = HashMap::new();
         let mut out = Vec::new();
         for w in widths {
-            let (schedule, _) = self.best_schedule(w)?;
+            let menus = menu_cache
+                .entry(self.effective_w_max(w))
+                .or_insert_with(|| self.menus_for(w));
+            let (schedule, _, _) = self.best_schedule_with_menus(w, menus)?;
             let time = schedule.makespan();
             out.push(SweepPoint {
                 width: w,
@@ -346,5 +507,28 @@ mod tests {
         assert_eq!(ParamSweep::paper().runs(), 10 * 5);
         assert!(ParamSweep::extended().runs() > ParamSweep::paper().runs());
         assert_eq!(ParamSweep::quick().runs(), 5 * 3 * 2);
+    }
+
+    #[test]
+    fn dedup_skips_runs_and_reports_them() {
+        let soc = benchmarks::d695();
+        let flow = TestFlow::new(&soc, FlowConfig::quick());
+        let (_, _, stats) = flow.best_schedule_detailed(16).unwrap();
+        assert_eq!(stats.runs_total, ParamSweep::quick().runs());
+        assert_eq!(stats.runs_executed + stats.runs_skipped, stats.runs_total);
+        // The quick grid's coarse m values collapse heavily.
+        assert!(stats.runs_skipped > 0, "expected duplicate grid points");
+    }
+
+    #[test]
+    fn parallel_and_sequential_sweeps_agree() {
+        let soc = benchmarks::d695();
+        let par = TestFlow::new(&soc, FlowConfig::quick());
+        let seq = TestFlow::new(&soc, FlowConfig::quick().with_parallel(false));
+        let (sp, pp, statp) = par.best_schedule_detailed(24).unwrap();
+        let (ss, ps, stats) = seq.best_schedule_detailed(24).unwrap();
+        assert_eq!(sp, ss);
+        assert_eq!(pp, ps);
+        assert_eq!(statp, stats);
     }
 }

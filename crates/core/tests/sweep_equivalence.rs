@@ -1,0 +1,115 @@
+//! Equivalence suite for the sweep-scale optimizations: shared rectangle
+//! menus, run deduplication, and parallel grid execution must all be
+//! bit-identical to the naive sequential rebuild-per-run sweep.
+
+use soctam_core::flow::{FlowConfig, ParamSweep, TestFlow};
+use soctam_core::schedule::{Schedule, ScheduleBuilder, SchedulerConfig, TamWidth};
+use soctam_core::soc::{benchmarks, Soc};
+
+fn quick_flow() -> FlowConfig {
+    FlowConfig {
+        sweep: ParamSweep::quick(),
+        ..FlowConfig::new()
+    }
+}
+
+/// The pre-optimization sweep, verbatim: sequential grid order (slack,
+/// then m, then d), no menu sharing, no dedup, strict-`<` winner rule.
+fn reference_best_schedule(
+    soc: &Soc,
+    cfg: &FlowConfig,
+    w: TamWidth,
+) -> (Schedule, (u32, TamWidth, TamWidth)) {
+    let mut best: Option<(Schedule, (u32, TamWidth, TamWidth))> = None;
+    for &slack in &cfg.sweep.slacks {
+        for &m in &cfg.sweep.percents {
+            for &d in &cfg.sweep.bumps {
+                let mut scfg = SchedulerConfig::new(w).with_percent(m).with_bump(d);
+                scfg.w_max = cfg.w_max;
+                scfg.idle_fill_slack = slack;
+                scfg.allow_preemption = cfg.allow_preemption;
+                let s = ScheduleBuilder::new(soc, scfg).run().expect("schedulable");
+                if best
+                    .as_ref()
+                    .is_none_or(|(b, _)| s.makespan() < b.makespan())
+                {
+                    best = Some((s, (m, d, slack)));
+                }
+            }
+        }
+    }
+    best.expect("non-empty sweep")
+}
+
+fn assert_flow_matches_reference(soc: &Soc, w: TamWidth) {
+    let (ref_schedule, ref_params) = reference_best_schedule(soc, &quick_flow(), w);
+    let (opt_schedule, opt_params, stats) = TestFlow::new(soc, quick_flow())
+        .best_schedule_detailed(w)
+        .expect("schedulable");
+    assert_eq!(
+        opt_schedule,
+        ref_schedule,
+        "cached-menu/dedup/parallel sweep diverged from rebuild-per-run on {}",
+        soc.name()
+    );
+    assert_eq!(opt_params, ref_params, "winning (m, d, slack) diverged");
+    assert_eq!(stats.runs_total, ParamSweep::quick().runs());
+    assert_eq!(stats.runs_executed + stats.runs_skipped, stats.runs_total);
+}
+
+#[test]
+fn cached_menus_match_rebuild_per_run_d695() {
+    assert_flow_matches_reference(&benchmarks::d695(), 16);
+    assert_flow_matches_reference(&benchmarks::d695(), 48);
+}
+
+#[test]
+fn cached_menus_match_rebuild_per_run_p22810() {
+    assert_flow_matches_reference(&benchmarks::p22810(), 32);
+}
+
+#[test]
+fn parallel_matches_sequential_d695() {
+    let soc = benchmarks::d695();
+    for w in [16u16, 32, 64] {
+        let (sp, pp, statp) = TestFlow::new(&soc, quick_flow())
+            .best_schedule_detailed(w)
+            .unwrap();
+        let (ss, ps, stats) = TestFlow::new(&soc, quick_flow().with_parallel(false))
+            .best_schedule_detailed(w)
+            .unwrap();
+        assert_eq!(sp, ss, "parallel sweep diverged at W={w}");
+        assert_eq!(pp, ps);
+        assert_eq!(statp, stats);
+    }
+}
+
+#[test]
+fn parallel_matches_sequential_p22810() {
+    let soc = benchmarks::p22810();
+    let (sp, pp, _) = TestFlow::new(&soc, quick_flow())
+        .best_schedule_detailed(48)
+        .unwrap();
+    let (ss, ps, _) = TestFlow::new(&soc, quick_flow().with_parallel(false))
+        .best_schedule_detailed(48)
+        .unwrap();
+    assert_eq!(sp, ss);
+    assert_eq!(pp, ps);
+}
+
+#[test]
+fn power_constrained_sweep_is_also_equivalent() {
+    // Dedup keys only on (slack, preferred widths); make sure a sweep with
+    // an active power ceiling stays equivalent too.
+    use soctam_core::flow::PowerPolicy;
+    let soc = benchmarks::d695();
+    let cfg = quick_flow().with_power(PowerPolicy::MaxCorePower);
+    let (par, pp, _) = TestFlow::new(&soc, cfg.clone())
+        .best_schedule_detailed(32)
+        .unwrap();
+    let (seq, ps, _) = TestFlow::new(&soc, cfg.with_parallel(false))
+        .best_schedule_detailed(32)
+        .unwrap();
+    assert_eq!(par, seq);
+    assert_eq!(pp, ps);
+}

@@ -1,0 +1,130 @@
+//! A compact fixed-capacity bitset for the scheduler's incremental
+//! constraint state.
+//!
+//! The packer's inner loops ask "is core `i` complete/scheduled?" for every
+//! candidate at every step. Materializing `Vec<bool>` snapshots per query
+//! made the candidate scan O(n²) with two heap allocations per call; the
+//! scheduler instead maintains these [`BitSet`]s incrementally on
+//! assign/retire and the conflict check reads them allocation-free.
+
+/// A fixed-capacity set of core indices backed by `u64` words.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BitSet {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl BitSet {
+    /// An empty set over the index universe `0..len`.
+    pub fn new(len: usize) -> Self {
+        Self {
+            words: vec![0; len.div_ceil(64)],
+            len,
+        }
+    }
+
+    /// Builds a set from a boolean slice (`bits[i]` ⇒ `i` is a member).
+    pub fn from_bools(bits: &[bool]) -> Self {
+        let mut s = Self::new(bits.len());
+        for (i, &b) in bits.iter().enumerate() {
+            if b {
+                s.insert(i);
+            }
+        }
+        s
+    }
+
+    /// Size of the index universe (not the member count).
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the index universe is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Membership test.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len`.
+    #[inline]
+    pub fn contains(&self, i: usize) -> bool {
+        assert!(i < self.len, "index {i} outside 0..{}", self.len);
+        self.words[i / 64] & (1 << (i % 64)) != 0
+    }
+
+    /// Adds `i` to the set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len`.
+    #[inline]
+    pub fn insert(&mut self, i: usize) {
+        assert!(i < self.len, "index {i} outside 0..{}", self.len);
+        self.words[i / 64] |= 1 << (i % 64);
+    }
+
+    /// Removes `i` from the set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len`.
+    #[inline]
+    pub fn remove(&mut self, i: usize) {
+        assert!(i < self.len, "index {i} outside 0..{}", self.len);
+        self.words[i / 64] &= !(1 << (i % 64));
+    }
+
+    /// Number of members.
+    pub fn count(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_contains_remove_roundtrip() {
+        let mut s = BitSet::new(130);
+        assert_eq!(s.len(), 130);
+        assert_eq!(s.count(), 0);
+        for i in [0usize, 1, 63, 64, 65, 127, 128, 129] {
+            assert!(!s.contains(i));
+            s.insert(i);
+            assert!(s.contains(i));
+        }
+        assert_eq!(s.count(), 8);
+        s.remove(64);
+        assert!(!s.contains(64));
+        assert!(s.contains(63) && s.contains(65));
+        assert_eq!(s.count(), 7);
+    }
+
+    #[test]
+    fn from_bools_matches_slice() {
+        let bits = [true, false, true, true, false];
+        let s = BitSet::from_bools(&bits);
+        for (i, &b) in bits.iter().enumerate() {
+            assert_eq!(s.contains(i), b);
+        }
+        assert_eq!(s.count(), 3);
+    }
+
+    #[test]
+    fn empty_universe() {
+        let s = BitSet::new(0);
+        assert!(s.is_empty());
+        assert_eq!(s.count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn out_of_range_panics() {
+        let s = BitSet::new(8);
+        let _ = s.contains(8);
+    }
+}

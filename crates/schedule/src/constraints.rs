@@ -3,19 +3,23 @@
 
 use soctam_soc::{CoreIdx, Soc};
 
+use crate::bitset::BitSet;
+
 /// Precompiled constraint tables for one SOC.
 ///
 /// Precedence is stored as, per core, the list of cores that must complete
 /// *before* it; concurrency (including hierarchy-derived pairs) as a
 /// per-core adjacency list; BIST engines as per-core engine ids. The
 /// scheduler queries [`ConstraintSet::conflicts`] (the paper's `Conflict`)
-/// before every assignment.
+/// before every assignment, feeding it incrementally maintained state so
+/// the check allocates nothing.
 #[derive(Debug, Clone)]
 pub struct ConstraintSet {
     predecessors: Vec<Vec<CoreIdx>>,
     excludes: Vec<Vec<CoreIdx>>,
     bist: Vec<Option<usize>>,
     power: Vec<u64>,
+    num_bist_engines: usize,
 }
 
 impl ConstraintSet {
@@ -31,13 +35,32 @@ impl ConstraintSet {
             excludes[a].push(b);
             excludes[b].push(a);
         }
-        let bist: Vec<Option<usize>> = soc.cores().iter().map(|c| c.bist_engine()).collect();
+        // Raw engine ids are arbitrary (sparse, possibly huge); remap them
+        // to dense indices so the occupancy table stays at most n entries.
+        let mut engine_ids: Vec<usize> = Vec::new();
+        let bist: Vec<Option<usize>> = soc
+            .cores()
+            .iter()
+            .map(|c| {
+                c.bist_engine().map(|raw| {
+                    engine_ids
+                        .iter()
+                        .position(|&e| e == raw)
+                        .unwrap_or_else(|| {
+                            engine_ids.push(raw);
+                            engine_ids.len() - 1
+                        })
+                })
+            })
+            .collect();
         let power: Vec<u64> = soc.cores().iter().map(|c| c.power()).collect();
+        let num_bist_engines = engine_ids.len();
         Self {
             predecessors,
             excludes,
             bist,
             power,
+            num_bist_engines,
         }
     }
 
@@ -66,29 +89,50 @@ impl ConstraintSet {
         self.power[core]
     }
 
+    /// Dense BIST-engine index of `core`, if it shares an engine. Raw SOC
+    /// engine ids are remapped to `0..num_bist_engines()` at compile time;
+    /// two cores share an engine iff their dense indices are equal.
+    pub fn bist_engine(&self, core: CoreIdx) -> Option<usize> {
+        self.bist[core]
+    }
+
+    /// Number of distinct BIST engines; occupancy tables passed to
+    /// [`ConstraintSet::conflicts`] must have this length.
+    pub fn num_bist_engines(&self) -> usize {
+        self.num_bist_engines
+    }
+
     /// The paper's `Conflict` check (Figure 7): would starting `core` now
     /// violate a precedence, concurrency, power, or BIST constraint?
     ///
-    /// * `complete` and `scheduled` are per-core status slices;
+    /// * `complete` and `scheduled` are per-core status bitsets, maintained
+    ///   incrementally by the caller as tests are assigned and retired;
+    /// * `bist_load` counts the scheduled tests per BIST engine
+    ///   ([`ConstraintSet::num_bist_engines`] entries);
     /// * `scheduled_power` is the power of currently scheduled tests;
     /// * `p_max` is the optional ceiling.
+    ///
+    /// `core` itself must not be scheduled. The check reads the shared
+    /// state directly and performs no heap allocation.
     pub fn conflicts(
         &self,
         core: CoreIdx,
-        complete: &[bool],
-        scheduled: &[bool],
+        complete: &BitSet,
+        scheduled: &BitSet,
+        bist_load: &[u32],
         scheduled_power: u64,
         p_max: Option<u64>,
     ) -> bool {
+        debug_assert!(!scheduled.contains(core), "candidate already scheduled");
         // (i) precedence: all predecessors must have completed.
         for &p in &self.predecessors[core] {
-            if !complete[p] {
+            if !complete.contains(p) {
                 return true;
             }
         }
         // (ii) concurrency: no excluded core may be scheduled.
         for &x in &self.excludes[core] {
-            if scheduled[x] {
+            if scheduled.contains(x) {
                 return true;
             }
         }
@@ -98,12 +142,11 @@ impl ConstraintSet {
                 return true;
             }
         }
-        // (iv) BIST-engine sharing.
+        // (iv) BIST-engine sharing: any scheduled occupant blocks (the
+        // candidate is unscheduled, so occupancy > 0 means someone else).
         if let Some(engine) = self.bist[core] {
-            for (j, scheduled_j) in scheduled.iter().enumerate() {
-                if *scheduled_j && j != core && self.bist[j] == Some(engine) {
-                    return true;
-                }
+            if bist_load[engine] > 0 {
+                return true;
             }
         }
         false
@@ -129,15 +172,57 @@ mod tests {
         soc
     }
 
+    /// Drives the bitset-based `conflicts` from plain boolean slices,
+    /// recomputing the BIST occupancy the scheduler maintains incrementally.
+    fn conflicts(
+        cs: &ConstraintSet,
+        core: CoreIdx,
+        complete: &[bool],
+        scheduled: &[bool],
+        scheduled_power: u64,
+        p_max: Option<u64>,
+    ) -> bool {
+        let mut bist_load = vec![0u32; cs.num_bist_engines()];
+        for (j, &s) in scheduled.iter().enumerate() {
+            if s {
+                if let Some(e) = cs.bist_engine(j) {
+                    bist_load[e] += 1;
+                }
+            }
+        }
+        cs.conflicts(
+            core,
+            &BitSet::from_bools(complete),
+            &BitSet::from_bools(scheduled),
+            &bist_load,
+            scheduled_power,
+            p_max,
+        )
+    }
+
     #[test]
     fn precedence_blocks_until_complete() {
         let soc = soc_with(|s| s.add_precedence(0, 1).unwrap());
         let cs = ConstraintSet::compile(&soc);
         let scheduled = [false; 3];
-        assert!(cs.conflicts(1, &[false, false, false], &scheduled, 0, None));
-        assert!(!cs.conflicts(1, &[true, false, false], &scheduled, 0, None));
+        assert!(conflicts(
+            &cs,
+            1,
+            &[false, false, false],
+            &scheduled,
+            0,
+            None
+        ));
+        assert!(!conflicts(
+            &cs,
+            1,
+            &[true, false, false],
+            &scheduled,
+            0,
+            None
+        ));
         // Core 0 itself is unconstrained.
-        assert!(!cs.conflicts(0, &[false; 3], &scheduled, 0, None));
+        assert!(!conflicts(&cs, 0, &[false; 3], &scheduled, 0, None));
     }
 
     #[test]
@@ -145,9 +230,16 @@ mod tests {
         let soc = soc_with(|s| s.add_concurrency(0, 2).unwrap());
         let cs = ConstraintSet::compile(&soc);
         let complete = [false; 3];
-        assert!(cs.conflicts(2, &complete, &[true, false, false], 0, None));
-        assert!(cs.conflicts(0, &complete, &[false, false, true], 0, None));
-        assert!(!cs.conflicts(2, &complete, &[false, true, false], 0, None));
+        assert!(conflicts(&cs, 2, &complete, &[true, false, false], 0, None));
+        assert!(conflicts(&cs, 0, &complete, &[false, false, true], 0, None));
+        assert!(!conflicts(
+            &cs,
+            2,
+            &complete,
+            &[false, true, false],
+            0,
+            None
+        ));
     }
 
     #[test]
@@ -160,7 +252,7 @@ mod tests {
                 .build(),
         );
         let cs = ConstraintSet::compile(&soc);
-        assert!(cs.conflicts(1, &[false; 2], &[true, false], 0, None));
+        assert!(conflicts(&cs, 1, &[false; 2], &[true, false], 0, None));
     }
 
     #[test]
@@ -170,10 +262,24 @@ mod tests {
         let p = cs.power(0);
         assert!(p > 0);
         // Another core already burns p; ceiling 2p-1 blocks, 2p admits.
-        assert!(cs.conflicts(0, &[false; 3], &[false; 3], p, Some(2 * p - 1)));
-        assert!(!cs.conflicts(0, &[false; 3], &[false; 3], p, Some(2 * p)));
+        assert!(conflicts(
+            &cs,
+            0,
+            &[false; 3],
+            &[false; 3],
+            p,
+            Some(2 * p - 1)
+        ));
+        assert!(!conflicts(&cs, 0, &[false; 3], &[false; 3], p, Some(2 * p)));
         // No ceiling, no conflict.
-        assert!(!cs.conflicts(0, &[false; 3], &[false; 3], u64::MAX - p, None));
+        assert!(!conflicts(
+            &cs,
+            0,
+            &[false; 3],
+            &[false; 3],
+            u64::MAX - p,
+            None
+        ));
     }
 
     #[test]
@@ -195,7 +301,57 @@ mod tests {
                 .build(),
         );
         let cs = ConstraintSet::compile(&soc);
-        assert!(cs.conflicts(1, &[false; 3], &[true, false, false], 0, None));
-        assert!(!cs.conflicts(2, &[false; 3], &[true, false, false], 0, None));
+        assert!(conflicts(
+            &cs,
+            1,
+            &[false; 3],
+            &[true, false, false],
+            0,
+            None
+        ));
+        assert!(!conflicts(
+            &cs,
+            2,
+            &[false; 3],
+            &[true, false, false],
+            0,
+            None
+        ));
+    }
+
+    #[test]
+    fn sparse_huge_bist_ids_are_densified() {
+        // Raw ids are arbitrary (sparse, possibly usize::MAX); the
+        // occupancy table must stay small and sharing must still be
+        // detected by id equality, not by indexing with the raw id.
+        let mut soc = Soc::new("t");
+        for (name, id) in [("a", usize::MAX), ("b", 10_000_000), ("c", usize::MAX)] {
+            soc.add_core(
+                Core::builder(name, CoreTest::new(2, 2, 0, vec![4], 5).unwrap())
+                    .bist_engine(id)
+                    .build(),
+            );
+        }
+        let cs = ConstraintSet::compile(&soc);
+        assert_eq!(cs.num_bist_engines(), 2);
+        assert_eq!(cs.bist_engine(0), cs.bist_engine(2));
+        assert_ne!(cs.bist_engine(0), cs.bist_engine(1));
+        // a and c share an engine; b does not.
+        assert!(conflicts(
+            &cs,
+            2,
+            &[false; 3],
+            &[true, false, false],
+            0,
+            None
+        ));
+        assert!(!conflicts(
+            &cs,
+            1,
+            &[false; 3],
+            &[true, false, false],
+            0,
+            None
+        ));
     }
 }

@@ -40,19 +40,23 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod bitset;
 pub mod bounds;
 mod config;
 mod constraints;
 mod error;
+mod menus;
 mod optimizer;
 mod schedule;
 mod state;
 mod svg;
 pub mod validate;
 
+pub use bitset::BitSet;
 pub use config::{HeuristicToggles, SchedulerConfig};
 pub use constraints::ConstraintSet;
 pub use error::ScheduleError;
+pub use menus::RectangleMenus;
 pub use optimizer::{schedule_best, ScheduleBuilder};
 pub use schedule::{CoreScheduleStats, Schedule, Slice};
 pub use svg::SvgOptions;

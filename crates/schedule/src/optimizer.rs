@@ -2,14 +2,20 @@
 //! and constraint-driven test scheduling algorithm (paper Figures 4–8).
 
 use soctam_soc::{CoreIdx, Soc};
-use soctam_wrapper::{Cycles, RectangleSet, TamWidth};
+use soctam_wrapper::{Cycles, TamWidth};
 
+use crate::bitset::BitSet;
 use crate::constraints::ConstraintSet;
+use crate::menus::RectangleMenus;
 use crate::schedule::{Schedule, Slice};
 use crate::state::CoreState;
 use crate::{ScheduleError, SchedulerConfig};
 
 /// Runs the paper's scheduling algorithm on one SOC for one configuration.
+///
+/// By default each run builds its own rectangle menus; sweeps that execute
+/// many runs at one width should build a [`RectangleMenus`] once and share
+/// it via [`ScheduleBuilder::with_menus`].
 ///
 /// # Example
 ///
@@ -28,20 +34,34 @@ use crate::{ScheduleError, SchedulerConfig};
 pub struct ScheduleBuilder<'a> {
     soc: &'a Soc,
     cfg: SchedulerConfig,
+    menus: Option<&'a RectangleMenus>,
 }
 
 impl<'a> ScheduleBuilder<'a> {
     /// Prepares a run of the optimizer.
     pub fn new(soc: &'a Soc, cfg: SchedulerConfig) -> Self {
-        Self { soc, cfg }
+        Self {
+            soc,
+            cfg,
+            menus: None,
+        }
+    }
+
+    /// Reuses prebuilt rectangle menus instead of rebuilding them.
+    ///
+    /// The menus must cover the same SOC and have been built at this
+    /// configuration's `effective_w_max()`; `run` rejects mismatches.
+    pub fn with_menus(mut self, menus: &'a RectangleMenus) -> Self {
+        self.menus = Some(menus);
+        self
     }
 
     /// Executes `TAM_schedule_optimizer` and returns the packed schedule.
     ///
     /// # Errors
     ///
-    /// * [`ScheduleError::InvalidConfig`] — `tam_width == 0` or the SOC has
-    ///   no cores;
+    /// * [`ScheduleError::InvalidConfig`] — `tam_width == 0`, the SOC has
+    ///   no cores, or shared menus don't match the SOC/configuration;
     /// * [`ScheduleError::Soc`] — the SOC model fails validation;
     /// * [`ScheduleError::Stuck`] — constraints make some core permanently
     ///   unschedulable (e.g. its power rating alone exceeds `P_max`).
@@ -59,34 +79,70 @@ impl<'a> ScheduleBuilder<'a> {
         }
         self.soc.validate()?;
 
-        let constraints = ConstraintSet::compile(self.soc);
-        let mut states = initialize(self.soc, cfg);
-        Packer {
-            cfg,
-            constraints: &constraints,
-            states: &mut states,
-            w_avail: cfg.tam_width,
-            scheduled_power: 0,
-            now: 0,
-            slices: Vec::new(),
+        match self.menus {
+            Some(menus) => {
+                if menus.len() != self.soc.len() || menus.w_max() != cfg.effective_w_max() {
+                    return Err(ScheduleError::InvalidConfig {
+                        reason: format!(
+                            "shared menus cover {} cores at w_max {}, need {} cores at {}",
+                            menus.len(),
+                            menus.w_max(),
+                            self.soc.len(),
+                            cfg.effective_w_max()
+                        ),
+                    });
+                }
+                run_with_menus(self.soc, cfg, menus)
+            }
+            None => {
+                let menus = RectangleMenus::for_config(self.soc, cfg);
+                run_with_menus(self.soc, cfg, &menus)
+            }
         }
-        .pack()
-        .map(|slices| Schedule::from_slices(self.soc.name(), cfg.tam_width, slices))
     }
 }
 
-/// Procedure `Initialize` (Figure 5): rectangle menus and preferred widths.
-fn initialize(soc: &Soc, cfg: &SchedulerConfig) -> Vec<CoreState> {
-    let w_eff = cfg.effective_w_max();
+/// The validated core of a run: compile constraints, initialize states from
+/// the shared menus, pack.
+fn run_with_menus(
+    soc: &Soc,
+    cfg: &SchedulerConfig,
+    menus: &RectangleMenus,
+) -> Result<Schedule, ScheduleError> {
+    let constraints = ConstraintSet::compile(soc);
+    let mut states = initialize(soc, cfg, menus);
+    let n = states.len();
+    let bist_load = vec![0; constraints.num_bist_engines()];
+    Packer {
+        cfg,
+        constraints: &constraints,
+        states: &mut states,
+        w_avail: cfg.tam_width,
+        scheduled_power: 0,
+        now: 0,
+        slices: Vec::new(),
+        complete: BitSet::new(n),
+        scheduled: BitSet::new(n),
+        bist_load,
+        scheduled_count: 0,
+    }
+    .pack()
+    .map(|slices| Schedule::from_slices(soc.name(), cfg.tam_width, slices))
+}
+
+/// Procedure `Initialize` (Figure 5): preferred widths over the shared
+/// rectangle menus.
+fn initialize<'m>(
+    soc: &Soc,
+    cfg: &SchedulerConfig,
+    menus: &'m RectangleMenus,
+) -> Vec<CoreState<'m>> {
+    let prefs = menus.preferred_widths(cfg);
     soc.cores()
         .iter()
-        .map(|core| {
-            let rects = RectangleSet::build(core.test(), w_eff);
-            let width_pref = if cfg.toggles.pareto_bump {
-                rects.preferred_width_bumped(cfg.percent, cfg.bump)
-            } else {
-                rects.preferred_width(cfg.percent)
-            };
+        .zip(menus.menus())
+        .zip(prefs)
+        .map(|((core, rects), width_pref)| {
             let budget = if cfg.allow_preemption {
                 core.max_preemptions()
             } else {
@@ -101,24 +157,33 @@ fn initialize(soc: &Soc, cfg: &SchedulerConfig) -> Vec<CoreState> {
         .collect()
 }
 
-struct Packer<'a> {
+struct Packer<'a, 'm> {
     cfg: &'a SchedulerConfig,
     constraints: &'a ConstraintSet,
-    states: &'a mut Vec<CoreState>,
+    states: &'a mut Vec<CoreState<'m>>,
     w_avail: TamWidth,
     scheduled_power: u64,
     now: Cycles,
     slices: Vec<Slice>,
+    /// Incremental mirrors of the per-core `complete`/`scheduled` flags,
+    /// maintained on assign/retire so `Conflict` never materializes them.
+    complete: BitSet,
+    scheduled: BitSet,
+    /// Scheduled-test count per BIST engine.
+    bist_load: Vec<u32>,
+    /// Number of currently scheduled cores.
+    scheduled_count: usize,
 }
 
-impl Packer<'_> {
+impl Packer<'_, '_> {
     fn pack(mut self) -> Result<Vec<Slice>, ScheduleError> {
         let mut remaining = self.states.len();
         while remaining > 0 {
+            self.debug_check_incremental_state();
             if self.w_avail > 0 && self.try_assign_one() {
                 continue;
             }
-            if !self.states.iter().any(|s| s.scheduled) {
+            if self.scheduled_count == 0 {
                 let stuck: Vec<CoreIdx> = self
                     .states
                     .iter()
@@ -134,6 +199,29 @@ impl Packer<'_> {
             remaining -= self.update();
         }
         Ok(self.slices)
+    }
+
+    /// Debug-build invariant: the incremental bitsets and BIST occupancy
+    /// always equal the state recomputed from scratch. The
+    /// `incremental_state` proptest suite drives random SOCs through the
+    /// packer to exercise this.
+    fn debug_check_incremental_state(&self) {
+        if cfg!(debug_assertions) {
+            let mut bist_load = vec![0u32; self.constraints.num_bist_engines()];
+            let mut scheduled_count = 0;
+            for (i, s) in self.states.iter().enumerate() {
+                debug_assert_eq!(self.complete.contains(i), s.complete, "complete[{i}]");
+                debug_assert_eq!(self.scheduled.contains(i), s.scheduled, "scheduled[{i}]");
+                if s.scheduled {
+                    scheduled_count += 1;
+                    if let Some(e) = self.constraints.bist_engine(i) {
+                        bist_load[e] += 1;
+                    }
+                }
+            }
+            debug_assert_eq!(self.scheduled_count, scheduled_count);
+            debug_assert_eq!(self.bist_load, bist_load);
+        }
     }
 
     /// One pass of Figure 4 lines 4–16: returns `true` if some assignment
@@ -178,12 +266,11 @@ impl Packer<'_> {
     }
 
     fn conflict(&self, core: CoreIdx) -> bool {
-        let complete: Vec<bool> = self.states.iter().map(|s| s.complete).collect();
-        let scheduled: Vec<bool> = self.states.iter().map(|s| s.scheduled).collect();
         self.constraints.conflicts(
             core,
-            &complete,
-            &scheduled,
+            &self.complete,
+            &self.scheduled,
+            &self.bist_load,
             self.scheduled_power,
             self.cfg.p_max,
         )
@@ -282,6 +369,11 @@ impl Packer<'_> {
         s.width_assigned = width;
         self.w_avail -= width;
         s.scheduled = true;
+        self.scheduled.insert(i);
+        self.scheduled_count += 1;
+        if let Some(e) = self.constraints.bist_engine(i) {
+            self.bist_load[e] += 1;
+        }
         if preempt {
             s.preempts += 1;
             s.time_left += s.rects.rect_at(width).preemption_penalty();
@@ -320,11 +412,17 @@ impl Packer<'_> {
                 end: new_time,
             });
             s.scheduled = false;
+            self.scheduled.remove(i);
+            self.scheduled_count -= 1;
+            if let Some(e) = self.constraints.bist_engine(i) {
+                self.bist_load[e] -= 1;
+            }
             s.time_left -= dt;
             s.end = new_time;
             self.scheduled_power -= self.constraints.power(i);
             if s.time_left == 0 {
                 s.complete = true;
+                self.complete.insert(i);
                 completed += 1;
             }
         }
@@ -340,6 +438,9 @@ impl Packer<'_> {
 ///
 /// The paper tabulates the best result over `1 ≤ m ≤ 10`, `0 ≤ d ≤ 4`.
 ///
+/// The rectangle menus are invariant across `(m, d)`, so they are built
+/// once and shared by every run of the sweep.
+///
 /// # Errors
 ///
 /// Returns the first error if *every* parameter combination fails;
@@ -350,12 +451,13 @@ pub fn schedule_best(
     percents: impl IntoIterator<Item = u32>,
     bumps: impl IntoIterator<Item = TamWidth> + Clone,
 ) -> Result<(Schedule, u32, TamWidth), ScheduleError> {
+    let menus = RectangleMenus::for_config(soc, base);
     let mut best: Option<(Schedule, u32, TamWidth)> = None;
     let mut first_err: Option<ScheduleError> = None;
     for m in percents {
         for d in bumps.clone() {
             let cfg = base.clone().with_percent(m).with_bump(d);
-            match ScheduleBuilder::new(soc, cfg).run() {
+            match ScheduleBuilder::new(soc, cfg).with_menus(&menus).run() {
                 Ok(s) => {
                     if best
                         .as_ref()
@@ -382,7 +484,7 @@ mod tests {
     use super::*;
     use crate::validate::validate;
     use soctam_soc::{benchmarks, Core, Soc};
-    use soctam_wrapper::CoreTest;
+    use soctam_wrapper::{CoreTest, RectangleSet};
 
     fn simple_core(name: &str, chains: Vec<u32>, patterns: u64) -> Core {
         Core::new(name, CoreTest::new(4, 4, 0, chains, patterns).unwrap())
@@ -555,6 +657,36 @@ mod tests {
         // Best-of can only improve on the default single run.
         let single = ScheduleBuilder::new(&soc, base).run().unwrap();
         assert!(best.makespan() <= single.makespan());
+    }
+
+    #[test]
+    fn shared_menus_match_rebuild_per_run() {
+        let soc = benchmarks::p22810();
+        let cfg = SchedulerConfig::new(24).with_percent(7).with_bump(2);
+        let menus = RectangleMenus::for_config(&soc, &cfg);
+        let shared = ScheduleBuilder::new(&soc, cfg.clone())
+            .with_menus(&menus)
+            .run()
+            .unwrap();
+        let rebuilt = ScheduleBuilder::new(&soc, cfg).run().unwrap();
+        assert_eq!(shared, rebuilt);
+    }
+
+    #[test]
+    fn mismatched_menus_rejected() {
+        let soc = benchmarks::d695();
+        let narrow = RectangleMenus::build(&soc, 8);
+        let err = ScheduleBuilder::new(&soc, SchedulerConfig::new(24))
+            .with_menus(&narrow)
+            .run();
+        assert!(matches!(err, Err(ScheduleError::InvalidConfig { .. })));
+
+        let other = benchmarks::p22810();
+        let foreign = RectangleMenus::build(&other, 24);
+        let err = ScheduleBuilder::new(&soc, SchedulerConfig::new(24))
+            .with_menus(&foreign)
+            .run();
+        assert!(matches!(err, Err(ScheduleError::InvalidConfig { .. })));
     }
 
     #[test]

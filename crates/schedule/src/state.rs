@@ -4,8 +4,12 @@ use soctam_wrapper::{Cycles, RectangleSet, TamWidth};
 
 /// Mutable scheduling state of one core, mirroring the paper's Figure 3
 /// data structure field for field.
+///
+/// The rectangle menu is borrowed from a shared
+/// [`RectangleMenus`](crate::RectangleMenus) so that a whole parameter
+/// sweep reuses one menu build instead of cloning per run.
 #[derive(Debug, Clone)]
-pub(crate) struct CoreState {
+pub(crate) struct CoreState<'m> {
     /// `width_pref[i]` — preferred TAM width.
     pub width_pref: TamWidth,
     /// `width_assigned[i]` — TAM width in force (fixed once begun).
@@ -30,14 +34,14 @@ pub(crate) struct CoreState {
     pub preempts: u32,
     /// `max_preempts[i]` — preemption budget.
     pub max_preempts: u32,
-    /// The rectangle menu for this core.
-    pub rects: RectangleSet,
+    /// The rectangle menu for this core (shared across runs).
+    pub rects: &'m RectangleSet,
 }
 
-impl CoreState {
+impl<'m> CoreState<'m> {
     /// Fresh state for a core whose rectangle menu and preferred width were
     /// computed by `Initialize`.
-    pub fn new(rects: RectangleSet, width_pref: TamWidth, max_preempts: u32) -> Self {
+    pub fn new(rects: &'m RectangleSet, width_pref: TamWidth, max_preempts: u32) -> Self {
         Self {
             width_pref,
             width_assigned: 0,
@@ -83,14 +87,15 @@ mod tests {
     use super::*;
     use soctam_wrapper::CoreTest;
 
-    fn state() -> CoreState {
+    fn rects() -> RectangleSet {
         let core = CoreTest::new(4, 4, 0, vec![16, 8], 10).unwrap();
-        CoreState::new(RectangleSet::build(&core, 8), 2, 1)
+        RectangleSet::build(&core, 8)
     }
 
     #[test]
     fn predicates_follow_lifecycle() {
-        let mut s = state();
+        let rects = rects();
+        let mut s = CoreState::new(&rects, 2, 1);
         assert!(s.unstarted());
         assert!(!s.can_resume());
         assert!(!s.must_continue());
@@ -114,7 +119,8 @@ mod tests {
 
     #[test]
     fn time_lookup_delegates_to_rects() {
-        let s = state();
+        let rects = rects();
+        let s = CoreState::new(&rects, 2, 1);
         assert_eq!(s.time_at(2), s.rects.time_at(2));
     }
 }

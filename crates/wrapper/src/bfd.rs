@@ -45,6 +45,11 @@ impl Partition {
 /// and ties between equally sized items toward the earlier input index, so
 /// the result is deterministic.
 ///
+/// The lightest bin is tracked in a min-heap keyed on `(load, bin)`, so
+/// each placement costs O(log bins) instead of an O(bins) scan — the same
+/// tie-break as the scan, since the heap key orders equal loads by bin
+/// index.
+///
 /// # Panics
 ///
 /// Panics if `bins == 0`.
@@ -59,6 +64,9 @@ impl Partition {
 /// assert_eq!(p.max_load(), 12);
 /// ```
 pub fn partition_bfd(items: &[u32], bins: usize) -> Partition {
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+
     assert!(bins > 0, "cannot partition onto zero bins");
     let mut order: Vec<usize> = (0..items.len()).collect();
     // Decreasing size, stable on input index.
@@ -66,10 +74,14 @@ pub fn partition_bfd(items: &[u32], bins: usize) -> Partition {
 
     let mut loads = vec![0u64; bins];
     let mut assignment = vec![0usize; items.len()];
+    let mut heap: BinaryHeap<Reverse<(u64, usize)>> =
+        (0..bins).map(|bin| Reverse((0, bin))).collect();
     for idx in order {
-        let bin = min_load_bin(&loads);
-        loads[bin] += u64::from(items[idx]);
+        let Reverse((load, bin)) = heap.pop().expect("one entry per bin");
+        let load = load + u64::from(items[idx]);
+        loads[bin] = load;
         assignment[idx] = bin;
+        heap.push(Reverse((load, bin)));
     }
     Partition { loads, assignment }
 }
@@ -175,6 +187,25 @@ mod tests {
             let narrow = partition_bfd(&items, bins);
             let wide = partition_bfd(&items, bins + 1);
             prop_assert!(wide.max_load() <= narrow.max_load());
+        }
+
+        /// The heap placement reproduces the linear min-scan reference
+        /// bit for bit (same loads AND same assignment).
+        #[test]
+        fn heap_matches_linear_scan(items in proptest::collection::vec(1u32..500, 0..40),
+                                    bins in 1usize..16) {
+            let mut order: Vec<usize> = (0..items.len()).collect();
+            order.sort_by(|&a, &b| items[b].cmp(&items[a]).then(a.cmp(&b)));
+            let mut loads = vec![0u64; bins];
+            let mut assignment = vec![0usize; items.len()];
+            for idx in order {
+                let bin = min_load_bin(&loads);
+                loads[bin] += u64::from(items[idx]);
+                assignment[idx] = bin;
+            }
+            let p = partition_bfd(&items, bins);
+            prop_assert_eq!(p.loads(), &loads[..]);
+            prop_assert_eq!(p.assignment(), &assignment[..]);
         }
     }
 }

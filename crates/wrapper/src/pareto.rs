@@ -30,11 +30,14 @@ pub struct ParetoPoint {
 }
 
 /// Extracts the Pareto-optimal points from a monotone staircase
-/// (`times[w-1]` = best time with `w` wires).
-pub(crate) fn pareto_points(times: &[Cycles]) -> Vec<ParetoPoint> {
+/// (the `w`-th yielded time = best time with `w` wires, `w` from 1).
+///
+/// Taking an iterator lets callers feed the staircase straight from their
+/// own representation without materializing a times vector.
+pub(crate) fn pareto_points(times: impl IntoIterator<Item = Cycles>) -> Vec<ParetoPoint> {
     let mut out = Vec::new();
     let mut last = Cycles::MAX;
-    for (i, &t) in times.iter().enumerate() {
+    for (i, t) in times.into_iter().enumerate() {
         if t < last {
             out.push(ParetoPoint {
                 width: (i + 1) as TamWidth,
@@ -53,7 +56,7 @@ mod tests {
     #[test]
     fn extracts_strict_drops_only() {
         let times = [100, 60, 60, 40, 40, 40, 39];
-        let p = pareto_points(&times);
+        let p = pareto_points(times);
         let widths: Vec<u16> = p.iter().map(|q| q.width).collect();
         assert_eq!(widths, vec![1, 2, 4, 7]);
         assert_eq!(p[2].time, 40);
@@ -61,13 +64,13 @@ mod tests {
 
     #[test]
     fn flat_curve_has_single_point() {
-        let p = pareto_points(&[5, 5, 5]);
+        let p = pareto_points([5, 5, 5]);
         assert_eq!(p.len(), 1);
         assert_eq!(p[0], ParetoPoint { width: 1, time: 5 });
     }
 
     #[test]
     fn empty_curve() {
-        assert!(pareto_points(&[]).is_empty());
+        assert!(pareto_points([]).is_empty());
     }
 }

@@ -33,12 +33,14 @@ impl Rectangle {
     ///
     /// The sum of areas over all cores divided by the total TAM width is
     /// the paper's schedule lower bound component.
+    #[inline]
     pub fn area(&self) -> u128 {
         u128::from(self.effective_width) * u128::from(self.time)
     }
 
     /// Extra cycles charged when a test running at this design is
     /// preempted: one scan-out plus one scan-in.
+    #[inline]
     pub fn preemption_penalty(&self) -> Cycles {
         self.scan_in + self.scan_out
     }
@@ -117,8 +119,7 @@ impl RectangleSet {
             rects.push(r);
         }
 
-        let times: Vec<Cycles> = rects.iter().map(|r| r.time).collect();
-        let pareto = pareto_points(&times);
+        let pareto = pareto_points(rects.iter().map(|r| r.time));
         Self {
             rects,
             pareto,
@@ -139,6 +140,7 @@ impl RectangleSet {
     /// # Panics
     ///
     /// Panics if `width == 0` or `width > w_max`.
+    #[inline]
     pub fn rect_at(&self, width: TamWidth) -> Rectangle {
         assert!(
             width >= 1 && usize::from(width) <= self.rects.len(),
@@ -153,6 +155,7 @@ impl RectangleSet {
     /// # Panics
     ///
     /// Panics if `width == 0` or `width > w_max`.
+    #[inline]
     pub fn time_at(&self, width: TamWidth) -> Cycles {
         self.rect_at(width).time
     }

@@ -95,6 +95,34 @@ pub trait Strategy {
     type Value;
     /// Draws one value.
     fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`, mirroring proptest's
+    /// `Strategy::prop_map`.
+    fn prop_map<T, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> T,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, T, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> T,
+{
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (self.f)(self.inner.generate(rng))
+    }
 }
 
 macro_rules! impl_range_strategy {
@@ -111,6 +139,73 @@ macro_rules! impl_range_strategy {
 }
 
 impl_range_strategy!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_tuple_strategy {
+    ($($s:ident),+) => {
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($s,)+) = self;
+                ($($s.generate(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, F);
+
+pub mod bool {
+    //! Boolean strategies, mirroring `proptest::bool`.
+    use super::{Strategy, TestRng};
+
+    /// Strategy yielding `true` and `false` with equal probability.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any;
+
+    /// The uniform boolean strategy.
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+        fn generate(&self, rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+}
+
+pub mod option {
+    //! `Option` strategies, mirroring `proptest::option`.
+    use super::{Strategy, TestRng};
+
+    /// Strategy built by [`of`].
+    #[derive(Debug, Clone)]
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    /// Yields `None` a quarter of the time and `Some` of the inner
+    /// strategy otherwise (real proptest's default weighting).
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if rng.next_u64() & 3 == 0 {
+                None
+            } else {
+                Some(self.inner.generate(rng))
+            }
+        }
+    }
+}
 
 pub mod collection {
     //! Collection strategies, mirroring `proptest::collection`.
@@ -246,6 +341,21 @@ mod tests {
             prop_assert!((3..17).contains(&x));
             prop_assert!(v.len() < 9);
             prop_assert!(v.iter().all(|&e| (1..5).contains(&e)));
+        }
+
+        /// Tuples, prop_map, option::of, and bool::ANY compose.
+        #[test]
+        fn combinators_self_check(
+            pair in (1u32..5, 10u64..20).prop_map(|(a, b)| (b, a)),
+            opt in crate::option::of(0usize..3),
+            flag in crate::bool::ANY,
+        ) {
+            prop_assert!((10..20).contains(&pair.0));
+            prop_assert!((1..5).contains(&pair.1));
+            if let Some(v) = opt {
+                prop_assert!(v < 3);
+            }
+            let _: bool = flag;
         }
     }
 }
