@@ -1,6 +1,6 @@
 //! Fixed-width TAM architectures (the \[12, 13\] baseline).
 
-use soctam_schedule::{Schedule, Slice};
+use soctam_schedule::{CompiledSoc, Schedule, Slice};
 use soctam_soc::Soc;
 use soctam_wrapper::{Cycles, RectangleSet, TamWidth};
 
@@ -22,26 +22,22 @@ pub struct FixedWidthResult {
 /// positive parts and assigns cores greedily (longest test first, onto the
 /// bus finishing earliest).
 ///
-/// Per-core widths are capped at `w_max` like the main scheduler.
+/// Per-core widths are capped at the context's `w_max` like the main
+/// scheduler; the per-core rectangle menus come from the shared
+/// [`CompiledSoc`], so sweeping many widths and architectures rebuilds
+/// nothing.
 ///
 /// # Panics
 ///
 /// Panics if `w == 0`, `max_tams == 0`, or the SOC is empty.
-pub fn fixed_width_best(
-    soc: &Soc,
-    w: TamWidth,
-    max_tams: usize,
-    w_max: TamWidth,
-) -> FixedWidthResult {
+pub fn fixed_width_best(ctx: &CompiledSoc, w: TamWidth, max_tams: usize) -> FixedWidthResult {
     assert!(w > 0, "need at least one wire");
     assert!(max_tams > 0, "need at least one TAM");
-    assert!(!soc.is_empty(), "SOC has no cores");
+    assert!(!ctx.is_empty(), "SOC has no cores");
 
-    let rects: Vec<RectangleSet> = soc
-        .cores()
-        .iter()
-        .map(|c| RectangleSet::build(c.test(), w.min(w_max).max(1)))
-        .collect();
+    let soc = ctx.soc();
+    let menus = ctx.menus_at(ctx.effective_cap(w));
+    let rects = menus.menus();
 
     // Core order for the greedy assignment: longest test (at full width)
     // first — the LPT rule.
@@ -51,7 +47,7 @@ pub fn fixed_width_best(
     let mut best: Option<FixedWidthResult> = None;
     let mut partition = Vec::new();
     enumerate_partitions(w, max_tams, w, &mut partition, &mut |parts| {
-        let (makespan, assignment) = evaluate(parts, &order, &rects);
+        let (makespan, assignment) = evaluate(parts, &order, rects);
         if best.as_ref().is_none_or(|b| makespan < b.makespan) {
             best = Some(FixedWidthResult {
                 makespan,
@@ -63,7 +59,7 @@ pub fn fixed_width_best(
     });
 
     let mut result = best.expect("at least the single-bus partition exists");
-    result.schedule = realize(soc, w, &result.partition, &result.assignment, &rects);
+    result.schedule = realize(soc, w, &result.partition, &result.assignment, rects);
     result
 }
 
@@ -159,7 +155,8 @@ mod tests {
     #[test]
     fn single_bus_serializes_everything() {
         let soc = benchmarks::d695();
-        let r = fixed_width_best(&soc, 16, 1, 64);
+        let ctx = CompiledSoc::compile(&soc, 64);
+        let r = fixed_width_best(&ctx, 16, 1);
         assert_eq!(r.partition, vec![16]);
         let serial: u64 = soc
             .cores()
@@ -172,9 +169,10 @@ mod tests {
     #[test]
     fn more_buses_never_hurt() {
         let soc = benchmarks::d695();
-        let one = fixed_width_best(&soc, 32, 1, 64).makespan;
-        let two = fixed_width_best(&soc, 32, 2, 64).makespan;
-        let three = fixed_width_best(&soc, 32, 3, 64).makespan;
+        let ctx = CompiledSoc::compile(&soc, 64);
+        let one = fixed_width_best(&ctx, 32, 1).makespan;
+        let two = fixed_width_best(&ctx, 32, 2).makespan;
+        let three = fixed_width_best(&ctx, 32, 3).makespan;
         assert!(two <= one);
         assert!(three <= two);
     }
@@ -182,7 +180,8 @@ mod tests {
     #[test]
     fn schedule_realization_is_valid() {
         let soc = benchmarks::d695(); // no explicit constraints
-        let r = fixed_width_best(&soc, 32, 3, 64);
+        let ctx = CompiledSoc::compile(&soc, 64);
+        let r = fixed_width_best(&ctx, 32, 3);
         assert_eq!(r.schedule.makespan(), r.makespan);
         validate(&soc, &r.schedule).unwrap();
     }
@@ -213,9 +212,10 @@ mod tests {
         // beyond [12, 13]) can be competitive, so there we only require
         // the flexible result to stay within 3%.
         let soc = benchmarks::d695();
+        let ctx = CompiledSoc::compile(&soc, 64);
         for w in [48u16, 64] {
             let flexible = flexible_best(&soc, w);
-            let fixed = fixed_width_best(&soc, w, 3, 64).makespan;
+            let fixed = fixed_width_best(&ctx, w, 3).makespan;
             assert!(
                 flexible <= fixed,
                 "W={w}: flexible {flexible} vs fixed {fixed}"
@@ -225,13 +225,13 @@ mod tests {
             let flexible = flexible_best(&soc, w);
             // Two-bus architectures (the scale [12, 13] actually explored
             // for narrow TAMs) lose to flexible packing everywhere...
-            let fixed2 = fixed_width_best(&soc, w, 2, 64).makespan;
+            let fixed2 = fixed_width_best(&ctx, w, 2).makespan;
             assert!(
                 flexible <= fixed2,
                 "W={w}: flexible {flexible} vs 2-bus {fixed2}"
             );
             // ...while a fully exhaustive 3-bus search stays within 10%.
-            let fixed3 = fixed_width_best(&soc, w, 3, 64).makespan;
+            let fixed3 = fixed_width_best(&ctx, w, 3).makespan;
             assert!(
                 flexible as f64 <= fixed3 as f64 * 1.10,
                 "W={w}: flexible {flexible} not within 10% of 3-bus {fixed3}"
@@ -242,7 +242,8 @@ mod tests {
     #[test]
     fn assignment_is_consistent() {
         let soc = benchmarks::d695();
-        let r = fixed_width_best(&soc, 24, 2, 64);
+        let ctx = CompiledSoc::compile(&soc, 64);
+        let r = fixed_width_best(&ctx, 24, 2);
         assert_eq!(r.assignment.len(), soc.len());
         for &bus in &r.assignment {
             assert!(bus < r.partition.len());

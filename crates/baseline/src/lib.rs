@@ -18,18 +18,24 @@
 //! Both baselines ignore precedence/power constraints (as the originals
 //! did); compare them on constraint-free instances.
 //!
+//! Every entry point takes a precompiled
+//! [`CompiledSoc`](soctam_schedule::CompiledSoc), so comparison sweeps
+//! share one rectangle-menu build with the main scheduler instead of
+//! rebuilding per evaluation.
+//!
 //! # Example
 //!
 //! ```
 //! use soctam_baseline::{fixed_width_best, shelf_pack};
-//! use soctam_schedule::{schedule_best, SchedulerConfig};
+//! use soctam_schedule::{schedule_best, CompiledSoc, SchedulerConfig};
 //! use soctam_soc::benchmarks;
 //!
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
 //! let soc = benchmarks::d695();
+//! let ctx = CompiledSoc::compile(&soc, 64);
 //! let (flexible, _, _) = schedule_best(&soc, &SchedulerConfig::new(64), 1..=10, 0..=4)?;
-//! let fixed = fixed_width_best(&soc, 64, 3, 64);
-//! let shelf = shelf_pack(&soc, 64, 5, 1, 64);
+//! let fixed = fixed_width_best(&ctx, 64, 3);
+//! let shelf = shelf_pack(&ctx, 64, 5, 1);
 //! // The paper's claim: at wide TAMs, flexible-width packing beats static
 //! // partitions (wire fragmentation) and level-oriented shelves.
 //! assert!(flexible.makespan() <= fixed.makespan);

@@ -4,8 +4,8 @@
 //! member finishes. No new test may start mid-session, which is precisely
 //! the idle time the paper's rectangle packing eliminates.
 
-use soctam_schedule::{Schedule, Slice};
-use soctam_soc::{CoreIdx, Soc};
+use soctam_schedule::{CompiledSoc, Schedule, Slice};
+use soctam_soc::CoreIdx;
 use soctam_wrapper::{Cycles, RectangleSet, TamWidth};
 
 /// Outcome of the session-based baseline.
@@ -31,27 +31,27 @@ pub struct SessionResult {
 /// Constraints (precedence/power) are ignored, as in the original
 /// discipline; compare on constraint-free instances.
 ///
+/// Per-core widths are capped at the context's `w_max`; the rectangle
+/// menus come from the shared [`CompiledSoc`].
+///
 /// # Panics
 ///
 /// Panics if `w == 0` or the SOC is empty.
-pub fn session_schedule(soc: &Soc, w: TamWidth, w_max: TamWidth) -> SessionResult {
+pub fn session_schedule(ctx: &CompiledSoc, w: TamWidth) -> SessionResult {
     assert!(w > 0, "need at least one wire");
-    assert!(!soc.is_empty(), "SOC has no cores");
+    assert!(!ctx.is_empty(), "SOC has no cores");
 
-    let eff = w.min(w_max).max(1);
-    let rects: Vec<RectangleSet> = soc
-        .cores()
-        .iter()
-        .map(|c| RectangleSet::build(c.test(), eff))
-        .collect();
+    let soc = ctx.soc();
+    let menus = ctx.menus_at(ctx.effective_cap(w));
+    let rects = menus.menus();
 
     let n = rects.len();
     let mut best: Option<(Cycles, Vec<Vec<CoreIdx>>)> = None;
     for sessions in 1..=n {
-        let partition = partition_lpt(&rects, sessions);
+        let partition = partition_lpt(rects, sessions);
         let total: Cycles = partition
             .iter()
-            .map(|members| session_time(members, &rects, w))
+            .map(|members| session_time(members, rects, w))
             .sum();
         if best.as_ref().is_none_or(|(t, _)| total < *t) {
             best = Some((total, partition));
@@ -63,7 +63,7 @@ pub fn session_schedule(soc: &Soc, w: TamWidth, w_max: TamWidth) -> SessionResul
     let mut slices = Vec::with_capacity(n);
     let mut start: Cycles = 0;
     for members in &sessions {
-        let widths = deal_wires(members, &rects, w);
+        let widths = deal_wires(members, rects, w);
         let duration = members
             .iter()
             .zip(&widths)
@@ -175,7 +175,8 @@ mod tests {
     #[test]
     fn all_cores_scheduled_once() {
         let soc = benchmarks::d695();
-        let r = session_schedule(&soc, 32, 64);
+        let ctx = CompiledSoc::compile(&soc, 64);
+        let r = session_schedule(&ctx, 32);
         let mut all: Vec<CoreIdx> = r.sessions.iter().flatten().copied().collect();
         all.sort_unstable();
         assert_eq!(all, (0..soc.len()).collect::<Vec<_>>());
@@ -185,7 +186,8 @@ mod tests {
     #[test]
     fn width_budget_respected() {
         let soc = benchmarks::d695();
-        let r = session_schedule(&soc, 24, 64);
+        let ctx = CompiledSoc::compile(&soc, 64);
+        let r = session_schedule(&ctx, 24);
         let mut events: Vec<u64> = r
             .schedule
             .slices()
@@ -202,7 +204,8 @@ mod tests {
     #[test]
     fn sessions_never_interleave() {
         let soc = benchmarks::d695();
-        let r = session_schedule(&soc, 32, 64);
+        let ctx = CompiledSoc::compile(&soc, 64);
+        let r = session_schedule(&ctx, 32);
         // Session k+1 members all start at or after every session-k end...
         // since sessions run back to back, equivalently: group start times
         // per session are all equal.
@@ -232,6 +235,7 @@ mod tests {
             (benchmarks::d695(), [16u16, 32, 64], 64u16),
             (benchmarks::p93791(), [16u16, 32, 64], u16::MAX),
         ] {
+            let ctx = CompiledSoc::compile(&soc, 64);
             for w in widths {
                 // The headline sweep: extended m range and two slack
                 // settings (see EXPERIMENTS.md methodology).
@@ -249,7 +253,7 @@ mod tests {
                     .min()
                     .unwrap();
                 let flexible = flexible_time;
-                let sessions = session_schedule(&soc, w, 64).makespan;
+                let sessions = session_schedule(&ctx, w).makespan;
                 if w < strict_below {
                     assert!(
                         flexible <= sessions,
@@ -276,7 +280,8 @@ mod tests {
             "a",
             soctam_wrapper::CoreTest::new(4, 4, 0, vec![16], 10).unwrap(),
         ));
-        let r = session_schedule(&soc, 8, 64);
+        let ctx = CompiledSoc::compile(&soc, 64);
+        let r = session_schedule(&ctx, 8);
         assert_eq!(r.sessions.len(), 1);
         assert_eq!(
             r.makespan,

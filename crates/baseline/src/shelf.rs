@@ -1,8 +1,8 @@
 //! Level-oriented (shelf) rectangle packing, after Coffman et al. \[8\].
 
-use soctam_schedule::{Schedule, Slice};
-use soctam_soc::{CoreIdx, Soc};
-use soctam_wrapper::{Cycles, RectangleSet, TamWidth};
+use soctam_schedule::{CompiledSoc, Schedule, Slice};
+use soctam_soc::CoreIdx;
+use soctam_wrapper::{Cycles, TamWidth};
 
 /// Outcome of the shelf-packing baseline.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -25,25 +25,22 @@ pub struct ShelfResult {
 /// its tallest *and* longest member, which is exactly the idle time the
 /// paper's flexible packer reclaims.
 ///
+/// Per-core widths are capped at the context's `w_max`; the rectangle
+/// menus come from the shared [`CompiledSoc`].
+///
 /// # Panics
 ///
 /// Panics if `w == 0` or the SOC is empty.
-pub fn shelf_pack(
-    soc: &Soc,
-    w: TamWidth,
-    percent: u32,
-    bump: TamWidth,
-    w_max: TamWidth,
-) -> ShelfResult {
+pub fn shelf_pack(ctx: &CompiledSoc, w: TamWidth, percent: u32, bump: TamWidth) -> ShelfResult {
     assert!(w > 0, "need at least one wire");
-    assert!(!soc.is_empty(), "SOC has no cores");
+    assert!(!ctx.is_empty(), "SOC has no cores");
 
-    let eff = w.min(w_max).max(1);
-    let prefs: Vec<(TamWidth, Cycles)> = soc
-        .cores()
+    let soc = ctx.soc();
+    let menus = ctx.menus_at(ctx.effective_cap(w));
+    let prefs: Vec<(TamWidth, Cycles)> = menus
+        .menus()
         .iter()
-        .map(|c| {
-            let rects = RectangleSet::build(c.test(), eff);
+        .map(|rects| {
             let width = rects.preferred_width_bumped(percent, bump);
             (width, rects.time_at(width))
         })
@@ -113,7 +110,8 @@ mod tests {
     #[test]
     fn every_core_lands_on_exactly_one_shelf() {
         let soc = benchmarks::d695();
-        let r = shelf_pack(&soc, 32, 5, 1, 64);
+        let ctx = CompiledSoc::compile(&soc, 64);
+        let r = shelf_pack(&ctx, 32, 5, 1);
         let mut all: Vec<CoreIdx> = r.shelves.iter().flatten().copied().collect();
         all.sort_unstable();
         assert_eq!(all, (0..soc.len()).collect::<Vec<_>>());
@@ -122,7 +120,8 @@ mod tests {
     #[test]
     fn width_budget_respected_within_shelves() {
         let soc = benchmarks::d695();
-        let r = shelf_pack(&soc, 24, 5, 1, 64);
+        let ctx = CompiledSoc::compile(&soc, 64);
+        let r = shelf_pack(&ctx, 24, 5, 1);
         let mut events: Vec<u64> = r
             .schedule
             .slices()
@@ -139,19 +138,21 @@ mod tests {
     #[test]
     fn makespan_is_sum_of_shelf_durations() {
         let soc = benchmarks::d695();
-        let r = shelf_pack(&soc, 16, 5, 1, 64);
+        let ctx = CompiledSoc::compile(&soc, 64);
+        let r = shelf_pack(&ctx, 16, 5, 1);
         assert_eq!(r.schedule.makespan(), r.makespan);
     }
 
     #[test]
     fn flexible_scheduler_beats_shelves() {
         let soc = benchmarks::d695();
+        let ctx = CompiledSoc::compile(&soc, 64);
         for w in [16u16, 32, 64] {
             let flexible = ScheduleBuilder::new(&soc, SchedulerConfig::new(w))
                 .run()
                 .unwrap()
                 .makespan();
-            let shelf = shelf_pack(&soc, w, 5, 1, 64).makespan;
+            let shelf = shelf_pack(&ctx, w, 5, 1).makespan;
             assert!(flexible <= shelf, "W={w}: {flexible} vs shelf {shelf}");
         }
     }
@@ -159,7 +160,8 @@ mod tests {
     #[test]
     fn narrow_tam_degenerates_to_serial_shelves() {
         let soc = benchmarks::d695();
-        let r = shelf_pack(&soc, 1, 5, 1, 64);
+        let ctx = CompiledSoc::compile(&soc, 64);
+        let r = shelf_pack(&ctx, 1, 5, 1);
         assert_eq!(r.shelves.len(), soc.len());
     }
 }

@@ -4,26 +4,28 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use soctam_core::baseline::{fixed_width_best, shelf_pack};
-use soctam_core::schedule::{ScheduleBuilder, SchedulerConfig};
+use soctam_core::schedule::{CompiledSoc, ScheduleBuilder, SchedulerConfig};
 use soctam_core::soc::benchmarks;
 
 fn bench_methods(c: &mut Criterion) {
     let soc = benchmarks::p93791();
+    let ctx = CompiledSoc::compile(&soc, 64);
     let mut group = c.benchmark_group("method_cpu_cost_p93791_w32");
     group.sample_size(20);
     group.bench_function("flexible_packing", |b| {
         b.iter(|| {
             ScheduleBuilder::new(&soc, SchedulerConfig::new(32))
+                .with_context(&ctx)
                 .run()
                 .expect("schedulable")
                 .makespan()
         });
     });
     group.bench_function("fixed_width_k3_exhaustive", |b| {
-        b.iter(|| fixed_width_best(&soc, 32, 3, 64).makespan);
+        b.iter(|| fixed_width_best(&ctx, 32, 3).makespan);
     });
     group.bench_function("shelf_packing", |b| {
-        b.iter(|| shelf_pack(&soc, 32, 5, 1, 64).makespan);
+        b.iter(|| shelf_pack(&ctx, 32, 5, 1).makespan);
     });
     group.finish();
 }

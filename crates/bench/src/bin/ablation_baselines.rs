@@ -10,7 +10,6 @@
 use soctam_bench::{headline_config, opt_value};
 use soctam_core::baseline::{fixed_width_best, session_schedule, shelf_pack};
 use soctam_core::flow::TestFlow;
-use soctam_core::schedule::bounds::lower_bound;
 use soctam_core::soc::benchmarks;
 
 fn main() {
@@ -28,14 +27,17 @@ fn main() {
 
     for name in &socs {
         let soc = benchmarks::by_name(name).expect("known benchmark");
+        // One compilation feeds the flexible scheduler, the lower-bound
+        // column, and every baseline architecture at every width.
         let flow = TestFlow::new(&soc, headline_config());
+        let ctx = flow.context();
         for w in benchmarks::table1_widths(name) {
-            let lb = lower_bound(&soc, w, 64);
+            let lb = ctx.lower_bound(w);
             let flexible = flow.best_schedule(w).expect("schedulable").0.makespan();
-            let fixed3 = fixed_width_best(&soc, w, 3, 64).makespan;
-            let fixed2 = fixed_width_best(&soc, w, 2, 64).makespan;
-            let shelf = shelf_pack(&soc, w, 5, 1, 64).makespan;
-            let sessions = session_schedule(&soc, w, 64).makespan;
+            let fixed3 = fixed_width_best(ctx, w, 3).makespan;
+            let fixed2 = fixed_width_best(ctx, w, 2).makespan;
+            let shelf = shelf_pack(ctx, w, 5, 1).makespan;
+            let sessions = session_schedule(ctx, w).makespan;
             println!(
                 "{:<8} {:>3} {:>10} {:>10} {:>12} {:>12} {:>12} {:>12}",
                 name, w, lb, flexible, fixed3, fixed2, shelf, sessions

@@ -5,6 +5,12 @@
 //! (extended) sweep unless `--quick` — and writes the measurements to
 //! `BENCH_sweep.json`, seeding the repo's perf trajectory.
 //!
+//! Each timing is split into *compile* (building the `CompiledSoc`
+//! context: rectangle menus, constraint tables, lower-bound ingredients —
+//! paid once per SOC) and *solve* (the actual parameter sweep over the
+//! shared context); `seconds` stays as the total for trajectory
+//! continuity.
+//!
 //! Run with: `cargo run --release -p soctam-bench --bin perfsnap`
 //! Options:  `--quick` times only the quick sweep (the CI perf smoke);
 //!           `--soc <name>` restricts to one SOC;
@@ -19,10 +25,17 @@ use soctam_core::soc::benchmarks;
 
 struct Timing {
     sweep: &'static str,
-    seconds: f64,
+    compile_seconds: f64,
+    solve_seconds: f64,
     makespan: u64,
     params: (u32, u16, u16),
     stats: SweepStats,
+}
+
+impl Timing {
+    fn total_seconds(&self) -> f64 {
+        self.compile_seconds + self.solve_seconds
+    }
 }
 
 fn time_sweep(
@@ -31,14 +44,19 @@ fn time_sweep(
     sweep: &'static str,
     cfg: &FlowConfig,
 ) -> Timing {
-    let flow = TestFlow::new(soc, cfg.clone());
     let t0 = Instant::now();
+    let flow = TestFlow::new(soc, cfg.clone());
+    let menus = flow.menus_for(width); // prewarm the width's menu cap
+    let compile_seconds = t0.elapsed().as_secs_f64();
+    drop(menus);
+    let t1 = Instant::now();
     let (schedule, params, stats) = flow
         .best_schedule_detailed(width)
         .expect("benchmark SOCs are schedulable");
     Timing {
         sweep,
-        seconds: t0.elapsed().as_secs_f64(),
+        compile_seconds,
+        solve_seconds: t1.elapsed().as_secs_f64(),
         makespan: schedule.makespan(),
         params,
         stats,
@@ -74,10 +92,12 @@ fn main() {
         }
         for t in &timings {
             println!(
-                "{name} W={width} {:>8}: {:.3}s, T = {} (m={}, d={}, slack={}), \
-                 {} of {} runs ({} deduped)",
+                "{name} W={width} {:>8}: {:.3}s ({:.3}s compile + {:.3}s solve), \
+                 T = {} (m={}, d={}, slack={}), {} of {} runs ({} deduped)",
                 t.sweep,
-                t.seconds,
+                t.total_seconds(),
+                t.compile_seconds,
+                t.solve_seconds,
                 t.makespan,
                 t.params.0,
                 t.params.1,
@@ -109,11 +129,15 @@ fn main() {
             let sep = if j + 1 == timings.len() { "" } else { "," };
             let _ = writeln!(
                 json,
-                "      {{\"sweep\": \"{}\", \"seconds\": {:.6}, \"makespan\": {}, \
+                "      {{\"sweep\": \"{}\", \"seconds\": {:.6}, \
+                 \"compile_seconds\": {:.6}, \"solve_seconds\": {:.6}, \
+                 \"makespan\": {}, \
                  \"m\": {}, \"d\": {}, \"slack\": {}, \"runs_total\": {}, \
                  \"runs_executed\": {}, \"runs_skipped\": {}}}{sep}",
                 t.sweep,
-                t.seconds,
+                t.total_seconds(),
+                t.compile_seconds,
+                t.solve_seconds,
                 t.makespan,
                 t.params.0,
                 t.params.1,

@@ -17,7 +17,7 @@ use std::process::ExitCode;
 
 use soctam_core::flow::{FlowConfig, ParamSweep, PowerPolicy, TestFlow};
 use soctam_core::report;
-use soctam_core::schedule::bounds::lower_bounds;
+use soctam_core::schedule::CompiledSoc;
 use soctam_core::soc::{benchmarks, itc02, Soc};
 use soctam_core::volume::CostCurve;
 
@@ -235,7 +235,7 @@ fn cmd_bounds(args: &[String]) -> Result<(), String> {
     let soc_name = args.first().ok_or("missing SOC name")?;
     let soc = load_soc(soc_name)?;
     let widths: Vec<u16> = benchmarks::table1_widths(soc.name()).to_vec();
-    let lbs = lower_bounds(&soc, &widths, 64);
+    let lbs = CompiledSoc::compile(&soc, 64).lower_bounds(&widths);
     println!("{}: testing-time lower bounds", soc.name());
     for (w, lb) in widths.iter().zip(lbs) {
         println!("  W={w:>3}: {lb}");

@@ -13,13 +13,20 @@
 //! 3. **Parallelism** — the surviving runs execute on scoped threads, and
 //!    the winner is reduced in grid order, bit-identical to the
 //!    sequential sweep.
+//! 4. **One compilation per SOC** — every SOC-level precomputation
+//!    (rectangle menus, constraint tables, lower-bound ingredients) lives
+//!    in a shared [`CompiledSoc`]; a whole `(m, d, slack) × width` sweep
+//!    compiles the SOC exactly once, and several flows over the same SOC
+//!    (e.g. the three Table 1 scheduling modes) can share one context via
+//!    [`TestFlow::with_context`].
 
-use std::collections::{HashMap, HashSet};
+use std::collections::HashSet;
 use std::num::NonZeroUsize;
+use std::sync::Arc;
 
-use soctam_schedule::bounds::lower_bound;
 use soctam_schedule::{
-    RectangleMenus, Schedule, ScheduleBuilder, ScheduleError, SchedulerConfig, TamWidth,
+    CompiledSoc, RectangleMenus, Schedule, ScheduleBuilder, ScheduleError, SchedulerConfig,
+    TamWidth,
 };
 use soctam_soc::Soc;
 use soctam_tam::WireAssignment;
@@ -194,25 +201,68 @@ pub struct FlowRun {
     pub sweep: SweepStats,
 }
 
+/// The flow's handle on its schedule context: compiled privately by
+/// [`TestFlow::new`], or shared across several flows via
+/// [`TestFlow::with_context`].
+#[derive(Debug, Clone)]
+enum CtxRef<'a> {
+    Owned(CompiledSoc<'a>),
+    Shared(&'a CompiledSoc<'a>),
+}
+
 /// The integrated framework entry point.
 ///
-/// Owns nothing: borrows the SOC, carries a configuration, runs the three
-/// framework components on demand.
+/// Borrows the SOC, carries a configuration and a [`CompiledSoc`] (the
+/// once-per-SOC precomputation), and runs the three framework components
+/// on demand.
 #[derive(Debug, Clone)]
 pub struct TestFlow<'a> {
     soc: &'a Soc,
     cfg: FlowConfig,
+    ctx: CtxRef<'a>,
 }
 
 impl<'a> TestFlow<'a> {
-    /// Creates a flow over `soc` with the given configuration.
+    /// Creates a flow over `soc` with the given configuration, compiling a
+    /// private schedule context for it.
     pub fn new(soc: &'a Soc, cfg: FlowConfig) -> Self {
-        Self { soc, cfg }
+        let ctx = CtxRef::Owned(CompiledSoc::compile(soc, cfg.w_max));
+        Self { soc, cfg, ctx }
+    }
+
+    /// Creates a flow over an existing context, sharing its compiled
+    /// menus/constraints instead of recompiling. Use this when several
+    /// flow configurations (scheduling modes, power policies) sweep the
+    /// same SOC.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg.w_max` differs from the context's cap — the
+    /// lower-bound ingredients are compiled per cap.
+    pub fn with_context(ctx: &'a CompiledSoc<'a>, cfg: FlowConfig) -> Self {
+        assert_eq!(
+            cfg.w_max.max(1),
+            ctx.w_max(),
+            "flow w_max must match the compiled context"
+        );
+        Self {
+            soc: ctx.soc(),
+            cfg,
+            ctx: CtxRef::Shared(ctx),
+        }
     }
 
     /// The configuration in use.
     pub fn config(&self) -> &FlowConfig {
         &self.cfg
+    }
+
+    /// The schedule context in use (owned or shared).
+    pub fn context(&self) -> &CompiledSoc<'a> {
+        match &self.ctx {
+            CtxRef::Owned(c) => c,
+            CtxRef::Shared(c) => c,
+        }
     }
 
     /// Builds the scheduler configuration for one `(width, m, d, slack)`
@@ -240,9 +290,10 @@ impl<'a> TestFlow<'a> {
         self.scheduler_config(w, 1, 0, 3).effective_w_max()
     }
 
-    /// Builds the shared rectangle menus for one SOC width.
-    pub fn menus_for(&self, w: TamWidth) -> RectangleMenus {
-        RectangleMenus::build(self.soc, self.effective_w_max(w))
+    /// The shared rectangle menus for one SOC width, from the context's
+    /// per-cap cache (built on first use, reused ever after).
+    pub fn menus_for(&self, w: TamWidth) -> Arc<RectangleMenus> {
+        self.context().menus_at(self.effective_w_max(w))
     }
 
     /// Finds the best schedule at `w` over the configured parameter sweep.
@@ -321,10 +372,13 @@ impl<'a> TestFlow<'a> {
         // slot is written by exactly one thread; the reduction below walks
         // the slots in grid order, so the winner (first strictly smaller
         // makespan) and the reported error (first failing grid point) are
-        // bit-identical to the sequential sweep.
+        // bit-identical to the sequential sweep. Menus and constraint
+        // tables come from the shared context: zero per-run compilation.
+        let ctx = self.context();
         let run_one = |cfg: &SchedulerConfig| {
             ScheduleBuilder::new(self.soc, cfg.clone())
                 .with_menus(menus)
+                .with_context(ctx)
                 .run()
         };
         let mut results: Vec<Option<Result<Schedule, ScheduleError>>> =
@@ -396,7 +450,7 @@ impl<'a> TestFlow<'a> {
         })?;
         let volume = volume_of(w, schedule.makespan());
         Ok(FlowRun {
-            lower_bound: lower_bound(self.soc, w, self.cfg.w_max),
+            lower_bound: self.context().lower_bound(w),
             volume,
             schedule,
             params,
@@ -416,20 +470,18 @@ impl<'a> TestFlow<'a> {
         widths: impl IntoIterator<Item = TamWidth>,
     ) -> Result<Vec<SweepPoint>, ScheduleError> {
         // Widths above `w_max` share one effective cap and hence one menu
-        // build; cache menus by cap across the whole width sweep.
-        let mut menu_cache: HashMap<TamWidth, RectangleMenus> = HashMap::new();
+        // build; the context's per-cap cache covers the whole width sweep
+        // (and any later sweep over the same context).
         let mut out = Vec::new();
         for w in widths {
-            let menus = menu_cache
-                .entry(self.effective_w_max(w))
-                .or_insert_with(|| self.menus_for(w));
-            let (schedule, _, _) = self.best_schedule_with_menus(w, menus)?;
+            let menus = self.menus_for(w);
+            let (schedule, _, _) = self.best_schedule_with_menus(w, &menus)?;
             let time = schedule.makespan();
             out.push(SweepPoint {
                 width: w,
                 time,
                 volume: volume_of(w, time),
-                lower_bound: lower_bound(self.soc, w, self.cfg.w_max),
+                lower_bound: self.context().lower_bound(w),
             });
         }
         Ok(out)
@@ -518,6 +570,47 @@ mod tests {
         assert_eq!(stats.runs_executed + stats.runs_skipped, stats.runs_total);
         // The quick grid's coarse m values collapse heavily.
         assert!(stats.runs_skipped > 0, "expected duplicate grid points");
+    }
+
+    #[test]
+    fn shared_context_matches_private_compilation() {
+        let soc = benchmarks::d695();
+        let ctx = CompiledSoc::compile(&soc, FlowConfig::quick().w_max);
+        for cfg in [
+            FlowConfig::quick(),
+            FlowConfig::quick().without_preemption(),
+            FlowConfig::quick().with_power(PowerPolicy::MaxCorePower),
+        ] {
+            let shared = TestFlow::with_context(&ctx, cfg.clone());
+            let private = TestFlow::new(&soc, cfg);
+            let (ss, ps, sts) = shared.best_schedule_detailed(24).unwrap();
+            let (sp, pp, stp) = private.best_schedule_detailed(24).unwrap();
+            assert_eq!(ss, sp);
+            assert_eq!(ps, pp);
+            assert_eq!(sts, stp);
+            assert_eq!(shared.context().lower_bound(24), ctx.lower_bound(24));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "must match the compiled context")]
+    fn mismatched_context_cap_panics() {
+        let soc = benchmarks::d695();
+        let ctx = CompiledSoc::compile(&soc, 32);
+        let _ = TestFlow::with_context(&ctx, FlowConfig::quick()); // w_max 64
+    }
+
+    #[test]
+    fn flow_reuses_one_menu_build_per_cap() {
+        let soc = benchmarks::d695();
+        let flow = TestFlow::new(&soc, FlowConfig::quick());
+        let a = flow.menus_for(16);
+        let b = flow.menus_for(16);
+        assert!(Arc::ptr_eq(&a, &b), "same cap must share one build");
+        // 16 and 64 are distinct caps; 100 clamps to w_max = 64.
+        let c = flow.menus_for(100);
+        assert_eq!(c.w_max(), 64);
+        assert!(Arc::ptr_eq(&c, &flow.menus_for(64)));
     }
 
     #[test]

@@ -16,6 +16,12 @@
 //! The [`flow`] module exposes the one-stop API; [`report`] regenerates the
 //! paper's tables and figures as plain-text artifacts.
 //!
+//! All of it shares one precompiled schedule context per SOC
+//! ([`schedule::CompiledSoc`]): rectangle menus, constraint tables, and
+//! lower-bound ingredients are compiled once and reused — bit-identically —
+//! by the scheduler, the bounds, the validator, and every baseline
+//! architecture across a whole parameter/width sweep.
+//!
 //! # Quickstart
 //!
 //! ```

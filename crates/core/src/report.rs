@@ -3,7 +3,7 @@
 
 use std::fmt::Write as _;
 
-use soctam_schedule::{ScheduleError, TamWidth};
+use soctam_schedule::{CompiledSoc, ScheduleError, TamWidth};
 use soctam_soc::{benchmarks, Soc};
 use soctam_volume::{CostCurve, SweepPoint};
 use soctam_wrapper::{CoreTest, RectangleSet, StaircasePoint};
@@ -32,31 +32,43 @@ pub struct Table1Row {
 /// Preemption budgets (2 for the larger cores) and the power ceiling
 /// (`P_max` = the largest core power) are applied as described in §6.
 ///
+/// The SOC is compiled once ([`CompiledSoc`]) and shared by all three
+/// scheduling modes, the lower-bound column, and every width — preemption
+/// budgets and power ceilings are run parameters, so the compiled menus
+/// and constraint tables are identical across the whole table.
+///
 /// # Errors
 ///
 /// Propagates scheduling failures.
 pub fn table1_rows(soc: &Soc, base: &FlowConfig) -> Result<Vec<Table1Row>, ScheduleError> {
     let mut budgeted = soc.clone();
     benchmarks::grant_preemption_to_large_cores(&mut budgeted, 2);
+    let ctx = CompiledSoc::compile(&budgeted, base.w_max);
 
     let mut rows = Vec::new();
     for w in benchmarks::table1_widths(soc.name()) {
         let non_preemptive = {
             let cfg = base.clone().without_preemption();
-            TestFlow::new(&budgeted, cfg).best_schedule(w)?.0.makespan()
+            TestFlow::with_context(&ctx, cfg)
+                .best_schedule(w)?
+                .0
+                .makespan()
         };
-        let preemptive = TestFlow::new(&budgeted, base.clone())
+        let preemptive = TestFlow::with_context(&ctx, base.clone())
             .best_schedule(w)?
             .0
             .makespan();
         let power_constrained = {
             let cfg = base.clone().with_power(PowerPolicy::MaxCorePower);
-            TestFlow::new(&budgeted, cfg).best_schedule(w)?.0.makespan()
+            TestFlow::with_context(&ctx, cfg)
+                .best_schedule(w)?
+                .0
+                .makespan()
         };
         rows.push(Table1Row {
             soc: soc.name().to_owned(),
             width: w,
-            lower_bound: soctam_schedule::bounds::lower_bound(soc, w, base.w_max),
+            lower_bound: ctx.lower_bound(w),
             non_preemptive,
             preemptive,
             power_constrained,

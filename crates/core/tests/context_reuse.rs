@@ -1,0 +1,211 @@
+//! The test wall around `CompiledSoc` context reuse.
+//!
+//! Two kinds of pins:
+//!
+//! * **Amortization** — instrumentation counters
+//!   (`soctam_schedule::instrument`, `soctam_wrapper::instrument`) prove
+//!   that a whole `(m, d, slack)` sweep builds `RectangleMenus` and
+//!   compiles `ConstraintSet` exactly once per SOC, that width sweeps
+//!   build one menu per distinct effective cap, and that baseline
+//!   evaluations over a shared context rebuild *zero* menus.
+//! * **Bit-identity** — every context-reuse path (scheduler, bounds,
+//!   baselines) produces results identical to a rebuild-per-call run on
+//!   all four benchmark SOCs.
+//!
+//! The counters are process-global, so every test in this binary
+//! serializes on one mutex; keep counter-sensitive tests here and nowhere
+//! else in this binary.
+
+use std::sync::{Mutex, OnceLock};
+
+use soctam_core::baseline::{fixed_width_best, session_schedule, shelf_pack};
+use soctam_core::flow::{FlowConfig, ParamSweep, TestFlow};
+use soctam_core::schedule::{instrument, CompiledSoc};
+use soctam_core::soc::benchmarks;
+use soctam_core::wrapper::instrument as wrapper_instrument;
+
+fn lock() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    LOCK.get_or_init(|| Mutex::new(()))
+        .lock()
+        .expect("counter lock poisoned")
+}
+
+fn quick_flow() -> FlowConfig {
+    FlowConfig {
+        sweep: ParamSweep::quick(),
+        ..FlowConfig::new()
+    }
+}
+
+#[derive(Debug, PartialEq, Eq)]
+struct Counters {
+    menus: u64,
+    constraints: u64,
+    rects: u64,
+}
+
+fn counters() -> Counters {
+    Counters {
+        menus: instrument::menu_builds(),
+        constraints: instrument::constraint_compiles(),
+        rects: wrapper_instrument::rectangle_set_builds(),
+    }
+}
+
+#[test]
+fn one_width_sweep_compiles_the_soc_exactly_once() {
+    let _guard = lock();
+    let soc = benchmarks::d695();
+
+    let before = counters();
+    // Width == w_max, so the context's seeded full-cap menus serve the
+    // whole sweep: exactly one menu build, one constraint compilation.
+    let flow = TestFlow::new(&soc, quick_flow());
+    let run = flow.run(64).expect("schedulable");
+    let after = counters();
+
+    assert_eq!(
+        after.menus - before.menus,
+        1,
+        "the (m, d, slack) sweep must build RectangleMenus exactly once"
+    );
+    assert_eq!(
+        after.constraints - before.constraints,
+        1,
+        "the (m, d, slack) sweep must compile ConstraintSet exactly once"
+    );
+    assert_eq!(
+        after.rects - before.rects,
+        soc.len() as u64,
+        "one RectangleSet per core, never rebuilt"
+    );
+    assert!(run.sweep.runs_executed > 1, "the sweep really ran");
+}
+
+#[test]
+fn width_sweep_builds_one_menu_per_distinct_cap() {
+    let _guard = lock();
+    let soc = benchmarks::d695();
+
+    let before = counters();
+    let flow = TestFlow::new(&soc, quick_flow());
+    // Caps: 16, 32, 48, and the full 64 (seeded at compile time). Widths
+    // past w_max share the 64-wide cap.
+    flow.sweep_widths([16u16, 32, 48, 64, 72]).unwrap();
+    let after = counters();
+
+    assert_eq!(
+        after.menus - before.menus,
+        4,
+        "one menu build per distinct effective cap"
+    );
+    assert_eq!(
+        after.constraints - before.constraints,
+        1,
+        "one constraint compilation for the whole width sweep"
+    );
+    assert_eq!(after.rects - before.rects, 4 * soc.len() as u64);
+
+    // A second sweep over the same flow is fully amortized.
+    let before = counters();
+    flow.sweep_widths([16u16, 32, 48, 64, 72]).unwrap();
+    let after = counters();
+    assert_eq!(after, before, "re-sweeping must rebuild nothing");
+}
+
+#[test]
+fn table1_modes_share_one_compilation() {
+    let _guard = lock();
+    let soc = benchmarks::d695();
+    let ctx = CompiledSoc::compile(&soc, 64);
+
+    let before = counters();
+    for cfg in [
+        quick_flow(),
+        quick_flow().without_preemption(),
+        quick_flow().with_power(soctam_core::flow::PowerPolicy::MaxCorePower),
+    ] {
+        TestFlow::with_context(&ctx, cfg)
+            .best_schedule(64)
+            .expect("schedulable");
+    }
+    let after = counters();
+    assert_eq!(after, before, "shared context: three modes, zero rebuilds");
+}
+
+#[test]
+fn baseline_sweep_rebuilds_zero_menus() {
+    let _guard = lock();
+    let soc = benchmarks::d695();
+    let widths = benchmarks::table1_widths("d695");
+    let ctx = CompiledSoc::compile(&soc, 64);
+
+    // Warm every cap the sweep touches (one build per distinct cap).
+    for &w in &widths {
+        ctx.menus_at(ctx.effective_cap(w));
+    }
+
+    let before = counters();
+    for &w in &widths {
+        let _ = fixed_width_best(&ctx, w, 3);
+        let _ = fixed_width_best(&ctx, w, 2);
+        let _ = shelf_pack(&ctx, w, 5, 1);
+        let _ = session_schedule(&ctx, w);
+        let _ = ctx.lower_bound(w);
+    }
+    let after = counters();
+    assert_eq!(
+        after, before,
+        "baseline evaluations over a shared context must rebuild nothing"
+    );
+}
+
+#[test]
+fn baselines_bit_identical_to_rebuild_per_call_on_all_benchmarks() {
+    let _guard = lock();
+    for name in benchmarks::NAMES {
+        let soc = benchmarks::by_name(name).expect("known benchmark");
+        let shared = CompiledSoc::compile(&soc, 64);
+        for w in benchmarks::table1_widths(name) {
+            // A fresh context per call *is* the rebuild-per-call path.
+            let fresh = CompiledSoc::compile(&soc, 64);
+            assert_eq!(
+                fixed_width_best(&shared, w, 2),
+                fixed_width_best(&fresh, w, 2),
+                "{name} W={w}: fixed-width diverged"
+            );
+            assert_eq!(
+                shelf_pack(&shared, w, 5, 1),
+                shelf_pack(&fresh, w, 5, 1),
+                "{name} W={w}: shelf diverged"
+            );
+            assert_eq!(
+                session_schedule(&shared, w),
+                session_schedule(&fresh, w),
+                "{name} W={w}: sessions diverged"
+            );
+            assert_eq!(
+                shared.lower_bound(w),
+                fresh.lower_bound(w),
+                "{name} W={w}: bound diverged"
+            );
+        }
+    }
+}
+
+#[test]
+fn scheduler_context_reuse_bit_identical_on_larger_benchmarks() {
+    let _guard = lock();
+    for (name, w) in [("p34392", 24u16), ("p93791", 32u16)] {
+        let soc = benchmarks::by_name(name).expect("known benchmark");
+        let ctx = CompiledSoc::compile(&soc, quick_flow().w_max);
+        let shared = TestFlow::with_context(&ctx, quick_flow());
+        let private = TestFlow::new(&soc, quick_flow());
+        let (ss, ps, sts) = shared.best_schedule_detailed(w).unwrap();
+        let (sp, pp, stp) = private.best_schedule_detailed(w).unwrap();
+        assert_eq!(ss, sp, "{name}: schedule diverged");
+        assert_eq!(ps, pp, "{name}: winning params diverged");
+        assert_eq!(sts, stp, "{name}: sweep stats diverged");
+    }
+}

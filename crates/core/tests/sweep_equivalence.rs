@@ -69,6 +69,16 @@ fn cached_menus_match_rebuild_per_run_p22810() {
 }
 
 #[test]
+fn cached_menus_match_rebuild_per_run_p34392() {
+    assert_flow_matches_reference(&benchmarks::p34392(), 24);
+}
+
+#[test]
+fn cached_menus_match_rebuild_per_run_p93791() {
+    assert_flow_matches_reference(&benchmarks::p93791(), 32);
+}
+
+#[test]
 fn parallel_matches_sequential_d695() {
     let soc = benchmarks::d695();
     for w in [16u16, 32, 64] {
@@ -95,6 +105,39 @@ fn parallel_matches_sequential_p22810() {
         .unwrap();
     assert_eq!(sp, ss);
     assert_eq!(pp, ps);
+}
+
+#[test]
+fn context_bounds_match_free_functions_on_all_benchmarks() {
+    use soctam_core::schedule::bounds::{lower_bound, lower_bounds};
+    use soctam_core::schedule::CompiledSoc;
+    for name in benchmarks::NAMES {
+        let soc = benchmarks::by_name(name).expect("known benchmark");
+        let ctx = CompiledSoc::compile(&soc, 64);
+        let widths: Vec<TamWidth> = benchmarks::table1_widths(name).to_vec();
+        assert_eq!(
+            ctx.lower_bounds(&widths),
+            lower_bounds(&soc, &widths, 64),
+            "{name}: batch bound diverged"
+        );
+        for &w in &widths {
+            assert_eq!(
+                ctx.lower_bound(w),
+                lower_bound(&soc, w, 64),
+                "{name}: bound at W={w} diverged"
+            );
+        }
+    }
+}
+
+#[test]
+fn context_validator_agrees_on_flow_schedules() {
+    use soctam_core::schedule::validate::{validate, validate_with};
+    let soc = benchmarks::d695();
+    let flow = TestFlow::new(&soc, quick_flow());
+    let run = flow.run(24).unwrap();
+    validate(&soc, &run.schedule).expect("flow schedule is valid");
+    validate_with(flow.context(), &run.schedule).expect("context validator agrees");
 }
 
 #[test]

@@ -14,8 +14,35 @@
 use soctam_soc::Soc;
 use soctam_wrapper::{Cycles, RectangleSet, TamWidth};
 
+use crate::menus::RectangleMenus;
+
+/// The shared bound kernel: menus built at the per-core cap plus the
+/// precomputed `Σ_i min-area(i)`. Both the free functions below and
+/// [`CompiledSoc::lower_bound`](crate::CompiledSoc::lower_bound) evaluate
+/// exactly this, so context reuse is bit-identical by construction.
+pub(crate) fn lower_bound_from_menus(
+    menus: &RectangleMenus,
+    total_area: u128,
+    w: TamWidth,
+) -> Cycles {
+    assert!(w > 0, "lower bound needs at least one wire");
+    let eff = w.min(menus.w_max());
+    let max_core_time: Cycles = menus
+        .menus()
+        .iter()
+        .map(|r| r.time_at(eff))
+        .max()
+        .unwrap_or(0);
+    let area_bound = total_area.div_ceil(u128::from(w)) as Cycles;
+    max_core_time.max(area_bound)
+}
+
 /// Computes the testing-time lower bound for `soc` on `w` TAM wires, with
 /// per-core widths capped at `w_max` (the paper uses 64).
+///
+/// Builds the rectangle menus on each call; width sweeps should compile a
+/// [`CompiledSoc`](crate::CompiledSoc) once and use
+/// [`CompiledSoc::lower_bound`](crate::CompiledSoc::lower_bound) instead.
 ///
 /// # Panics
 ///
@@ -34,36 +61,18 @@ use soctam_wrapper::{Cycles, RectangleSet, TamWidth};
 /// ```
 pub fn lower_bound(soc: &Soc, w: TamWidth, w_max: TamWidth) -> Cycles {
     assert!(w > 0, "lower bound needs at least one wire");
-    let w_max = w_max.max(1);
-    let eff = w.min(w_max);
-    let mut max_core_time: Cycles = 0;
-    let mut total_area: u128 = 0;
-    for core in soc.cores() {
-        let rects = RectangleSet::build(core.test(), w_max);
-        max_core_time = max_core_time.max(rects.time_at(eff));
-        total_area += rects.min_area();
-    }
-    let area_bound = total_area.div_ceil(u128::from(w)) as Cycles;
-    max_core_time.max(area_bound)
+    let menus = RectangleMenus::build(soc, w_max.max(1));
+    let total_area: u128 = menus.menus().iter().map(RectangleSet::min_area).sum();
+    lower_bound_from_menus(&menus, total_area, w)
 }
 
 /// Lower bounds for several widths at once (one rectangle build per core).
 pub fn lower_bounds(soc: &Soc, widths: &[TamWidth], w_max: TamWidth) -> Vec<Cycles> {
-    let w_max = w_max.max(1);
-    let rects: Vec<RectangleSet> = soc
-        .cores()
-        .iter()
-        .map(|c| RectangleSet::build(c.test(), w_max))
-        .collect();
-    let total_area: u128 = rects.iter().map(RectangleSet::min_area).sum();
+    let menus = RectangleMenus::build(soc, w_max.max(1));
+    let total_area: u128 = menus.menus().iter().map(RectangleSet::min_area).sum();
     widths
         .iter()
-        .map(|&w| {
-            assert!(w > 0, "lower bound needs at least one wire");
-            let eff = w.min(w_max);
-            let max_core: Cycles = rects.iter().map(|r| r.time_at(eff)).max().unwrap_or(0);
-            max_core.max(total_area.div_ceil(u128::from(w)) as Cycles)
-        })
+        .map(|&w| lower_bound_from_menus(&menus, total_area, w))
         .collect()
 }
 

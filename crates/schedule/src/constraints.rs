@@ -25,6 +25,7 @@ pub struct ConstraintSet {
 impl ConstraintSet {
     /// Compiles the constraint tables from an SOC model.
     pub fn compile(soc: &Soc) -> Self {
+        crate::instrument::note_constraint_compile();
         let n = soc.len();
         let mut predecessors = vec![Vec::new(); n];
         for &(before, after) in soc.precedence() {

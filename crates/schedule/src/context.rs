@@ -1,0 +1,256 @@
+//! One precompiled schedule context per SOC.
+//!
+//! A parameter sweep — the paper's "best result over all integer values of
+//! `m` and `d`", crossed with TAM widths and scheduling modes — re-derives
+//! the same SOC-level data on every run: per-core Pareto-optimal rectangle
+//! menus, the compiled constraint tables, and the lower-bound ingredients
+//! (per-core minimum areas and the full-cap staircase). [`CompiledSoc`]
+//! computes all of it exactly once per SOC and hands shared references to
+//! the scheduler ([`ScheduleBuilder::with_context`](crate::ScheduleBuilder::with_context)),
+//! the bounds ([`CompiledSoc::lower_bound`]), the validator
+//! ([`validate_with`](crate::validate::validate_with)), and the baseline
+//! architectures (`soctam-baseline`), so a whole `(m, d, slack) × width`
+//! sweep compiles the SOC once and only solves from then on.
+//!
+//! Rectangle menus depend on the *effective* per-core width cap
+//! (`min(W, w_max)`), so the context keeps a small per-cap cache behind a
+//! mutex; everything else is immutable shared data, and the whole context
+//! is `Sync` — the flow's parallel sweep reads it from many threads.
+//!
+//! # Example
+//!
+//! ```
+//! use soctam_schedule::{CompiledSoc, ScheduleBuilder, SchedulerConfig};
+//! use soctam_soc::benchmarks;
+//!
+//! # fn main() -> Result<(), soctam_schedule::ScheduleError> {
+//! let soc = benchmarks::d695();
+//! let ctx = CompiledSoc::compile(&soc, 64);
+//! // Many runs share one compilation.
+//! for m in 1..=10 {
+//!     let cfg = SchedulerConfig::new(32).with_percent(m);
+//!     let s = ScheduleBuilder::new(&soc, cfg).with_context(&ctx).run()?;
+//!     assert!(s.makespan() >= ctx.lower_bound(32));
+//! }
+//! # Ok(())
+//! # }
+//! ```
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::{Arc, Mutex};
+
+use soctam_soc::{CoreIdx, Soc};
+use soctam_wrapper::{Cycles, RectangleSet, TamWidth};
+
+use crate::bounds;
+use crate::constraints::ConstraintSet;
+use crate::menus::RectangleMenus;
+use crate::SchedulerConfig;
+
+/// Precompiled, shareable schedule context for one SOC: compiled
+/// constraint tables, per-core Pareto rectangle menus (cached per
+/// effective width cap), and the cached lower-bound ingredients.
+///
+/// Build one per SOC with [`CompiledSoc::compile`] and share it across
+/// every scheduler run, bound query, validation, and baseline evaluation
+/// of a sweep. All shared paths are bit-identical to their
+/// rebuild-per-call equivalents (pinned by the `context_reuse` and
+/// `sweep_equivalence` suites).
+pub struct CompiledSoc<'a> {
+    soc: &'a Soc,
+    w_max: TamWidth,
+    constraints: ConstraintSet,
+    /// Menus at the full per-core cap `w_max`: the lower-bound staircase
+    /// and the widest Pareto sets; also seeds the per-cap cache.
+    bound_menus: Arc<RectangleMenus>,
+    /// Σ_i min-area(core i) at the full cap — the work term of the bound.
+    total_min_area: u128,
+    menu_cache: Mutex<HashMap<TamWidth, Arc<RectangleMenus>>>,
+}
+
+impl<'a> CompiledSoc<'a> {
+    /// Compiles the context: constraint tables plus rectangle menus at the
+    /// per-core width cap `w_max` (the paper's 64; clamped to at least 1).
+    pub fn compile(soc: &'a Soc, w_max: TamWidth) -> Self {
+        let w_max = w_max.max(1);
+        let bound_menus = Arc::new(RectangleMenus::build(soc, w_max));
+        let total_min_area = bound_menus.menus().iter().map(RectangleSet::min_area).sum();
+        let menu_cache = Mutex::new(HashMap::from([(w_max, Arc::clone(&bound_menus))]));
+        Self {
+            soc,
+            w_max,
+            constraints: ConstraintSet::compile(soc),
+            bound_menus,
+            total_min_area,
+            menu_cache,
+        }
+    }
+
+    /// The SOC this context was compiled from.
+    pub fn soc(&self) -> &'a Soc {
+        self.soc
+    }
+
+    /// The per-core width cap the context was compiled for.
+    pub fn w_max(&self) -> TamWidth {
+        self.w_max
+    }
+
+    /// Number of cores covered.
+    pub fn len(&self) -> usize {
+        self.soc.len()
+    }
+
+    /// Whether the SOC has no cores.
+    pub fn is_empty(&self) -> bool {
+        self.soc.is_empty()
+    }
+
+    /// The compiled constraint tables (precedence, concurrency, BIST,
+    /// power), shared by every run.
+    pub fn constraints(&self) -> &ConstraintSet {
+        &self.constraints
+    }
+
+    /// The per-core Pareto-optimal rectangle set at the full cap — the
+    /// staircase the lower bound and the width-increase heuristic read.
+    pub fn pareto(&self, core: CoreIdx) -> &RectangleSet {
+        self.bound_menus.menu(core)
+    }
+
+    /// The rectangle menus at the full cap `w_max`.
+    pub fn full_menus(&self) -> &RectangleMenus {
+        &self.bound_menus
+    }
+
+    /// The effective per-core cap a run at SOC width `w` uses — the same
+    /// clamp as [`SchedulerConfig::effective_w_max`].
+    pub fn effective_cap(&self, w: TamWidth) -> TamWidth {
+        self.w_max.min(w).max(1)
+    }
+
+    /// The rectangle menus for an arbitrary width cap, built on first use
+    /// and cached. A width sweep touches one cap per distinct
+    /// `min(W, w_max)`, so the cache stays tiny.
+    pub fn menus_at(&self, cap: TamWidth) -> Arc<RectangleMenus> {
+        let cap = cap.max(1);
+        let mut cache = self.menu_cache.lock().expect("menu cache poisoned");
+        Arc::clone(
+            cache
+                .entry(cap)
+                .or_insert_with(|| Arc::new(RectangleMenus::build(self.soc, cap))),
+        )
+    }
+
+    /// The menus a configuration's run uses (`cfg.effective_w_max()` wide).
+    pub fn menus_for_config(&self, cfg: &SchedulerConfig) -> Arc<RectangleMenus> {
+        self.menus_at(cfg.effective_w_max())
+    }
+
+    /// Testing-time lower bound at SOC width `w` — bit-identical to
+    /// [`bounds::lower_bound`]`(soc, w, w_max)`, without rebuilding any
+    /// rectangle set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `w == 0`.
+    pub fn lower_bound(&self, w: TamWidth) -> Cycles {
+        bounds::lower_bound_from_menus(&self.bound_menus, self.total_min_area, w)
+    }
+
+    /// Lower bounds for several widths at once; see
+    /// [`CompiledSoc::lower_bound`].
+    pub fn lower_bounds(&self, widths: &[TamWidth]) -> Vec<Cycles> {
+        widths.iter().map(|&w| self.lower_bound(w)).collect()
+    }
+
+    /// Number of distinct width caps with cached menus (diagnostic).
+    pub fn cached_caps(&self) -> usize {
+        self.menu_cache.lock().expect("menu cache poisoned").len()
+    }
+}
+
+impl Clone for CompiledSoc<'_> {
+    fn clone(&self) -> Self {
+        let cache = self.menu_cache.lock().expect("menu cache poisoned");
+        Self {
+            soc: self.soc,
+            w_max: self.w_max,
+            constraints: self.constraints.clone(),
+            bound_menus: Arc::clone(&self.bound_menus),
+            total_min_area: self.total_min_area,
+            menu_cache: Mutex::new(cache.clone()),
+        }
+    }
+}
+
+impl fmt::Debug for CompiledSoc<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CompiledSoc")
+            .field("soc", &self.soc.name())
+            .field("w_max", &self.w_max)
+            .field("cores", &self.len())
+            .field("cached_caps", &self.cached_caps())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bounds::{lower_bound, lower_bounds};
+    use soctam_soc::benchmarks;
+
+    #[test]
+    fn compile_seeds_full_cap_menus() {
+        let soc = benchmarks::d695();
+        let ctx = CompiledSoc::compile(&soc, 64);
+        assert_eq!(ctx.w_max(), 64);
+        assert_eq!(ctx.len(), soc.len());
+        assert_eq!(ctx.cached_caps(), 1);
+        assert_eq!(ctx.full_menus().w_max(), 64);
+        // Requesting the full cap reuses the seed entry.
+        let m = ctx.menus_at(64);
+        assert_eq!(ctx.cached_caps(), 1);
+        assert_eq!(m.w_max(), 64);
+    }
+
+    #[test]
+    fn menus_cached_per_cap() {
+        let soc = benchmarks::d695();
+        let ctx = CompiledSoc::compile(&soc, 64);
+        let a = ctx.menus_at(16);
+        let b = ctx.menus_at(16);
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(ctx.cached_caps(), 2);
+        assert_eq!(*a, RectangleMenus::build(&soc, 16));
+    }
+
+    #[test]
+    fn lower_bounds_match_free_functions() {
+        let soc = benchmarks::p22810();
+        let ctx = CompiledSoc::compile(&soc, 64);
+        let widths = [1u16, 7, 16, 32, 48, 64, 80];
+        assert_eq!(ctx.lower_bounds(&widths), lower_bounds(&soc, &widths, 64));
+        for &w in &widths {
+            assert_eq!(ctx.lower_bound(w), lower_bound(&soc, w, 64));
+        }
+    }
+
+    #[test]
+    fn zero_cap_clamps_to_one() {
+        let soc = benchmarks::d695();
+        let ctx = CompiledSoc::compile(&soc, 0);
+        assert_eq!(ctx.w_max(), 1);
+        assert_eq!(ctx.effective_cap(0), 1);
+        assert_eq!(ctx.lower_bound(1), lower_bound(&soc, 1, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one wire")]
+    fn zero_width_bound_panics() {
+        let soc = benchmarks::d695();
+        let _ = CompiledSoc::compile(&soc, 64).lower_bound(0);
+    }
+}

@@ -1,0 +1,34 @@
+//! Compilation instrumentation for the scheduling crate.
+//!
+//! Process-wide monotone counters of the two SOC-level precomputations a
+//! sweep is supposed to perform exactly once per SOC:
+//! [`RectangleMenus::build`](crate::RectangleMenus::build) and
+//! [`ConstraintSet::compile`](crate::ConstraintSet::compile). The
+//! `context_reuse` equivalence suite measures deltas around whole sweeps
+//! to pin the amortization promised by [`CompiledSoc`](crate::CompiledSoc);
+//! see also `soctam_wrapper::instrument` for the per-core rectangle-set
+//! counter.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static MENU_BUILDS: AtomicU64 = AtomicU64::new(0);
+static CONSTRAINT_COMPILES: AtomicU64 = AtomicU64::new(0);
+
+/// Number of whole-SOC rectangle-menu builds since process start.
+pub fn menu_builds() -> u64 {
+    MENU_BUILDS.load(Ordering::Relaxed)
+}
+
+/// Number of [`ConstraintSet`](crate::ConstraintSet) compilations since
+/// process start.
+pub fn constraint_compiles() -> u64 {
+    CONSTRAINT_COMPILES.load(Ordering::Relaxed)
+}
+
+pub(crate) fn note_menu_build() {
+    MENU_BUILDS.fetch_add(1, Ordering::Relaxed);
+}
+
+pub(crate) fn note_constraint_compile() {
+    CONSTRAINT_COMPILES.fetch_add(1, Ordering::Relaxed);
+}

@@ -22,6 +22,18 @@
 //! [`validate`](crate::validate::validate) re-checks against every
 //! constraint.
 //!
+//! # Amortizing sweeps: [`CompiledSoc`]
+//!
+//! Everything a run derives from the SOC alone — per-core Pareto rectangle
+//! menus, compiled constraint tables, lower-bound ingredients — is
+//! invariant across the `(m, d, slack) × width` parameter sweeps the
+//! paper's methodology calls for. [`CompiledSoc::compile`] precomputes it
+//! once; [`ScheduleBuilder::with_context`],
+//! [`CompiledSoc::lower_bound`], and
+//! [`validate_with`](crate::validate::validate_with) then reuse it with
+//! bit-identical results, as do the `soctam-baseline` architectures and
+//! the `soctam-core` flow.
+//!
 //! # Example
 //!
 //! ```
@@ -44,7 +56,9 @@ mod bitset;
 pub mod bounds;
 mod config;
 mod constraints;
+mod context;
 mod error;
+pub mod instrument;
 mod menus;
 mod optimizer;
 mod schedule;
@@ -55,6 +69,7 @@ pub mod validate;
 pub use bitset::BitSet;
 pub use config::{HeuristicToggles, SchedulerConfig};
 pub use constraints::ConstraintSet;
+pub use context::CompiledSoc;
 pub use error::ScheduleError;
 pub use menus::RectangleMenus;
 pub use optimizer::{schedule_best, ScheduleBuilder};

@@ -6,6 +6,7 @@ use soctam_wrapper::{Cycles, TamWidth};
 
 use crate::bitset::BitSet;
 use crate::constraints::ConstraintSet;
+use crate::context::CompiledSoc;
 use crate::menus::RectangleMenus;
 use crate::schedule::{Schedule, Slice};
 use crate::state::CoreState;
@@ -13,9 +14,10 @@ use crate::{ScheduleError, SchedulerConfig};
 
 /// Runs the paper's scheduling algorithm on one SOC for one configuration.
 ///
-/// By default each run builds its own rectangle menus; sweeps that execute
-/// many runs at one width should build a [`RectangleMenus`] once and share
-/// it via [`ScheduleBuilder::with_menus`].
+/// By default each run builds its own rectangle menus and compiles its own
+/// constraint tables; sweeps that execute many runs should compile a
+/// [`CompiledSoc`] once and share it via [`ScheduleBuilder::with_context`]
+/// (or share just the menus via [`ScheduleBuilder::with_menus`]).
 ///
 /// # Example
 ///
@@ -35,6 +37,7 @@ pub struct ScheduleBuilder<'a> {
     soc: &'a Soc,
     cfg: SchedulerConfig,
     menus: Option<&'a RectangleMenus>,
+    ctx: Option<&'a CompiledSoc<'a>>,
 }
 
 impl<'a> ScheduleBuilder<'a> {
@@ -44,6 +47,7 @@ impl<'a> ScheduleBuilder<'a> {
             soc,
             cfg,
             menus: None,
+            ctx: None,
         }
     }
 
@@ -56,12 +60,25 @@ impl<'a> ScheduleBuilder<'a> {
         self
     }
 
+    /// Reuses a precompiled schedule context: constraint tables are taken
+    /// from `ctx`, and — unless [`ScheduleBuilder::with_menus`] supplied
+    /// menus explicitly — rectangle menus come from the context's per-cap
+    /// cache.
+    ///
+    /// The context must have been compiled from the same SOC; `run`
+    /// rejects mismatches.
+    pub fn with_context(mut self, ctx: &'a CompiledSoc<'a>) -> Self {
+        self.ctx = Some(ctx);
+        self
+    }
+
     /// Executes `TAM_schedule_optimizer` and returns the packed schedule.
     ///
     /// # Errors
     ///
     /// * [`ScheduleError::InvalidConfig`] — `tam_width == 0`, the SOC has
-    ///   no cores, or shared menus don't match the SOC/configuration;
+    ///   no cores, or a shared context/menus doesn't match the
+    ///   SOC/configuration;
     /// * [`ScheduleError::Soc`] — the SOC model fails validation;
     /// * [`ScheduleError::Stuck`] — constraints make some core permanently
     ///   unschedulable (e.g. its power rating alone exceeds `P_max`).
@@ -79,43 +96,72 @@ impl<'a> ScheduleBuilder<'a> {
         }
         self.soc.validate()?;
 
-        match self.menus {
-            Some(menus) => {
-                if menus.len() != self.soc.len() || menus.w_max() != cfg.effective_w_max() {
-                    return Err(ScheduleError::InvalidConfig {
-                        reason: format!(
-                            "shared menus cover {} cores at w_max {}, need {} cores at {}",
-                            menus.len(),
-                            menus.w_max(),
-                            self.soc.len(),
-                            cfg.effective_w_max()
-                        ),
-                    });
-                }
-                run_with_menus(self.soc, cfg, menus)
+        if let Some(ctx) = self.ctx {
+            // Pointer check first (the overwhelmingly common case), value
+            // equality as the slow fallback for contexts compiled from a
+            // clone of the same model.
+            if !std::ptr::eq(ctx.soc(), self.soc) && ctx.soc() != self.soc {
+                return Err(ScheduleError::InvalidConfig {
+                    reason: format!(
+                        "shared context was compiled for SOC `{}`, not `{}`",
+                        ctx.soc().name(),
+                        self.soc.name()
+                    ),
+                });
             }
-            None => {
+        }
+
+        if let Some(menus) = self.menus {
+            if menus.len() != self.soc.len() || menus.w_max() != cfg.effective_w_max() {
+                return Err(ScheduleError::InvalidConfig {
+                    reason: format!(
+                        "shared menus cover {} cores at w_max {}, need {} cores at {}",
+                        menus.len(),
+                        menus.w_max(),
+                        self.soc.len(),
+                        cfg.effective_w_max()
+                    ),
+                });
+            }
+        }
+
+        let shared_constraints = self.ctx.map(CompiledSoc::constraints);
+        match (self.menus, self.ctx) {
+            (Some(menus), _) => run_with_menus(self.soc, cfg, menus, shared_constraints),
+            (None, Some(ctx)) => {
+                let menus = ctx.menus_for_config(cfg);
+                run_with_menus(self.soc, cfg, &menus, shared_constraints)
+            }
+            (None, None) => {
                 let menus = RectangleMenus::for_config(self.soc, cfg);
-                run_with_menus(self.soc, cfg, &menus)
+                run_with_menus(self.soc, cfg, &menus, None)
             }
         }
     }
 }
 
-/// The validated core of a run: compile constraints, initialize states from
-/// the shared menus, pack.
+/// The validated core of a run: compile constraints (unless precompiled
+/// ones were shared), initialize states from the shared menus, pack.
 fn run_with_menus(
     soc: &Soc,
     cfg: &SchedulerConfig,
     menus: &RectangleMenus,
+    shared_constraints: Option<&ConstraintSet>,
 ) -> Result<Schedule, ScheduleError> {
-    let constraints = ConstraintSet::compile(soc);
+    let compiled;
+    let constraints = match shared_constraints {
+        Some(c) => c,
+        None => {
+            compiled = ConstraintSet::compile(soc);
+            &compiled
+        }
+    };
     let mut states = initialize(soc, cfg, menus);
     let n = states.len();
     let bist_load = vec![0; constraints.num_bist_engines()];
     Packer {
         cfg,
-        constraints: &constraints,
+        constraints,
         states: &mut states,
         w_avail: cfg.tam_width,
         scheduled_power: 0,
@@ -438,8 +484,9 @@ impl Packer<'_, '_> {
 ///
 /// The paper tabulates the best result over `1 ≤ m ≤ 10`, `0 ≤ d ≤ 4`.
 ///
-/// The rectangle menus are invariant across `(m, d)`, so they are built
-/// once and shared by every run of the sweep.
+/// The rectangle menus and constraint tables are invariant across
+/// `(m, d)`, so the SOC is compiled once ([`CompiledSoc`]) and shared by
+/// every run of the sweep.
 ///
 /// # Errors
 ///
@@ -451,13 +498,20 @@ pub fn schedule_best(
     percents: impl IntoIterator<Item = u32>,
     bumps: impl IntoIterator<Item = TamWidth> + Clone,
 ) -> Result<(Schedule, u32, TamWidth), ScheduleError> {
-    let menus = RectangleMenus::for_config(soc, base);
+    // Compiling at the effective cap makes the seeded menus exactly the
+    // ones every run of this sweep uses: one build, one compile.
+    let ctx = CompiledSoc::compile(soc, base.effective_w_max());
+    let menus = ctx.menus_for_config(base);
     let mut best: Option<(Schedule, u32, TamWidth)> = None;
     let mut first_err: Option<ScheduleError> = None;
     for m in percents {
         for d in bumps.clone() {
             let cfg = base.clone().with_percent(m).with_bump(d);
-            match ScheduleBuilder::new(soc, cfg).with_menus(&menus).run() {
+            match ScheduleBuilder::new(soc, cfg)
+                .with_menus(&menus)
+                .with_context(&ctx)
+                .run()
+            {
                 Ok(s) => {
                     if best
                         .as_ref()

@@ -6,9 +6,9 @@
 //! implementation so that scheduler bugs cannot hide behind shared code.
 
 use soctam_soc::Soc;
-use soctam_wrapper::RectangleSet;
+use soctam_wrapper::{Rectangle, RectangleSet};
 
-use crate::{Schedule, ScheduleError};
+use crate::{CompiledSoc, Schedule, ScheduleError};
 
 fn invalid(reason: String) -> ScheduleError {
     ScheduleError::Invalid { reason }
@@ -16,8 +16,9 @@ fn invalid(reason: String) -> ScheduleError {
 
 /// Checks a schedule against the SOC's structural constraints:
 ///
-/// 1. every core is tested to completion, with the exact cycle count its
-///    wrapper design implies (including preemption penalties);
+/// 1. every slice names a core of the SOC, and every core is tested to
+///    completion, with the exact cycle count its wrapper design implies
+///    (including preemption penalties);
 /// 2. each core holds a constant TAM width, at least 1 and at most `W`;
 /// 3. the sum of widths in use never exceeds `W`;
 /// 4. precedence, concurrency (incl. hierarchy), and BIST-engine
@@ -27,11 +28,69 @@ fn invalid(reason: String) -> ScheduleError {
 /// Power is checked separately by [`validate_power`] because `P_max` is a
 /// run parameter, not a property of the SOC.
 ///
+/// Rebuilds each core's rectangle set from scratch; sweeps that validate
+/// many schedules should compile a [`CompiledSoc`] once and call
+/// [`validate_with`], which is bit-identical.
+///
 /// # Errors
 ///
 /// [`ScheduleError::Invalid`] describing the first violated invariant.
 pub fn validate(soc: &Soc, schedule: &Schedule) -> Result<(), ScheduleError> {
+    validate_impl(soc, schedule, None)
+}
+
+/// [`validate`] over a precompiled context: the wrapper timing model is
+/// read from the context's cached rectangle menus instead of being rebuilt
+/// per call. Checks and error messages are identical to [`validate`].
+///
+/// # Errors
+///
+/// As for [`validate`].
+pub fn validate_with(ctx: &CompiledSoc, schedule: &Schedule) -> Result<(), ScheduleError> {
+    validate_impl(ctx.soc(), schedule, Some(ctx))
+}
+
+/// The rectangle a core's test occupies at `width` wires: read from the
+/// context menus when they cover the width (per-width rectangles are
+/// cap-prefix-stable, so this equals a fresh build), rebuilt otherwise.
+fn rect_for(
+    ctx: Option<&CompiledSoc>,
+    soc: &Soc,
+    core: usize,
+    width: soctam_wrapper::TamWidth,
+) -> Rectangle {
+    match ctx {
+        Some(c) if width <= c.full_menus().w_max() => c.full_menus().menu(core).rect_at(width),
+        _ => RectangleSet::build(soc.core(core).test(), width).rect_at(width),
+    }
+}
+
+/// Rejects any slice that names a core outside the SOC; shared by both
+/// validators so their error messages cannot drift apart.
+fn check_cores_exist(soc: &Soc, schedule: &Schedule) -> Result<(), ScheduleError> {
+    for s in schedule.slices() {
+        if s.core >= soc.len() {
+            return Err(invalid(format!(
+                "slice [{}..{}) references unknown core {} (SOC has {})",
+                s.start,
+                s.end,
+                s.core,
+                soc.len()
+            )));
+        }
+    }
+    Ok(())
+}
+
+fn validate_impl(
+    soc: &Soc,
+    schedule: &Schedule,
+    ctx: Option<&CompiledSoc>,
+) -> Result<(), ScheduleError> {
     let w = schedule.tam_width();
+
+    // --- every slice names a real core -------------------------------
+    check_cores_exist(soc, schedule)?;
 
     // --- per-core structure and timing -------------------------------
     for (idx, core) in soc.cores().iter().enumerate() {
@@ -59,14 +118,13 @@ pub fn validate(soc: &Soc, schedule: &Schedule) -> Result<(), ScheduleError> {
                 core.max_preemptions()
             )));
         }
-        let rects = RectangleSet::build(core.test(), width);
-        let expected = rects.time_at(width)
-            + u64::from(preemptions) * rects.rect_at(width).preemption_penalty();
+        let rect = rect_for(ctx, soc, idx, width);
+        let expected = rect.time + u64::from(preemptions) * rect.preemption_penalty();
         if busy != expected {
             return Err(invalid(format!(
                 "core {idx} tested for {busy} cycles, expected {expected} \
                  ({} base + {preemptions} preemptions)",
-                rects.time_at(width)
+                rect.time
             )));
         }
     }
@@ -151,8 +209,10 @@ pub fn validate(soc: &Soc, schedule: &Schedule) -> Result<(), ScheduleError> {
 ///
 /// # Errors
 ///
-/// [`ScheduleError::Invalid`] naming the first overloaded instant.
+/// [`ScheduleError::Invalid`] naming the first overloaded instant, or an
+/// unknown core referenced by a slice.
 pub fn validate_power(soc: &Soc, schedule: &Schedule, p_max: u64) -> Result<(), ScheduleError> {
+    check_cores_exist(soc, schedule)?;
     let mut events: Vec<u64> = schedule
         .slices()
         .iter()

@@ -1,0 +1,233 @@
+//! Negative paths of the independent validator: every malformed schedule
+//! must come back as a specific [`ScheduleError`], never a panic, and the
+//! context-backed [`validate_with`] must report the identical error.
+
+use soctam_schedule::validate::{validate, validate_power, validate_with};
+use soctam_schedule::{CompiledSoc, Schedule, ScheduleError, Slice};
+use soctam_soc::{Core, Soc};
+use soctam_wrapper::{CoreTest, RectangleSet};
+
+fn soc_with_cores(n: usize) -> Soc {
+    let mut soc = Soc::new("neg");
+    for i in 0..n {
+        soc.add_core(Core::new(
+            format!("c{i}"),
+            CoreTest::new(4, 4, 0, vec![16], 10).unwrap(),
+        ));
+    }
+    soc
+}
+
+fn time_at(soc: &Soc, idx: usize, w: u16) -> u64 {
+    RectangleSet::build(soc.core(idx).test(), w).time_at(w)
+}
+
+/// Asserts that both validators reject the schedule with the same
+/// `ScheduleError::Invalid` whose message contains `needle`.
+fn assert_invalid(soc: &Soc, schedule: &Schedule, needle: &str) {
+    let err = validate(soc, schedule).expect_err("validate must reject");
+    assert!(
+        matches!(err, ScheduleError::Invalid { .. }),
+        "expected Invalid, got {err:?}"
+    );
+    assert!(
+        err.to_string().contains(needle),
+        "error `{err}` does not mention `{needle}`"
+    );
+    let ctx = CompiledSoc::compile(soc, 64);
+    let err_ctx = validate_with(&ctx, schedule).expect_err("validate_with must reject");
+    assert_eq!(err, err_ctx, "context-backed validator diverged");
+}
+
+#[test]
+fn empty_schedule_is_invalid_not_panic() {
+    let soc = soc_with_cores(1);
+    let s = Schedule::from_slices("neg", 8, vec![]);
+    assert_invalid(&soc, &s, "never tested");
+}
+
+#[test]
+fn overlapping_rectangles_are_invalid() {
+    let soc = soc_with_cores(1);
+    let t = time_at(&soc, 0, 4);
+    // Two slices of the same core overlapping in time.
+    let s = Schedule::from_slices(
+        "neg",
+        8,
+        vec![
+            Slice {
+                core: 0,
+                width: 4,
+                start: 0,
+                end: t,
+            },
+            Slice {
+                core: 0,
+                width: 4,
+                start: t - 1,
+                end: t + 1,
+            },
+        ],
+    );
+    assert_invalid(&soc, &s, "overlaps itself");
+}
+
+#[test]
+fn tam_width_overflow_is_invalid() {
+    let soc = soc_with_cores(2);
+    let t = time_at(&soc, 0, 6);
+    // 6 + 6 wires concurrently on an 8-wire TAM.
+    let s = Schedule::from_slices(
+        "neg",
+        8,
+        vec![
+            Slice {
+                core: 0,
+                width: 6,
+                start: 0,
+                end: t,
+            },
+            Slice {
+                core: 1,
+                width: 6,
+                start: 0,
+                end: t,
+            },
+        ],
+    );
+    assert_invalid(&soc, &s, "budget 8");
+}
+
+#[test]
+fn per_core_width_above_tam_is_invalid() {
+    let soc = soc_with_cores(1);
+    let t = time_at(&soc, 0, 16);
+    let s = Schedule::from_slices(
+        "neg",
+        8,
+        vec![Slice {
+            core: 0,
+            width: 16,
+            start: 0,
+            end: t,
+        }],
+    );
+    assert_invalid(&soc, &s, "width 16");
+}
+
+#[test]
+fn unknown_core_is_invalid_not_panic() {
+    let soc = soc_with_cores(1);
+    let t = time_at(&soc, 0, 4);
+    let mut slices = vec![Slice {
+        core: 0,
+        width: 4,
+        start: 0,
+        end: t,
+    }];
+    slices.push(Slice {
+        core: 5, // SOC has one core
+        width: 2,
+        start: 0,
+        end: 10,
+    });
+    let s = Schedule::from_slices("neg", 8, slices);
+    assert_invalid(&soc, &s, "unknown core 5");
+}
+
+#[test]
+fn power_validator_rejects_unknown_core_instead_of_panicking() {
+    let soc = soc_with_cores(1);
+    let s = Schedule::from_slices(
+        "neg",
+        8,
+        vec![Slice {
+            core: 9,
+            width: 2,
+            start: 0,
+            end: 10,
+        }],
+    );
+    let err = validate_power(&soc, &s, u64::MAX).expect_err("must reject");
+    assert!(matches!(err, ScheduleError::Invalid { .. }));
+    assert!(err.to_string().contains("unknown core 9"));
+}
+
+#[test]
+fn mid_test_width_change_is_invalid() {
+    let mut soc = soc_with_cores(1);
+    *soc.core_mut(0) = soc.core(0).clone().with_max_preemptions(1);
+    let t = time_at(&soc, 0, 4);
+    let s = Schedule::from_slices(
+        "neg",
+        8,
+        vec![
+            Slice {
+                core: 0,
+                width: 4,
+                start: 0,
+                end: t / 2,
+            },
+            Slice {
+                core: 0,
+                width: 6,
+                start: t / 2 + 1,
+                end: t,
+            },
+        ],
+    );
+    assert_invalid(&soc, &s, "changes width");
+}
+
+#[test]
+fn context_validator_accepts_what_validate_accepts() {
+    let soc = soc_with_cores(2);
+    let t = time_at(&soc, 0, 4);
+    let s = Schedule::from_slices(
+        "neg",
+        8,
+        vec![
+            Slice {
+                core: 0,
+                width: 4,
+                start: 0,
+                end: t,
+            },
+            Slice {
+                core: 1,
+                width: 4,
+                start: 0,
+                end: t,
+            },
+        ],
+    );
+    validate(&soc, &s).expect("valid schedule");
+    let ctx = CompiledSoc::compile(&soc, 64);
+    validate_with(&ctx, &s).expect("context-backed validator agrees");
+}
+
+#[test]
+fn context_validator_handles_widths_beyond_its_cap() {
+    // A schedule whose slice width exceeds the context's compiled cap must
+    // still validate correctly (the validator falls back to a fresh
+    // rectangle build for that core).
+    let soc = soc_with_cores(1);
+    let t = time_at(&soc, 0, 12);
+    let s = Schedule::from_slices(
+        "neg",
+        16,
+        vec![Slice {
+            core: 0,
+            width: 12,
+            start: 0,
+            end: t,
+        }],
+    );
+    validate(&soc, &s).expect("valid schedule");
+    let narrow_ctx = CompiledSoc::compile(&soc, 8);
+    assert_eq!(
+        validate_with(&narrow_ctx, &s),
+        validate(&soc, &s),
+        "narrow context must agree with the rebuild path"
+    );
+}

@@ -364,75 +364,98 @@ pub fn parse_classic(text: &str) -> Result<Soc, SocError> {
     for (lineno, raw) in text.lines().enumerate() {
         let lineno = lineno + 1;
         let line = raw.split('#').next().unwrap_or("").replace(':', " ");
-        let mut tokens = line.split_whitespace();
-        let Some(keyword) = tokens.next() else {
-            continue;
-        };
-        match keyword.to_ascii_lowercase().as_str() {
-            "socname" => {
-                if let Some(n) = tokens.next() {
-                    soc_name = n.to_owned();
-                }
-            }
-            "module" => {
-                let id = tokens.next().unwrap_or("?");
-                let name = tokens
-                    .next()
-                    .map(str::to_owned)
-                    .unwrap_or_else(|| format!("module{id}"));
-                modules.push(Module {
-                    name,
-                    inputs: 0,
-                    outputs: 0,
-                    bidirs: 0,
-                    scan: Vec::new(),
-                    patterns: 0,
-                    line: lineno,
-                });
-            }
-            "inputs" => {
-                if let Some(m) = modules.last_mut() {
-                    m.inputs = parse_int(tokens.next().unwrap_or(""), lineno)?;
-                }
-            }
-            "outputs" => {
-                if let Some(m) = modules.last_mut() {
-                    m.outputs = parse_int(tokens.next().unwrap_or(""), lineno)?;
-                }
-            }
-            "bidirs" | "bidirectionals" => {
-                if let Some(m) = modules.last_mut() {
-                    m.bidirs = parse_int(tokens.next().unwrap_or(""), lineno)?;
-                }
-            }
-            "scanchains" => {
-                // `ScanChains 4` alone declares the count; lengths may
-                // follow inline (`ScanChains 4 46 45 44 44`) or on a
-                // separate ScanChainLengths line.
-                if let Some(m) = modules.last_mut() {
-                    let _count: usize = parse_int(tokens.next().unwrap_or("0"), lineno)?;
-                    for t in tokens.by_ref() {
-                        m.scan.push(parse_int(t, lineno)?);
+        // Benchmark files pack several fields per line (`Inputs 32
+        // Outputs 32 Bidirs 0`); keep scanning the line until every
+        // keyword is consumed.
+        let mut tokens = line.split_whitespace().peekable();
+        while let Some(keyword) = tokens.next() {
+            match keyword.to_ascii_lowercase().as_str() {
+                "socname" => {
+                    if let Some(n) = tokens.next() {
+                        soc_name = n.to_owned();
                     }
                 }
-            }
-            "scanchainlengths" | "scanchainlength" => {
-                if let Some(m) = modules.last_mut() {
-                    for t in tokens.by_ref() {
-                        m.scan.push(parse_int(t, lineno)?);
+                "module" => {
+                    let id = tokens.next().unwrap_or("?").to_owned();
+                    // An optional module name may follow the id — but only
+                    // if the next token is not itself a field keyword.
+                    let name = match tokens.peek() {
+                        Some(t) if !is_classic_keyword(t) => {
+                            tokens.next().expect("peeked").to_owned()
+                        }
+                        _ => format!("module{id}"),
+                    };
+                    modules.push(Module {
+                        name,
+                        inputs: 0,
+                        outputs: 0,
+                        bidirs: 0,
+                        scan: Vec::new(),
+                        patterns: 0,
+                        line: lineno,
+                    });
+                }
+                "inputs" => {
+                    if let Some(m) = modules.last_mut() {
+                        m.inputs = parse_int(tokens.next().unwrap_or(""), lineno)?;
                     }
                 }
-            }
-            "totalpatterns" | "patterns" => {
-                if let Some(m) = modules.last_mut() {
-                    let p: u64 = parse_int(tokens.next().unwrap_or(""), lineno)?;
-                    m.patterns += p;
+                "outputs" => {
+                    if let Some(m) = modules.last_mut() {
+                        m.outputs = parse_int(tokens.next().unwrap_or(""), lineno)?;
+                    }
                 }
+                "bidirs" | "bidirectionals" => {
+                    if let Some(m) = modules.last_mut() {
+                        m.bidirs = parse_int(tokens.next().unwrap_or(""), lineno)?;
+                    }
+                }
+                "scanchains" => {
+                    // `ScanChains 4` alone declares the count; lengths may
+                    // follow inline (`ScanChains 4 46 45 44 44`) or on a
+                    // separate ScanChainLengths line.
+                    if let Some(m) = modules.last_mut() {
+                        let _count: usize = parse_int(tokens.next().unwrap_or("0"), lineno)?;
+                        while let Some(t) = tokens.peek() {
+                            if is_classic_keyword(t) {
+                                break;
+                            }
+                            m.scan
+                                .push(parse_int(tokens.next().expect("peeked"), lineno)?);
+                        }
+                    }
+                }
+                "scanchainlengths" | "scanchainlength" => {
+                    if let Some(m) = modules.last_mut() {
+                        while let Some(t) = tokens.peek() {
+                            if is_classic_keyword(t) {
+                                break;
+                            }
+                            m.scan
+                                .push(parse_int(tokens.next().expect("peeked"), lineno)?);
+                        }
+                    }
+                }
+                "totalpatterns" | "patterns" => {
+                    if let Some(m) = modules.last_mut() {
+                        let p: u64 = parse_int(tokens.next().unwrap_or(""), lineno)?;
+                        m.patterns += p;
+                    }
+                }
+                // Structural or informational keywords we accept and skip
+                // (together with their numeric argument, if present).
+                "totalmodules" | "level" | "totaltests" | "test"
+                    if tokens.peek().is_some_and(|t| t.parse::<u64>().is_ok()) =>
+                {
+                    tokens.next();
+                }
+                "totalmodules" | "level" | "totaltests" | "test" => {}
+                // Anything else: unknown field. Skip the *rest of the
+                // line*, not just this token — real benchmark files carry
+                // free-form annotation lines whose later words must not be
+                // mistaken for field keywords.
+                _ => break,
             }
-            // Structural or informational keywords we accept and skip.
-            "totalmodules" | "level" | "totaltests" | "test" => {}
-            // Anything else: unknown field, skipped by design.
-            _ => {}
         }
     }
 
@@ -447,6 +470,70 @@ pub fn parse_classic(text: &str) -> Result<Soc, SocError> {
     }
     soc.validate()?;
     Ok(soc)
+}
+
+/// Serializes an SOC in the *classic* ITC'02 keyword-per-line layout that
+/// [`parse_classic`] reads.
+///
+/// The classic layout carries only the per-module test data (terminals,
+/// scan chains, pattern counts) — power ratings, BIST sharing, hierarchy,
+/// preemption budgets, and integrator constraints are dialect-only
+/// ([`to_string`]) and are *not* emitted. Round-tripping through
+/// [`parse_classic`] therefore preserves exactly the per-core test
+/// descriptions, not the full model. One further caveat: a core whose
+/// name collides (case-insensitively) with a classic keyword (`test`,
+/// `level`, `inputs`, ...) cannot be represented in this layout and
+/// parses back auto-named `module<i>`; use the dialect format for such
+/// models.
+pub fn to_classic_string(soc: &Soc) -> String {
+    use std::fmt::Write;
+
+    let mut out = String::new();
+    let _ = writeln!(out, "SocName {}", soc.name());
+    let _ = writeln!(out, "TotalModules {}", soc.len());
+    for (i, core) in soc.cores().iter().enumerate() {
+        let t = core.test();
+        let _ = writeln!(out, "\nModule {} {}", i + 1, core.name());
+        let _ = writeln!(
+            out,
+            "  Inputs {} Outputs {} Bidirs {}",
+            t.inputs(),
+            t.outputs(),
+            t.bidirs()
+        );
+        let _ = write!(out, "  ScanChains {}", t.scan_chains().len());
+        for len in t.scan_chains() {
+            let _ = write!(out, " {len}");
+        }
+        out.push('\n');
+        let _ = writeln!(out, "  TotalTests 1");
+        let _ = writeln!(out, "  Test 1");
+        let _ = writeln!(out, "    TotalPatterns {}", t.patterns());
+    }
+    out
+}
+
+/// Keywords of the classic layout; used to delimit free-form fields
+/// (module names, inline scan-chain length lists) during line scanning.
+fn is_classic_keyword(token: &str) -> bool {
+    matches!(
+        token.to_ascii_lowercase().as_str(),
+        "socname"
+            | "totalmodules"
+            | "module"
+            | "level"
+            | "inputs"
+            | "outputs"
+            | "bidirs"
+            | "bidirectionals"
+            | "scanchains"
+            | "scanchainlengths"
+            | "scanchainlength"
+            | "totalpatterns"
+            | "patterns"
+            | "totaltests"
+            | "test"
+    )
 }
 
 fn err(line: usize, message: &str) -> SocError {
@@ -617,6 +704,45 @@ Module 2
         let m2 = soc.core(soc.core_by_name("module2").unwrap());
         assert_eq!(m2.test().patterns(), 200);
         assert_eq!(m2.test().scan_chains(), &[64, 64, 64, 64]);
+    }
+
+    #[test]
+    fn classic_format_reads_every_field_on_one_line() {
+        // Benchmark files pack several fields per line; all of them count.
+        let text = "SocName x\nModule 1 m\nInputs 3 Outputs 5 Bidirs 2 Patterns 7\n";
+        let soc = parse_classic(text).unwrap();
+        let m = soc.core(0);
+        assert_eq!(m.test().inputs(), 3);
+        assert_eq!(m.test().outputs(), 5);
+        assert_eq!(m.test().bidirs(), 2);
+        assert_eq!(m.test().patterns(), 7);
+    }
+
+    #[test]
+    fn classic_format_skips_rest_of_unknown_keyword_lines() {
+        // Free-form annotation lines must be ignored wholesale: later
+        // words that happen to be field keywords must not fire.
+        let text = "SocName x\nModule 1 m\nInputs 3 Outputs 5\n\
+                    Note inputs vary per test\n\
+                    NumInternalConnections Inputs 4\n\
+                    Patterns 7\n";
+        let soc = parse_classic(text).unwrap();
+        let m = soc.core(0);
+        assert_eq!(m.test().inputs(), 3, "annotation must not clobber inputs");
+        assert_eq!(m.test().outputs(), 5);
+        assert_eq!(m.test().patterns(), 7);
+    }
+
+    #[test]
+    fn classic_serializer_round_trips() {
+        let soc = parse(SAMPLE).unwrap();
+        let back = parse_classic(&to_classic_string(&soc)).unwrap();
+        assert_eq!(back.name(), soc.name());
+        assert_eq!(back.len(), soc.len());
+        for (a, b) in soc.cores().iter().zip(back.cores()) {
+            assert_eq!(a.name(), b.name());
+            assert_eq!(a.test(), b.test());
+        }
     }
 
     #[test]

@@ -1,0 +1,86 @@
+//! Round-trip properties of the two ITC'02-style text formats.
+//!
+//! * The compact dialect is lossless: `parse(to_string(soc)) == soc` for
+//!   arbitrary synthetic SOCs (constraints, hierarchy, BIST, budgets and
+//!   all).
+//! * The classic keyword-per-line layout carries exactly the per-module
+//!   test data; `parse_classic(to_classic_string(soc))` preserves every
+//!   core's name and test description, checked on the shipped benchmark
+//!   texts for all four paper SOCs.
+
+use proptest::prelude::*;
+
+use soctam_soc::synth::SynthConfig;
+use soctam_soc::{benchmarks, itc02};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// The dialect round-trips every generated model exactly, across the
+    /// whole configuration space (constraints on/off, preemption budgets,
+    /// hierarchy, BIST sharing).
+    #[test]
+    fn dialect_round_trips_randomized_socs(
+        cores in 1usize..24,
+        seed in 0u64..5000,
+        constrained in 0u8..2,
+        budget in 0u32..4,
+    ) {
+        let mut cfg = SynthConfig::new(cores).with_preemption(budget);
+        if constrained == 1 {
+            cfg = cfg.with_constraints();
+        }
+        let soc = cfg.generate(seed);
+        let text = itc02::to_string(&soc);
+        let back = itc02::parse(&text).expect("serialized SOC must parse");
+        prop_assert_eq!(&soc, &back);
+        // And the round trip is a fixed point: serializing again yields
+        // the identical document.
+        prop_assert_eq!(text, itc02::to_string(&back));
+    }
+
+    /// The classic layout round-trips the test data of random plain SOCs
+    /// (no constraints — the classic format cannot carry them).
+    #[test]
+    fn classic_round_trips_plain_socs(cores in 1usize..20, seed in 0u64..5000) {
+        let soc = SynthConfig::new(cores).generate(seed);
+        let text = itc02::to_classic_string(&soc);
+        let back = itc02::parse_classic(&text).expect("classic text must parse");
+        prop_assert_eq!(back.name(), soc.name());
+        prop_assert_eq!(back.len(), soc.len());
+        for (a, b) in soc.cores().iter().zip(back.cores()) {
+            prop_assert_eq!(a.name(), b.name());
+            prop_assert_eq!(a.test(), b.test());
+        }
+    }
+}
+
+/// `parse_classic` on the shipped benchmark texts: every paper SOC renders
+/// to the classic layout and parses back with all core test data intact.
+#[test]
+fn classic_round_trips_shipped_benchmarks() {
+    for name in benchmarks::NAMES {
+        let soc = benchmarks::by_name(name).expect("known benchmark");
+        let text = itc02::to_classic_string(&soc);
+        let back = itc02::parse_classic(&text)
+            .unwrap_or_else(|e| panic!("{name}: classic text failed to parse: {e}"));
+        assert_eq!(back.name(), soc.name(), "{name}: SOC name");
+        assert_eq!(back.len(), soc.len(), "{name}: core count");
+        for (i, (a, b)) in soc.cores().iter().zip(back.cores()).enumerate() {
+            assert_eq!(a.name(), b.name(), "{name}: core {i} name");
+            assert_eq!(a.test(), b.test(), "{name}: core {i} test data");
+        }
+    }
+}
+
+/// The classic rendering of a benchmark also re-enters the compact dialect
+/// cleanly: classic -> Soc -> dialect -> Soc is stable.
+#[test]
+fn classic_benchmarks_reenter_dialect() {
+    for name in benchmarks::NAMES {
+        let soc = benchmarks::by_name(name).expect("known benchmark");
+        let via_classic = itc02::parse_classic(&itc02::to_classic_string(&soc)).unwrap();
+        let via_dialect = itc02::parse(&itc02::to_string(&via_classic)).unwrap();
+        assert_eq!(via_classic, via_dialect, "{name}");
+    }
+}

@@ -45,6 +45,7 @@ mod bfd;
 mod core_test;
 mod design;
 mod error;
+pub mod instrument;
 mod layout;
 mod pareto;
 mod rect;

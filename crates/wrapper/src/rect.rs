@@ -89,6 +89,7 @@ impl RectangleSet {
     /// Panics if `w_max == 0`.
     pub fn build(core: &CoreTest, w_max: TamWidth) -> Self {
         assert!(w_max > 0, "w_max must be at least one wire");
+        crate::instrument::note_rectangle_set_build();
         let useful = core.max_useful_width().min(u64::from(w_max)) as TamWidth;
 
         let mut rects: Vec<Rectangle> = Vec::with_capacity(usize::from(w_max));
