@@ -21,7 +21,10 @@
 //! Every entry point takes a precompiled
 //! [`CompiledSoc`](soctam_schedule::CompiledSoc), so comparison sweeps
 //! share one rectangle-menu build with the main scheduler instead of
-//! rebuilding per evaluation.
+//! rebuilding per evaluation. The context is lifetime-free (it owns its
+//! SOC), so baseline evaluations can also run against registry-cached
+//! contexts (`soctam_schedule::ContextRegistry`) shared across whole
+//! request batches and threads.
 //!
 //! # Example
 //!

@@ -5,14 +5,18 @@
 //!
 //! Run with: `cargo run --release -p soctam-bench --bin ablation_heuristics`
 
-use soctam_core::schedule::{schedule_best, HeuristicToggles, SchedulerConfig};
+use std::sync::Arc;
+
+use soctam_core::schedule::{schedule_best_with, CompiledSoc, HeuristicToggles, SchedulerConfig};
 use soctam_core::soc::benchmarks;
 
-fn best_with(soc_name: &str, w: u16, toggles: HeuristicToggles) -> u64 {
-    let soc = benchmarks::by_name(soc_name).expect("known benchmark");
+/// Heuristic toggles are run parameters, so all five toggle sets of one
+/// `(SOC, W)` cell share one compiled context instead of recompiling
+/// per cell.
+fn best_with(ctx: &CompiledSoc, w: u16, toggles: HeuristicToggles) -> u64 {
     let base = SchedulerConfig::new(w).with_toggles(toggles);
     let ms: Vec<u32> = (1..=10).chain([15, 22, 30, 45, 60]).collect();
-    schedule_best(&soc, &base, ms, 0..=4)
+    schedule_best_with(ctx, &base, ms, 0..=4)
         .expect("schedulable")
         .0
         .makespan()
@@ -25,10 +29,15 @@ fn main() {
         "SOC", "W", "all on", "no bump", "no idlefill", "no widthincr", "none"
     );
     for name in benchmarks::NAMES {
+        let soc = Arc::new(benchmarks::by_name(name).expect("known benchmark"));
         for w in benchmarks::table1_widths(name) {
-            let all = best_with(name, w, HeuristicToggles::default());
+            let ctx = CompiledSoc::compile_arc(
+                Arc::clone(&soc),
+                SchedulerConfig::new(w).effective_w_max(),
+            );
+            let all = best_with(&ctx, w, HeuristicToggles::default());
             let no_bump = best_with(
-                name,
+                &ctx,
                 w,
                 HeuristicToggles {
                     pareto_bump: false,
@@ -36,7 +45,7 @@ fn main() {
                 },
             );
             let no_fill = best_with(
-                name,
+                &ctx,
                 w,
                 HeuristicToggles {
                     idle_fill: false,
@@ -44,14 +53,14 @@ fn main() {
                 },
             );
             let no_incr = best_with(
-                name,
+                &ctx,
                 w,
                 HeuristicToggles {
                     width_increase: false,
                     ..HeuristicToggles::default()
                 },
             );
-            let none = best_with(name, w, HeuristicToggles::none());
+            let none = best_with(&ctx, w, HeuristicToggles::none());
             println!(
                 "{:<8} {:>3} {:>10} {:>12} {:>12} {:>14} {:>10}",
                 name, w, all, no_bump, no_fill, no_incr, none

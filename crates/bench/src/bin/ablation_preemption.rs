@@ -2,11 +2,17 @@
 //! calls for: how do testing time, preemption usage, and scan penalties
 //! move as `max_preempts` grows?
 //!
+//! One `ContextRegistry` backs the whole ablation: each budget variant's
+//! context compiles exactly once per SOC and is reused for every width
+//! (the `context_reuse` suite pins zero redundant compiles across
+//! repeated sweeps of the same variants).
+//!
 //! Run with: `cargo run --release -p soctam-bench --bin ablation_preemption`
 //! Options:  `--soc <name>`, `--width W`.
 
 use soctam_bench::{headline_config, opt_value};
-use soctam_core::report::{preemption_sweep, render_preemption_sweep};
+use soctam_core::report::{preemption_sweep_with, render_preemption_sweep};
+use soctam_core::schedule::ContextRegistry;
 use soctam_core::soc::benchmarks;
 
 fn main() {
@@ -15,6 +21,7 @@ fn main() {
     let width: Option<u16> = opt_value(&args, "--width").and_then(|v| v.parse().ok());
     let budgets = [0u32, 1, 2, 3, 4];
     let cfg = headline_config();
+    let registry = ContextRegistry::default();
 
     println!("Preemption-budget study (larger cores granted max_preempts = budget)");
     println!();
@@ -24,7 +31,7 @@ fn main() {
         }
         let soc = benchmarks::by_name(name).expect("known benchmark");
         let w = width.unwrap_or(benchmarks::table1_widths(name)[1]);
-        match preemption_sweep(&soc, w, &budgets, &cfg) {
+        match preemption_sweep_with(&registry, &soc, w, &budgets, &cfg) {
             Ok(rows) => println!("{}", render_preemption_sweep(name, w, &rows)),
             Err(e) => eprintln!("{name}: failed: {e}"),
         }

@@ -5,11 +5,17 @@
 //! (extended) sweep unless `--quick` — and writes the measurements to
 //! `BENCH_sweep.json`, seeding the repo's perf trajectory.
 //!
-//! Each timing is split into *compile* (building the `CompiledSoc`
-//! context: rectangle menus, constraint tables, lower-bound ingredients —
-//! paid once per SOC) and *solve* (the actual parameter sweep over the
-//! shared context); `seconds` stays as the total for trajectory
-//! continuity.
+//! Each timing is split into *compile* (obtaining the `CompiledSoc`
+//! context from the shared `ContextRegistry`: a real compilation on the
+//! first request for a `(SOC, w_max, budget)` key, a cache hit ever after)
+//! and *solve* (the actual parameter sweep over the shared context);
+//! `seconds` stays as the total for trajectory continuity.
+//!
+//! The snapshot doubles as the CI perf-smoke gate for the serving tier:
+//! it records the registry's hit/miss counters and the process-wide
+//! context-compile count in the JSON, and **fails** (exit 1) if the run
+//! compiled more than one context per distinct `(SOC, budget)` key —
+//! i.e. if cross-request caching ever regresses to recompiling.
 //!
 //! Run with: `cargo run --release -p soctam-bench --bin perfsnap`
 //! Options:  `--quick` times only the quick sweep (the CI perf smoke);
@@ -17,10 +23,12 @@
 //!           `--out <file>` changes the output path.
 
 use std::fmt::Write as _;
+use std::sync::Arc;
 use std::time::Instant;
 
 use soctam_bench::{headline_config, json_escape, opt_value};
 use soctam_core::flow::{FlowConfig, ParamSweep, SweepStats, TestFlow};
+use soctam_core::schedule::{instrument, ContextRegistry};
 use soctam_core::soc::benchmarks;
 
 struct Timing {
@@ -39,13 +47,15 @@ impl Timing {
 }
 
 fn time_sweep(
-    soc: &soctam_core::soc::Soc,
+    registry: &ContextRegistry,
+    soc: &Arc<soctam_core::soc::Soc>,
     width: u16,
     sweep: &'static str,
     cfg: &FlowConfig,
 ) -> Timing {
     let t0 = Instant::now();
-    let flow = TestFlow::new(soc, cfg.clone());
+    let ctx = registry.get_or_compile(soc, cfg.w_max, cfg.power.resolve(soc));
+    let flow = TestFlow::with_context(ctx, cfg.clone());
     let menus = flow.menus_for(width); // prewarm the width's menu cap
     let compile_seconds = t0.elapsed().as_secs_f64();
     drop(menus);
@@ -70,15 +80,19 @@ fn main() {
     let out_path = opt_value(&args, "--out").unwrap_or_else(|| "BENCH_sweep.json".to_owned());
     let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
 
+    let registry = ContextRegistry::default();
+    let compiles_before = instrument::context_compiles();
+
     let mut soc_blocks = Vec::new();
     for name in benchmarks::NAMES {
         if only.as_deref().is_some_and(|o| o != name) {
             continue;
         }
-        let soc = benchmarks::by_name(name).expect("known benchmark");
+        let soc = Arc::new(benchmarks::by_name(name).expect("known benchmark"));
         let width = *benchmarks::table1_widths(name).last().expect("four widths");
 
         let mut timings = vec![time_sweep(
+            &registry,
             &soc,
             width,
             "quick",
@@ -88,7 +102,13 @@ fn main() {
             },
         )];
         if !quick {
-            timings.push(time_sweep(&soc, width, "headline", &headline_config()));
+            timings.push(time_sweep(
+                &registry,
+                &soc,
+                width,
+                "headline",
+                &headline_config(),
+            ));
         }
         for t in &timings {
             println!(
@@ -110,6 +130,22 @@ fn main() {
         soc_blocks.push((name, width, timings));
     }
 
+    // The serving-tier invariant this snapshot gates for CI: every sweep
+    // over one (SOC, budget) key shares a single compiled context. The
+    // quick+headline pair hits the registry on its second request, and
+    // nothing in the process compiles outside the registry.
+    let stats = registry.stats();
+    let context_compiles = instrument::context_compiles() - compiles_before;
+    let distinct_keys = soc_blocks.len() as u64; // one (SOC, unlimited-power) key each
+    println!(
+        "registry: {} hits, {} misses, {} contexts compiled ({} distinct keys, hit rate {:.2})",
+        stats.hits,
+        stats.misses,
+        context_compiles,
+        distinct_keys,
+        stats.hit_rate()
+    );
+
     let mut json = String::new();
     json.push_str("{\n  \"bench\": \"perfsnap\",\n");
     let _ = writeln!(
@@ -118,6 +154,16 @@ fn main() {
         if quick { "quick" } else { "full" }
     );
     let _ = writeln!(json, "  \"threads\": {threads},");
+    let _ = writeln!(
+        json,
+        "  \"registry\": {{\"hits\": {}, \"misses\": {}, \"evictions\": {}, \
+         \"context_compiles\": {context_compiles}, \"distinct_keys\": {distinct_keys}, \
+         \"hit_rate\": {:.4}}},",
+        stats.hits,
+        stats.misses,
+        stats.evictions,
+        stats.hit_rate()
+    );
     json.push_str("  \"socs\": [\n");
     for (i, (name, width, timings)) in soc_blocks.iter().enumerate() {
         let _ = writeln!(
@@ -157,4 +203,12 @@ fn main() {
         std::process::exit(1);
     }
     println!("wrote {out_path}");
+
+    if context_compiles > distinct_keys {
+        eprintln!(
+            "error: {context_compiles} context compiles for {distinct_keys} distinct \
+             (SOC, budget) keys — cross-request caching regressed"
+        );
+        std::process::exit(1);
+    }
 }

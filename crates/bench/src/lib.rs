@@ -26,11 +26,25 @@ pub fn sweep_config() -> FlowConfig {
 }
 
 /// Parses a `--flag value` style option from argv.
+///
+/// Exits the process (code 2) when the option is present but valueless or
+/// directly followed by another flag: the bench bins have no error
+/// channel, and silently swallowing the next flag as a value (e.g.
+/// `perfsnap --out --quick` writing a file named `--quick` from a
+/// full-mode run) would run the wrong experiment.
 pub fn opt_value(args: &[String], name: &str) -> Option<String> {
-    args.iter()
-        .position(|a| a == name)
-        .and_then(|i| args.get(i + 1))
-        .cloned()
+    let i = args.iter().position(|a| a == name)?;
+    match args.get(i + 1) {
+        Some(v) if !v.starts_with("--") => Some(v.clone()),
+        Some(v) => {
+            eprintln!("error: option `{name}` expects a value, but found the flag `{v}`");
+            std::process::exit(2);
+        }
+        None => {
+            eprintln!("error: option `{name}` expects a value");
+            std::process::exit(2);
+        }
+    }
 }
 
 /// Escapes a string for embedding in a JSON document (the bench bins emit

@@ -3,6 +3,7 @@
 //! ```text
 //! soctam schedule <soc> --width W [--power] [--no-preempt] [--gantt] [--svg FILE]
 //! soctam sweep <soc> [--from A] [--to B] [--alpha X]
+//! soctam batch <requests.txt> [--threads N] [--out FILE]
 //! soctam staircase <soc> <core>
 //! soctam wrapper <soc> <core> --width W
 //! soctam bounds <soc>
@@ -12,9 +13,21 @@
 //!
 //! `<soc>` is a benchmark name (`d695`, `p22810`, `p34392`, `p93791`) or a
 //! path to an ITC'02-style `.soc` file.
+//!
+//! `batch` reads a request list (one request per line, `#` comments
+//! allowed) and serves it concurrently through the [`Engine`] and its
+//! shared context registry, emitting a JSON report:
+//!
+//! ```text
+//! schedule d695 --width 16 [--power] [--no-preempt]
+//! sweep p34392 --from 16 --to 32
+//! bounds p93791 [--widths 16,32,48,64]
+//! ```
 
 use std::process::ExitCode;
+use std::sync::Arc;
 
+use soctam_core::engine::{Engine, EngineOp, EngineOutput, EngineRequest, EngineResult};
 use soctam_core::flow::{FlowConfig, ParamSweep, PowerPolicy, TestFlow};
 use soctam_core::report;
 use soctam_core::schedule::CompiledSoc;
@@ -37,6 +50,7 @@ fn main() -> ExitCode {
 const USAGE: &str = "usage:
   soctam schedule <soc> --width W [--power] [--no-preempt] [--gantt] [--svg FILE]
   soctam sweep <soc> [--from A] [--to B] [--alpha X]
+  soctam batch <requests.txt> [--threads N] [--out FILE]
   soctam staircase <soc> <core-name>
   soctam wrapper <soc> <core-name> --width W
   soctam bounds <soc>
@@ -48,6 +62,7 @@ fn run(args: &[String]) -> Result<(), String> {
     match it.next() {
         Some("schedule") => cmd_schedule(&args[1..]),
         Some("sweep") => cmd_sweep(&args[1..]),
+        Some("batch") => cmd_batch(&args[1..]),
         Some("staircase") => cmd_staircase(&args[1..]),
         Some("wrapper") => cmd_wrapper(&args[1..]),
         Some("bounds") => cmd_bounds(&args[1..]),
@@ -82,18 +97,33 @@ fn flag(args: &[String], name: &str) -> bool {
     args.iter().any(|a| a == name)
 }
 
-fn opt_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
-    args.iter()
-        .position(|a| a == name)
-        .and_then(|i| args.get(i + 1))
-        .map(String::as_str)
+/// Looks up the value of a `--flag value` option. Present-but-valueless
+/// options are an error — including the easy-to-make mistake of following
+/// one flag directly with another (`--width --power`), which would
+/// otherwise be swallowed as the value and produce a baffling parse
+/// failure downstream.
+fn opt_value<'a>(args: &'a [String], name: &str) -> Result<Option<&'a str>, String> {
+    let Some(i) = args.iter().position(|a| a == name) else {
+        return Ok(None);
+    };
+    match args.get(i + 1).map(String::as_str) {
+        None => Err(format!("option `{name}` expects a value")),
+        Some(v) if v.starts_with("--") => Err(format!(
+            "option `{name}` expects a value, but found the flag `{v}`"
+        )),
+        Some(v) => Ok(Some(v)),
+    }
+}
+
+/// [`opt_value`] for mandatory options.
+fn req_value<'a>(args: &'a [String], name: &str) -> Result<&'a str, String> {
+    opt_value(args, name)?.ok_or_else(|| format!("missing {name}"))
 }
 
 fn cmd_schedule(args: &[String]) -> Result<(), String> {
     let soc_name = args.first().ok_or("missing SOC name")?;
     let soc = load_soc(soc_name)?;
-    let width: u16 = opt_value(args, "--width")
-        .ok_or("missing --width")?
+    let width: u16 = req_value(args, "--width")?
         .parse()
         .map_err(|_| "invalid --width")?;
 
@@ -133,7 +163,7 @@ fn cmd_schedule(args: &[String]) -> Result<(), String> {
             run.schedule.gantt(&|i| soc.core(i).name().to_string(), 90)
         );
     }
-    if let Some(path) = opt_value(args, "--svg") {
+    if let Some(path) = opt_value(args, "--svg")? {
         let svg = run.schedule.to_svg(
             &|i| soc.core(i).name().to_string(),
             soctam_core::schedule::SvgOptions::default(),
@@ -147,15 +177,15 @@ fn cmd_schedule(args: &[String]) -> Result<(), String> {
 fn cmd_sweep(args: &[String]) -> Result<(), String> {
     let soc_name = args.first().ok_or("missing SOC name")?;
     let soc = load_soc(soc_name)?;
-    let from: u16 = opt_value(args, "--from")
+    let from: u16 = opt_value(args, "--from")?
         .unwrap_or("8")
         .parse()
         .map_err(|_| "invalid --from")?;
-    let to: u16 = opt_value(args, "--to")
+    let to: u16 = opt_value(args, "--to")?
         .unwrap_or("64")
         .parse()
         .map_err(|_| "invalid --to")?;
-    let alpha: f64 = opt_value(args, "--alpha")
+    let alpha: f64 = opt_value(args, "--alpha")?
         .unwrap_or("0.5")
         .parse()
         .map_err(|_| "invalid --alpha")?;
@@ -189,6 +219,241 @@ fn cmd_sweep(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// The flow configuration every batch request uses (the CLI's quick
+/// parameter sweep), specialized by the request's flags.
+fn batch_flow(power: bool, no_preempt: bool) -> FlowConfig {
+    let mut cfg = FlowConfig {
+        sweep: ParamSweep::quick(),
+        ..FlowConfig::new()
+    };
+    if power {
+        cfg = cfg.with_power(PowerPolicy::MaxCorePower);
+    }
+    if no_preempt {
+        cfg = cfg.without_preemption();
+    }
+    cfg
+}
+
+/// Rejects any token the request kind does not understand: a misspelled
+/// mode flag (`--no-premept`) must fail the parse, not silently run the
+/// request in the wrong mode and report it `ok`.
+fn check_known_args(args: &[String], value_options: &[&str], flags: &[&str]) -> Result<(), String> {
+    let mut i = 0;
+    while i < args.len() {
+        let tok = args[i].as_str();
+        if value_options.contains(&tok) {
+            i += 2; // the option plus its value (presence checked elsewhere)
+        } else if flags.contains(&tok) {
+            i += 1;
+        } else {
+            return Err(format!("unknown argument `{tok}`"));
+        }
+    }
+    Ok(())
+}
+
+/// Parses one non-comment line of a batch request file. `socs` memoizes
+/// loads, so a thousand requests over one `.soc` file read and parse it
+/// once and share one `Arc<Soc>`.
+fn parse_batch_line(
+    line: &str,
+    socs: &mut std::collections::HashMap<String, Arc<Soc>>,
+) -> Result<EngineRequest, String> {
+    let words: Vec<String> = line.split_whitespace().map(str::to_owned).collect();
+    let (kind, rest) = words.split_first().ok_or("empty request")?;
+    let soc_name = rest.first().ok_or("missing SOC name")?;
+    let soc = match socs.get(soc_name.as_str()) {
+        Some(soc) => Arc::clone(soc),
+        None => {
+            let soc = Arc::new(load_soc(soc_name)?);
+            socs.insert(soc_name.clone(), Arc::clone(&soc));
+            soc
+        }
+    };
+    let args = &rest[1..];
+    let value_options: &[&str] = match kind.as_str() {
+        "schedule" => &["--width"],
+        "sweep" => &["--from", "--to"],
+        "bounds" => &["--widths"],
+        other => return Err(format!("unknown request kind `{other}`")),
+    };
+    check_known_args(args, value_options, &["--power", "--no-preempt"])?;
+    let flow = batch_flow(flag(args, "--power"), flag(args, "--no-preempt"));
+    let op = match kind.as_str() {
+        "schedule" => EngineOp::Schedule {
+            width: req_value(args, "--width")?
+                .parse()
+                .map_err(|_| "invalid --width".to_owned())?,
+        },
+        "sweep" => {
+            let from: u16 = opt_value(args, "--from")?
+                .unwrap_or("16")
+                .parse()
+                .map_err(|_| "invalid --from")?;
+            let to: u16 = opt_value(args, "--to")?
+                .unwrap_or("64")
+                .parse()
+                .map_err(|_| "invalid --to")?;
+            if from == 0 || from > to {
+                return Err("need 0 < --from <= --to".to_owned());
+            }
+            EngineOp::Sweep {
+                widths: (from..=to).collect(),
+            }
+        }
+        "bounds" => {
+            let widths = match opt_value(args, "--widths")? {
+                Some(list) => list
+                    .split(',')
+                    .map(|w| w.trim().parse::<u16>().map_err(|_| "invalid --widths"))
+                    .collect::<Result<Vec<_>, _>>()?,
+                None => benchmarks::table1_widths(soc.name()).to_vec(),
+            };
+            EngineOp::Bounds { widths }
+        }
+        _ => unreachable!("kind validated above"),
+    };
+    Ok(EngineRequest { soc, flow, op })
+}
+
+/// Parses a whole request file: one request per line, blank lines and
+/// `#` comments skipped. Errors carry the 1-based line number.
+fn parse_batch_file(text: &str) -> Result<Vec<EngineRequest>, String> {
+    let mut requests = Vec::new();
+    let mut socs = std::collections::HashMap::new();
+    for (no, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        requests
+            .push(parse_batch_line(line, &mut socs).map_err(|e| format!("line {}: {e}", no + 1))?);
+    }
+    if requests.is_empty() {
+        return Err("request file contains no requests".to_owned());
+    }
+    Ok(requests)
+}
+
+fn json_request(req: &EngineRequest, result: &EngineResult) -> String {
+    let mut out = String::new();
+    let (kind, detail) = match &req.op {
+        EngineOp::Schedule { width } => ("schedule", format!("\"width\": {width}")),
+        EngineOp::Sweep { widths } => (
+            "sweep",
+            format!(
+                "\"from\": {}, \"to\": {}",
+                widths.first().copied().unwrap_or(0),
+                widths.last().copied().unwrap_or(0)
+            ),
+        ),
+        EngineOp::Bounds { widths } => (
+            "bounds",
+            format!(
+                "\"widths\": [{}]",
+                widths
+                    .iter()
+                    .map(u16::to_string)
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            ),
+        ),
+    };
+    out.push_str(&format!(
+        "    {{\"op\": \"{kind}\", \"soc\": \"{}\", {detail}, ",
+        req.soc.name().replace(['"', '\\'], "_")
+    ));
+    match result {
+        Err(e) => out.push_str(&format!(
+            "\"ok\": false, \"error\": \"{}\"}}",
+            e.to_string().replace('\\', "\\\\").replace('"', "\\\"")
+        )),
+        Ok(EngineOutput::Schedule(run)) => out.push_str(&format!(
+            "\"ok\": true, \"makespan\": {}, \"lower_bound\": {}, \"volume\": {}, \
+             \"m\": {}, \"d\": {}, \"slack\": {}}}",
+            run.schedule.makespan(),
+            run.lower_bound,
+            run.volume,
+            run.params.0,
+            run.params.1,
+            run.params.2
+        )),
+        Ok(EngineOutput::Sweep(points)) => {
+            out.push_str("\"ok\": true, \"points\": [");
+            for (i, p) in points.iter().enumerate() {
+                let sep = if i + 1 == points.len() { "" } else { ", " };
+                out.push_str(&format!(
+                    "{{\"width\": {}, \"time\": {}, \"volume\": {}, \"lower_bound\": {}}}{sep}",
+                    p.width, p.time, p.volume, p.lower_bound
+                ));
+            }
+            out.push_str("]}");
+        }
+        Ok(EngineOutput::Bounds(bounds)) => out.push_str(&format!(
+            "\"ok\": true, \"bounds\": [{}]}}",
+            bounds
+                .iter()
+                .map(u64::to_string)
+                .collect::<Vec<_>>()
+                .join(", ")
+        )),
+    }
+    out
+}
+
+fn cmd_batch(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or("missing request file")?;
+    check_known_args(&args[1..], &["--threads", "--out"], &[])?;
+    let threads = opt_value(args, "--threads")?
+        .map(|t| t.parse::<usize>().map_err(|_| "invalid --threads"))
+        .transpose()?;
+    let out = opt_value(args, "--out")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading `{path}`: {e}"))?;
+    let requests = parse_batch_file(&text)?;
+    let mut engine = Engine::new();
+    if let Some(threads) = threads {
+        engine = engine.with_threads(threads);
+    }
+
+    let results = engine.serve(&requests);
+    let stats = engine.registry().stats();
+
+    let mut json = String::from("{\n");
+    json.push_str(&format!("  \"requests\": {},\n", requests.len()));
+    json.push_str(&format!(
+        "  \"failed\": {},\n",
+        results.iter().filter(|r| r.is_err()).count()
+    ));
+    json.push_str("  \"results\": [\n");
+    for (i, (req, result)) in requests.iter().zip(&results).enumerate() {
+        let sep = if i + 1 == results.len() { "" } else { "," };
+        json.push_str(&json_request(req, result));
+        json.push_str(sep);
+        json.push('\n');
+    }
+    json.push_str("  ],\n");
+    json.push_str(&format!(
+        "  \"registry\": {{\"hits\": {}, \"misses\": {}, \"evictions\": {}, \
+         \"contexts\": {}, \"hit_rate\": {:.4}}}\n",
+        stats.hits,
+        stats.misses,
+        stats.evictions,
+        engine.registry().len(),
+        stats.hit_rate()
+    ));
+    json.push_str("}\n");
+
+    match out {
+        Some(out) => {
+            std::fs::write(out, &json).map_err(|e| format!("writing `{out}`: {e}"))?;
+            eprintln!("wrote {out}");
+        }
+        None => print!("{json}"),
+    }
+    Ok(())
+}
+
 fn cmd_staircase(args: &[String]) -> Result<(), String> {
     let soc_name = args.first().ok_or("missing SOC name")?;
     let core_name = args.get(1).ok_or("missing core name")?;
@@ -212,8 +477,7 @@ fn cmd_staircase(args: &[String]) -> Result<(), String> {
 fn cmd_wrapper(args: &[String]) -> Result<(), String> {
     let soc_name = args.first().ok_or("missing SOC name")?;
     let core_name = args.get(1).ok_or("missing core name")?;
-    let width: u16 = opt_value(args, "--width")
-        .ok_or("missing --width")?
+    let width: u16 = req_value(args, "--width")?
         .parse()
         .map_err(|_| "invalid --width")?;
     let soc = load_soc(soc_name)?;
@@ -330,7 +594,160 @@ mod tests {
         let args = argv(&["--power", "--width", "16"]);
         assert!(flag(&args, "--power"));
         assert!(!flag(&args, "--gantt"));
-        assert_eq!(opt_value(&args, "--width"), Some("16"));
-        assert_eq!(opt_value(&args, "--absent"), None);
+        assert_eq!(opt_value(&args, "--width"), Ok(Some("16")));
+        assert_eq!(opt_value(&args, "--absent"), Ok(None));
+    }
+
+    #[test]
+    fn opt_value_rejects_flag_shaped_values() {
+        // `--width --power` must not parse `--power` as the width.
+        let args = argv(&["schedule", "d695", "--width", "--power"]);
+        let err = opt_value(&args, "--width").unwrap_err();
+        assert!(err.contains("--width"), "names the offending option: {err}");
+        assert!(err.contains("--power"), "names the swallowed flag: {err}");
+        assert!(run(&args).is_err());
+
+        // A trailing option with no value at all is just as clear.
+        let args = argv(&["--svg"]);
+        let err = opt_value(&args, "--svg").unwrap_err();
+        assert!(err.contains("expects a value"));
+
+        // req_value distinguishes absent from malformed.
+        let args = argv(&["--power"]);
+        assert_eq!(req_value(&args, "--width").unwrap_err(), "missing --width");
+    }
+
+    fn parse_line(line: &str) -> Result<EngineRequest, String> {
+        parse_batch_line(line, &mut std::collections::HashMap::new())
+    }
+
+    #[test]
+    fn batch_lines_parse() {
+        let r = parse_line("schedule d695 --width 16 --power").unwrap();
+        assert_eq!(r.soc.name(), "d695");
+        assert!(matches!(r.op, EngineOp::Schedule { width: 16 }));
+        assert_eq!(
+            r.flow.power.resolve(&r.soc),
+            Some(r.soc.max_core_power()),
+            "--power selects the max-core-power ceiling"
+        );
+
+        let r = parse_line("sweep p34392 --from 16 --to 24").unwrap();
+        let want: Vec<u16> = (16..=24).collect();
+        assert!(matches!(r.op, EngineOp::Sweep { ref widths } if *widths == want));
+
+        let r = parse_line("bounds p93791").unwrap();
+        assert!(
+            matches!(r.op, EngineOp::Bounds { ref widths } if widths == &[16, 32, 48, 64]),
+            "bounds default to the SOC's Table 1 widths"
+        );
+        let r = parse_line("bounds d695 --widths 8,12,16").unwrap();
+        assert!(matches!(r.op, EngineOp::Bounds { ref widths } if widths == &[8, 12, 16]));
+
+        assert!(parse_line("frobnicate d695").is_err());
+        assert!(parse_line("schedule d695").is_err());
+        assert!(parse_line("schedule d695 --width --power").is_err());
+        assert!(parse_line("sweep d695 --from 9 --to 3").is_err());
+    }
+
+    #[test]
+    fn batch_command_rejects_unknown_argv() {
+        // The subcommand's own argv gets the same typo protection as the
+        // request lines (checked before the file is even read).
+        assert!(run(&argv(&["batch", "reqs.txt", "--therads", "8"])).is_err());
+        assert!(run(&argv(&["batch", "reqs.txt", "--ouput", "r.json"])).is_err());
+        assert!(run(&argv(&["batch", "reqs.txt", "--threads", "--out"])).is_err());
+    }
+
+    #[test]
+    fn batch_lines_reject_unknown_flags() {
+        // A typoed mode flag must fail the parse, not silently run the
+        // request in the wrong mode.
+        let err = parse_line("schedule d695 --width 16 --no-premept").unwrap_err();
+        assert!(err.contains("--no-premept"), "names the typo: {err}");
+        // Options of a different request kind are just as unknown here.
+        assert!(parse_line("schedule d695 --width 16 --widths 8").is_err());
+        assert!(
+            parse_line("bounds d695 16").is_err(),
+            "stray positional token"
+        );
+    }
+
+    #[test]
+    fn batch_file_memoizes_soc_loads() {
+        let mut socs = std::collections::HashMap::new();
+        let a = parse_batch_line("schedule d695 --width 16", &mut socs).unwrap();
+        let b = parse_batch_line("bounds d695", &mut socs).unwrap();
+        assert!(Arc::ptr_eq(&a.soc, &b.soc), "one load, one shared Arc");
+        assert_eq!(socs.len(), 1);
+    }
+
+    #[test]
+    fn batch_file_parses_with_comments_and_line_numbers() {
+        let text = "# mixed benchmark batch\n\nschedule d695 --width 16\nbounds p34392\n";
+        let reqs = parse_batch_file(text).unwrap();
+        assert_eq!(reqs.len(), 2);
+
+        let err = parse_batch_file("schedule d695 --width 16\nschedule d695\n").unwrap_err();
+        assert!(err.starts_with("line 2:"), "error names the line: {err}");
+        assert!(parse_batch_file("# only comments\n").is_err());
+    }
+
+    #[test]
+    fn batch_end_to_end_writes_json() {
+        let dir = std::env::temp_dir();
+        let reqs = dir.join("soctam_cli_batch_requests.txt");
+        let out = dir.join("soctam_cli_batch_out.json");
+        std::fs::write(
+            &reqs,
+            "schedule d695 --width 16\nschedule d695 --width 16 --no-preempt\n\
+             bounds p34392 --widths 16,24\n",
+        )
+        .unwrap();
+        run(&argv(&[
+            "batch",
+            reqs.to_str().unwrap(),
+            "--threads",
+            "2",
+            "--out",
+            out.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let json = std::fs::read_to_string(&out).unwrap();
+        assert!(json.contains("\"requests\": 3"));
+        assert!(json.contains("\"failed\": 0"));
+        assert!(json.contains("\"op\": \"schedule\""));
+        assert!(json.contains("\"op\": \"bounds\""));
+        assert!(json.contains("\"registry\""));
+        std::fs::remove_file(&reqs).ok();
+        std::fs::remove_file(&out).ok();
+    }
+
+    #[test]
+    fn batch_results_match_sequential_flows() {
+        // The acceptance pin: a mixed-SOC batch served concurrently is
+        // bit-identical to per-SOC sequential runs.
+        let lines = [
+            "schedule d695 --width 16",
+            "schedule p34392 --width 24 --no-preempt",
+            "bounds p93791 --widths 16,32",
+        ];
+        let requests = parse_batch_file(&lines.join("\n")).unwrap();
+        let results = Engine::new().with_threads(3).serve(&requests);
+        for (req, result) in requests.iter().zip(&results) {
+            let flow = TestFlow::new(&req.soc, req.flow.clone().with_parallel(false));
+            match (&req.op, result.as_ref().unwrap()) {
+                (EngineOp::Schedule { width }, EngineOutput::Schedule(run)) => {
+                    let want = flow.run(*width).unwrap();
+                    assert_eq!(run.schedule, want.schedule, "{}", req.soc.name());
+                    assert_eq!(run.params, want.params);
+                    assert_eq!(run.volume, want.volume);
+                }
+                (EngineOp::Bounds { widths }, EngineOutput::Bounds(bounds)) => {
+                    assert_eq!(*bounds, flow.context().lower_bounds(widths));
+                }
+                _ => panic!("unexpected op/result pairing"),
+            }
+        }
     }
 }

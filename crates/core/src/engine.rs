@@ -1,0 +1,400 @@
+//! The batch-serving facade: many scheduling requests, one registry.
+//!
+//! [`Engine`] is the entry point for serving *traffic* rather than running
+//! one experiment: it accepts a batch of [`EngineRequest`]s — mixed SOCs,
+//! TAM widths, scheduling modes, and operation kinds (best-of schedule,
+//! width sweep, lower bounds) — and executes them on scoped worker
+//! threads. Every request draws its [`CompiledSoc`] from a shared
+//! [`ContextRegistry`], so a batch (and any later batch over the same
+//! engine) compiles each distinct `(SOC, w_max, power budget)` key exactly
+//! once, no matter how many requests or threads touch it.
+//!
+//! Results come back in request order and are bit-identical to serving
+//! the same requests sequentially, one private flow each — pinned by the
+//! `sweep_equivalence` suite.
+//!
+//! # Example
+//!
+//! ```
+//! use std::sync::Arc;
+//! use soctam_core::engine::{Engine, EngineOutput, EngineRequest};
+//! use soctam_core::flow::FlowConfig;
+//! use soctam_core::soc::benchmarks;
+//!
+//! let engine = Engine::new();
+//! let soc = Arc::new(benchmarks::d695());
+//! let results = engine.serve(&[
+//!     EngineRequest::schedule(Arc::clone(&soc), FlowConfig::quick(), 16),
+//!     EngineRequest::bounds(Arc::clone(&soc), FlowConfig::quick(), vec![16, 32]),
+//! ]);
+//! assert_eq!(results.len(), 2);
+//! let EngineOutput::Schedule(run) = results[0].as_ref().unwrap() else {
+//!     panic!("first request was a schedule");
+//! };
+//! assert!(run.schedule.makespan() >= run.lower_bound);
+//! // Both requests shared one compiled context.
+//! assert_eq!(engine.registry().stats().misses, 1);
+//! ```
+
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use soctam_schedule::{ContextRegistry, Cycles, ScheduleError, TamWidth};
+use soctam_soc::Soc;
+use soctam_volume::SweepPoint;
+
+use crate::flow::{FlowConfig, FlowRun, TestFlow};
+
+/// What one request asks the engine to compute.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EngineOp {
+    /// Best-of-sweep schedule, wires, bound, and volume at one width
+    /// ([`TestFlow::run`]).
+    Schedule {
+        /// SOC TAM width `W`.
+        width: TamWidth,
+    },
+    /// The `T(W)`/`V(W)` series over several widths
+    /// ([`TestFlow::sweep_widths`]).
+    Sweep {
+        /// Widths to sweep, in order.
+        widths: Vec<TamWidth>,
+    },
+    /// Testing-time lower bounds at several widths
+    /// ([`CompiledSoc::lower_bounds`](soctam_schedule::CompiledSoc::lower_bounds)).
+    Bounds {
+        /// Widths to bound, in order.
+        widths: Vec<TamWidth>,
+    },
+}
+
+/// One unit of engine work: an SOC, a flow configuration (width cap,
+/// parameter sweep, power policy, preemption mode), and an operation.
+#[derive(Debug, Clone)]
+pub struct EngineRequest {
+    /// The SOC under test (shared, so a thousand requests over one SOC
+    /// carry one model).
+    pub soc: Arc<Soc>,
+    /// Flow configuration; `w_max` and the resolved power budget select
+    /// the registry key.
+    pub flow: FlowConfig,
+    /// The operation to perform.
+    pub op: EngineOp,
+}
+
+impl EngineRequest {
+    /// A best-of-schedule request at one width.
+    pub fn schedule(soc: Arc<Soc>, flow: FlowConfig, width: TamWidth) -> Self {
+        Self {
+            soc,
+            flow,
+            op: EngineOp::Schedule { width },
+        }
+    }
+
+    /// A width-sweep request.
+    pub fn sweep(soc: Arc<Soc>, flow: FlowConfig, widths: Vec<TamWidth>) -> Self {
+        Self {
+            soc,
+            flow,
+            op: EngineOp::Sweep { widths },
+        }
+    }
+
+    /// A lower-bounds request.
+    pub fn bounds(soc: Arc<Soc>, flow: FlowConfig, widths: Vec<TamWidth>) -> Self {
+        Self {
+            soc,
+            flow,
+            op: EngineOp::Bounds { widths },
+        }
+    }
+}
+
+/// The successful payload of one request.
+#[derive(Debug, Clone)]
+pub enum EngineOutput {
+    /// Result of an [`EngineOp::Schedule`] request.
+    Schedule(Box<FlowRun>),
+    /// Result of an [`EngineOp::Sweep`] request.
+    Sweep(Vec<SweepPoint>),
+    /// Result of an [`EngineOp::Bounds`] request.
+    Bounds(Vec<Cycles>),
+}
+
+/// Outcome of one request: requests fail independently (an infeasible
+/// power ceiling on one SOC does not poison the batch).
+pub type EngineResult = Result<EngineOutput, ScheduleError>;
+
+/// Concurrent batch-serving facade over a shared [`ContextRegistry`].
+///
+/// Construction is cheap; the engine is `Sync`, so one instance can serve
+/// overlapping batches from many caller threads — the registry below it
+/// is the single source of compiled contexts.
+#[derive(Debug)]
+pub struct Engine {
+    registry: Arc<ContextRegistry>,
+    threads: Option<NonZeroUsize>,
+}
+
+impl Engine {
+    /// An engine over a fresh default registry.
+    pub fn new() -> Self {
+        Self::with_registry(Arc::new(ContextRegistry::default()))
+    }
+
+    /// An engine over an existing (possibly shared) registry.
+    pub fn with_registry(registry: Arc<ContextRegistry>) -> Self {
+        Self {
+            registry,
+            threads: None,
+        }
+    }
+
+    /// Caps the worker-thread count (default: available parallelism).
+    /// `1` forces fully sequential serving.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = NonZeroUsize::new(threads.max(1));
+        self
+    }
+
+    /// The registry serving this engine's contexts.
+    pub fn registry(&self) -> &Arc<ContextRegistry> {
+        &self.registry
+    }
+
+    /// Serves a batch: results are returned in request order and are
+    /// bit-identical to calling [`Engine::serve_one`] per request in
+    /// sequence (each request's work is independent; the winner rules and
+    /// grid orders inside a request never depend on batch scheduling).
+    ///
+    /// Requests are distributed over scoped worker threads. When the
+    /// batch alone saturates the machine (at least as many requests as
+    /// cores), each request's *inner* parameter grid runs sequentially —
+    /// batch-level parallelism replaces it, results are identical either
+    /// way, and thread oversubscription is avoided. A small batch on a
+    /// wide machine keeps the inner grid parallelism its flow
+    /// configuration asks for, so two requests on sixteen cores don't
+    /// idle fourteen of them.
+    pub fn serve(&self, requests: &[EngineRequest]) -> Vec<EngineResult> {
+        let n = requests.len();
+        let hardware = std::thread::available_parallelism()
+            .map(NonZeroUsize::get)
+            .unwrap_or(1);
+        let threads = self
+            .threads
+            .map(NonZeroUsize::get)
+            .unwrap_or(hardware)
+            .min(n.max(1));
+        if threads <= 1 {
+            return requests.iter().map(|r| self.serve_one(r)).collect();
+        }
+        let inner_sequential = threads >= hardware;
+
+        // Work-stealing over an atomic cursor: long requests (headline
+        // sweeps) don't leave a statically chunked worker idle. Each
+        // worker tags results with the request index, so the merge below
+        // restores request order deterministically.
+        let cursor = AtomicUsize::new(0);
+        let per_worker: Vec<Vec<(usize, EngineResult)>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let mut out = Vec::new();
+                        loop {
+                            let i = cursor.fetch_add(1, Ordering::Relaxed);
+                            if i >= n {
+                                break;
+                            }
+                            out.push((i, self.serve_request(&requests[i], inner_sequential)));
+                        }
+                        out
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("engine worker panicked"))
+                .collect()
+        });
+
+        let mut slots: Vec<Option<EngineResult>> = (0..n).map(|_| None).collect();
+        for (i, result) in per_worker.into_iter().flatten() {
+            slots[i] = Some(result);
+        }
+        slots
+            .into_iter()
+            .map(|s| s.expect("every request served"))
+            .collect()
+    }
+
+    /// Serves a single request through the registry.
+    pub fn serve_one(&self, request: &EngineRequest) -> EngineResult {
+        self.serve_request(request, false)
+    }
+
+    fn serve_request(&self, request: &EngineRequest, inner_sequential: bool) -> EngineResult {
+        let budget = request.flow.power.resolve(&request.soc);
+        let ctx = self
+            .registry
+            .get_or_compile(&request.soc, request.flow.w_max, budget);
+        let mut cfg = request.flow.clone();
+        cfg.w_max = ctx.w_max(); // the registry clamps w_max to >= 1
+        if inner_sequential {
+            cfg.parallel = false;
+        }
+        let flow = TestFlow::with_context(ctx, cfg);
+        match &request.op {
+            EngineOp::Schedule { width } => flow
+                .run(*width)
+                .map(|run| EngineOutput::Schedule(Box::new(run))),
+            EngineOp::Sweep { widths } => flow
+                .sweep_widths(widths.iter().copied())
+                .map(EngineOutput::Sweep),
+            EngineOp::Bounds { widths } => {
+                if widths.contains(&0) {
+                    return Err(ScheduleError::InvalidConfig {
+                        reason: "lower bounds need at least one wire".to_owned(),
+                    });
+                }
+                Ok(EngineOutput::Bounds(flow.context().lower_bounds(widths)))
+            }
+        }
+    }
+}
+
+impl Default for Engine {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flow::{ParamSweep, PowerPolicy};
+    use soctam_soc::benchmarks;
+
+    fn quick() -> FlowConfig {
+        FlowConfig {
+            sweep: ParamSweep::quick(),
+            ..FlowConfig::new()
+        }
+    }
+
+    fn mixed_batch() -> Vec<EngineRequest> {
+        let d695 = Arc::new(benchmarks::d695());
+        let p34392 = Arc::new(benchmarks::p34392());
+        vec![
+            EngineRequest::schedule(Arc::clone(&d695), quick(), 16),
+            EngineRequest::bounds(Arc::clone(&p34392), quick(), vec![16, 24, 32]),
+            EngineRequest::schedule(Arc::clone(&d695), quick().without_preemption(), 32),
+            EngineRequest::sweep(p34392, quick(), vec![16, 24]),
+            EngineRequest::schedule(d695, quick().with_power(PowerPolicy::MaxCorePower), 24),
+        ]
+    }
+
+    #[test]
+    fn batch_matches_sequential_single_flows() {
+        let requests = mixed_batch();
+        let engine = Engine::new();
+        let batch = engine.serve(&requests);
+        for (req, result) in requests.iter().zip(&batch) {
+            let private = TestFlow::new(&req.soc, req.flow.clone());
+            match (&req.op, result.as_ref().unwrap()) {
+                (EngineOp::Schedule { width }, EngineOutput::Schedule(run)) => {
+                    let want = private.run(*width).unwrap();
+                    assert_eq!(run.schedule, want.schedule);
+                    assert_eq!(run.params, want.params);
+                    assert_eq!(run.lower_bound, want.lower_bound);
+                    assert_eq!(run.volume, want.volume);
+                }
+                (EngineOp::Sweep { widths }, EngineOutput::Sweep(points)) => {
+                    let want = private.sweep_widths(widths.iter().copied()).unwrap();
+                    assert_eq!(*points, want);
+                }
+                (EngineOp::Bounds { widths }, EngineOutput::Bounds(bounds)) => {
+                    assert_eq!(*bounds, private.context().lower_bounds(widths));
+                }
+                (op, out) => panic!("op {op:?} produced mismatched output {out:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn one_compile_per_key_across_a_batch() {
+        let requests = mixed_batch();
+        let engine = Engine::new();
+        let _ = engine.serve(&requests);
+        // Keys: (d695, 64, None) shared by two requests, (d695, 64,
+        // Some(P)) for the power-constrained one, (p34392, 64, None)
+        // shared by two requests.
+        let stats = engine.registry().stats();
+        assert_eq!(stats.misses, 3, "one compile per (SOC, w_max, budget)");
+        assert_eq!(stats.hits, 2, "repeat keys served from the registry");
+        // A second identical batch compiles nothing.
+        let _ = engine.serve(&requests);
+        assert_eq!(engine.registry().stats().misses, 3);
+    }
+
+    #[test]
+    fn sequential_engine_matches_parallel_engine() {
+        let requests = mixed_batch();
+        let par = Engine::new().serve(&requests);
+        let seq = Engine::new().with_threads(1).serve(&requests);
+        assert_eq!(par.len(), seq.len());
+        for (a, b) in par.iter().zip(&seq) {
+            match (a.as_ref().unwrap(), b.as_ref().unwrap()) {
+                (EngineOutput::Schedule(x), EngineOutput::Schedule(y)) => {
+                    assert_eq!(x.schedule, y.schedule);
+                    assert_eq!(x.params, y.params);
+                }
+                (EngineOutput::Sweep(x), EngineOutput::Sweep(y)) => assert_eq!(x, y),
+                (EngineOutput::Bounds(x), EngineOutput::Bounds(y)) => assert_eq!(x, y),
+                _ => panic!("output kinds diverged between parallel and sequential"),
+            }
+        }
+    }
+
+    #[test]
+    fn failures_are_per_request() {
+        let d695 = Arc::new(benchmarks::d695());
+        let impossible = quick().with_power(PowerPolicy::Absolute(1));
+        let requests = vec![
+            EngineRequest::schedule(Arc::clone(&d695), impossible, 16),
+            EngineRequest::schedule(Arc::clone(&d695), quick(), 16),
+            EngineRequest::bounds(d695, quick(), vec![0]),
+        ];
+        let results = Engine::new().serve(&requests);
+        assert!(results[0].is_err(), "1-unit power ceiling is infeasible");
+        assert!(results[1].is_ok(), "healthy request unaffected");
+        assert!(results[2].is_err(), "zero-wire bound rejected, not a panic");
+    }
+
+    #[test]
+    fn engine_is_shareable_across_threads() {
+        let engine = Arc::new(Engine::new());
+        let d695 = Arc::new(benchmarks::d695());
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let engine = Arc::clone(&engine);
+            let soc = Arc::clone(&d695);
+            handles.push(std::thread::spawn(move || {
+                engine.serve(&[EngineRequest::bounds(soc, quick(), vec![16, 32])])
+            }));
+        }
+        for h in handles {
+            let results = h.join().unwrap();
+            let EngineOutput::Bounds(b) = results[0].as_ref().unwrap() else {
+                panic!("bounds request");
+            };
+            assert_eq!(b.len(), 2);
+        }
+        assert_eq!(
+            engine.registry().stats().misses,
+            1,
+            "four threads, one compile"
+        );
+    }
+}

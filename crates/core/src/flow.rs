@@ -201,55 +201,54 @@ pub struct FlowRun {
     pub sweep: SweepStats,
 }
 
-/// The flow's handle on its schedule context: compiled privately by
-/// [`TestFlow::new`], or shared across several flows via
-/// [`TestFlow::with_context`].
-#[derive(Debug, Clone)]
-enum CtxRef<'a> {
-    Owned(CompiledSoc<'a>),
-    Shared(&'a CompiledSoc<'a>),
-}
-
 /// The integrated framework entry point.
 ///
-/// Borrows the SOC, carries a configuration and a [`CompiledSoc`] (the
-/// once-per-SOC precomputation), and runs the three framework components
-/// on demand.
+/// Owns (a shared handle on) a [`CompiledSoc`] — the once-per-SOC
+/// precomputation, which itself owns the SOC model — plus a
+/// configuration, and runs the three framework components on demand.
+/// Lifetime-free: flows can be built per request, moved across threads,
+/// and share one registry-cached context (see
+/// [`Engine`](crate::engine::Engine)).
 #[derive(Debug, Clone)]
-pub struct TestFlow<'a> {
-    soc: &'a Soc,
+pub struct TestFlow {
     cfg: FlowConfig,
-    ctx: CtxRef<'a>,
+    ctx: Arc<CompiledSoc>,
 }
 
-impl<'a> TestFlow<'a> {
+impl TestFlow {
     /// Creates a flow over `soc` with the given configuration, compiling a
-    /// private schedule context for it.
-    pub fn new(soc: &'a Soc, cfg: FlowConfig) -> Self {
-        let ctx = CtxRef::Owned(CompiledSoc::compile(soc, cfg.w_max));
-        Self { soc, cfg, ctx }
+    /// private schedule context for it (cloning the model into shared
+    /// ownership).
+    pub fn new(soc: &Soc, cfg: FlowConfig) -> Self {
+        let ctx = Arc::new(CompiledSoc::compile(soc, cfg.w_max));
+        Self { cfg, ctx }
     }
 
     /// Creates a flow over an existing context, sharing its compiled
     /// menus/constraints instead of recompiling. Use this when several
     /// flow configurations (scheduling modes, power policies) sweep the
-    /// same SOC.
+    /// same SOC, or when a [`ContextRegistry`](soctam_schedule::ContextRegistry)
+    /// serves contexts across requests. Accepts an `Arc<CompiledSoc>` (a
+    /// refcount-cheap clone of a cached handle) or a `CompiledSoc` by
+    /// value.
     ///
     /// # Panics
     ///
     /// Panics if `cfg.w_max` differs from the context's cap — the
     /// lower-bound ingredients are compiled per cap.
-    pub fn with_context(ctx: &'a CompiledSoc<'a>, cfg: FlowConfig) -> Self {
+    pub fn with_context(ctx: impl Into<Arc<CompiledSoc>>, cfg: FlowConfig) -> Self {
+        let ctx = ctx.into();
         assert_eq!(
             cfg.w_max.max(1),
             ctx.w_max(),
             "flow w_max must match the compiled context"
         );
-        Self {
-            soc: ctx.soc(),
-            cfg,
-            ctx: CtxRef::Shared(ctx),
-        }
+        Self { cfg, ctx }
+    }
+
+    /// The SOC under test (owned by the flow's context).
+    pub fn soc(&self) -> &Soc {
+        self.ctx.soc()
     }
 
     /// The configuration in use.
@@ -257,12 +256,15 @@ impl<'a> TestFlow<'a> {
         &self.cfg
     }
 
-    /// The schedule context in use (owned or shared).
-    pub fn context(&self) -> &CompiledSoc<'a> {
-        match &self.ctx {
-            CtxRef::Owned(c) => c,
-            CtxRef::Shared(c) => c,
-        }
+    /// The schedule context in use.
+    pub fn context(&self) -> &CompiledSoc {
+        &self.ctx
+    }
+
+    /// Shared handle on the schedule context, for handing the same
+    /// compilation to another flow or thread.
+    pub fn context_arc(&self) -> &Arc<CompiledSoc> {
+        &self.ctx
     }
 
     /// Builds the scheduler configuration for one `(width, m, d, slack)`
@@ -278,7 +280,7 @@ impl<'a> TestFlow<'a> {
         cfg.w_max = self.cfg.w_max;
         cfg.idle_fill_slack = slack;
         cfg.allow_preemption = self.cfg.allow_preemption;
-        cfg.p_max = self.cfg.power.resolve(self.soc);
+        cfg.p_max = self.cfg.power.resolve(self.soc());
         cfg
     }
 
@@ -376,7 +378,7 @@ impl<'a> TestFlow<'a> {
         // tables come from the shared context: zero per-run compilation.
         let ctx = self.context();
         let run_one = |cfg: &SchedulerConfig| {
-            ScheduleBuilder::new(self.soc, cfg.clone())
+            ScheduleBuilder::new(ctx.soc(), cfg.clone())
                 .with_menus(menus)
                 .with_context(ctx)
                 .run()
@@ -575,13 +577,13 @@ mod tests {
     #[test]
     fn shared_context_matches_private_compilation() {
         let soc = benchmarks::d695();
-        let ctx = CompiledSoc::compile(&soc, FlowConfig::quick().w_max);
+        let ctx = Arc::new(CompiledSoc::compile(&soc, FlowConfig::quick().w_max));
         for cfg in [
             FlowConfig::quick(),
             FlowConfig::quick().without_preemption(),
             FlowConfig::quick().with_power(PowerPolicy::MaxCorePower),
         ] {
-            let shared = TestFlow::with_context(&ctx, cfg.clone());
+            let shared = TestFlow::with_context(Arc::clone(&ctx), cfg.clone());
             let private = TestFlow::new(&soc, cfg);
             let (ss, ps, sts) = shared.best_schedule_detailed(24).unwrap();
             let (sp, pp, stp) = private.best_schedule_detailed(24).unwrap();
@@ -597,7 +599,23 @@ mod tests {
     fn mismatched_context_cap_panics() {
         let soc = benchmarks::d695();
         let ctx = CompiledSoc::compile(&soc, 32);
-        let _ = TestFlow::with_context(&ctx, FlowConfig::quick()); // w_max 64
+        let _ = TestFlow::with_context(ctx, FlowConfig::quick()); // w_max 64
+    }
+
+    #[test]
+    fn flow_is_lifetime_free_and_sendable() {
+        fn takes<T: Send + Sync + 'static>(_: &T) {}
+        let flow = {
+            // The borrowed SOC dies here; the flow owns its own model.
+            let soc = benchmarks::d695();
+            TestFlow::new(&soc, FlowConfig::quick())
+        };
+        takes(&flow);
+        assert_eq!(flow.soc().name(), "d695");
+        let run = std::thread::spawn(move || flow.run(16).unwrap())
+            .join()
+            .unwrap();
+        assert!(run.schedule.makespan() >= run.lower_bound);
     }
 
     #[test]

@@ -13,14 +13,23 @@
 //! * the SOC substrate, ITC'02-style format, and benchmark models
 //!   ([`soctam_soc`]).
 //!
-//! The [`flow`] module exposes the one-stop API; [`report`] regenerates the
-//! paper's tables and figures as plain-text artifacts.
+//! The [`flow`] module exposes the one-stop API; [`engine`] serves whole
+//! request batches concurrently; [`report`] regenerates the paper's tables
+//! and figures as plain-text artifacts.
+//!
+//! # Ownership model
 //!
 //! All of it shares one precompiled schedule context per SOC
 //! ([`schedule::CompiledSoc`]): rectangle menus, constraint tables, and
 //! lower-bound ingredients are compiled once and reused — bit-identically —
 //! by the scheduler, the bounds, the validator, and every baseline
-//! architecture across a whole parameter/width sweep.
+//! architecture across a whole parameter/width sweep. The context *owns*
+//! its SOC (`Arc<Soc>`), so it is lifetime-free; [`flow::TestFlow`] holds
+//! an `Arc<CompiledSoc>` and is itself `Send + Sync + 'static`. Long-lived
+//! services cache contexts in a [`schedule::ContextRegistry`], keyed by
+//! `(SOC content, w_max, power budget)` with LRU eviction, and serve
+//! mixed batches through [`engine::Engine`] — each distinct key compiles
+//! exactly once per registry lifetime, across requests and threads alike.
 //!
 //! # Quickstart
 //!
@@ -41,6 +50,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod engine;
 pub mod flow;
 pub mod report;
 

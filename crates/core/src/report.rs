@@ -2,8 +2,9 @@
 //! the paper's evaluation (§6), as plain data plus text renderers.
 
 use std::fmt::Write as _;
+use std::sync::Arc;
 
-use soctam_schedule::{CompiledSoc, ScheduleError, TamWidth};
+use soctam_schedule::{CompiledSoc, ContextRegistry, ScheduleError, TamWidth};
 use soctam_soc::{benchmarks, Soc};
 use soctam_volume::{CostCurve, SweepPoint};
 use soctam_wrapper::{CoreTest, RectangleSet, StaircasePoint};
@@ -43,24 +44,24 @@ pub struct Table1Row {
 pub fn table1_rows(soc: &Soc, base: &FlowConfig) -> Result<Vec<Table1Row>, ScheduleError> {
     let mut budgeted = soc.clone();
     benchmarks::grant_preemption_to_large_cores(&mut budgeted, 2);
-    let ctx = CompiledSoc::compile(&budgeted, base.w_max);
+    let ctx = Arc::new(CompiledSoc::compile(&budgeted, base.w_max));
 
     let mut rows = Vec::new();
     for w in benchmarks::table1_widths(soc.name()) {
         let non_preemptive = {
             let cfg = base.clone().without_preemption();
-            TestFlow::with_context(&ctx, cfg)
+            TestFlow::with_context(Arc::clone(&ctx), cfg)
                 .best_schedule(w)?
                 .0
                 .makespan()
         };
-        let preemptive = TestFlow::with_context(&ctx, base.clone())
+        let preemptive = TestFlow::with_context(Arc::clone(&ctx), base.clone())
             .best_schedule(w)?
             .0
             .makespan();
         let power_constrained = {
             let cfg = base.clone().with_power(PowerPolicy::MaxCorePower);
-            TestFlow::with_context(&ctx, cfg)
+            TestFlow::with_context(Arc::clone(&ctx), cfg)
                 .best_schedule(w)?
                 .0
                 .makespan()
@@ -237,6 +238,12 @@ pub struct PreemptionSweepRow {
 /// flow's best schedule is measured, along with how many preemptions it
 /// actually spent and their total scan penalty.
 ///
+/// Compiles one private context per budget variant; ablation drivers that
+/// revisit variants (several widths, several SOCs, repeated runs) should
+/// hold a [`ContextRegistry`] and call [`preemption_sweep_with`], which
+/// compiles each `(budgeted SOC, w_max, power)` key exactly once per
+/// registry lifetime.
+///
 /// # Errors
 ///
 /// Propagates scheduling failures.
@@ -246,20 +253,43 @@ pub fn preemption_sweep(
     budgets: &[u32],
     base: &FlowConfig,
 ) -> Result<Vec<PreemptionSweepRow>, ScheduleError> {
+    preemption_sweep_with(&ContextRegistry::default(), soc, width, budgets, base)
+}
+
+/// [`preemption_sweep`] over a caller-held registry: each budget variant's
+/// context is drawn from (and cached in) `registry`, so re-sweeping the
+/// same variants — at another width, or in a later call — recompiles
+/// nothing. Results are bit-identical to [`preemption_sweep`].
+///
+/// # Errors
+///
+/// As for [`preemption_sweep`].
+pub fn preemption_sweep_with(
+    registry: &ContextRegistry,
+    soc: &Soc,
+    width: TamWidth,
+    budgets: &[u32],
+    base: &FlowConfig,
+) -> Result<Vec<PreemptionSweepRow>, ScheduleError> {
     let mut rows = Vec::with_capacity(budgets.len());
     for &budget in budgets {
         let mut budgeted = soc.clone();
         benchmarks::grant_preemption_to_large_cores(&mut budgeted, budget);
-        let (schedule, _) = TestFlow::new(&budgeted, base.clone()).best_schedule(width)?;
+        let budgeted = Arc::new(budgeted);
+        let ctx = registry.get_or_compile(&budgeted, base.w_max, base.power.resolve(&budgeted));
+        let flow = TestFlow::with_context(ctx, base.clone());
+        let (schedule, _) = flow.best_schedule(width)?;
         let mut preemptions_used = 0u32;
         let mut penalty_cycles = 0u64;
         for idx in 0..budgeted.len() {
             let stats = schedule.core_stats(idx).expect("all cores scheduled");
             if stats.preemptions > 0 {
-                let rects = RectangleSet::build(budgeted.core(idx).test(), stats.width);
+                // Per-width rectangles are cap-prefix-stable, so the
+                // context's full-cap menu reads the same rectangle a
+                // fresh `RectangleSet::build(test, width)` would.
+                let rect = flow.context().full_menus().menu(idx).rect_at(stats.width);
                 preemptions_used += stats.preemptions;
-                penalty_cycles +=
-                    u64::from(stats.preemptions) * rects.rect_at(stats.width).preemption_penalty();
+                penalty_cycles += u64::from(stats.preemptions) * rect.preemption_penalty();
             }
         }
         rows.push(PreemptionSweepRow {

@@ -6,8 +6,11 @@
 //!   (`soctam_schedule::instrument`, `soctam_wrapper::instrument`) prove
 //!   that a whole `(m, d, slack)` sweep builds `RectangleMenus` and
 //!   compiles `ConstraintSet` exactly once per SOC, that width sweeps
-//!   build one menu per distinct effective cap, and that baseline
-//!   evaluations over a shared context rebuild *zero* menus.
+//!   *derive* smaller-cap menus from the full-cap build instead of
+//!   rebuilding them, that baseline evaluations over a shared context
+//!   rebuild *zero* menus, that a registry-backed preemption ablation
+//!   compiles one context per budget variant, and that an `Engine` batch
+//!   compiles one context per `(SOC, w_max, budget)` key.
 //! * **Bit-identity** — every context-reuse path (scheduler, bounds,
 //!   baselines) produces results identical to a rebuild-per-call run on
 //!   all four benchmark SOCs.
@@ -16,11 +19,13 @@
 //! serializes on one mutex; keep counter-sensitive tests here and nowhere
 //! else in this binary.
 
-use std::sync::{Mutex, OnceLock};
+use std::sync::{Arc, Mutex, OnceLock};
 
 use soctam_core::baseline::{fixed_width_best, session_schedule, shelf_pack};
+use soctam_core::engine::{Engine, EngineRequest};
 use soctam_core::flow::{FlowConfig, ParamSweep, TestFlow};
-use soctam_core::schedule::{instrument, CompiledSoc};
+use soctam_core::report::{preemption_sweep, preemption_sweep_with};
+use soctam_core::schedule::{instrument, CompiledSoc, ContextRegistry};
 use soctam_core::soc::benchmarks;
 use soctam_core::wrapper::instrument as wrapper_instrument;
 
@@ -41,15 +46,21 @@ fn quick_flow() -> FlowConfig {
 #[derive(Debug, PartialEq, Eq)]
 struct Counters {
     menus: u64,
+    menu_derives: u64,
     constraints: u64,
+    contexts: u64,
     rects: u64,
+    rect_derives: u64,
 }
 
 fn counters() -> Counters {
     Counters {
         menus: instrument::menu_builds(),
+        menu_derives: instrument::menu_derives(),
         constraints: instrument::constraint_compiles(),
+        contexts: instrument::context_compiles(),
         rects: wrapper_instrument::rectangle_set_builds(),
+        rect_derives: wrapper_instrument::rectangle_set_derives(),
     }
 }
 
@@ -76,6 +87,11 @@ fn one_width_sweep_compiles_the_soc_exactly_once() {
         "the (m, d, slack) sweep must compile ConstraintSet exactly once"
     );
     assert_eq!(
+        after.contexts - before.contexts,
+        1,
+        "the flow compiles exactly one CompiledSoc"
+    );
+    assert_eq!(
         after.rects - before.rects,
         soc.len() as u64,
         "one RectangleSet per core, never rebuilt"
@@ -84,41 +100,57 @@ fn one_width_sweep_compiles_the_soc_exactly_once() {
 }
 
 #[test]
-fn width_sweep_builds_one_menu_per_distinct_cap() {
+fn width_sweep_derives_smaller_caps_from_the_full_build() {
     let _guard = lock();
     let soc = benchmarks::d695();
 
     let before = counters();
     let flow = TestFlow::new(&soc, quick_flow());
-    // Caps: 16, 32, 48, and the full 64 (seeded at compile time). Widths
-    // past w_max share the 64-wide cap.
+    // Caps: 16, 32, 48 (prefix-derived) and the full 64 (the one build,
+    // seeded at compile time). Widths past w_max share the 64-wide cap.
     flow.sweep_widths([16u16, 32, 48, 64, 72]).unwrap();
     let after = counters();
 
     assert_eq!(
         after.menus - before.menus,
-        4,
-        "one menu build per distinct effective cap"
+        1,
+        "exactly one menu build: the full cap at context compile time"
+    );
+    assert_eq!(
+        after.menu_derives - before.menu_derives,
+        3,
+        "one prefix derivation per smaller distinct effective cap"
     );
     assert_eq!(
         after.constraints - before.constraints,
         1,
         "one constraint compilation for the whole width sweep"
     );
-    assert_eq!(after.rects - before.rects, 4 * soc.len() as u64);
+    assert_eq!(
+        after.rects - before.rects,
+        soc.len() as u64,
+        "rectangle sets are built once at the full cap, then prefixed"
+    );
+    assert_eq!(
+        after.rect_derives - before.rect_derives,
+        3 * soc.len() as u64
+    );
 
     // A second sweep over the same flow is fully amortized.
     let before = counters();
     flow.sweep_widths([16u16, 32, 48, 64, 72]).unwrap();
     let after = counters();
-    assert_eq!(after, before, "re-sweeping must rebuild nothing");
+    assert_eq!(
+        after, before,
+        "re-sweeping must rebuild and re-derive nothing"
+    );
 }
 
 #[test]
 fn table1_modes_share_one_compilation() {
     let _guard = lock();
     let soc = benchmarks::d695();
-    let ctx = CompiledSoc::compile(&soc, 64);
+    let ctx = Arc::new(CompiledSoc::compile(&soc, 64));
 
     let before = counters();
     for cfg in [
@@ -126,7 +158,7 @@ fn table1_modes_share_one_compilation() {
         quick_flow().without_preemption(),
         quick_flow().with_power(soctam_core::flow::PowerPolicy::MaxCorePower),
     ] {
-        TestFlow::with_context(&ctx, cfg)
+        TestFlow::with_context(Arc::clone(&ctx), cfg)
             .best_schedule(64)
             .expect("schedulable");
     }
@@ -141,7 +173,7 @@ fn baseline_sweep_rebuilds_zero_menus() {
     let widths = benchmarks::table1_widths("d695");
     let ctx = CompiledSoc::compile(&soc, 64);
 
-    // Warm every cap the sweep touches (one build per distinct cap).
+    // Warm every cap the sweep touches (one derivation per distinct cap).
     for &w in &widths {
         ctx.menus_at(ctx.effective_cap(w));
     }
@@ -159,6 +191,82 @@ fn baseline_sweep_rebuilds_zero_menus() {
         after, before,
         "baseline evaluations over a shared context must rebuild nothing"
     );
+}
+
+#[test]
+fn preemption_ablation_compiles_one_context_per_budget_variant() {
+    let _guard = lock();
+    let soc = benchmarks::d695();
+    let registry = ContextRegistry::default();
+    let budgets = [0u32, 1, 2];
+
+    let before = counters();
+    let first = preemption_sweep_with(&registry, &soc, 16, &budgets, &quick_flow()).unwrap();
+    let after = counters();
+    assert_eq!(
+        after.contexts - before.contexts,
+        budgets.len() as u64,
+        "one context compile per budget variant"
+    );
+    assert_eq!(registry.stats().misses, budgets.len() as u64);
+
+    // Re-sweeping the same variants — another width, or the same one —
+    // compiles nothing: the registry serves every budget's context.
+    let before = counters();
+    let again = preemption_sweep_with(&registry, &soc, 16, &budgets, &quick_flow()).unwrap();
+    let other_width = preemption_sweep_with(&registry, &soc, 24, &budgets, &quick_flow()).unwrap();
+    let after = counters();
+    assert_eq!(
+        after.contexts - before.contexts,
+        0,
+        "zero redundant compiles across the ablation"
+    );
+    assert_eq!(after.menus - before.menus, 0);
+    assert_eq!(after.constraints - before.constraints, 0);
+    assert_eq!(registry.stats().hits, 2 * budgets.len() as u64);
+    assert_eq!(again, first, "registry reuse is bit-identical");
+    assert_eq!(other_width.len(), budgets.len());
+
+    // And the registry path matches the private-compilation path bit for
+    // bit.
+    let private = preemption_sweep(&soc, 16, &budgets, &quick_flow()).unwrap();
+    assert_eq!(first, private);
+}
+
+#[test]
+fn engine_batch_compiles_one_context_per_key() {
+    let _guard = lock();
+    let engine = Engine::new();
+    let d695 = Arc::new(benchmarks::d695());
+    let p34392 = Arc::new(benchmarks::p34392());
+    let power = quick_flow().with_power(soctam_core::flow::PowerPolicy::MaxCorePower);
+    let requests = vec![
+        EngineRequest::schedule(Arc::clone(&d695), quick_flow(), 16),
+        EngineRequest::schedule(Arc::clone(&d695), quick_flow(), 32),
+        EngineRequest::bounds(Arc::clone(&d695), quick_flow(), vec![16, 32, 48, 64]),
+        EngineRequest::schedule(Arc::clone(&d695), power.clone(), 16),
+        EngineRequest::sweep(Arc::clone(&p34392), quick_flow(), vec![16, 24]),
+        EngineRequest::bounds(Arc::clone(&p34392), quick_flow(), vec![16, 24]),
+    ];
+    // Distinct keys: (d695, 64, None), (d695, 64, P_max), (p34392, 64,
+    // None).
+    let before = counters();
+    let results = engine.serve(&requests);
+    let after = counters();
+    assert!(results.iter().all(Result::is_ok));
+    assert_eq!(
+        after.contexts - before.contexts,
+        3,
+        "exactly one context compile per (SOC, w_max, budget) key"
+    );
+    assert_eq!(engine.registry().stats().misses, 3);
+    assert_eq!(engine.registry().stats().hits, 3);
+
+    // A repeat batch is served entirely from the registry.
+    let before = counters();
+    let _ = engine.serve(&requests);
+    let after = counters();
+    assert_eq!(after.contexts - before.contexts, 0);
 }
 
 #[test]
@@ -200,7 +308,7 @@ fn scheduler_context_reuse_bit_identical_on_larger_benchmarks() {
     for (name, w) in [("p34392", 24u16), ("p93791", 32u16)] {
         let soc = benchmarks::by_name(name).expect("known benchmark");
         let ctx = CompiledSoc::compile(&soc, quick_flow().w_max);
-        let shared = TestFlow::with_context(&ctx, quick_flow());
+        let shared = TestFlow::with_context(ctx, quick_flow());
         let private = TestFlow::new(&soc, quick_flow());
         let (ss, ps, sts) = shared.best_schedule_detailed(w).unwrap();
         let (sp, pp, stp) = private.best_schedule_detailed(w).unwrap();

@@ -1,9 +1,15 @@
 //! Equivalence suite for the sweep-scale optimizations: shared rectangle
-//! menus, run deduplication, and parallel grid execution must all be
-//! bit-identical to the naive sequential rebuild-per-run sweep.
+//! menus, run deduplication, parallel grid execution, and concurrent
+//! registry/engine serving must all be bit-identical to the naive
+//! sequential rebuild-per-run sweep.
 
-use soctam_core::flow::{FlowConfig, ParamSweep, TestFlow};
-use soctam_core::schedule::{Schedule, ScheduleBuilder, SchedulerConfig, TamWidth};
+use std::sync::Arc;
+
+use soctam_core::engine::{Engine, EngineOutput, EngineRequest};
+use soctam_core::flow::{FlowConfig, ParamSweep, PowerPolicy, TestFlow};
+use soctam_core::schedule::{
+    ContextRegistry, Schedule, ScheduleBuilder, SchedulerConfig, TamWidth,
+};
 use soctam_core::soc::{benchmarks, Soc};
 
 fn quick_flow() -> FlowConfig {
@@ -144,7 +150,6 @@ fn context_validator_agrees_on_flow_schedules() {
 fn power_constrained_sweep_is_also_equivalent() {
     // Dedup keys only on (slack, preferred widths); make sure a sweep with
     // an active power ceiling stays equivalent too.
-    use soctam_core::flow::PowerPolicy;
     let soc = benchmarks::d695();
     let cfg = quick_flow().with_power(PowerPolicy::MaxCorePower);
     let (par, pp, _) = TestFlow::new(&soc, cfg.clone())
@@ -155,4 +160,123 @@ fn power_constrained_sweep_is_also_equivalent() {
         .unwrap();
     assert_eq!(par, seq);
     assert_eq!(pp, ps);
+}
+
+/// The request mix the concurrency tests hammer: three SOCs crossed with
+/// widths, scheduling modes, and power budgets — enough key diversity to
+/// exercise several registry shards at once.
+fn hammer_requests() -> Vec<EngineRequest> {
+    let socs = [
+        Arc::new(benchmarks::d695()),
+        Arc::new(benchmarks::p34392()),
+        Arc::new(benchmarks::p93791()),
+    ];
+    let mut requests = Vec::new();
+    for soc in &socs {
+        for w in [16u16, 24, 32] {
+            requests.push(EngineRequest::schedule(Arc::clone(soc), quick_flow(), w));
+        }
+        requests.push(EngineRequest::schedule(
+            Arc::clone(soc),
+            quick_flow().without_preemption(),
+            16,
+        ));
+        requests.push(EngineRequest::schedule(
+            Arc::clone(soc),
+            quick_flow().with_power(PowerPolicy::MaxCorePower),
+            24,
+        ));
+        requests.push(EngineRequest::bounds(
+            Arc::clone(soc),
+            quick_flow(),
+            vec![16, 32, 48, 64],
+        ));
+    }
+    requests
+}
+
+fn assert_engine_results_equal(
+    a: &[soctam_core::engine::EngineResult],
+    b: &[soctam_core::engine::EngineResult],
+) {
+    assert_eq!(a.len(), b.len());
+    for (x, y) in a.iter().zip(b) {
+        match (x.as_ref().unwrap(), y.as_ref().unwrap()) {
+            (EngineOutput::Schedule(p), EngineOutput::Schedule(q)) => {
+                assert_eq!(p.schedule, q.schedule);
+                assert_eq!(p.params, q.params);
+                assert_eq!(p.lower_bound, q.lower_bound);
+                assert_eq!(p.volume, q.volume);
+                assert_eq!(p.sweep, q.sweep);
+            }
+            (EngineOutput::Sweep(p), EngineOutput::Sweep(q)) => assert_eq!(p, q),
+            (EngineOutput::Bounds(p), EngineOutput::Bounds(q)) => assert_eq!(p, q),
+            _ => panic!("result kinds diverged"),
+        }
+    }
+}
+
+#[test]
+fn concurrent_engine_hammer_matches_sequential_single_context_runs() {
+    let requests = hammer_requests();
+
+    // N caller threads hammer one engine (and thus one registry) with the
+    // same mixed batch concurrently.
+    let engine = Engine::new();
+    let concurrent: Vec<Vec<soctam_core::engine::EngineResult>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..4)
+            .map(|_| scope.spawn(|| engine.serve(&requests)))
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    // Reference: every request served alone from a private sequential
+    // flow — no registry, no batch threading, no shared anything.
+    let reference: Vec<soctam_core::engine::EngineResult> = requests
+        .iter()
+        .map(|req| {
+            Engine::new().with_threads(1).serve_one(&EngineRequest {
+                soc: Arc::clone(&req.soc),
+                flow: req.flow.clone().with_parallel(false),
+                op: req.op.clone(),
+            })
+        })
+        .collect();
+
+    for results in &concurrent {
+        assert_engine_results_equal(results, &reference);
+    }
+
+    // The registry compiled each distinct (SOC, w_max, budget) key exactly
+    // once across all four hammering threads: 3 SOCs × {unlimited, P_max}.
+    assert_eq!(engine.registry().stats().misses, 6);
+    assert_eq!(engine.registry().len(), 6);
+}
+
+#[test]
+fn shared_registry_across_engines_is_equivalent_to_private_registries() {
+    let requests = hammer_requests();
+    let shared_registry = Arc::new(ContextRegistry::new(4, 16));
+    let a = Engine::with_registry(Arc::clone(&shared_registry)).serve(&requests);
+    let b = Engine::with_registry(shared_registry).serve(&requests);
+    let private = Engine::new().serve(&requests);
+    assert_engine_results_equal(&a, &b);
+    assert_engine_results_equal(&a, &private);
+}
+
+#[test]
+fn eviction_cannot_change_results_only_costs() {
+    // A pathologically tiny registry (capacity 1) thrashes on the mixed
+    // batch; every result must still match the roomy registry's.
+    let requests = hammer_requests();
+    let tiny = Engine::with_registry(Arc::new(ContextRegistry::new(1, 1)));
+    let roomy = Engine::new();
+    let a = tiny.serve(&requests);
+    let b = roomy.serve(&requests);
+    assert_engine_results_equal(&a, &b);
+    assert!(
+        tiny.registry().stats().evictions > 0,
+        "capacity-1 registry must actually thrash on 6 distinct keys"
+    );
+    assert_eq!(tiny.registry().len(), 1);
 }

@@ -1,4 +1,4 @@
-//! One precompiled schedule context per SOC.
+//! One precompiled, owned schedule context per SOC.
 //!
 //! A parameter sweep — the paper's "best result over all integer values of
 //! `m` and `d`", crossed with TAM widths and scheduling modes — re-derives
@@ -12,10 +12,17 @@
 //! architectures (`soctam-baseline`), so a whole `(m, d, slack) × width`
 //! sweep compiles the SOC once and only solves from then on.
 //!
+//! The context *owns* its SOC (`Arc<Soc>`), so it is lifetime-free: it can
+//! be cached in a [`ContextRegistry`](crate::ContextRegistry), moved across
+//! threads, and outlive the request that compiled it — the substrate for
+//! long-lived batch serving (`soctam_core`'s `Engine`).
+//!
 //! Rectangle menus depend on the *effective* per-core width cap
 //! (`min(W, w_max)`), so the context keeps a small per-cap cache behind a
-//! mutex; everything else is immutable shared data, and the whole context
-//! is `Sync` — the flow's parallel sweep reads it from many threads.
+//! mutex; smaller-cap menus are cheap prefix *derivations* of the full-cap
+//! build ([`RectangleMenus::prefix`]), never fresh wrapper-design runs.
+//! Everything else is immutable shared data, and the whole context is
+//! `Sync` — the flow's parallel sweep reads it from many threads.
 //!
 //! # Example
 //!
@@ -48,39 +55,55 @@ use crate::constraints::ConstraintSet;
 use crate::menus::RectangleMenus;
 use crate::SchedulerConfig;
 
-/// Precompiled, shareable schedule context for one SOC: compiled
-/// constraint tables, per-core Pareto rectangle menus (cached per
-/// effective width cap), and the cached lower-bound ingredients.
+/// Precompiled, shareable schedule context for one SOC: the owned SOC
+/// model, compiled constraint tables, per-core Pareto rectangle menus
+/// (cached per effective width cap), and the cached lower-bound
+/// ingredients.
 ///
-/// Build one per SOC with [`CompiledSoc::compile`] and share it across
-/// every scheduler run, bound query, validation, and baseline evaluation
-/// of a sweep. All shared paths are bit-identical to their
+/// Build one per SOC with [`CompiledSoc::compile`] (or
+/// [`CompiledSoc::compile_arc`] to share an existing `Arc<Soc>` without
+/// cloning the model) and share it across every scheduler run, bound
+/// query, validation, and baseline evaluation of a sweep — or cache it in
+/// a [`ContextRegistry`](crate::ContextRegistry) and share it across
+/// *requests*. All shared paths are bit-identical to their
 /// rebuild-per-call equivalents (pinned by the `context_reuse` and
 /// `sweep_equivalence` suites).
-pub struct CompiledSoc<'a> {
-    soc: &'a Soc,
+pub struct CompiledSoc {
+    soc: Arc<Soc>,
     w_max: TamWidth,
     constraints: ConstraintSet,
     /// Menus at the full per-core cap `w_max`: the lower-bound staircase
-    /// and the widest Pareto sets; also seeds the per-cap cache.
+    /// and the widest Pareto sets; also seeds the per-cap cache and every
+    /// smaller cap's prefix derivation.
     bound_menus: Arc<RectangleMenus>,
     /// Σ_i min-area(core i) at the full cap — the work term of the bound.
     total_min_area: u128,
     menu_cache: Mutex<HashMap<TamWidth, Arc<RectangleMenus>>>,
 }
 
-impl<'a> CompiledSoc<'a> {
+impl CompiledSoc {
     /// Compiles the context: constraint tables plus rectangle menus at the
     /// per-core width cap `w_max` (the paper's 64; clamped to at least 1).
-    pub fn compile(soc: &'a Soc, w_max: TamWidth) -> Self {
+    ///
+    /// Clones the SOC into shared ownership; callers that already hold an
+    /// `Arc<Soc>` should use [`CompiledSoc::compile_arc`].
+    pub fn compile(soc: &Soc, w_max: TamWidth) -> Self {
+        Self::compile_arc(Arc::new(soc.clone()), w_max)
+    }
+
+    /// [`CompiledSoc::compile`] over an SOC that is already shared,
+    /// avoiding the model clone.
+    pub fn compile_arc(soc: Arc<Soc>, w_max: TamWidth) -> Self {
+        crate::instrument::note_context_compile();
         let w_max = w_max.max(1);
-        let bound_menus = Arc::new(RectangleMenus::build(soc, w_max));
+        let bound_menus = Arc::new(RectangleMenus::build(&soc, w_max));
         let total_min_area = bound_menus.menus().iter().map(RectangleSet::min_area).sum();
         let menu_cache = Mutex::new(HashMap::from([(w_max, Arc::clone(&bound_menus))]));
+        let constraints = ConstraintSet::compile(&soc);
         Self {
             soc,
             w_max,
-            constraints: ConstraintSet::compile(soc),
+            constraints,
             bound_menus,
             total_min_area,
             menu_cache,
@@ -88,8 +111,13 @@ impl<'a> CompiledSoc<'a> {
     }
 
     /// The SOC this context was compiled from.
-    pub fn soc(&self) -> &'a Soc {
-        self.soc
+    pub fn soc(&self) -> &Soc {
+        &self.soc
+    }
+
+    /// Shared handle on the owned SOC model; cloning it is refcount-cheap.
+    pub fn soc_arc(&self) -> &Arc<Soc> {
+        &self.soc
     }
 
     /// The per-core width cap the context was compiled for.
@@ -130,17 +158,23 @@ impl<'a> CompiledSoc<'a> {
         self.w_max.min(w).max(1)
     }
 
-    /// The rectangle menus for an arbitrary width cap, built on first use
-    /// and cached. A width sweep touches one cap per distinct
+    /// The rectangle menus for an arbitrary width cap, derived on first
+    /// use and cached. Caps below `w_max` are prefix-derived from the
+    /// full-cap build ([`RectangleMenus::prefix`] — bit-identical to a
+    /// fresh build, no wrapper-design reruns); caps above it (only
+    /// reachable by calling this directly with an unclamped value) fall
+    /// back to a fresh build. A width sweep touches one cap per distinct
     /// `min(W, w_max)`, so the cache stays tiny.
     pub fn menus_at(&self, cap: TamWidth) -> Arc<RectangleMenus> {
         let cap = cap.max(1);
         let mut cache = self.menu_cache.lock().expect("menu cache poisoned");
-        Arc::clone(
-            cache
-                .entry(cap)
-                .or_insert_with(|| Arc::new(RectangleMenus::build(self.soc, cap))),
-        )
+        Arc::clone(cache.entry(cap).or_insert_with(|| {
+            Arc::new(if cap <= self.bound_menus.w_max() {
+                self.bound_menus.prefix(cap)
+            } else {
+                RectangleMenus::build(&self.soc, cap)
+            })
+        }))
     }
 
     /// The menus a configuration's run uses (`cfg.effective_w_max()` wide).
@@ -171,11 +205,11 @@ impl<'a> CompiledSoc<'a> {
     }
 }
 
-impl Clone for CompiledSoc<'_> {
+impl Clone for CompiledSoc {
     fn clone(&self) -> Self {
         let cache = self.menu_cache.lock().expect("menu cache poisoned");
         Self {
-            soc: self.soc,
+            soc: Arc::clone(&self.soc),
             w_max: self.w_max,
             constraints: self.constraints.clone(),
             bound_menus: Arc::clone(&self.bound_menus),
@@ -185,7 +219,7 @@ impl Clone for CompiledSoc<'_> {
     }
 }
 
-impl fmt::Debug for CompiledSoc<'_> {
+impl fmt::Debug for CompiledSoc {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("CompiledSoc")
             .field("soc", &self.soc.name())
@@ -217,6 +251,21 @@ mod tests {
     }
 
     #[test]
+    fn compile_arc_shares_the_model() {
+        let soc = Arc::new(benchmarks::d695());
+        let ctx = CompiledSoc::compile_arc(Arc::clone(&soc), 64);
+        assert!(Arc::ptr_eq(ctx.soc_arc(), &soc));
+        assert_eq!(ctx.soc(), &*soc);
+    }
+
+    #[test]
+    fn context_is_send_and_sync_and_static() {
+        fn takes<T: Send + Sync + 'static>(_: &T) {}
+        let ctx = CompiledSoc::compile(&benchmarks::d695(), 16);
+        takes(&ctx);
+    }
+
+    #[test]
     fn menus_cached_per_cap() {
         let soc = benchmarks::d695();
         let ctx = CompiledSoc::compile(&soc, 64);
@@ -225,6 +274,21 @@ mod tests {
         assert!(Arc::ptr_eq(&a, &b));
         assert_eq!(ctx.cached_caps(), 2);
         assert_eq!(*a, RectangleMenus::build(&soc, 16));
+    }
+
+    #[test]
+    fn smaller_caps_are_derived_not_rebuilt() {
+        let soc = benchmarks::d695();
+        let ctx = CompiledSoc::compile(&soc, 64);
+        let builds = crate::instrument::menu_builds();
+        let derives = crate::instrument::menu_derives();
+        let m = ctx.menus_at(16);
+        assert_eq!(*m, RectangleMenus::build(&soc, 16)); // this build is the reference
+        assert!(crate::instrument::menu_derives() > derives);
+        let _ = builds;
+        // A cap above w_max falls back to a fresh build.
+        let wide = ctx.menus_at(80);
+        assert_eq!(wide.w_max(), 80);
     }
 
     #[test]

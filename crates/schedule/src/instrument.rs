@@ -12,11 +12,21 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 
 static MENU_BUILDS: AtomicU64 = AtomicU64::new(0);
+static MENU_DERIVES: AtomicU64 = AtomicU64::new(0);
 static CONSTRAINT_COMPILES: AtomicU64 = AtomicU64::new(0);
+static CONTEXT_COMPILES: AtomicU64 = AtomicU64::new(0);
 
 /// Number of whole-SOC rectangle-menu builds since process start.
 pub fn menu_builds() -> u64 {
     MENU_BUILDS.load(Ordering::Relaxed)
+}
+
+/// Number of whole-SOC rectangle-menu *derivations* — smaller-cap menus
+/// obtained by truncating a larger cached build
+/// ([`RectangleMenus::prefix`](crate::RectangleMenus::prefix)) instead of
+/// re-running the wrapper designer — since process start.
+pub fn menu_derives() -> u64 {
+    MENU_DERIVES.load(Ordering::Relaxed)
 }
 
 /// Number of [`ConstraintSet`](crate::ConstraintSet) compilations since
@@ -25,10 +35,26 @@ pub fn constraint_compiles() -> u64 {
     CONSTRAINT_COMPILES.load(Ordering::Relaxed)
 }
 
+/// Number of whole [`CompiledSoc`](crate::CompiledSoc) compilations since
+/// process start. A well-behaved batch compiles one context per distinct
+/// `(SOC, w_max, power budget)` registry key; `perfsnap` and the CI perf
+/// smoke gate on this counter.
+pub fn context_compiles() -> u64 {
+    CONTEXT_COMPILES.load(Ordering::Relaxed)
+}
+
 pub(crate) fn note_menu_build() {
     MENU_BUILDS.fetch_add(1, Ordering::Relaxed);
 }
 
+pub(crate) fn note_menu_derive() {
+    MENU_DERIVES.fetch_add(1, Ordering::Relaxed);
+}
+
 pub(crate) fn note_constraint_compile() {
     CONSTRAINT_COMPILES.fetch_add(1, Ordering::Relaxed);
+}
+
+pub(crate) fn note_context_compile() {
+    CONTEXT_COMPILES.fetch_add(1, Ordering::Relaxed);
 }

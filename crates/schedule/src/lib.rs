@@ -34,6 +34,20 @@
 //! bit-identical results, as do the `soctam-baseline` architectures and
 //! the `soctam-core` flow.
 //!
+//! # Ownership model: contexts outlive requests
+//!
+//! A [`CompiledSoc`] *owns* its SOC (`Arc<Soc>`), so it carries no
+//! lifetime: it can be compiled once, moved across threads, cached, and
+//! shared by any number of later requests. Short-lived handles —
+//! [`ScheduleBuilder`], validation calls — borrow a context; long-lived
+//! ownership lives in `Arc<CompiledSoc>`, usually managed by a
+//! [`ContextRegistry`]: a sharded, bounded, thread-safe cache keyed by
+//! `(SOC content, w_max, power budget)` with LRU eviction and hit/miss
+//! instrumentation. `soctam_core`'s `Engine` serves whole request batches
+//! through one registry; cross-request caching falls out of the keying.
+//! Per-cap rectangle menus inside a context are prefix-derived from the
+//! full-cap build ([`RectangleMenus::prefix`]) instead of rebuilt.
+//!
 //! # Example
 //!
 //! ```
@@ -61,6 +75,7 @@ mod error;
 pub mod instrument;
 mod menus;
 mod optimizer;
+mod registry;
 mod schedule;
 mod state;
 mod svg;
@@ -72,7 +87,8 @@ pub use constraints::ConstraintSet;
 pub use context::CompiledSoc;
 pub use error::ScheduleError;
 pub use menus::RectangleMenus;
-pub use optimizer::{schedule_best, ScheduleBuilder};
+pub use optimizer::{schedule_best, schedule_best_with, ScheduleBuilder};
+pub use registry::{ContextRegistry, RegistryStats};
 pub use schedule::{CoreScheduleStats, Schedule, Slice};
 pub use svg::SvgOptions;
 

@@ -67,6 +67,28 @@ impl RectangleMenus {
         Self::build(soc, cfg.effective_w_max())
     }
 
+    /// Derives the menus for a smaller cap from this build, without
+    /// re-running any wrapper design: per-width rectangles are
+    /// cap-prefix-stable ([`RectangleSet::prefix`]), so a cap-16 menu is
+    /// exactly the first 16 entries of the cap-64 one. Bit-identical to
+    /// [`RectangleMenus::build`]`(soc, cap)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cap == 0` or `cap > self.w_max()`.
+    pub fn prefix(&self, cap: TamWidth) -> Self {
+        assert!(
+            cap >= 1 && cap <= self.w_max,
+            "prefix cap {cap} outside 1..={}",
+            self.w_max
+        );
+        crate::instrument::note_menu_derive();
+        Self {
+            w_max: cap,
+            menus: self.menus.iter().map(|m| m.prefix(cap)).collect(),
+        }
+    }
+
     /// The width cap the menus were built for.
     pub fn w_max(&self) -> TamWidth {
         self.w_max
@@ -155,5 +177,20 @@ mod tests {
     #[should_panic(expected = "at least one wire")]
     fn zero_width_panics() {
         let _ = RectangleMenus::build(&benchmarks::d695(), 0);
+    }
+
+    #[test]
+    fn prefix_matches_fresh_build() {
+        let soc = benchmarks::d695();
+        let full = RectangleMenus::build(&soc, 64);
+        for cap in [1u16, 9, 16, 32, 64] {
+            assert_eq!(full.prefix(cap), RectangleMenus::build(&soc, cap));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "prefix cap")]
+    fn prefix_beyond_build_panics() {
+        let _ = RectangleMenus::build(&benchmarks::d695(), 16).prefix(17);
     }
 }

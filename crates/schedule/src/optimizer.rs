@@ -37,7 +37,7 @@ pub struct ScheduleBuilder<'a> {
     soc: &'a Soc,
     cfg: SchedulerConfig,
     menus: Option<&'a RectangleMenus>,
-    ctx: Option<&'a CompiledSoc<'a>>,
+    ctx: Option<&'a CompiledSoc>,
 }
 
 impl<'a> ScheduleBuilder<'a> {
@@ -67,7 +67,7 @@ impl<'a> ScheduleBuilder<'a> {
     ///
     /// The context must have been compiled from the same SOC; `run`
     /// rejects mismatches.
-    pub fn with_context(mut self, ctx: &'a CompiledSoc<'a>) -> Self {
+    pub fn with_context(mut self, ctx: &'a CompiledSoc) -> Self {
         self.ctx = Some(ctx);
         self
     }
@@ -501,6 +501,25 @@ pub fn schedule_best(
     // Compiling at the effective cap makes the seeded menus exactly the
     // ones every run of this sweep uses: one build, one compile.
     let ctx = CompiledSoc::compile(soc, base.effective_w_max());
+    schedule_best_with(&ctx, base, percents, bumps)
+}
+
+/// [`schedule_best`] over a caller-supplied precompiled context, so a
+/// registry-cached [`CompiledSoc`] can serve many best-of sweeps without
+/// recompiling. Bit-identical to [`schedule_best`] when the context was
+/// compiled from the same SOC at `base.effective_w_max()`.
+///
+/// # Errors
+///
+/// As for [`schedule_best`]; additionally rejects a context compiled from
+/// a different SOC.
+pub fn schedule_best_with(
+    ctx: &CompiledSoc,
+    base: &SchedulerConfig,
+    percents: impl IntoIterator<Item = u32>,
+    bumps: impl IntoIterator<Item = TamWidth> + Clone,
+) -> Result<(Schedule, u32, TamWidth), ScheduleError> {
+    let soc = ctx.soc();
     let menus = ctx.menus_for_config(base);
     let mut best: Option<(Schedule, u32, TamWidth)> = None;
     let mut first_err: Option<ScheduleError> = None;
@@ -509,7 +528,7 @@ pub fn schedule_best(
             let cfg = base.clone().with_percent(m).with_bump(d);
             match ScheduleBuilder::new(soc, cfg)
                 .with_menus(&menus)
-                .with_context(&ctx)
+                .with_context(ctx)
                 .run()
             {
                 Ok(s) => {
@@ -711,6 +730,16 @@ mod tests {
         // Best-of can only improve on the default single run.
         let single = ScheduleBuilder::new(&soc, base).run().unwrap();
         assert!(best.makespan() <= single.makespan());
+    }
+
+    #[test]
+    fn schedule_best_with_matches_private_compilation() {
+        let soc = benchmarks::d695();
+        let base = SchedulerConfig::new(16);
+        let ctx = CompiledSoc::compile(&soc, base.effective_w_max());
+        let shared = schedule_best_with(&ctx, &base, 1..=5, 0..=2).unwrap();
+        let private = schedule_best(&soc, &base, 1..=5, 0..=2).unwrap();
+        assert_eq!(shared, private);
     }
 
     #[test]

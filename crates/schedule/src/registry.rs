@@ -1,0 +1,452 @@
+//! A sharded, thread-safe registry of compiled schedule contexts.
+//!
+//! [`CompiledSoc`] made one *sweep* cheap; [`ContextRegistry`] makes one
+//! *service* cheap: a long-lived, concurrently shared cache of
+//! `Arc<CompiledSoc>` keyed by SOC content, per-core width cap, and the
+//! constraint-relevant run configuration (the power budget), so that any
+//! number of scheduling/sweep/bounds requests — mixed SOCs, widths, and
+//! modes, from any number of threads — compile each distinct key exactly
+//! once.
+//!
+//! # Keying
+//!
+//! The key is `(SOC content, w_max, power budget)`:
+//!
+//! * **SOC content** — the full model value (name, cores, constraints),
+//!   compared by equality under the hood, so two structurally identical
+//!   SOCs share a context no matter how they were loaded, and a 64-bit
+//!   hash collision can never alias two different SOCs;
+//! * **`w_max`** — menus and lower-bound ingredients are compiled per cap;
+//! * **power budget** — the resolved `P_max`, kept in the key so batch
+//!   accounting ("one compile per (SOC, budget)") holds even though the
+//!   compiled tables themselves are budget-independent.
+//!
+//! # Sharding, eviction, instrumentation
+//!
+//! Entries live in `shards` independently locked maps selected by key
+//! hash; the shard lock covers only the map probe, never a compile.
+//! Concurrent requests for the *same* key rendezvous on a per-entry cell —
+//! exactly one compiles, the rest wait on that cell (no dogpile) — while
+//! requests for other keys, same shard or not, proceed immediately
+//! instead of stalling behind a multi-millisecond compilation. Each shard
+//! holds at most
+//! `capacity / shards` entries; inserting past that evicts the shard's
+//! least-recently-used entry. Hits, misses, and evictions are counted on
+//! the registry ([`ContextRegistry::stats`]); whole-process compile counts
+//! are in [`instrument::context_compiles`](crate::instrument::context_compiles).
+
+use std::collections::hash_map::RandomState;
+use std::collections::HashMap;
+use std::hash::{BuildHasher, DefaultHasher, Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+use soctam_soc::Soc;
+use soctam_wrapper::TamWidth;
+
+use crate::context::CompiledSoc;
+
+/// The identity of one compiled context: SOC content, width cap, and the
+/// constraint-relevant configuration (power budget).
+///
+/// The SOC's content hash is computed once per lookup and cached here, so
+/// shard selection and map probing hash a `u64` instead of re-walking the
+/// whole model; equality short-circuits on the cheap fields and falls back
+/// to full content comparison only on a hash match (derived `PartialEq`
+/// compares fields in declaration order).
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct ContextKey {
+    w_max: TamWidth,
+    power_budget: Option<u64>,
+    soc_hash: u64,
+    soc: Arc<Soc>,
+}
+
+impl ContextKey {
+    fn new(soc: &Arc<Soc>, w_max: TamWidth, power_budget: Option<u64>) -> Self {
+        // DefaultHasher with default keys is deterministic within a
+        // process, which is all the cached hash needs to be.
+        let mut h = DefaultHasher::new();
+        soc.hash(&mut h);
+        Self {
+            w_max: w_max.max(1),
+            power_budget,
+            soc_hash: h.finish(),
+            soc: Arc::clone(soc),
+        }
+    }
+}
+
+impl Hash for ContextKey {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        // Equal keys have equal SOC content and therefore equal cached
+        // hashes, so skipping the model here upholds the Hash/Eq contract.
+        self.w_max.hash(state);
+        self.power_budget.hash(state);
+        self.soc_hash.hash(state);
+    }
+}
+
+/// One cache slot. The context lives behind a `OnceLock` so compilation
+/// happens *outside* the shard lock: a miss publishes the empty cell and
+/// releases the shard, then compiles into the cell — concurrent requests
+/// for the *same* key rendezvous on the cell (one compiles, the rest
+/// wait), while hits on other keys in the shard proceed immediately
+/// instead of stalling behind a multi-millisecond compile.
+struct Entry {
+    cell: Arc<OnceLock<Arc<CompiledSoc>>>,
+    last_used: u64,
+}
+
+/// Cumulative counters of one registry's traffic.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RegistryStats {
+    /// Requests served from the cache.
+    pub hits: u64,
+    /// Requests that had to compile a context.
+    pub misses: u64,
+    /// Entries dropped by the bounded-size LRU policy.
+    pub evictions: u64,
+}
+
+impl RegistryStats {
+    /// Hit rate in `[0, 1]`; `0` when no request has been served.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// Sharded, bounded, thread-safe cache of [`CompiledSoc`] contexts.
+///
+/// # Example
+///
+/// ```
+/// use std::sync::Arc;
+/// use soctam_schedule::ContextRegistry;
+/// use soctam_soc::benchmarks;
+///
+/// let registry = ContextRegistry::default();
+/// let soc = Arc::new(benchmarks::d695());
+/// let a = registry.get_or_compile(&soc, 64, None);
+/// let b = registry.get_or_compile(&soc, 64, None);
+/// assert!(Arc::ptr_eq(&a, &b)); // one compile, shared ever after
+/// assert_eq!(registry.stats().misses, 1);
+/// assert_eq!(registry.stats().hits, 1);
+/// ```
+pub struct ContextRegistry {
+    shards: Vec<Mutex<HashMap<ContextKey, Entry>>>,
+    per_shard_capacity: usize,
+    hasher: RandomState,
+    clock: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl ContextRegistry {
+    /// Default shard count: enough to keep a busy batch from serializing
+    /// on one lock without scattering a small cache too thin.
+    pub const DEFAULT_SHARDS: usize = 8;
+    /// Default total capacity (contexts are heavyweight; a serving tier
+    /// rarely needs more than a few dozen hot SOC variants resident).
+    pub const DEFAULT_CAPACITY: usize = 64;
+
+    /// Creates a registry with `shards` independently locked shards and
+    /// room for `capacity` contexts in total (each shard holds at most
+    /// `capacity / shards`, minimum one). Both arguments are clamped to at
+    /// least 1.
+    pub fn new(shards: usize, capacity: usize) -> Self {
+        let shards = shards.max(1);
+        let per_shard_capacity = capacity.max(1).div_ceil(shards).max(1);
+        Self {
+            shards: (0..shards).map(|_| Mutex::new(HashMap::new())).collect(),
+            per_shard_capacity,
+            hasher: RandomState::new(),
+            clock: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// The context for `(soc, w_max, power_budget)`: served from the cache
+    /// when present, compiled (and cached) otherwise.
+    ///
+    /// `w_max` is clamped to at least 1, mirroring
+    /// [`CompiledSoc::compile`], so a clamped and an unclamped request for
+    /// the same cap share one entry. Concurrent callers with the same key
+    /// rendezvous on one cell and get the same `Arc` (exactly one of them
+    /// compiles — no dogpile); the shard lock is held only for the map
+    /// lookup, never across a compile, so hits on other keys in the shard
+    /// are never stuck behind one.
+    pub fn get_or_compile(
+        &self,
+        soc: &Arc<Soc>,
+        w_max: TamWidth,
+        power_budget: Option<u64>,
+    ) -> Arc<CompiledSoc> {
+        let key = ContextKey::new(soc, w_max, power_budget);
+        let compile_soc = Arc::clone(&key.soc);
+        let compile_cap = key.w_max;
+        let shard = &self.shards[self.shard_of(&key)];
+        let stamp = self.clock.fetch_add(1, Ordering::Relaxed);
+
+        let cell = {
+            let mut map = shard.lock().expect("registry shard poisoned");
+            if let Some(entry) = map.get_mut(&key) {
+                entry.last_used = stamp;
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Arc::clone(&entry.cell)
+            } else {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                if map.len() >= self.per_shard_capacity {
+                    let lru = map
+                        .iter()
+                        .min_by_key(|(_, e)| e.last_used)
+                        .map(|(k, _)| k.clone());
+                    if let Some(lru) = lru {
+                        map.remove(&lru);
+                        self.evictions.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+                let cell = Arc::new(OnceLock::new());
+                map.insert(
+                    key,
+                    Entry {
+                        cell: Arc::clone(&cell),
+                        last_used: stamp,
+                    },
+                );
+                cell
+            }
+        };
+
+        // Outside the shard lock: the publishing thread compiles into the
+        // cell; same-key requests that arrived meanwhile block here (and
+        // only here) until the context is ready. An evicted-mid-compile
+        // entry still completes through the caller's own cell handle.
+        Arc::clone(
+            cell.get_or_init(|| Arc::new(CompiledSoc::compile_arc(compile_soc, compile_cap))),
+        )
+    }
+
+    /// Like [`ContextRegistry::get_or_compile`], but only returns a cached
+    /// context, never compiling. Counts neither a hit nor a miss.
+    pub fn peek(
+        &self,
+        soc: &Arc<Soc>,
+        w_max: TamWidth,
+        power_budget: Option<u64>,
+    ) -> Option<Arc<CompiledSoc>> {
+        let key = ContextKey::new(soc, w_max, power_budget);
+        let map = self.shards[self.shard_of(&key)]
+            .lock()
+            .expect("registry shard poisoned");
+        // An entry whose compile is still in flight is not yet peekable.
+        map.get(&key).and_then(|e| e.cell.get().cloned())
+    }
+
+    /// Number of contexts currently resident.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("registry shard poisoned").len())
+            .sum()
+    }
+
+    /// Whether the registry holds no contexts.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total capacity (shards × per-shard bound).
+    pub fn capacity(&self) -> usize {
+        self.shards.len() * self.per_shard_capacity
+    }
+
+    /// Drops every cached context (stats are kept).
+    pub fn clear(&self) {
+        for shard in &self.shards {
+            shard.lock().expect("registry shard poisoned").clear();
+        }
+    }
+
+    /// A snapshot of the hit/miss/eviction counters.
+    pub fn stats(&self) -> RegistryStats {
+        RegistryStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+        }
+    }
+
+    fn shard_of(&self, key: &ContextKey) -> usize {
+        (self.hasher.hash_one(key) % self.shards.len() as u64) as usize
+    }
+}
+
+impl Default for ContextRegistry {
+    /// A registry with [`ContextRegistry::DEFAULT_SHARDS`] shards and
+    /// [`ContextRegistry::DEFAULT_CAPACITY`] total capacity.
+    fn default() -> Self {
+        Self::new(Self::DEFAULT_SHARDS, Self::DEFAULT_CAPACITY)
+    }
+}
+
+impl std::fmt::Debug for ContextRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ContextRegistry")
+            .field("shards", &self.shards.len())
+            .field("per_shard_capacity", &self.per_shard_capacity)
+            .field("len", &self.len())
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use soctam_soc::benchmarks;
+
+    #[test]
+    fn same_key_compiles_once() {
+        let reg = ContextRegistry::default();
+        let soc = Arc::new(benchmarks::d695());
+        let a = reg.get_or_compile(&soc, 64, None);
+        let b = reg.get_or_compile(&soc, 64, None);
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(
+            reg.stats(),
+            RegistryStats {
+                hits: 1,
+                misses: 1,
+                evictions: 0
+            }
+        );
+        assert_eq!(reg.len(), 1);
+    }
+
+    #[test]
+    fn distinct_budgets_and_caps_are_distinct_keys() {
+        let reg = ContextRegistry::default();
+        let soc = Arc::new(benchmarks::d695());
+        let plain = reg.get_or_compile(&soc, 64, None);
+        let budgeted = reg.get_or_compile(&soc, 64, Some(1000));
+        let narrow = reg.get_or_compile(&soc, 32, None);
+        assert!(!Arc::ptr_eq(&plain, &budgeted));
+        assert!(!Arc::ptr_eq(&plain, &narrow));
+        assert_eq!(reg.len(), 3);
+        assert_eq!(reg.stats().misses, 3);
+    }
+
+    #[test]
+    fn concurrent_same_key_requests_compile_once() {
+        let reg = ContextRegistry::new(1, 4);
+        let soc = Arc::new(benchmarks::d695());
+        let ctxs: Vec<Arc<CompiledSoc>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| scope.spawn(|| reg.get_or_compile(&soc, 64, None)))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for pair in ctxs.windows(2) {
+            assert!(
+                Arc::ptr_eq(&pair[0], &pair[1]),
+                "every racer gets the one compiled context"
+            );
+        }
+        let stats = reg.stats();
+        assert_eq!(stats.misses, 1, "exactly one racer published the cell");
+        assert_eq!(stats.hits, 3);
+        assert_eq!(reg.len(), 1);
+    }
+
+    #[test]
+    fn equal_value_socs_share_one_context() {
+        let reg = ContextRegistry::default();
+        let a = Arc::new(benchmarks::d695());
+        let b = Arc::new(benchmarks::d695()); // different allocation, same value
+        assert!(!Arc::ptr_eq(&a, &b));
+        let ca = reg.get_or_compile(&a, 64, None);
+        let cb = reg.get_or_compile(&b, 64, None);
+        assert!(Arc::ptr_eq(&ca, &cb));
+        assert_eq!(reg.stats().hits, 1);
+    }
+
+    #[test]
+    fn w_max_is_clamped_in_the_key() {
+        let reg = ContextRegistry::default();
+        let soc = Arc::new(benchmarks::d695());
+        let a = reg.get_or_compile(&soc, 0, None);
+        let b = reg.get_or_compile(&soc, 1, None);
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(a.w_max(), 1);
+    }
+
+    #[test]
+    fn lru_eviction_drops_the_coldest_entry() {
+        // One shard, capacity 2 → fully deterministic eviction order.
+        let reg = ContextRegistry::new(1, 2);
+        let d695 = Arc::new(benchmarks::d695());
+        let soc = |budget| (Arc::clone(&d695), budget);
+        let (s, b0) = soc(Some(0));
+        reg.get_or_compile(&s, 8, b0); // stamp 0
+        reg.get_or_compile(&s, 8, Some(1)); // stamp 1
+        reg.get_or_compile(&s, 8, b0); // touch budget-0 → stamp 2
+        reg.get_or_compile(&s, 8, Some(2)); // full → evicts budget-1 (coldest)
+        assert_eq!(reg.len(), 2);
+        assert_eq!(reg.stats().evictions, 1);
+        assert!(reg.peek(&s, 8, Some(0)).is_some(), "recently used survives");
+        assert!(reg.peek(&s, 8, Some(1)).is_none(), "LRU entry evicted");
+        assert!(reg.peek(&s, 8, Some(2)).is_some(), "new entry resident");
+        // Re-requesting the evicted key recompiles.
+        reg.get_or_compile(&s, 8, Some(1));
+        assert_eq!(reg.stats().misses, 4);
+        assert_eq!(reg.stats().evictions, 2);
+    }
+
+    #[test]
+    fn clear_empties_but_keeps_stats() {
+        let reg = ContextRegistry::default();
+        let soc = Arc::new(benchmarks::d695());
+        reg.get_or_compile(&soc, 16, None);
+        assert!(!reg.is_empty());
+        reg.clear();
+        assert!(reg.is_empty());
+        assert_eq!(reg.stats().misses, 1);
+    }
+
+    #[test]
+    fn capacity_and_shards_clamp_to_one() {
+        let reg = ContextRegistry::new(0, 0);
+        assert_eq!(reg.capacity(), 1);
+        let soc = Arc::new(benchmarks::d695());
+        reg.get_or_compile(&soc, 4, None);
+        reg.get_or_compile(&soc, 8, None);
+        assert_eq!(reg.len(), 1, "capacity-1 registry keeps one context");
+        assert_eq!(reg.stats().evictions, 1);
+    }
+
+    #[test]
+    fn hit_rate_reports() {
+        let s = RegistryStats {
+            hits: 3,
+            misses: 1,
+            evictions: 0,
+        };
+        assert!((s.hit_rate() - 0.75).abs() < 1e-12);
+        assert_eq!(RegistryStats::default().hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn registry_is_send_sync_static() {
+        fn takes<T: Send + Sync + 'static>(_: &T) {}
+        takes(&ContextRegistry::default());
+    }
+}

@@ -131,6 +131,41 @@ impl RectangleSet {
         }
     }
 
+    /// Derives the rectangle set for a smaller cap from this one, without
+    /// re-running any wrapper design.
+    ///
+    /// Rectangle menus are *cap-prefix-stable*: the rectangle chosen at
+    /// width `w` depends only on the designs at widths `1..=w`, never on
+    /// the cap the set was built for, and a Pareto point at width `w` is a
+    /// strict time drop between `w - 1` and `w`. A cap-`c` set is therefore
+    /// exactly the first `c` rectangles of any larger build plus the Pareto
+    /// points at widths `<= c` — bit-identical to `build(core, c)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cap == 0` or `cap > self.w_max()`.
+    pub fn prefix(&self, cap: TamWidth) -> Self {
+        assert!(
+            cap >= 1 && cap <= self.w_max(),
+            "prefix cap {cap} outside 1..={}",
+            self.w_max()
+        );
+        crate::instrument::note_rectangle_set_derive();
+        Self {
+            rects: self.rects[..usize::from(cap)].to_vec(),
+            pareto: self
+                .pareto
+                .iter()
+                .filter(|p| p.width <= cap)
+                .copied()
+                .collect(),
+            scan_in_bits: self.scan_in_bits,
+            scan_out_bits: self.scan_out_bits,
+            patterns: self.patterns,
+            test_data_bits: self.test_data_bits,
+        }
+    }
+
     /// Maximum width this set was built for.
     pub fn w_max(&self) -> TamWidth {
         self.rects.len() as TamWidth
@@ -385,6 +420,39 @@ mod tests {
         let _ = s.rect_at(0);
     }
 
+    #[test]
+    fn prefix_matches_fresh_build() {
+        let full = set(35, 49, vec![46, 45, 44, 44], 97, 64);
+        for cap in [1u16, 2, 7, 16, 33, 64] {
+            assert_eq!(
+                full.prefix(cap),
+                set(35, 49, vec![46, 45, 44, 44], 97, cap),
+                "cap {cap}"
+            );
+        }
+        // Including cores whose useful width is below the cap.
+        let flat = set(2, 2, vec![50], 10, 64);
+        assert_eq!(flat.prefix(16), set(2, 2, vec![50], 10, 16));
+    }
+
+    #[test]
+    fn prefix_counts_as_derive_not_build() {
+        let full = set(4, 4, vec![16, 16], 10, 32);
+        let builds = crate::instrument::rectangle_set_builds();
+        let derives = crate::instrument::rectangle_set_derives();
+        let _ = full.prefix(8);
+        // Parallel tests may build sets, but *this* derive never does.
+        assert!(crate::instrument::rectangle_set_derives() > derives);
+        let _ = builds; // builds may race upward; bit-identity is pinned above
+    }
+
+    #[test]
+    #[should_panic(expected = "prefix cap")]
+    fn prefix_beyond_build_panics() {
+        let s = set(2, 2, vec![5], 3, 8);
+        let _ = s.prefix(9);
+    }
+
     proptest! {
         /// Monotone staircase, minimal effective widths, pareto in range.
         #[test]
@@ -412,6 +480,23 @@ mod tests {
             }
             prop_assert_eq!(s.min_time(), s.time_at(w_max));
             prop_assert!(s.min_area() > 0);
+        }
+
+        /// Any prefix of a build equals the fresh build at that cap.
+        #[test]
+        fn prefix_is_bit_identical_to_build(
+            inputs in 0u32..50,
+            outputs in 0u32..50,
+            chains in proptest::collection::vec(1u32..60, 0..8),
+            patterns in 1u64..300,
+            w_max in 2u16..40,
+            cap_off in 1u16..39,
+        ) {
+            prop_assume!(inputs + outputs > 0 || !chains.is_empty());
+            let cap = 1 + cap_off % (w_max - 1).max(1);
+            let c = CoreTest::new(inputs, outputs, 0, chains, patterns).unwrap();
+            let full = RectangleSet::build(&c, w_max);
+            prop_assert_eq!(full.prefix(cap), RectangleSet::build(&c, cap));
         }
     }
 }

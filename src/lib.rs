@@ -12,6 +12,9 @@
 //! * [`flow::TestFlow`] — the one-stop API: wrapper/TAM co-optimization,
 //!   constraint-driven scheduling, wire assignment, and data-volume
 //!   trade-off per TAM width;
+//! * [`engine::Engine`] — the batch-serving facade: mixed
+//!   schedule/sweep/bounds requests served concurrently through a shared
+//!   [`schedule::ContextRegistry`] of compiled SOC contexts;
 //! * [`report`] — regenerates the paper's tables and figures.
 //!
 //! # Example
@@ -36,4 +39,4 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-pub use soctam_core::{baseline, flow, report, schedule, sim, soc, tam, volume, wrapper};
+pub use soctam_core::{baseline, engine, flow, report, schedule, sim, soc, tam, volume, wrapper};
