@@ -1,0 +1,227 @@
+//! Serving-tier snapshot: hammer a loopback `soctam-server` daemon and
+//! measure wire latency, cold vs. warm.
+//!
+//! Starts an in-process daemon on an ephemeral loopback port, sends a
+//! cold pass (one client, each distinct request once — every request
+//! pays its solve), then a warm pass (`--clients` threads × `--iters`
+//! iterations over the same mix, started at rotated offsets so identical
+//! requests overlap in flight), and writes latency percentiles plus the
+//! daemon's cache tallies to `BENCH_serve.json`.
+//!
+//! The snapshot doubles as the CI gate for the serving tier: it verifies
+//! on the spot that every warm response is byte-identical to its cold
+//! counterpart, and **fails** (exit 1) if the warm pass reports zero
+//! solution-cache hits — i.e. if result caching ever regresses to
+//! re-solving repeat traffic.
+//!
+//! Run with: `cargo run --release -p soctam-bench --bin servesnap`
+//! Options:  `--quick` shrinks the warm pass (the CI smoke);
+//!           `--clients <n>` client threads (default 4);
+//!           `--iters <n>` warm iterations per client (default 20, quick 5);
+//!           `--out <file>` changes the output path.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use soctam_bench::{json_escape, opt_value};
+use soctam_server::{client, Server, ServerConfig};
+
+/// The mixed request set: all three kinds, both scheduling modes, a
+/// power-constrained run, three SOCs.
+const REQUESTS: [&str; 6] = [
+    "schedule d695 --width 16",
+    "schedule d695 --width 32 --no-preempt",
+    "schedule d695 --width 24 --power",
+    "sweep d695 --from 14 --to 18",
+    "bounds p34392 --widths 16,24,32",
+    "bounds p93791",
+];
+
+/// Latency distribution of one pass, in milliseconds.
+struct LatencyStats {
+    count: usize,
+    mean_ms: f64,
+    p50_ms: f64,
+    p90_ms: f64,
+    p99_ms: f64,
+    max_ms: f64,
+}
+
+impl LatencyStats {
+    fn of(mut samples: Vec<f64>) -> Self {
+        assert!(!samples.is_empty(), "a pass always has samples");
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+        let pct = |p: f64| samples[((p / 100.0) * (samples.len() - 1) as f64).round() as usize];
+        Self {
+            count: samples.len(),
+            mean_ms: samples.iter().sum::<f64>() / samples.len() as f64,
+            p50_ms: pct(50.0),
+            p90_ms: pct(90.0),
+            p99_ms: pct(99.0),
+            max_ms: *samples.last().expect("non-empty"),
+        }
+    }
+
+    fn json(&self) -> String {
+        format!(
+            "{{\"count\": {}, \"mean_ms\": {:.4}, \"p50_ms\": {:.4}, \
+             \"p90_ms\": {:.4}, \"p99_ms\": {:.4}, \"max_ms\": {:.4}}}",
+            self.count, self.mean_ms, self.p50_ms, self.p90_ms, self.p99_ms, self.max_ms
+        )
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let clients: usize = opt_value(&args, "--clients")
+        .map_or(4, |v| v.parse().expect("--clients takes a count"))
+        .max(1);
+    let iters: usize = opt_value(&args, "--iters")
+        .map_or(if quick { 5 } else { 20 }, |v| {
+            v.parse().expect("--iters takes a count")
+        })
+        .max(1);
+    let out_path = opt_value(&args, "--out").unwrap_or_else(|| "BENCH_serve.json".to_owned());
+
+    let server = Server::bind(
+        "127.0.0.1:0",
+        ServerConfig {
+            threads: clients,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("ephemeral loopback bind");
+    let addr = server.local_addr();
+    println!("servesnap: daemon on {addr}, {clients} clients x {iters} warm iterations");
+
+    // Cold pass: every distinct request pays its solve exactly once.
+    let mut cold_latencies = Vec::new();
+    let mut cold_responses = Vec::new();
+    {
+        let mut conn = client::Connection::connect(addr).expect("cold connect");
+        for request in REQUESTS {
+            let t0 = Instant::now();
+            let response = conn.request(request).expect("cold round trip");
+            cold_latencies.push(t0.elapsed().as_secs_f64() * 1e3);
+            assert!(
+                response.contains("\"ok\": true"),
+                "cold request failed: {request} -> {response}"
+            );
+            cold_responses.push(response);
+        }
+    }
+
+    // Warm pass: concurrent clients replay the mix; every response must be
+    // byte-identical to its cold counterpart, and none may re-solve.
+    let warm_t0 = Instant::now();
+    let per_client: Vec<Vec<f64>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients)
+            .map(|offset| {
+                let cold_responses = &cold_responses;
+                scope.spawn(move || {
+                    let mut latencies = Vec::with_capacity(iters * REQUESTS.len());
+                    let mut conn = client::Connection::connect(addr).expect("warm connect");
+                    for round in 0..iters {
+                        for i in 0..REQUESTS.len() {
+                            let at = (i + offset + round) % REQUESTS.len();
+                            let t0 = Instant::now();
+                            let response = conn.request(REQUESTS[at]).expect("warm round trip");
+                            latencies.push(t0.elapsed().as_secs_f64() * 1e3);
+                            assert_eq!(
+                                response, cold_responses[at],
+                                "warm response diverged for `{}`",
+                                REQUESTS[at]
+                            );
+                        }
+                    }
+                    latencies
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("client thread panicked"))
+            .collect()
+    });
+    let warm_wall_s = warm_t0.elapsed().as_secs_f64();
+    let warm_latencies: Vec<f64> = per_client.into_iter().flatten().collect();
+
+    let cold = LatencyStats::of(cold_latencies);
+    let warm = LatencyStats::of(warm_latencies);
+    let throughput = warm.count as f64 / warm_wall_s;
+    let sol = server.engine().solution_stats().expect("cache enabled");
+    let reg = server.engine().registry().stats();
+
+    println!(
+        "cold:  {} requests, mean {:.2} ms, p50 {:.2} ms, max {:.2} ms",
+        cold.count, cold.mean_ms, cold.p50_ms, cold.max_ms
+    );
+    println!(
+        "warm:  {} requests, mean {:.3} ms, p50 {:.3} ms, p99 {:.3} ms ({:.0} req/s)",
+        warm.count, warm.mean_ms, warm.p50_ms, warm.p99_ms, throughput
+    );
+    println!(
+        "cache: {} misses, {} hits, {} coalesced (hit rate {:.4}); \
+         registry: {} misses, {} hits",
+        sol.misses,
+        sol.hits,
+        sol.coalesced,
+        sol.hit_rate(),
+        reg.misses,
+        reg.hits
+    );
+
+    let mut json = String::new();
+    json.push_str("{\n  \"bench\": \"servesnap\",\n");
+    let _ = writeln!(
+        json,
+        "  \"mode\": \"{}\",",
+        if quick { "quick" } else { "full" }
+    );
+    let _ = writeln!(json, "  \"clients\": {clients},");
+    let _ = writeln!(json, "  \"iterations_per_client\": {iters},");
+    json.push_str("  \"requests\": [\n");
+    for (i, request) in REQUESTS.iter().enumerate() {
+        let sep = if i + 1 == REQUESTS.len() { "" } else { "," };
+        let _ = writeln!(json, "    \"{}\"{sep}", json_escape(request));
+    }
+    json.push_str("  ],\n");
+    let _ = writeln!(json, "  \"cold\": {},", cold.json());
+    let _ = writeln!(json, "  \"warm\": {},", warm.json());
+    let _ = writeln!(json, "  \"warm_wall_seconds\": {warm_wall_s:.4},");
+    let _ = writeln!(json, "  \"warm_requests_per_second\": {throughput:.1},");
+    let _ = writeln!(
+        json,
+        "  \"solution_cache\": {{\"hits\": {}, \"misses\": {}, \"coalesced\": {}, \
+         \"evictions\": {}, \"expiries\": {}, \"failures\": {}, \"hit_rate\": {:.4}}},",
+        sol.hits,
+        sol.misses,
+        sol.coalesced,
+        sol.evictions,
+        sol.expiries,
+        sol.failures,
+        sol.hit_rate()
+    );
+    let _ = writeln!(
+        json,
+        "  \"registry\": {{\"hits\": {}, \"misses\": {}, \"evictions\": {}, \
+         \"expiries\": {}}}",
+        reg.hits, reg.misses, reg.evictions, reg.expiries
+    );
+    json.push_str("}\n");
+
+    if let Err(e) = std::fs::write(&out_path, &json) {
+        eprintln!("error: writing `{out_path}`: {e}");
+        std::process::exit(1);
+    }
+    println!("wrote {out_path}");
+    server.shutdown();
+
+    // The CI gate: a warm pass that hit the cache zero times means the
+    // serving tier re-solved repeat traffic.
+    if sol.hits == 0 {
+        eprintln!("error: warm pass recorded zero solution-cache hits — result caching regressed");
+        std::process::exit(1);
+    }
+}

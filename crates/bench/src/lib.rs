@@ -48,22 +48,9 @@ pub fn opt_value(args: &[String], name: &str) -> Option<String> {
 }
 
 /// Escapes a string for embedding in a JSON document (the bench bins emit
-/// JSON by hand; the workspace is vendored-only, so no serde).
-pub fn json_escape(s: &str) -> String {
-    let mut out = String::with_capacity(s.len());
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out
-}
+/// JSON by hand; the workspace is vendored-only, so no serde). One
+/// implementation for the whole workspace: the shared protocol module's.
+pub use soctam_core::protocol::json_escape;
 
 #[cfg(test)]
 mod tests {

@@ -4,6 +4,8 @@
 //! soctam schedule <soc> --width W [--power] [--no-preempt] [--gantt] [--svg FILE]
 //! soctam sweep <soc> [--from A] [--to B] [--alpha X]
 //! soctam batch <requests.txt> [--threads N] [--out FILE]
+//! soctam serve [--addr A] [--threads N] [--cache-cap C] [--ttl SECS]
+//! soctam client --addr A [--get PATH | <request words> | (stdin)]
 //! soctam staircase <soc> <core>
 //! soctam wrapper <soc> <core> --width W
 //! soctam bounds <soc>
@@ -16,23 +18,35 @@
 //!
 //! `batch` reads a request list (one request per line, `#` comments
 //! allowed) and serves it concurrently through the [`Engine`] and its
-//! shared context registry, emitting a JSON report:
+//! shared context registry, emitting a JSON report. The grammar — shared
+//! with the `soctam serve` wire protocol through
+//! [`soctam_core::protocol`] — is:
 //!
 //! ```text
 //! schedule d695 --width 16 [--power] [--no-preempt]
 //! sweep p34392 --from 16 --to 32
 //! bounds p93791 [--widths 16,32,48,64]
 //! ```
+//!
+//! `serve` runs the same grammar as a long-lived TCP daemon
+//! ([`soctam_server::Server`]) with a solution cache in front of the
+//! engine; `client` is its scripted counterpart — one request per argv
+//! tail (or per stdin line), one JSON response line each, plus `--get
+//! /healthz` / `--get /metrics` for the HTTP surface.
 
+use std::io::{BufRead, Write as _};
 use std::process::ExitCode;
 use std::sync::Arc;
+use std::time::Duration;
 
-use soctam_core::engine::{Engine, EngineOp, EngineOutput, EngineRequest, EngineResult};
+use soctam_core::engine::{Engine, EngineRequest, EngineResult};
 use soctam_core::flow::{FlowConfig, ParamSweep, PowerPolicy, TestFlow};
+use soctam_core::protocol::{self, check_known_args, flag, opt_value, req_value};
 use soctam_core::report;
 use soctam_core::schedule::CompiledSoc;
 use soctam_core::soc::{benchmarks, itc02, Soc};
 use soctam_core::volume::CostCurve;
+use soctam_server::{client, Server, ServerConfig};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -51,6 +65,8 @@ const USAGE: &str = "usage:
   soctam schedule <soc> --width W [--power] [--no-preempt] [--gantt] [--svg FILE]
   soctam sweep <soc> [--from A] [--to B] [--alpha X]
   soctam batch <requests.txt> [--threads N] [--out FILE]
+  soctam serve [--addr A] [--threads N] [--cache-cap C] [--ttl SECS]
+  soctam client --addr A [--get PATH | <request words> | (requests on stdin)]
   soctam staircase <soc> <core-name>
   soctam wrapper <soc> <core-name> --width W
   soctam bounds <soc>
@@ -63,6 +79,8 @@ fn run(args: &[String]) -> Result<(), String> {
         Some("schedule") => cmd_schedule(&args[1..]),
         Some("sweep") => cmd_sweep(&args[1..]),
         Some("batch") => cmd_batch(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
+        Some("client") => cmd_client(&args[1..]),
         Some("staircase") => cmd_staircase(&args[1..]),
         Some("wrapper") => cmd_wrapper(&args[1..]),
         Some("bounds") => cmd_bounds(&args[1..]),
@@ -93,32 +111,9 @@ fn load_soc(name: &str) -> Result<Soc, String> {
     parsed.map_err(|e| format!("parsing `{name}`: {e}"))
 }
 
-fn flag(args: &[String], name: &str) -> bool {
-    args.iter().any(|a| a == name)
-}
-
-/// Looks up the value of a `--flag value` option. Present-but-valueless
-/// options are an error — including the easy-to-make mistake of following
-/// one flag directly with another (`--width --power`), which would
-/// otherwise be swallowed as the value and produce a baffling parse
-/// failure downstream.
-fn opt_value<'a>(args: &'a [String], name: &str) -> Result<Option<&'a str>, String> {
-    let Some(i) = args.iter().position(|a| a == name) else {
-        return Ok(None);
-    };
-    match args.get(i + 1).map(String::as_str) {
-        None => Err(format!("option `{name}` expects a value")),
-        Some(v) if v.starts_with("--") => Err(format!(
-            "option `{name}` expects a value, but found the flag `{v}`"
-        )),
-        Some(v) => Ok(Some(v)),
-    }
-}
-
-/// [`opt_value`] for mandatory options.
-fn req_value<'a>(args: &'a [String], name: &str) -> Result<&'a str, String> {
-    opt_value(args, name)?.ok_or_else(|| format!("missing {name}"))
-}
+// `flag`, `opt_value`, `req_value`, and `check_known_args` come from
+// `soctam_core::protocol` — the CLI's own argv uses the same option
+// discipline as the shared request grammar.
 
 fn cmd_schedule(args: &[String]) -> Result<(), String> {
     let soc_name = args.first().ok_or("missing SOC name")?;
@@ -219,187 +214,47 @@ fn cmd_sweep(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-/// The flow configuration every batch request uses (the CLI's quick
-/// parameter sweep), specialized by the request's flags.
-fn batch_flow(power: bool, no_preempt: bool) -> FlowConfig {
-    let mut cfg = FlowConfig {
-        sweep: ParamSweep::quick(),
-        ..FlowConfig::new()
-    };
-    if power {
-        cfg = cfg.with_power(PowerPolicy::MaxCorePower);
-    }
-    if no_preempt {
-        cfg = cfg.without_preemption();
-    }
-    cfg
-}
-
-/// Rejects any token the request kind does not understand: a misspelled
-/// mode flag (`--no-premept`) must fail the parse, not silently run the
-/// request in the wrong mode and report it `ok`.
-fn check_known_args(args: &[String], value_options: &[&str], flags: &[&str]) -> Result<(), String> {
-    let mut i = 0;
-    while i < args.len() {
-        let tok = args[i].as_str();
-        if value_options.contains(&tok) {
-            i += 2; // the option plus its value (presence checked elsewhere)
-        } else if flags.contains(&tok) {
-            i += 1;
-        } else {
-            return Err(format!("unknown argument `{tok}`"));
+/// The CLI's [`protocol::SocResolver`]: benchmark names *and* `.soc`
+/// file paths (the daemon's resolver, by contrast, refuses paths), with
+/// loads memoized through `socs` so a thousand requests over one file
+/// read and parse it once and share one `Arc<Soc>`.
+fn file_resolver(
+    socs: &mut std::collections::HashMap<String, Arc<Soc>>,
+) -> impl protocol::SocResolver + '_ {
+    |name: &str| {
+        if let Some(soc) = socs.get(name) {
+            return Ok(Arc::clone(soc));
         }
+        let soc = Arc::new(load_soc(name)?);
+        socs.insert(name.to_owned(), Arc::clone(&soc));
+        Ok(soc)
     }
-    Ok(())
 }
 
-/// Parses one non-comment line of a batch request file. `socs` memoizes
-/// loads, so a thousand requests over one `.soc` file read and parse it
-/// once and share one `Arc<Soc>`.
+/// Parses one non-comment line of a batch request file through the shared
+/// wire-format parser ([`protocol::parse_request`]). Production traffic
+/// flows through [`parse_batch_file`]; this single-line entry point pins
+/// the grammar in the test suite.
+#[cfg(test)]
 fn parse_batch_line(
     line: &str,
     socs: &mut std::collections::HashMap<String, Arc<Soc>>,
 ) -> Result<EngineRequest, String> {
-    let words: Vec<String> = line.split_whitespace().map(str::to_owned).collect();
-    let (kind, rest) = words.split_first().ok_or("empty request")?;
-    let soc_name = rest.first().ok_or("missing SOC name")?;
-    let soc = match socs.get(soc_name.as_str()) {
-        Some(soc) => Arc::clone(soc),
-        None => {
-            let soc = Arc::new(load_soc(soc_name)?);
-            socs.insert(soc_name.clone(), Arc::clone(&soc));
-            soc
-        }
-    };
-    let args = &rest[1..];
-    let value_options: &[&str] = match kind.as_str() {
-        "schedule" => &["--width"],
-        "sweep" => &["--from", "--to"],
-        "bounds" => &["--widths"],
-        other => return Err(format!("unknown request kind `{other}`")),
-    };
-    check_known_args(args, value_options, &["--power", "--no-preempt"])?;
-    let flow = batch_flow(flag(args, "--power"), flag(args, "--no-preempt"));
-    let op = match kind.as_str() {
-        "schedule" => EngineOp::Schedule {
-            width: req_value(args, "--width")?
-                .parse()
-                .map_err(|_| "invalid --width".to_owned())?,
-        },
-        "sweep" => {
-            let from: u16 = opt_value(args, "--from")?
-                .unwrap_or("16")
-                .parse()
-                .map_err(|_| "invalid --from")?;
-            let to: u16 = opt_value(args, "--to")?
-                .unwrap_or("64")
-                .parse()
-                .map_err(|_| "invalid --to")?;
-            if from == 0 || from > to {
-                return Err("need 0 < --from <= --to".to_owned());
-            }
-            EngineOp::Sweep {
-                widths: (from..=to).collect(),
-            }
-        }
-        "bounds" => {
-            let widths = match opt_value(args, "--widths")? {
-                Some(list) => list
-                    .split(',')
-                    .map(|w| w.trim().parse::<u16>().map_err(|_| "invalid --widths"))
-                    .collect::<Result<Vec<_>, _>>()?,
-                None => benchmarks::table1_widths(soc.name()).to_vec(),
-            };
-            EngineOp::Bounds { widths }
-        }
-        _ => unreachable!("kind validated above"),
-    };
-    Ok(EngineRequest { soc, flow, op })
+    protocol::parse_request(line, &mut file_resolver(socs))
 }
 
 /// Parses a whole request file: one request per line, blank lines and
 /// `#` comments skipped. Errors carry the 1-based line number.
 fn parse_batch_file(text: &str) -> Result<Vec<EngineRequest>, String> {
-    let mut requests = Vec::new();
     let mut socs = std::collections::HashMap::new();
-    for (no, line) in text.lines().enumerate() {
-        let line = line.trim();
-        if line.is_empty() || line.starts_with('#') {
-            continue;
-        }
-        requests
-            .push(parse_batch_line(line, &mut socs).map_err(|e| format!("line {}: {e}", no + 1))?);
-    }
-    if requests.is_empty() {
-        return Err("request file contains no requests".to_owned());
-    }
-    Ok(requests)
+    let mut resolver = file_resolver(&mut socs);
+    protocol::parse_request_file(text, &mut resolver)
 }
 
+/// One batch-report result element: the shared response object, indented
+/// into the report's `results` array.
 fn json_request(req: &EngineRequest, result: &EngineResult) -> String {
-    let mut out = String::new();
-    let (kind, detail) = match &req.op {
-        EngineOp::Schedule { width } => ("schedule", format!("\"width\": {width}")),
-        EngineOp::Sweep { widths } => (
-            "sweep",
-            format!(
-                "\"from\": {}, \"to\": {}",
-                widths.first().copied().unwrap_or(0),
-                widths.last().copied().unwrap_or(0)
-            ),
-        ),
-        EngineOp::Bounds { widths } => (
-            "bounds",
-            format!(
-                "\"widths\": [{}]",
-                widths
-                    .iter()
-                    .map(u16::to_string)
-                    .collect::<Vec<_>>()
-                    .join(", ")
-            ),
-        ),
-    };
-    out.push_str(&format!(
-        "    {{\"op\": \"{kind}\", \"soc\": \"{}\", {detail}, ",
-        req.soc.name().replace(['"', '\\'], "_")
-    ));
-    match result {
-        Err(e) => out.push_str(&format!(
-            "\"ok\": false, \"error\": \"{}\"}}",
-            e.to_string().replace('\\', "\\\\").replace('"', "\\\"")
-        )),
-        Ok(EngineOutput::Schedule(run)) => out.push_str(&format!(
-            "\"ok\": true, \"makespan\": {}, \"lower_bound\": {}, \"volume\": {}, \
-             \"m\": {}, \"d\": {}, \"slack\": {}}}",
-            run.schedule.makespan(),
-            run.lower_bound,
-            run.volume,
-            run.params.0,
-            run.params.1,
-            run.params.2
-        )),
-        Ok(EngineOutput::Sweep(points)) => {
-            out.push_str("\"ok\": true, \"points\": [");
-            for (i, p) in points.iter().enumerate() {
-                let sep = if i + 1 == points.len() { "" } else { ", " };
-                out.push_str(&format!(
-                    "{{\"width\": {}, \"time\": {}, \"volume\": {}, \"lower_bound\": {}}}{sep}",
-                    p.width, p.time, p.volume, p.lower_bound
-                ));
-            }
-            out.push_str("]}");
-        }
-        Ok(EngineOutput::Bounds(bounds)) => out.push_str(&format!(
-            "\"ok\": true, \"bounds\": [{}]}}",
-            bounds
-                .iter()
-                .map(u64::to_string)
-                .collect::<Vec<_>>()
-                .join(", ")
-        )),
-    }
-    out
+    format!("    {}", protocol::render_result(req, result))
 }
 
 fn cmd_batch(args: &[String]) -> Result<(), String> {
@@ -450,6 +305,111 @@ fn cmd_batch(args: &[String]) -> Result<(), String> {
             eprintln!("wrote {out}");
         }
         None => print!("{json}"),
+    }
+    Ok(())
+}
+
+/// `soctam serve`: run the daemon in the foreground until killed.
+fn cmd_serve(args: &[String]) -> Result<(), String> {
+    check_known_args(args, &["--addr", "--threads", "--cache-cap", "--ttl"], &[])?;
+    let addr = opt_value(args, "--addr")?.unwrap_or("127.0.0.1:3777");
+    let threads: usize = opt_value(args, "--threads")?
+        .unwrap_or("4")
+        .parse()
+        .map_err(|_| "invalid --threads")?;
+    let cache_capacity: usize = opt_value(args, "--cache-cap")?
+        .unwrap_or("1024")
+        .parse()
+        .map_err(|_| "invalid --cache-cap")?;
+    let ttl = match opt_value(args, "--ttl")? {
+        None => None,
+        Some(secs) => {
+            let secs: f64 = secs.parse().map_err(|_| "invalid --ttl")?;
+            if !secs.is_finite() || secs <= 0.0 {
+                return Err("--ttl must be a positive number of seconds".to_owned());
+            }
+            Some(Duration::from_secs_f64(secs))
+        }
+    };
+    let server = Server::bind(
+        addr,
+        ServerConfig {
+            threads,
+            cache_capacity,
+            ttl,
+            ..ServerConfig::default()
+        },
+    )
+    .map_err(|e| format!("binding `{addr}`: {e}"))?;
+    println!(
+        "soctam-server listening on {} ({} workers, solution cache capacity {}, ttl {})",
+        server.local_addr(),
+        threads.max(1),
+        cache_capacity,
+        ttl.map_or("none".to_owned(), |t| format!("{}s", t.as_secs_f64())),
+    );
+    let _ = std::io::stdout().flush();
+    server.join();
+    Ok(())
+}
+
+/// `soctam client`: scripted counterpart of `serve`. One request from the
+/// argv tail (every token that isn't `--addr`/`--get` or their values),
+/// or one request per stdin line when the tail is empty; `--get PATH`
+/// scrapes the HTTP surface instead.
+fn cmd_client(args: &[String]) -> Result<(), String> {
+    let addr = req_value(args, "--addr")?.to_owned();
+    let path = opt_value(args, "--get")?.map(str::to_owned);
+
+    // The request words are whatever remains after the client's own
+    // options; they are validated by the server, not here.
+    let mut words: Vec<&str> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--addr" | "--get" => i += 2,
+            w => {
+                words.push(w);
+                i += 1;
+            }
+        }
+    }
+
+    if let Some(path) = path {
+        if !words.is_empty() {
+            return Err("--get cannot be combined with a request".to_owned());
+        }
+        let (status, body) =
+            client::http_get(&addr, &path).map_err(|e| format!("GET {path} on `{addr}`: {e}"))?;
+        if !status.contains("200") {
+            return Err(format!("GET {path}: {status}"));
+        }
+        print!("{body}");
+        return Ok(());
+    }
+
+    let mut conn =
+        client::Connection::connect(&addr).map_err(|e| format!("connecting to `{addr}`: {e}"))?;
+    if words.is_empty() {
+        // Scripted mode: request lines on stdin, response lines on stdout.
+        let stdin = std::io::stdin();
+        for line in stdin.lock().lines() {
+            let line = line.map_err(|e| format!("reading stdin: {e}"))?;
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let response = conn
+                .request(line)
+                .map_err(|e| format!("request `{line}`: {e}"))?;
+            println!("{response}");
+        }
+    } else {
+        let line = words.join(" ");
+        let response = conn
+            .request(&line)
+            .map_err(|e| format!("request `{line}`: {e}"))?;
+        println!("{response}");
     }
     Ok(())
 }
@@ -533,6 +493,7 @@ fn cmd_list() -> Result<(), String> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use soctam_core::engine::{EngineOp, EngineOutput};
 
     fn argv(parts: &[&str]) -> Vec<String> {
         parts.iter().map(|s| s.to_string()).collect()
@@ -721,6 +682,43 @@ mod tests {
         assert!(json.contains("\"registry\""));
         std::fs::remove_file(&reqs).ok();
         std::fs::remove_file(&out).ok();
+    }
+
+    #[test]
+    fn client_round_trips_against_a_live_server() {
+        let server = Server::bind("127.0.0.1:0", ServerConfig::default()).unwrap();
+        let addr = server.local_addr().to_string();
+        // One request from the argv tail; response goes to stdout.
+        run(&argv(&[
+            "client", "--addr", &addr, "bounds", "d695", "--widths", "16",
+        ]))
+        .unwrap();
+        // HTTP surface via --get.
+        run(&argv(&["client", "--addr", &addr, "--get", "/healthz"])).unwrap();
+        assert!(
+            run(&argv(&["client", "--addr", &addr, "--get", "/nope"])).is_err(),
+            "non-200 surfaces as an error"
+        );
+        assert!(
+            run(&argv(&["client", "bounds", "d695"])).is_err(),
+            "--addr is mandatory"
+        );
+        assert!(
+            run(&argv(&[
+                "client", "--addr", &addr, "--get", "/healthz", "bounds", "d695",
+            ]))
+            .is_err(),
+            "--get and a request are mutually exclusive"
+        );
+        server.shutdown();
+    }
+
+    #[test]
+    fn serve_rejects_bad_argv() {
+        assert!(run(&argv(&["serve", "--threads", "zero?"])).is_err());
+        assert!(run(&argv(&["serve", "--ttl", "-3"])).is_err());
+        assert!(run(&argv(&["serve", "--cache-cap", "lots"])).is_err());
+        assert!(run(&argv(&["serve", "--addres", "127.0.0.1:0"])).is_err());
     }
 
     #[test]

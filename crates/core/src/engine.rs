@@ -13,6 +13,13 @@
 //! the same requests sequentially, one private flow each — pinned by the
 //! `sweep_equivalence` suite.
 //!
+//! For serving *repeat* traffic, [`Engine::with_solution_cache`] layers a
+//! [`SolutionCache`] of whole request outcomes over the registry: a
+//! repeat `(SOC, width cap, budget, op, mode, grid)` request returns the
+//! cached result without invoking the solver at all, and concurrent
+//! identical requests coalesce onto one solve. `soctam-server` runs an
+//! engine configured this way behind its TCP listener.
+//!
 //! # Example
 //!
 //! ```
@@ -36,18 +43,22 @@
 //! assert_eq!(engine.registry().stats().misses, 1);
 //! ```
 
+use std::hash::{DefaultHasher, Hash, Hasher};
 use std::num::NonZeroUsize;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 
-use soctam_schedule::{ContextRegistry, Cycles, ScheduleError, TamWidth};
+use soctam_schedule::{
+    ContextRegistry, Cycles, ScheduleError, SolutionCache, SolutionCacheStats, TamWidth,
+};
 use soctam_soc::Soc;
 use soctam_volume::SweepPoint;
 
-use crate::flow::{FlowConfig, FlowRun, TestFlow};
+use crate::flow::{FlowConfig, FlowRun, ParamSweep, TestFlow};
 
 /// What one request asks the engine to compute.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum EngineOp {
     /// Best-of-sweep schedule, wires, bound, and volume at one width
     /// ([`TestFlow::run`]).
@@ -127,6 +138,70 @@ pub enum EngineOutput {
 /// power ceiling on one SOC does not poison the batch).
 pub type EngineResult = Result<EngineOutput, ScheduleError>;
 
+/// The identity of one cacheable request outcome: everything that can
+/// change the result. That is the [`ContextRegistry`] key — SOC content,
+/// width cap, resolved power budget — plus the operation (kind and
+/// widths), the scheduling mode, and the parameter grid searched. The
+/// flow's `parallel` switch and the engine's thread count are *excluded*:
+/// the equivalence suites pin that they never change an output bit.
+#[derive(Debug, Clone)]
+struct SolutionKey {
+    w_max: TamWidth,
+    budget: Option<u64>,
+    preemption: bool,
+    soc_hash: u64,
+    op: EngineOp,
+    sweep: ParamSweep,
+    soc: Arc<Soc>,
+}
+
+impl SolutionKey {
+    fn new(request: &EngineRequest, budget: Option<u64>) -> Self {
+        // Same cached content hash as the registry's ContextKey: shard
+        // selection and probing hash a u64 instead of re-walking the model.
+        let mut h = DefaultHasher::new();
+        request.soc.hash(&mut h);
+        Self {
+            w_max: request.flow.w_max.max(1),
+            budget,
+            preemption: request.flow.allow_preemption,
+            soc_hash: h.finish(),
+            op: request.op.clone(),
+            sweep: request.flow.sweep.clone(),
+            soc: Arc::clone(&request.soc),
+        }
+    }
+}
+
+impl PartialEq for SolutionKey {
+    fn eq(&self, other: &Self) -> bool {
+        // Cheap fields first; full SOC content comparison only on a hash
+        // match, so a 64-bit collision can never alias two different SOCs.
+        self.w_max == other.w_max
+            && self.budget == other.budget
+            && self.preemption == other.preemption
+            && self.soc_hash == other.soc_hash
+            && self.op == other.op
+            && self.sweep == other.sweep
+            && self.soc == other.soc
+    }
+}
+
+impl Eq for SolutionKey {}
+
+impl Hash for SolutionKey {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        // Equal keys have equal SOC content and therefore equal cached
+        // hashes, so skipping the model upholds the Hash/Eq contract.
+        self.w_max.hash(state);
+        self.budget.hash(state);
+        self.preemption.hash(state);
+        self.soc_hash.hash(state);
+        self.op.hash(state);
+        self.sweep.hash(state);
+    }
+}
+
 /// Concurrent batch-serving facade over a shared [`ContextRegistry`].
 ///
 /// Construction is cheap; the engine is `Sync`, so one instance can serve
@@ -135,6 +210,7 @@ pub type EngineResult = Result<EngineOutput, ScheduleError>;
 #[derive(Debug)]
 pub struct Engine {
     registry: Arc<ContextRegistry>,
+    solutions: Option<Arc<SolutionCache<SolutionKey, EngineOutput, ScheduleError>>>,
     threads: Option<NonZeroUsize>,
 }
 
@@ -148,8 +224,32 @@ impl Engine {
     pub fn with_registry(registry: Arc<ContextRegistry>) -> Self {
         Self {
             registry,
+            solutions: None,
             threads: None,
         }
+    }
+
+    /// Layers a [`SolutionCache`] over the engine: repeat requests with
+    /// the same result-relevant fields (SOC content, width cap, resolved
+    /// power budget, operation, scheduling mode, parameter grid — the
+    /// registry key plus width, mode, and grid) return the cached result
+    /// without invoking the solver, and concurrent identical requests
+    /// coalesce onto one solve. `capacity` bounds resident results (0
+    /// disables caching entirely); `ttl`, when set, bounds result
+    /// staleness — expired results are lazily evicted and re-solved.
+    ///
+    /// Cached or not, responses are bit-identical: the cache key covers
+    /// every result-relevant request field, and the equivalence suites pin
+    /// warm responses against direct solves.
+    pub fn with_solution_cache(mut self, capacity: usize, ttl: Option<Duration>) -> Self {
+        self.solutions = (capacity > 0).then(|| {
+            Arc::new(SolutionCache::new(
+                SolutionCache::<SolutionKey, EngineOutput, ScheduleError>::DEFAULT_SHARDS,
+                capacity,
+                ttl,
+            ))
+        });
+        self
     }
 
     /// Caps the worker-thread count (default: available parallelism).
@@ -162,6 +262,33 @@ impl Engine {
     /// The registry serving this engine's contexts.
     pub fn registry(&self) -> &Arc<ContextRegistry> {
         &self.registry
+    }
+
+    /// Traffic counters of the solution cache, or `None` when result
+    /// caching is disabled.
+    pub fn solution_stats(&self) -> Option<SolutionCacheStats> {
+        self.solutions.as_ref().map(|c| c.stats())
+    }
+
+    /// Number of solved results currently resident (0 when result caching
+    /// is disabled).
+    pub fn solutions_len(&self) -> usize {
+        self.solutions.as_ref().map_or(0, |c| c.len())
+    }
+
+    /// Total solution-cache capacity (0 when result caching is disabled).
+    pub fn solutions_capacity(&self) -> usize {
+        self.solutions.as_ref().map_or(0, |c| c.capacity())
+    }
+
+    /// Sweeps both caches for TTL-expired entries, returning
+    /// `(contexts dropped, solutions dropped)`. A long-lived daemon calls
+    /// this periodically so cold keys don't outstay their TTL.
+    pub fn purge_expired(&self) -> (usize, usize) {
+        (
+            self.registry.purge_expired(),
+            self.solutions.as_ref().map_or(0, |c| c.purge_expired()),
+        )
     }
 
     /// Serves a batch: results are returned in request order and are
@@ -236,6 +363,22 @@ impl Engine {
 
     fn serve_request(&self, request: &EngineRequest, inner_sequential: bool) -> EngineResult {
         let budget = request.flow.power.resolve(&request.soc);
+        match &self.solutions {
+            Some(cache) => cache.get_or_compute(SolutionKey::new(request, budget), || {
+                self.solve(request, budget, inner_sequential)
+            }),
+            None => self.solve(request, budget, inner_sequential),
+        }
+    }
+
+    /// The uncached solve: context from the registry, then the requested
+    /// operation over it.
+    fn solve(
+        &self,
+        request: &EngineRequest,
+        budget: Option<u64>,
+        inner_sequential: bool,
+    ) -> EngineResult {
         let ctx = self
             .registry
             .get_or_compile(&request.soc, request.flow.w_max, budget);
@@ -370,6 +513,118 @@ mod tests {
         assert!(results[0].is_err(), "1-unit power ceiling is infeasible");
         assert!(results[1].is_ok(), "healthy request unaffected");
         assert!(results[2].is_err(), "zero-wire bound rejected, not a panic");
+    }
+
+    fn assert_same_output(a: &EngineOutput, b: &EngineOutput) {
+        match (a, b) {
+            (EngineOutput::Schedule(x), EngineOutput::Schedule(y)) => {
+                assert_eq!(x.schedule, y.schedule);
+                assert_eq!(x.params, y.params);
+                assert_eq!(x.lower_bound, y.lower_bound);
+                assert_eq!(x.volume, y.volume);
+            }
+            (EngineOutput::Sweep(x), EngineOutput::Sweep(y)) => assert_eq!(x, y),
+            (EngineOutput::Bounds(x), EngineOutput::Bounds(y)) => assert_eq!(x, y),
+            _ => panic!("output kinds diverged between cached and uncached"),
+        }
+    }
+
+    #[test]
+    fn cached_engine_matches_uncached_bit_for_bit() {
+        let requests = mixed_batch();
+        let cached = Engine::new().with_solution_cache(64, None);
+        let plain = Engine::new();
+        let cold = cached.serve(&requests);
+        let warm = cached.serve(&requests);
+        let want = plain.serve(&requests);
+        for ((c, w), p) in cold.iter().zip(&warm).zip(&want) {
+            assert_same_output(c.as_ref().unwrap(), p.as_ref().unwrap());
+            assert_same_output(w.as_ref().unwrap(), p.as_ref().unwrap());
+        }
+        let stats = cached.solution_stats().unwrap();
+        assert_eq!(stats.misses, requests.len() as u64, "cold pass solves all");
+        assert_eq!(
+            stats.hits,
+            requests.len() as u64,
+            "warm pass solves nothing"
+        );
+        // The warm pass never touched the registry either: solution hits
+        // short-circuit before context lookup.
+        assert_eq!(cached.registry().stats().misses, 3);
+        assert_eq!(cached.solutions_len(), requests.len());
+    }
+
+    #[test]
+    fn concurrent_identical_requests_coalesce_onto_one_solve() {
+        let engine = Arc::new(Engine::new().with_solution_cache(16, None));
+        let d695 = Arc::new(benchmarks::d695());
+        let results: Vec<_> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    let engine = Arc::clone(&engine);
+                    let soc = Arc::clone(&d695);
+                    scope
+                        .spawn(move || engine.serve_one(&EngineRequest::schedule(soc, quick(), 16)))
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for pair in results.windows(2) {
+            assert_same_output(pair[0].as_ref().unwrap(), pair[1].as_ref().unwrap());
+        }
+        let stats = engine.solution_stats().unwrap();
+        assert_eq!(stats.misses, 1, "four identical requests, one solve");
+        assert_eq!(stats.hits + stats.coalesced, 3);
+    }
+
+    #[test]
+    fn failed_requests_are_not_cached() {
+        let engine = Engine::new().with_solution_cache(16, None);
+        let d695 = Arc::new(benchmarks::d695());
+        let bad = EngineRequest::bounds(Arc::clone(&d695), quick(), vec![0]);
+        assert!(engine.serve_one(&bad).is_err());
+        assert!(engine.serve_one(&bad).is_err());
+        let stats = engine.solution_stats().unwrap();
+        assert_eq!(stats.misses, 2, "errors are retried, not cached");
+        assert_eq!(stats.failures, 2);
+        assert_eq!(engine.solutions_len(), 0);
+    }
+
+    #[test]
+    fn ttl_expires_solutions_and_contexts() {
+        let ttl = std::time::Duration::from_millis(40);
+        let registry = Arc::new(ContextRegistry::default().with_ttl(ttl));
+        let engine = Engine::with_registry(registry).with_solution_cache(16, Some(ttl));
+        let d695 = Arc::new(benchmarks::d695());
+        let req = EngineRequest::bounds(Arc::clone(&d695), quick(), vec![16, 32]);
+        let cold = engine.serve_one(&req).unwrap();
+        std::thread::sleep(std::time::Duration::from_millis(120));
+        let reheated = engine.serve_one(&req).unwrap();
+        assert_same_output(&cold, &reheated);
+        let stats = engine.solution_stats().unwrap();
+        assert_eq!(stats.expiries, 1, "the solution expired and re-solved");
+        assert_eq!(stats.misses, 2);
+        assert_eq!(
+            engine.registry().stats().expiries,
+            1,
+            "the context expired and recompiled"
+        );
+        // purge_expired sweeps both tiers once the fresh entries age out.
+        std::thread::sleep(std::time::Duration::from_millis(120));
+        assert_eq!(engine.purge_expired(), (1, 1));
+        assert_eq!(engine.solutions_len(), 0);
+        assert!(engine.registry().is_empty());
+    }
+
+    #[test]
+    fn zero_capacity_disables_the_cache() {
+        let engine = Engine::new().with_solution_cache(0, None);
+        assert!(engine.solution_stats().is_none());
+        assert_eq!(engine.solutions_capacity(), 0);
+        let d695 = Arc::new(benchmarks::d695());
+        let req = EngineRequest::bounds(d695, quick(), vec![16]);
+        assert!(engine.serve_one(&req).is_ok());
+        assert_eq!(engine.solutions_len(), 0);
     }
 
     #[test]

@@ -36,7 +36,7 @@ use soctam_volume::{volume_of, CostCurve, SweepPoint};
 /// "best result over all integer values of m and d" methodology, extended
 /// with the idle-fill slack (which the paper fixes at 3 but explicitly
 /// allows the system integrator to retune).
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct ParamSweep {
     /// Preferred-width percentages `m` to try.
     pub percents: Vec<u32>,

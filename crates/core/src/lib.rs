@@ -14,7 +14,9 @@
 //!   ([`soctam_soc`]).
 //!
 //! The [`flow`] module exposes the one-stop API; [`engine`] serves whole
-//! request batches concurrently; [`report`] regenerates the paper's tables
+//! request batches concurrently; [`protocol`] defines the request grammar
+//! and JSON response shape shared by `soctam batch` and the
+//! `soctam-server` wire format; [`report`] regenerates the paper's tables
 //! and figures as plain-text artifacts.
 //!
 //! # Ownership model
@@ -52,6 +54,7 @@
 
 pub mod engine;
 pub mod flow;
+pub mod protocol;
 pub mod report;
 
 /// Re-export of the baseline comparators.

@@ -1,0 +1,471 @@
+//! The request/response protocol shared by `soctam batch` and the wire.
+//!
+//! One grammar, one parser, one response renderer: a *request* is a single
+//! line of text, whether it comes from a `soctam batch` request file or
+//! over a `soctam-server` TCP connection, and a *response* is a single
+//! JSON object, whether it is embedded in the batch report or written back
+//! as one line on the wire. Factoring both here means the batch file
+//! format and the network protocol can never drift apart.
+//!
+//! # Request grammar
+//!
+//! ```text
+//! schedule <soc> --width W   [--power] [--no-preempt]
+//! sweep    <soc> [--from A] [--to B]   [--power] [--no-preempt]
+//! bounds   <soc> [--widths a,b,c]      [--power] [--no-preempt]
+//! ```
+//!
+//! `<soc>` is resolved by a caller-supplied [`SocResolver`] — the CLI
+//! resolves benchmark names *and* `.soc` file paths, the serving daemon
+//! (which must not read arbitrary paths on behalf of remote peers)
+//! resolves benchmark names only ([`benchmark_resolver`]). Blank lines and
+//! `#` comments are skipped. Unknown request kinds, unknown flags, and
+//! malformed values are parse errors whose messages name the offending
+//! field, as are requests naming more than [`MAX_WIDTHS_PER_REQUEST`]
+//! widths (each width costs a solve; the cap keeps one wire request from
+//! pinning a daemon worker indefinitely).
+//!
+//! # Response shape
+//!
+//! [`render_result`] produces one JSON object per request:
+//!
+//! ```text
+//! {"op": "schedule", "soc": "d695", "width": 16, "ok": true, "makespan": ..., ...}
+//! {"op": "bounds", "soc": "p34392", "widths": [16, 24], "ok": true, "bounds": [...]}
+//! {"op": "sweep", "soc": "d695", "from": 16, "to": 24, "ok": false, "error": "..."}
+//! ```
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use soctam_soc::{benchmarks, Soc};
+
+use crate::engine::{EngineOp, EngineOutput, EngineRequest, EngineResult};
+use crate::flow::{FlowConfig, ParamSweep, PowerPolicy};
+
+/// The most widths one `sweep`/`bounds` request may name. Every width
+/// costs a full solve, and the grammar is served to network peers by
+/// `soctam-server`: without a cap, one request line
+/// (`sweep p93791 --from 1 --to 65535`) could pin a daemon worker for
+/// hours. The limit is far above any legitimate sweep (the paper's widest
+/// figure spans `W = 16..=80`); callers wanting more issue more requests.
+pub const MAX_WIDTHS_PER_REQUEST: usize = 1024;
+
+/// Maps the `<soc>` token of a request onto a shared SOC model.
+///
+/// Implementations decide what tokens are acceptable (benchmark names,
+/// file paths, registry handles) and are expected to memoize, so a
+/// thousand requests naming one SOC share one `Arc<Soc>`. Any
+/// `FnMut(&str) -> Result<Arc<Soc>, String>` is a resolver.
+pub trait SocResolver {
+    /// Resolves `name`, or explains why it is not servable.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable message naming the unresolvable token.
+    fn resolve(&mut self, name: &str) -> Result<Arc<Soc>, String>;
+}
+
+impl<F: FnMut(&str) -> Result<Arc<Soc>, String>> SocResolver for F {
+    fn resolve(&mut self, name: &str) -> Result<Arc<Soc>, String> {
+        self(name)
+    }
+}
+
+/// A memoizing [`SocResolver`] over a plain loader function: each distinct
+/// name is loaded once and shared by every later request.
+pub struct MemoResolver<F> {
+    load: F,
+    cache: HashMap<String, Arc<Soc>>,
+}
+
+impl<F: FnMut(&str) -> Result<Soc, String>> MemoResolver<F> {
+    /// Wraps `load` with a per-name memo table.
+    pub fn new(load: F) -> Self {
+        Self {
+            load,
+            cache: HashMap::new(),
+        }
+    }
+
+    /// Number of distinct SOCs resolved so far.
+    pub fn len(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// Whether no SOC has been resolved yet.
+    pub fn is_empty(&self) -> bool {
+        self.cache.is_empty()
+    }
+}
+
+impl<F: FnMut(&str) -> Result<Soc, String>> SocResolver for MemoResolver<F> {
+    fn resolve(&mut self, name: &str) -> Result<Arc<Soc>, String> {
+        if let Some(soc) = self.cache.get(name) {
+            return Ok(Arc::clone(soc));
+        }
+        let soc = Arc::new((self.load)(name)?);
+        self.cache.insert(name.to_owned(), Arc::clone(&soc));
+        Ok(soc)
+    }
+}
+
+/// The resolver a network-facing daemon uses: benchmark names only, never
+/// the filesystem.
+pub fn benchmark_resolver() -> MemoResolver<impl FnMut(&str) -> Result<Soc, String>> {
+    MemoResolver::new(|name: &str| {
+        benchmarks::by_name(name).ok_or_else(|| {
+            format!(
+                "unknown SOC `{name}` (this resolver serves benchmark models only: {})",
+                benchmarks::NAMES.join(", ")
+            )
+        })
+    })
+}
+
+/// Whether the bare flag `name` appears in `args`.
+pub fn flag(args: &[String], name: &str) -> bool {
+    args.iter().any(|a| a == name)
+}
+
+/// Looks up the value of a `--flag value` option. Present-but-valueless
+/// options are an error — including the easy-to-make mistake of following
+/// one flag directly with another (`--width --power`), which would
+/// otherwise be swallowed as the value and produce a baffling parse
+/// failure downstream.
+///
+/// # Errors
+///
+/// A message naming the offending option (and the swallowed flag, if any).
+pub fn opt_value<'a>(args: &'a [String], name: &str) -> Result<Option<&'a str>, String> {
+    let Some(i) = args.iter().position(|a| a == name) else {
+        return Ok(None);
+    };
+    match args.get(i + 1).map(String::as_str) {
+        None => Err(format!("option `{name}` expects a value")),
+        Some(v) if v.starts_with("--") => Err(format!(
+            "option `{name}` expects a value, but found the flag `{v}`"
+        )),
+        Some(v) => Ok(Some(v)),
+    }
+}
+
+/// [`opt_value`] for mandatory options.
+///
+/// # Errors
+///
+/// As [`opt_value`], plus `missing <name>` when the option is absent.
+pub fn req_value<'a>(args: &'a [String], name: &str) -> Result<&'a str, String> {
+    opt_value(args, name)?.ok_or_else(|| format!("missing {name}"))
+}
+
+/// Parses the numeric value of option `name` (already extracted as `v`),
+/// naming both the field and the rejected token on failure.
+fn num<T: std::str::FromStr>(name: &str, v: &str) -> Result<T, String> {
+    v.parse()
+        .map_err(|_| format!("option `{name}`: invalid value `{v}`"))
+}
+
+/// Rejects any token the request kind does not understand: a misspelled
+/// mode flag (`--no-premept`) must fail the parse, not silently run the
+/// request in the wrong mode and report it `ok`.
+///
+/// # Errors
+///
+/// A message naming the unknown token.
+pub fn check_known_args(
+    args: &[String],
+    value_options: &[&str],
+    flags: &[&str],
+) -> Result<(), String> {
+    let mut i = 0;
+    while i < args.len() {
+        let tok = args[i].as_str();
+        if value_options.contains(&tok) {
+            i += 2; // the option plus its value (presence checked elsewhere)
+        } else if flags.contains(&tok) {
+            i += 1;
+        } else {
+            return Err(format!("unknown argument `{tok}`"));
+        }
+    }
+    Ok(())
+}
+
+/// The flow configuration every protocol request uses (the quick
+/// parameter sweep), specialized by the request's mode flags.
+pub fn request_flow(power: bool, no_preempt: bool) -> FlowConfig {
+    let mut cfg = FlowConfig {
+        sweep: ParamSweep::quick(),
+        ..FlowConfig::new()
+    };
+    if power {
+        cfg = cfg.with_power(PowerPolicy::MaxCorePower);
+    }
+    if no_preempt {
+        cfg = cfg.without_preemption();
+    }
+    cfg
+}
+
+/// Parses one request line (see the [module docs](self) for the grammar),
+/// resolving the SOC token through `resolver`.
+///
+/// # Errors
+///
+/// A message naming the offending field: the unknown request kind, the
+/// unresolvable SOC, the unknown flag, or the malformed option value.
+pub fn parse_request(line: &str, resolver: &mut impl SocResolver) -> Result<EngineRequest, String> {
+    let words: Vec<String> = line.split_whitespace().map(str::to_owned).collect();
+    let (kind, rest) = words.split_first().ok_or("empty request")?;
+    let soc_name = rest.first().ok_or("missing SOC name")?;
+    let soc = resolver.resolve(soc_name)?;
+    let args = &rest[1..];
+    let value_options: &[&str] = match kind.as_str() {
+        "schedule" => &["--width"],
+        "sweep" => &["--from", "--to"],
+        "bounds" => &["--widths"],
+        other => return Err(format!("unknown request kind `{other}`")),
+    };
+    check_known_args(args, value_options, &["--power", "--no-preempt"])?;
+    let flow = request_flow(flag(args, "--power"), flag(args, "--no-preempt"));
+    let op = match kind.as_str() {
+        "schedule" => EngineOp::Schedule {
+            width: num("--width", req_value(args, "--width")?)?,
+        },
+        "sweep" => {
+            let from: u16 = num("--from", opt_value(args, "--from")?.unwrap_or("16"))?;
+            let to: u16 = num("--to", opt_value(args, "--to")?.unwrap_or("64"))?;
+            if from == 0 || from > to {
+                return Err("need 0 < --from <= --to".to_owned());
+            }
+            let span = usize::from(to - from) + 1;
+            if span > MAX_WIDTHS_PER_REQUEST {
+                return Err(format!(
+                    "option `--to`: sweep spans {span} widths \
+                     (one request is limited to {MAX_WIDTHS_PER_REQUEST})"
+                ));
+            }
+            EngineOp::Sweep {
+                widths: (from..=to).collect(),
+            }
+        }
+        "bounds" => {
+            let widths = match opt_value(args, "--widths")? {
+                Some(list) => {
+                    if list.split(',').count() > MAX_WIDTHS_PER_REQUEST {
+                        return Err(format!(
+                            "option `--widths`: lists {} widths \
+                             (one request is limited to {MAX_WIDTHS_PER_REQUEST})",
+                            list.split(',').count()
+                        ));
+                    }
+                    list.split(',')
+                        .map(|w| num::<u16>("--widths", w.trim()))
+                        .collect::<Result<Vec<_>, _>>()?
+                }
+                None => benchmarks::table1_widths(soc.name()).to_vec(),
+            };
+            EngineOp::Bounds { widths }
+        }
+        _ => unreachable!("kind validated above"),
+    };
+    Ok(EngineRequest { soc, flow, op })
+}
+
+/// Parses a whole request file: one request per line, blank lines and
+/// `#` comments skipped.
+///
+/// # Errors
+///
+/// The first line's parse error, prefixed with its 1-based line number;
+/// or an error if the file contains no requests at all.
+pub fn parse_request_file(
+    text: &str,
+    resolver: &mut impl SocResolver,
+) -> Result<Vec<EngineRequest>, String> {
+    let mut requests = Vec::new();
+    for (no, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        requests.push(parse_request(line, resolver).map_err(|e| format!("line {}: {e}", no + 1))?);
+    }
+    if requests.is_empty() {
+        return Err("request file contains no requests".to_owned());
+    }
+    Ok(requests)
+}
+
+/// Escapes a string for embedding in a JSON document (the workspace is
+/// vendored-only, so responses are rendered by hand, not by serde).
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders one request's outcome as a single JSON object — the element
+/// shape of the `soctam batch` report and, followed by a newline, the wire
+/// response line.
+pub fn render_result(req: &EngineRequest, result: &EngineResult) -> String {
+    let mut out = String::new();
+    let (kind, detail) = match &req.op {
+        EngineOp::Schedule { width } => ("schedule", format!("\"width\": {width}")),
+        EngineOp::Sweep { widths } => (
+            "sweep",
+            format!(
+                "\"from\": {}, \"to\": {}",
+                widths.first().copied().unwrap_or(0),
+                widths.last().copied().unwrap_or(0)
+            ),
+        ),
+        EngineOp::Bounds { widths } => (
+            "bounds",
+            format!(
+                "\"widths\": [{}]",
+                widths
+                    .iter()
+                    .map(u16::to_string)
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            ),
+        ),
+    };
+    out.push_str(&format!(
+        "{{\"op\": \"{kind}\", \"soc\": \"{}\", {detail}, ",
+        req.soc.name().replace(['"', '\\'], "_")
+    ));
+    match result {
+        Err(e) => out.push_str(&format!(
+            "\"ok\": false, \"error\": \"{}\"}}",
+            json_escape(&e.to_string())
+        )),
+        Ok(EngineOutput::Schedule(run)) => out.push_str(&format!(
+            "\"ok\": true, \"makespan\": {}, \"lower_bound\": {}, \"volume\": {}, \
+             \"m\": {}, \"d\": {}, \"slack\": {}}}",
+            run.schedule.makespan(),
+            run.lower_bound,
+            run.volume,
+            run.params.0,
+            run.params.1,
+            run.params.2
+        )),
+        Ok(EngineOutput::Sweep(points)) => {
+            out.push_str("\"ok\": true, \"points\": [");
+            for (i, p) in points.iter().enumerate() {
+                let sep = if i + 1 == points.len() { "" } else { ", " };
+                out.push_str(&format!(
+                    "{{\"width\": {}, \"time\": {}, \"volume\": {}, \"lower_bound\": {}}}{sep}",
+                    p.width, p.time, p.volume, p.lower_bound
+                ));
+            }
+            out.push_str("]}");
+        }
+        Ok(EngineOutput::Bounds(bounds)) => out.push_str(&format!(
+            "\"ok\": true, \"bounds\": [{}]}}",
+            bounds
+                .iter()
+                .map(u64::to_string)
+                .collect::<Vec<_>>()
+                .join(", ")
+        )),
+    }
+    out
+}
+
+/// Renders a line-level failure (a request that never parsed) as a wire
+/// response object.
+pub fn render_parse_error(error: &str) -> String {
+    format!("{{\"ok\": false, \"error\": \"{}\"}}", json_escape(error))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn benchmark_resolver_memoizes_and_names_unknowns() {
+        let mut r = benchmark_resolver();
+        let a = r.resolve("d695").unwrap();
+        let b = r.resolve("d695").unwrap();
+        assert!(Arc::ptr_eq(&a, &b), "one load, one shared Arc");
+        assert_eq!(r.len(), 1);
+        let err = r.resolve("../../etc/passwd").unwrap_err();
+        assert!(err.contains("../../etc/passwd"), "names the token: {err}");
+        assert!(err.contains("d695"), "lists what is servable: {err}");
+    }
+
+    #[test]
+    fn closures_are_resolvers() {
+        let mut calls = 0;
+        let mut resolver = |name: &str| {
+            calls += 1;
+            benchmarks::by_name(name)
+                .map(Arc::new)
+                .ok_or_else(|| format!("no `{name}`"))
+        };
+        let req = parse_request("bounds d695", &mut resolver).unwrap();
+        assert_eq!(req.soc.name(), "d695");
+        assert_eq!(calls, 1);
+    }
+
+    #[test]
+    fn parse_errors_name_the_offending_field() {
+        let mut r = benchmark_resolver();
+        let err = parse_request("schedule d695 --width banana", &mut r).unwrap_err();
+        assert!(err.contains("--width"), "names the field: {err}");
+        assert!(err.contains("banana"), "names the rejected value: {err}");
+
+        let err = parse_request("sweep d695 --from x", &mut r).unwrap_err();
+        assert!(err.contains("--from") && err.contains('x'), "{err}");
+
+        let err = parse_request("bounds d695 --widths 8,oops", &mut r).unwrap_err();
+        assert!(err.contains("--widths") && err.contains("oops"), "{err}");
+
+        let err = parse_request("frobnicate d695", &mut r).unwrap_err();
+        assert!(err.contains("frobnicate"), "{err}");
+
+        let err = parse_request("schedule d695 --width 16 --no-premept", &mut r).unwrap_err();
+        assert!(err.contains("--no-premept"), "{err}");
+    }
+
+    #[test]
+    fn oversized_requests_are_rejected_with_the_field_named() {
+        let mut r = benchmark_resolver();
+        let err = parse_request("sweep d695 --from 1 --to 65535", &mut r).unwrap_err();
+        assert!(err.contains("--to") && err.contains("65535"), "{err}");
+        let huge = format!("bounds d695 --widths {}", vec!["8"; 2000].join(","));
+        let err = parse_request(&huge, &mut r).unwrap_err();
+        assert!(err.contains("--widths") && err.contains("2000"), "{err}");
+        // The cap itself is fine.
+        assert!(parse_request("sweep d695 --from 1 --to 1024", &mut r).is_ok());
+    }
+
+    #[test]
+    fn render_parse_error_escapes() {
+        let line = render_parse_error("bad \"token\"");
+        assert_eq!(line, "{\"ok\": false, \"error\": \"bad \\\"token\\\"\"}");
+    }
+
+    #[test]
+    fn file_and_line_parsers_agree() {
+        let text = "# comment\n\nschedule d695 --width 16\nbounds p34392 --widths 16,24\n";
+        let reqs = parse_request_file(text, &mut benchmark_resolver()).unwrap();
+        assert_eq!(reqs.len(), 2);
+        let solo = parse_request("schedule d695 --width 16", &mut benchmark_resolver()).unwrap();
+        assert_eq!(reqs[0].op, solo.op);
+        assert_eq!(reqs[0].soc, solo.soc);
+    }
+}

@@ -1,0 +1,59 @@
+//! Shared time-to-live machinery for the caching subsystems.
+//!
+//! Both caches in this crate — [`ContextRegistry`](crate::ContextRegistry)
+//! (compiled contexts) and [`SolutionCache`](crate::SolutionCache) (solved
+//! results) — bound entry *lifetime* the same way they bound entry *count*:
+//! a [`TtlPolicy`] stamps every insertion with a deadline, expired entries
+//! are evicted lazily on access, and an explicit `purge_expired()` sweeps
+//! the whole cache for long-lived daemons that want bounded staleness even
+//! on cold keys.
+
+use std::time::{Duration, Instant};
+
+/// How long a cache entry stays servable after insertion. `None` means
+/// entries never expire (the pre-daemon behavior, and the default).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub(crate) struct TtlPolicy {
+    ttl: Option<Duration>,
+}
+
+impl TtlPolicy {
+    pub(crate) fn new(ttl: Option<Duration>) -> Self {
+        Self { ttl }
+    }
+
+    /// The deadline a fresh entry inserted *now* carries.
+    pub(crate) fn deadline(&self) -> Option<Instant> {
+        self.ttl.map(|ttl| Instant::now() + ttl)
+    }
+
+    /// Whether an entry stamped with `deadline` is expired at `now`.
+    /// Entries without a deadline never expire.
+    pub(crate) fn expired(deadline: Option<Instant>, now: Instant) -> bool {
+        deadline.is_some_and(|d| now >= d)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_ttl_never_expires() {
+        let policy = TtlPolicy::new(None);
+        assert_eq!(policy.deadline(), None);
+        assert!(!TtlPolicy::expired(None, Instant::now()));
+    }
+
+    #[test]
+    fn deadline_expires_after_the_ttl() {
+        let policy = TtlPolicy::new(Some(Duration::from_millis(1)));
+        let deadline = policy.deadline();
+        assert!(deadline.is_some());
+        assert!(!TtlPolicy::expired(deadline, Instant::now()));
+        assert!(TtlPolicy::expired(
+            deadline,
+            Instant::now() + Duration::from_millis(5)
+        ));
+    }
+}

@@ -15,6 +15,7 @@ static MENU_BUILDS: AtomicU64 = AtomicU64::new(0);
 static MENU_DERIVES: AtomicU64 = AtomicU64::new(0);
 static CONSTRAINT_COMPILES: AtomicU64 = AtomicU64::new(0);
 static CONTEXT_COMPILES: AtomicU64 = AtomicU64::new(0);
+static SCHEDULE_RUNS: AtomicU64 = AtomicU64::new(0);
 
 /// Number of whole-SOC rectangle-menu builds since process start.
 pub fn menu_builds() -> u64 {
@@ -41,6 +42,19 @@ pub fn constraint_compiles() -> u64 {
 /// smoke gate on this counter.
 pub fn context_compiles() -> u64 {
     CONTEXT_COMPILES.load(Ordering::Relaxed)
+}
+
+/// Number of solver invocations
+/// ([`ScheduleBuilder::run`](crate::ScheduleBuilder::run)) since process
+/// start. The serving tier's warm-path invariant — a repeat request served
+/// from a [`SolutionCache`](crate::SolutionCache) never re-solves — is
+/// pinned by measuring a zero delta of this counter across a warm pass.
+pub fn schedule_runs() -> u64 {
+    SCHEDULE_RUNS.load(Ordering::Relaxed)
+}
+
+pub(crate) fn note_schedule_run() {
+    SCHEDULE_RUNS.fetch_add(1, Ordering::Relaxed);
 }
 
 pub(crate) fn note_menu_build() {

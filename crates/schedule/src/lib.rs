@@ -48,6 +48,12 @@
 //! Per-cap rectangle menus inside a context are prefix-derived from the
 //! full-cap build ([`RectangleMenus::prefix`]) instead of rebuilt.
 //!
+//! One tier above the registry, a [`SolutionCache`] memoizes whole solved
+//! *results* (sharded, LRU+TTL-bounded, with in-flight request
+//! coalescing), so a repeat request skips the solver entirely; the same
+//! TTL machinery gives the registry time-based expiry
+//! ([`ContextRegistry::with_ttl`]) for long-lived daemons.
+//!
 //! # Example
 //!
 //! ```
@@ -72,11 +78,13 @@ mod config;
 mod constraints;
 mod context;
 mod error;
+mod expiry;
 pub mod instrument;
 mod menus;
 mod optimizer;
 mod registry;
 mod schedule;
+mod solution_cache;
 mod state;
 mod svg;
 pub mod validate;
@@ -90,6 +98,7 @@ pub use menus::RectangleMenus;
 pub use optimizer::{schedule_best, schedule_best_with, ScheduleBuilder};
 pub use registry::{ContextRegistry, RegistryStats};
 pub use schedule::{CoreScheduleStats, Schedule, Slice};
+pub use solution_cache::{SolutionCache, SolutionCacheStats};
 pub use svg::SvgOptions;
 
 pub use soctam_wrapper::{Cycles, TamWidth};

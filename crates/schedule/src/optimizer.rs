@@ -83,6 +83,7 @@ impl<'a> ScheduleBuilder<'a> {
     /// * [`ScheduleError::Stuck`] — constraints make some core permanently
     ///   unschedulable (e.g. its power rating alone exceeds `P_max`).
     pub fn run(self) -> Result<Schedule, ScheduleError> {
+        crate::instrument::note_schedule_run();
         let cfg = &self.cfg;
         if cfg.tam_width == 0 {
             return Err(ScheduleError::InvalidConfig {

@@ -40,11 +40,13 @@ use std::collections::HashMap;
 use std::hash::{BuildHasher, DefaultHasher, Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
+use std::time::{Duration, Instant};
 
 use soctam_soc::Soc;
 use soctam_wrapper::TamWidth;
 
 use crate::context::CompiledSoc;
+use crate::expiry::TtlPolicy;
 
 /// The identity of one compiled context: SOC content, width cap, and the
 /// constraint-relevant configuration (power budget).
@@ -96,6 +98,7 @@ impl Hash for ContextKey {
 struct Entry {
     cell: Arc<OnceLock<Arc<CompiledSoc>>>,
     last_used: u64,
+    deadline: Option<Instant>,
 }
 
 /// Cumulative counters of one registry's traffic.
@@ -107,6 +110,9 @@ pub struct RegistryStats {
     pub misses: u64,
     /// Entries dropped by the bounded-size LRU policy.
     pub evictions: u64,
+    /// Entries dropped because their TTL elapsed (see
+    /// [`ContextRegistry::with_ttl`]).
+    pub expiries: u64,
 }
 
 impl RegistryStats {
@@ -141,11 +147,13 @@ impl RegistryStats {
 pub struct ContextRegistry {
     shards: Vec<Mutex<HashMap<ContextKey, Entry>>>,
     per_shard_capacity: usize,
+    ttl: TtlPolicy,
     hasher: RandomState,
     clock: AtomicU64,
     hits: AtomicU64,
     misses: AtomicU64,
     evictions: AtomicU64,
+    expiries: AtomicU64,
 }
 
 impl ContextRegistry {
@@ -166,12 +174,40 @@ impl ContextRegistry {
         Self {
             shards: (0..shards).map(|_| Mutex::new(HashMap::new())).collect(),
             per_shard_capacity,
+            ttl: TtlPolicy::new(None),
             hasher: RandomState::new(),
             clock: AtomicU64::new(0),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
+            expiries: AtomicU64::new(0),
         }
+    }
+
+    /// Bounds entry *lifetime* in addition to entry count: a context older
+    /// than `ttl` is evicted lazily on the next request for its key (which
+    /// then recompiles) or in bulk by [`ContextRegistry::purge_expired`].
+    /// Long-lived daemons use this so a cached compilation for an SOC that
+    /// stopped receiving traffic does not stay resident forever.
+    pub fn with_ttl(mut self, ttl: Duration) -> Self {
+        self.ttl = TtlPolicy::new(Some(ttl));
+        self
+    }
+
+    /// Drops every cached context whose TTL has elapsed (compiles still in
+    /// flight are spared), returning how many were dropped. Expiries are
+    /// counted in [`ContextRegistry::stats`].
+    pub fn purge_expired(&self) -> usize {
+        let now = Instant::now();
+        let mut dropped = 0;
+        for shard in &self.shards {
+            let mut map = shard.lock().expect("registry shard poisoned");
+            let before = map.len();
+            map.retain(|_, e| e.cell.get().is_none() || !TtlPolicy::expired(e.deadline, now));
+            dropped += before - map.len();
+        }
+        self.expiries.fetch_add(dropped as u64, Ordering::Relaxed);
+        dropped
     }
 
     /// The context for `(soc, w_max, power_budget)`: served from the cache
@@ -198,31 +234,46 @@ impl ContextRegistry {
 
         let cell = {
             let mut map = shard.lock().expect("registry shard poisoned");
+            // A context past its TTL deadline is dead even if resident:
+            // evict it and recompile (a compile still in flight is never
+            // expired out from under the thread publishing it).
+            let mut resident = None;
             if let Some(entry) = map.get_mut(&key) {
-                entry.last_used = stamp;
-                self.hits.fetch_add(1, Ordering::Relaxed);
-                Arc::clone(&entry.cell)
-            } else {
-                self.misses.fetch_add(1, Ordering::Relaxed);
-                if map.len() >= self.per_shard_capacity {
-                    let lru = map
-                        .iter()
-                        .min_by_key(|(_, e)| e.last_used)
-                        .map(|(k, _)| k.clone());
-                    if let Some(lru) = lru {
-                        map.remove(&lru);
-                        self.evictions.fetch_add(1, Ordering::Relaxed);
-                    }
+                if entry.cell.get().is_some() && TtlPolicy::expired(entry.deadline, Instant::now())
+                {
+                    map.remove(&key);
+                    self.expiries.fetch_add(1, Ordering::Relaxed);
+                } else {
+                    entry.last_used = stamp;
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    resident = Some(Arc::clone(&entry.cell));
                 }
-                let cell = Arc::new(OnceLock::new());
-                map.insert(
-                    key,
-                    Entry {
-                        cell: Arc::clone(&cell),
-                        last_used: stamp,
-                    },
-                );
-                cell
+            }
+            match resident {
+                Some(cell) => cell,
+                None => {
+                    self.misses.fetch_add(1, Ordering::Relaxed);
+                    if map.len() >= self.per_shard_capacity {
+                        let lru = map
+                            .iter()
+                            .min_by_key(|(_, e)| e.last_used)
+                            .map(|(k, _)| k.clone());
+                        if let Some(lru) = lru {
+                            map.remove(&lru);
+                            self.evictions.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                    let cell = Arc::new(OnceLock::new());
+                    map.insert(
+                        key,
+                        Entry {
+                            cell: Arc::clone(&cell),
+                            last_used: stamp,
+                            deadline: self.ttl.deadline(),
+                        },
+                    );
+                    cell
+                }
             }
         };
 
@@ -247,8 +298,14 @@ impl ContextRegistry {
         let map = self.shards[self.shard_of(&key)]
             .lock()
             .expect("registry shard poisoned");
-        // An entry whose compile is still in flight is not yet peekable.
-        map.get(&key).and_then(|e| e.cell.get().cloned())
+        // An entry whose compile is still in flight is not yet peekable,
+        // and an expired entry is no longer servable (eviction is left to
+        // `get_or_compile`/`purge_expired`).
+        let entry = map.get(&key)?;
+        if TtlPolicy::expired(entry.deadline, Instant::now()) {
+            return None;
+        }
+        entry.cell.get().cloned()
     }
 
     /// Number of contexts currently resident.
@@ -282,6 +339,7 @@ impl ContextRegistry {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
+            expiries: self.expiries.load(Ordering::Relaxed),
         }
     }
 
@@ -326,7 +384,8 @@ mod tests {
             RegistryStats {
                 hits: 1,
                 misses: 1,
-                evictions: 0
+                evictions: 0,
+                expiries: 0,
             }
         );
         assert_eq!(reg.len(), 1);
@@ -439,9 +498,45 @@ mod tests {
             hits: 3,
             misses: 1,
             evictions: 0,
+            expiries: 0,
         };
         assert!((s.hit_rate() - 0.75).abs() < 1e-12);
         assert_eq!(RegistryStats::default().hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn ttl_expires_contexts_lazily_and_in_bulk() {
+        let reg = ContextRegistry::new(1, 4).with_ttl(std::time::Duration::from_millis(40));
+        let soc = Arc::new(benchmarks::d695());
+        let fresh = reg.get_or_compile(&soc, 8, None);
+        assert!(reg.peek(&soc, 8, None).is_some(), "fresh context servable");
+        std::thread::sleep(std::time::Duration::from_millis(120));
+        assert!(
+            reg.peek(&soc, 8, None).is_none(),
+            "expired context not servable"
+        );
+        // Lazy eviction on access recompiles into a new context.
+        let recompiled = reg.get_or_compile(&soc, 8, None);
+        assert!(!Arc::ptr_eq(&fresh, &recompiled));
+        let stats = reg.stats();
+        assert_eq!(stats.expiries, 1);
+        assert_eq!(stats.misses, 2, "the expired key recompiled");
+        assert_eq!(stats.hits, 0);
+        // Bulk purge drops the recompiled context once it too expires.
+        std::thread::sleep(std::time::Duration::from_millis(120));
+        assert_eq!(reg.purge_expired(), 1);
+        assert!(reg.is_empty());
+        assert_eq!(reg.stats().expiries, 2);
+    }
+
+    #[test]
+    fn no_ttl_means_no_expiry() {
+        let reg = ContextRegistry::new(1, 4);
+        let soc = Arc::new(benchmarks::d695());
+        reg.get_or_compile(&soc, 8, None);
+        assert_eq!(reg.purge_expired(), 0);
+        assert!(reg.peek(&soc, 8, None).is_some());
+        assert_eq!(reg.stats().expiries, 0);
     }
 
     #[test]

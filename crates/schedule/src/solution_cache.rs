@@ -1,0 +1,491 @@
+//! A sharded, bounded, TTL-aware cache of solved *results*.
+//!
+//! [`ContextRegistry`](crate::ContextRegistry) amortizes *compilation*: a
+//! repeat request still re-runs the solver over its cached context.
+//! [`SolutionCache`] closes that gap for a serving tier — it memoizes
+//! whole request *outcomes*, keyed by whatever identifies a request
+//! (`soctam_core`'s engine keys on the registry key plus width, mode, and
+//! parameter grid), so a repeat request returns without invoking the
+//! solver at all.
+//!
+//! The cache is deliberately generic over key, value, and error type: this
+//! crate knows nothing about the flow-level result types layered above it,
+//! and the test suite exercises the concurrency discipline with cheap
+//! stand-ins.
+//!
+//! # Concurrency discipline
+//!
+//! Same sharding and in-flight coalescing as the registry: the shard lock
+//! covers only the map probe, never a solve. A miss publishes an empty
+//! per-entry cell and releases the shard; concurrent requests for the
+//! *same* key rendezvous on that cell — exactly one runs the solver, the
+//! rest block until the result is published ([`SolutionCacheStats::coalesced`]
+//! counts them) — while requests for other keys proceed immediately.
+//!
+//! # Errors are not cached
+//!
+//! A failed solve is returned to every request that joined it, but the
+//! entry is removed so the next request retries; transient failures do not
+//! poison a key for the cache's lifetime
+//! ([`SolutionCacheStats::failures`] counts them).
+//!
+//! # Bounds
+//!
+//! Entry *count* is bounded per shard with LRU eviction, exactly like the
+//! registry. Entry *lifetime* is optionally bounded by a TTL: expired
+//! entries are evicted lazily on access, or in bulk via
+//! [`SolutionCache::purge_expired`].
+//!
+//! # Example
+//!
+//! ```
+//! use soctam_schedule::SolutionCache;
+//!
+//! let cache: SolutionCache<u32, u64, String> = SolutionCache::new(4, 64, None);
+//! let a = cache.get_or_compute(7, || Ok(7 * 7)).unwrap();
+//! let b = cache.get_or_compute(7, || panic!("never re-solved")).unwrap();
+//! assert_eq!((a, b), (49, 49));
+//! assert_eq!(cache.stats().hits, 1);
+//! assert_eq!(cache.stats().misses, 1);
+//! ```
+
+use std::collections::hash_map::RandomState;
+use std::collections::HashMap;
+use std::hash::{BuildHasher, Hash};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::{Duration, Instant};
+
+use crate::expiry::TtlPolicy;
+
+/// One cache slot. As in the registry, the result lives behind a
+/// `OnceLock` cell so the solve happens outside the shard lock and
+/// same-key requests rendezvous on the cell.
+struct Slot<V, E> {
+    cell: Arc<OnceLock<Result<V, E>>>,
+    last_used: u64,
+    deadline: Option<Instant>,
+}
+
+/// Cumulative counters of one solution cache's traffic.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SolutionCacheStats {
+    /// Requests served from a completed cached result.
+    pub hits: u64,
+    /// Requests that started a solve.
+    pub misses: u64,
+    /// Requests that joined a solve already in flight for their key
+    /// (the dogpile the cache prevents: N identical concurrent requests
+    /// cost one solve, not N).
+    pub coalesced: u64,
+    /// Entries dropped by the bounded-size LRU policy.
+    pub evictions: u64,
+    /// Entries dropped because their TTL elapsed.
+    pub expiries: u64,
+    /// Solves that returned an error (the entry is removed, not cached).
+    pub failures: u64,
+}
+
+impl SolutionCacheStats {
+    /// Fraction of requests that skipped the solver (hit or coalesced);
+    /// `0` when no request has been served.
+    pub fn hit_rate(&self) -> f64 {
+        let served = self.hits + self.coalesced;
+        let total = served + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            served as f64 / total as f64
+        }
+    }
+}
+
+/// Sharded, LRU+TTL-bounded, thread-safe cache of solved results with
+/// in-flight request coalescing. See the [module docs](self).
+pub struct SolutionCache<K, V, E> {
+    shards: Vec<Mutex<HashMap<K, Slot<V, E>>>>,
+    per_shard_capacity: usize,
+    ttl: TtlPolicy,
+    hasher: RandomState,
+    clock: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    coalesced: AtomicU64,
+    evictions: AtomicU64,
+    expiries: AtomicU64,
+    failures: AtomicU64,
+}
+
+impl<K, V, E> SolutionCache<K, V, E>
+where
+    K: Hash + Eq + Clone,
+    V: Clone,
+    E: Clone,
+{
+    /// Default shard count, matching the registry's.
+    pub const DEFAULT_SHARDS: usize = 8;
+
+    /// Creates a cache with `shards` independently locked shards, room for
+    /// `capacity` results in total (each shard holds at most
+    /// `capacity / shards`, minimum one; both arguments clamp to at least
+    /// 1), and an optional entry TTL.
+    pub fn new(shards: usize, capacity: usize, ttl: Option<Duration>) -> Self {
+        let shards = shards.max(1);
+        let per_shard_capacity = capacity.max(1).div_ceil(shards).max(1);
+        Self {
+            shards: (0..shards).map(|_| Mutex::new(HashMap::new())).collect(),
+            per_shard_capacity,
+            ttl: TtlPolicy::new(ttl),
+            hasher: RandomState::new(),
+            clock: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            coalesced: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            expiries: AtomicU64::new(0),
+            failures: AtomicU64::new(0),
+        }
+    }
+
+    /// The cached result for `key`, solving (and caching) via `solve` on a
+    /// miss.
+    ///
+    /// Exactly one of any set of concurrent same-key requests runs
+    /// `solve`; the rest block on the entry's cell and receive a clone of
+    /// the published result. `Err` results are returned to every joined
+    /// request but removed from the cache, so a later request retries.
+    ///
+    /// # Errors
+    ///
+    /// Whatever `solve` (or the solve this request coalesced onto)
+    /// returned.
+    pub fn get_or_compute(&self, key: K, solve: impl FnOnce() -> Result<V, E>) -> Result<V, E> {
+        let shard = &self.shards[self.shard_of(&key)];
+        let stamp = self.clock.fetch_add(1, Ordering::Relaxed);
+
+        let cell = {
+            let mut map = shard.lock().expect("solution-cache shard poisoned");
+            // An entry past its deadline is dead even if resident; treat
+            // the access as a miss. In-flight entries (cell not yet set)
+            // are never expired out from under their solver — the deadline
+            // clock starts at insertion but a slow first solve still
+            // coalesces correctly.
+            let mut resident = None;
+            if let Some(slot) = map.get_mut(&key) {
+                if slot.cell.get().is_some() && TtlPolicy::expired(slot.deadline, Instant::now()) {
+                    map.remove(&key);
+                    self.expiries.fetch_add(1, Ordering::Relaxed);
+                } else {
+                    slot.last_used = stamp;
+                    if slot.cell.get().is_some() {
+                        self.hits.fetch_add(1, Ordering::Relaxed);
+                    } else {
+                        self.coalesced.fetch_add(1, Ordering::Relaxed);
+                    }
+                    resident = Some(Arc::clone(&slot.cell));
+                }
+            }
+            match resident {
+                Some(cell) => cell,
+                None => {
+                    self.misses.fetch_add(1, Ordering::Relaxed);
+                    if map.len() >= self.per_shard_capacity {
+                        let lru = map
+                            .iter()
+                            .min_by_key(|(_, slot)| slot.last_used)
+                            .map(|(k, _)| k.clone());
+                        if let Some(lru) = lru {
+                            map.remove(&lru);
+                            self.evictions.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                    let cell = Arc::new(OnceLock::new());
+                    map.insert(
+                        key.clone(),
+                        Slot {
+                            cell: Arc::clone(&cell),
+                            last_used: stamp,
+                            deadline: self.ttl.deadline(),
+                        },
+                    );
+                    cell
+                }
+            }
+        };
+
+        // Outside the shard lock: `get_or_init` guarantees exactly one
+        // closure runs per cell no matter how many requests rendezvous on
+        // it — usually the inserting request's, but a coalesced request
+        // that arrives at an empty cell first solves in its stead, which
+        // is just as correct (every request carries the same work).
+        // `ran` tells us whether ours ran, so exactly one request handles
+        // a failure.
+        let mut ran = false;
+        let result = cell
+            .get_or_init(|| {
+                ran = true;
+                solve()
+            })
+            .clone();
+        if ran && result.is_err() {
+            self.failures.fetch_add(1, Ordering::Relaxed);
+            let mut map = shard.lock().expect("solution-cache shard poisoned");
+            // Only remove the entry this solve published — the key may
+            // already hold a newer entry from a later request.
+            if map.get(&key).is_some_and(|s| Arc::ptr_eq(&s.cell, &cell)) {
+                map.remove(&key);
+            }
+        }
+        result
+    }
+
+    /// Only returns a completed, unexpired cached result; never solves,
+    /// never blocks on an in-flight solve, counts neither hit nor miss.
+    pub fn peek(&self, key: &K) -> Option<V> {
+        let now = Instant::now();
+        let map = self.shards[self.shard_of(key)]
+            .lock()
+            .expect("solution-cache shard poisoned");
+        let slot = map.get(key)?;
+        if TtlPolicy::expired(slot.deadline, now) {
+            return None;
+        }
+        slot.cell.get().and_then(|r| r.as_ref().ok()).cloned()
+    }
+
+    /// Drops every entry whose TTL has elapsed (in-flight solves are
+    /// spared), returning how many were dropped. Expiries are counted in
+    /// [`SolutionCache::stats`].
+    pub fn purge_expired(&self) -> usize {
+        let now = Instant::now();
+        let mut dropped = 0;
+        for shard in &self.shards {
+            let mut map = shard.lock().expect("solution-cache shard poisoned");
+            let before = map.len();
+            map.retain(|_, slot| {
+                slot.cell.get().is_none() || !TtlPolicy::expired(slot.deadline, now)
+            });
+            dropped += before - map.len();
+        }
+        self.expiries.fetch_add(dropped as u64, Ordering::Relaxed);
+        dropped
+    }
+
+    /// Number of results currently resident (including expired entries not
+    /// yet lazily evicted and solves still in flight).
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("solution-cache shard poisoned").len())
+            .sum()
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total capacity (shards × per-shard bound).
+    pub fn capacity(&self) -> usize {
+        self.shards.len() * self.per_shard_capacity
+    }
+
+    /// Drops every cached result (stats are kept).
+    pub fn clear(&self) {
+        for shard in &self.shards {
+            shard.lock().expect("solution-cache shard poisoned").clear();
+        }
+    }
+
+    /// A snapshot of the traffic counters.
+    pub fn stats(&self) -> SolutionCacheStats {
+        SolutionCacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            coalesced: self.coalesced.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            expiries: self.expiries.load(Ordering::Relaxed),
+            failures: self.failures.load(Ordering::Relaxed),
+        }
+    }
+
+    fn shard_of(&self, key: &K) -> usize {
+        (self.hasher.hash_one(key) % self.shards.len() as u64) as usize
+    }
+}
+
+impl<K, V, E> std::fmt::Debug for SolutionCache<K, V, E> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SolutionCache")
+            .field("shards", &self.shards.len())
+            .field("per_shard_capacity", &self.per_shard_capacity)
+            .field("ttl", &self.ttl)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+    use std::sync::Barrier;
+
+    type Cache = SolutionCache<u32, u64, String>;
+
+    #[test]
+    fn repeat_requests_solve_once() {
+        let cache = Cache::new(4, 16, None);
+        let solves = AtomicUsize::new(0);
+        for _ in 0..5 {
+            let got = cache
+                .get_or_compute(3, || {
+                    solves.fetch_add(1, Ordering::Relaxed);
+                    Ok(30)
+                })
+                .unwrap();
+            assert_eq!(got, 30);
+        }
+        assert_eq!(solves.load(Ordering::Relaxed), 1);
+        let stats = cache.stats();
+        assert_eq!((stats.misses, stats.hits), (1, 4));
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn concurrent_identical_requests_coalesce_onto_one_solve() {
+        const THREADS: usize = 8;
+        let cache = Cache::new(1, 16, None);
+        let solves = AtomicUsize::new(0);
+        let barrier = Barrier::new(THREADS);
+        std::thread::scope(|scope| {
+            for _ in 0..THREADS {
+                scope.spawn(|| {
+                    barrier.wait();
+                    let got = cache
+                        .get_or_compute(9, || {
+                            solves.fetch_add(1, Ordering::Relaxed);
+                            // Long enough that every barrier-released peer
+                            // arrives while the solve is in flight.
+                            std::thread::sleep(Duration::from_millis(300));
+                            Ok(99)
+                        })
+                        .unwrap();
+                    assert_eq!(got, 99);
+                });
+            }
+        });
+        // The pinned invariant: N identical concurrent requests, one solve.
+        assert_eq!(solves.load(Ordering::Relaxed), 1);
+        let stats = cache.stats();
+        assert_eq!(stats.misses, 1);
+        assert_eq!(
+            stats.hits + stats.coalesced,
+            (THREADS - 1) as u64,
+            "every other request was served without solving"
+        );
+        assert!(
+            stats.coalesced >= 1,
+            "at least one request joined the in-flight solve"
+        );
+    }
+
+    #[test]
+    fn errors_are_returned_but_not_cached() {
+        let cache = Cache::new(2, 8, None);
+        let solves = AtomicUsize::new(0);
+        let err = cache.get_or_compute(5, || {
+            solves.fetch_add(1, Ordering::Relaxed);
+            Err::<u64, _>("boom".to_owned())
+        });
+        assert_eq!(err.unwrap_err(), "boom");
+        assert_eq!(cache.len(), 0, "failed entry removed");
+        assert_eq!(cache.stats().failures, 1);
+        // The next request retries.
+        let ok = cache.get_or_compute(5, || {
+            solves.fetch_add(1, Ordering::Relaxed);
+            Ok(50)
+        });
+        assert_eq!(ok.unwrap(), 50);
+        assert_eq!(solves.load(Ordering::Relaxed), 2);
+        assert_eq!(cache.stats().misses, 2);
+    }
+
+    #[test]
+    fn lru_eviction_drops_the_coldest_entry() {
+        let cache = Cache::new(1, 2, None);
+        cache.get_or_compute(1, || Ok(10)).unwrap(); // stamp 0
+        cache.get_or_compute(2, || Ok(20)).unwrap(); // stamp 1
+        cache.get_or_compute(1, || Ok(10)).unwrap(); // touch 1 → stamp 2
+        cache.get_or_compute(3, || Ok(30)).unwrap(); // full → evicts 2
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.stats().evictions, 1);
+        assert_eq!(cache.peek(&1), Some(10), "recently used survives");
+        assert_eq!(cache.peek(&2), None, "LRU entry evicted");
+        assert_eq!(cache.peek(&3), Some(30));
+    }
+
+    #[test]
+    fn ttl_expires_entries_lazily_and_in_bulk() {
+        let cache = Cache::new(2, 8, Some(Duration::from_millis(40)));
+        cache.get_or_compute(1, || Ok(10)).unwrap();
+        cache.get_or_compute(2, || Ok(20)).unwrap();
+        assert_eq!(cache.peek(&1), Some(10), "fresh entry servable");
+        std::thread::sleep(Duration::from_millis(120));
+        assert_eq!(cache.peek(&1), None, "expired entry not servable");
+        // Lazy eviction on access re-solves.
+        let solves = AtomicUsize::new(0);
+        cache
+            .get_or_compute(1, || {
+                solves.fetch_add(1, Ordering::Relaxed);
+                Ok(11)
+            })
+            .unwrap();
+        assert_eq!(solves.load(Ordering::Relaxed), 1);
+        assert_eq!(cache.stats().expiries, 1);
+        // Bulk purge drops the remaining expired entry but keeps the
+        // freshly re-solved one.
+        assert_eq!(cache.purge_expired(), 1);
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.stats().expiries, 2);
+        assert_eq!(cache.peek(&1), Some(11));
+    }
+
+    #[test]
+    fn no_ttl_means_no_expiry() {
+        let cache = Cache::new(1, 4, None);
+        cache.get_or_compute(1, || Ok(10)).unwrap();
+        assert_eq!(cache.purge_expired(), 0);
+        assert_eq!(cache.peek(&1), Some(10));
+    }
+
+    #[test]
+    fn clear_and_capacity() {
+        let cache = Cache::new(0, 0, None);
+        assert_eq!(cache.capacity(), 1);
+        cache.get_or_compute(1, || Ok(1)).unwrap();
+        cache.get_or_compute(2, || Ok(2)).unwrap();
+        assert_eq!(cache.len(), 1, "capacity-1 cache keeps one entry");
+        assert_eq!(cache.stats().evictions, 1);
+        cache.clear();
+        assert!(cache.is_empty());
+        assert_eq!(cache.stats().misses, 2, "stats survive clear");
+    }
+
+    #[test]
+    fn hit_rate_counts_coalesced_as_served() {
+        let s = SolutionCacheStats {
+            hits: 2,
+            misses: 1,
+            coalesced: 1,
+            ..Default::default()
+        };
+        assert!((s.hit_rate() - 0.75).abs() < 1e-12);
+        assert_eq!(SolutionCacheStats::default().hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn cache_is_send_sync_static() {
+        fn takes<T: Send + Sync + 'static>(_: &T) {}
+        takes(&Cache::new(2, 8, None));
+    }
+}

@@ -1,0 +1,48 @@
+//! Start a loopback daemon, talk to it over real TCP, and read its
+//! metrics — the whole serving stack in one example.
+//!
+//! Run with: `cargo run -p soctam-server --example serve_loopback`
+
+use soctam_server::{client, Server, ServerConfig};
+
+fn main() -> std::io::Result<()> {
+    // Port 0: the OS picks a free port; production deployments pass a
+    // fixed address (`soctam serve --addr 0.0.0.0:3777`).
+    let server = Server::bind("127.0.0.1:0", ServerConfig::default())?;
+    let addr = server.local_addr();
+    println!("daemon listening on {addr}");
+
+    // One connection, several requests — the same lines a `soctam batch`
+    // file would hold. The repeated schedule request is served from the
+    // solution cache without re-running the solver.
+    let requests = [
+        "schedule d695 --width 16",
+        "bounds p34392 --widths 16,24,32",
+        "sweep d695 --from 15 --to 17",
+        "schedule d695 --width 16", // repeat: cache hit
+    ];
+    for (request, response) in requests.iter().zip(client::roundtrip(addr, &requests)?) {
+        println!("> {request}");
+        println!("< {response}");
+    }
+
+    let (status, body) = client::http_get(addr, "/healthz")?;
+    println!("GET /healthz -> {status}: {}", body.trim());
+
+    let (_, metrics) = client::http_get(addr, "/metrics")?;
+    for line in metrics.lines().filter(|l| {
+        l.starts_with("soctam_requests_total") || l.starts_with("soctam_solution_cache_h")
+    }) {
+        println!("{line}");
+    }
+
+    let stats = server.engine().solution_stats().expect("cache enabled");
+    println!(
+        "solution cache: {} misses, {} hits (hit rate {:.2})",
+        stats.misses,
+        stats.hits,
+        stats.hit_rate()
+    );
+    server.shutdown();
+    Ok(())
+}

@@ -1,0 +1,90 @@
+//! A minimal blocking client for the daemon, shared by `soctam client`,
+//! the loopback test suite, and the `servesnap` benchmark.
+//!
+//! Two calls mirror the daemon's two surfaces: [`roundtrip`] speaks the
+//! newline-delimited request protocol (one JSON response line per request
+//! line), [`http_get`] speaks the `GET /healthz` / `GET /metrics` HTTP
+//! surface.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// A connected protocol client: send request lines, read response lines,
+/// one connection for any number of requests.
+#[derive(Debug)]
+pub struct Connection {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Connection {
+    /// Connects to a running daemon.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection failures.
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Self> {
+        let writer = TcpStream::connect(addr)?;
+        writer.set_nodelay(true).ok();
+        let reader = BufReader::new(writer.try_clone()?);
+        Ok(Self { reader, writer })
+    }
+
+    /// Sends one request line and reads its one-line JSON response
+    /// (without the trailing newline).
+    ///
+    /// # Errors
+    ///
+    /// Propagates write/read failures; an empty read (daemon closed the
+    /// connection) is reported as [`std::io::ErrorKind::UnexpectedEof`].
+    pub fn request(&mut self, line: &str) -> std::io::Result<String> {
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.writer.flush()?;
+        let mut response = String::new();
+        if self.reader.read_line(&mut response)? == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ));
+        }
+        Ok(response.trim_end().to_owned())
+    }
+}
+
+/// Sends each request line over one connection and returns the response
+/// lines, in request order.
+///
+/// # Errors
+///
+/// Propagates the first transport failure.
+pub fn roundtrip(addr: impl ToSocketAddrs, lines: &[&str]) -> std::io::Result<Vec<String>> {
+    let mut conn = Connection::connect(addr)?;
+    lines.iter().map(|line| conn.request(line)).collect()
+}
+
+/// Issues `GET <path>` against the daemon's HTTP surface, returning the
+/// status line and the body.
+///
+/// # Errors
+///
+/// Propagates transport failures or a malformed (header-less) response.
+pub fn http_get(addr: impl ToSocketAddrs, path: &str) -> std::io::Result<(String, String)> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_nodelay(true).ok();
+    write!(
+        stream,
+        "GET {path} HTTP/1.1\r\nHost: soctam\r\nConnection: close\r\n\r\n"
+    )?;
+    stream.flush()?;
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw)?;
+    let (head, body) = raw.split_once("\r\n\r\n").ok_or_else(|| {
+        std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            "response carries no header/body separator",
+        )
+    })?;
+    let status = head.lines().next().unwrap_or_default().to_owned();
+    Ok((status, body.to_owned()))
+}

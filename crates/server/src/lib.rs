@@ -1,0 +1,540 @@
+//! # soctam-server
+//!
+//! The networked serving daemon over [`soctam_core::engine::Engine`]: a
+//! std-only (no async runtime — the workspace vendors every dependency),
+//! multi-threaded TCP listener that turns the DAC 2002 co-optimization
+//! flow into a long-lived service.
+//!
+//! # Wire protocol
+//!
+//! A connection is a plain TCP byte stream of newline-delimited text.
+//! Each request line uses the *same grammar as a `soctam batch` request
+//! file* — both run through one parser,
+//! [`soctam_core::protocol::parse_request`], so the file format and the
+//! wire format can never drift apart:
+//!
+//! ```text
+//! schedule <soc> --width W   [--power] [--no-preempt]
+//! sweep    <soc> [--from A] [--to B]   [--power] [--no-preempt]
+//! bounds   <soc> [--widths a,b,c]      [--power] [--no-preempt]
+//! ```
+//!
+//! Blank lines and `#` comments are skipped, exactly as in a batch file.
+//! `<soc>` must be a benchmark name (`d695`, `p22810`, `p34392`,
+//! `p93791`): the daemon never reads filesystem paths on behalf of remote
+//! peers. Every request line is answered with exactly one JSON object on
+//! one line ([`soctam_core::protocol::render_result`]); a line that fails
+//! to parse is answered with `{"ok": false, "error": "..."}` and the
+//! connection stays usable. Responses are bit-identical to calling the
+//! `Engine` directly — cached or not — which the loopback suite pins.
+//!
+//! # HTTP surface
+//!
+//! A connection whose first line is an HTTP/1.1 `GET` is served one
+//! response and closed:
+//!
+//! * `GET /healthz` — `200 OK`, body `ok`;
+//! * `GET /metrics` — `200 OK`, Prometheus text exposition of request,
+//!   cache, registry, and solver counters;
+//! * anything else — `404 Not Found`.
+//!
+//! # Caching
+//!
+//! The daemon layers a [`soctam_core::schedule::SolutionCache`] between the
+//! listener and the engine, keyed by `(SOC content, width cap, power
+//! budget, operation, scheduling mode, parameter grid)` — the
+//! [`soctam_core::schedule::ContextRegistry`] key plus width, mode, and grid —
+//! so a repeat request returns without invoking the solver, and
+//! concurrent identical requests coalesce onto one solve. An optional TTL
+//! bounds the staleness of both cached solutions and compiled contexts
+//! ([`soctam_core::schedule::ContextRegistry::with_ttl`]).
+//!
+//! # Example
+//!
+//! ```
+//! use soctam_server::{client, Server, ServerConfig};
+//!
+//! let server = Server::bind("127.0.0.1:0", ServerConfig::default()).unwrap();
+//! let addr = server.local_addr();
+//! let responses = client::roundtrip(addr, &["bounds d695 --widths 16,32"]).unwrap();
+//! assert!(responses[0].contains("\"ok\": true"));
+//! let (status, body) = client::http_get(addr, "/healthz").unwrap();
+//! assert!(status.contains("200"));
+//! assert_eq!(body, "ok\n");
+//! server.shutdown();
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Write as _;
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use soctam_core::engine::{Engine, EngineOp};
+use soctam_core::protocol::{self, MemoResolver};
+use soctam_core::schedule::{instrument, ContextRegistry};
+use soctam_core::soc::Soc;
+
+pub mod client;
+
+/// Configuration of a serving daemon.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Worker threads handling connections (each serves one connection at
+    /// a time; clamped to at least 1).
+    pub threads: usize,
+    /// Total solution-cache capacity in results; 0 disables result
+    /// caching (every request re-solves).
+    pub cache_capacity: usize,
+    /// Total context-registry capacity in compiled contexts.
+    pub registry_capacity: usize,
+    /// Optional time-to-live applied to both cached solutions and
+    /// compiled contexts; `None` means entries never expire.
+    pub ttl: Option<Duration>,
+}
+
+impl Default for ServerConfig {
+    /// Four workers, a 1024-result cache over a default-sized registry,
+    /// no expiry.
+    fn default() -> Self {
+        Self {
+            threads: 4,
+            cache_capacity: 1024,
+            registry_capacity: ContextRegistry::DEFAULT_CAPACITY,
+            ttl: None,
+        }
+    }
+}
+
+/// Request/response traffic counters, exported through `/metrics`.
+#[derive(Debug, Default)]
+struct Counters {
+    connections: AtomicU64,
+    http_requests: AtomicU64,
+    schedule_requests: AtomicU64,
+    sweep_requests: AtomicU64,
+    bounds_requests: AtomicU64,
+    parse_errors: AtomicU64,
+    responses_ok: AtomicU64,
+    responses_err: AtomicU64,
+}
+
+/// The daemon's SOC resolver: the shared memoizing resolver over the
+/// benchmark-only loader (a plain `fn` pointer, so the type is nameable).
+type BenchmarkOnlyResolver = MemoResolver<fn(&str) -> Result<Soc, String>>;
+
+/// Everything a worker thread needs to serve connections.
+struct Shared {
+    engine: Engine,
+    counters: Counters,
+    resolver: Mutex<BenchmarkOnlyResolver>,
+    started: Instant,
+    shutdown: AtomicBool,
+    /// Handles on every connection currently being served, so shutdown
+    /// can sever them instead of waiting for idle peers to hang up.
+    active: Mutex<std::collections::HashMap<u64, TcpStream>>,
+    next_conn_id: AtomicU64,
+}
+
+impl Shared {
+    /// Registers a connection as active, returning its id (a clone of the
+    /// stream is kept so shutdown can `Shutdown::Both` it).
+    fn register(&self, stream: &TcpStream) -> Option<u64> {
+        let id = self.next_conn_id.fetch_add(1, Ordering::Relaxed);
+        let clone = stream.try_clone().ok()?;
+        self.active
+            .lock()
+            .expect("active-connection table poisoned")
+            .insert(id, clone);
+        Some(id)
+    }
+
+    fn deregister(&self, id: u64) {
+        self.active
+            .lock()
+            .expect("active-connection table poisoned")
+            .remove(&id);
+    }
+
+    /// Severs every active connection: blocked worker reads return EOF,
+    /// so a dropped server never waits on an idle peer.
+    fn sever_active(&self) {
+        let active = self
+            .active
+            .lock()
+            .expect("active-connection table poisoned");
+        for stream in active.values() {
+            let _ = stream.shutdown(std::net::Shutdown::Both);
+        }
+    }
+}
+
+/// The loader behind the daemon's SOC resolver: benchmark names only,
+/// never the filesystem (remote peers must not be able to make the
+/// daemon read paths).
+fn load_benchmark(name: &str) -> Result<Soc, String> {
+    soctam_core::soc::benchmarks::by_name(name).ok_or_else(|| {
+        format!(
+            "unknown SOC `{name}` (the server resolves benchmark names only: {})",
+            soctam_core::soc::benchmarks::NAMES.join(", ")
+        )
+    })
+}
+
+/// A running serving daemon: a TCP acceptor plus a pool of connection
+/// workers over one cached [`Engine`]. Dropping (or calling
+/// [`Server::shutdown`]) stops accepting, drains the workers, and joins
+/// every thread.
+pub struct Server {
+    shared: Arc<Shared>,
+    addr: SocketAddr,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds `addr` (e.g. `"127.0.0.1:3777"`, or port 0 for an ephemeral
+    /// port) and starts the acceptor and worker threads.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind failure (address in use, permission, …).
+    pub fn bind(addr: impl ToSocketAddrs, cfg: ServerConfig) -> io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+
+        let mut registry = ContextRegistry::new(
+            ContextRegistry::DEFAULT_SHARDS,
+            cfg.registry_capacity.max(1),
+        );
+        if let Some(ttl) = cfg.ttl {
+            registry = registry.with_ttl(ttl);
+        }
+        let engine = Engine::with_registry(Arc::new(registry))
+            .with_solution_cache(cfg.cache_capacity, cfg.ttl);
+
+        let shared = Arc::new(Shared {
+            engine,
+            counters: Counters::default(),
+            resolver: Mutex::new(MemoResolver::new(
+                load_benchmark as fn(&str) -> Result<Soc, String>,
+            )),
+            started: Instant::now(),
+            shutdown: AtomicBool::new(false),
+            active: Mutex::new(std::collections::HashMap::new()),
+            next_conn_id: AtomicU64::new(0),
+        });
+
+        let (tx, rx) = mpsc::channel::<TcpStream>();
+        let rx = Arc::new(Mutex::new(rx));
+        let workers = (0..cfg.threads.max(1))
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                let rx = Arc::clone(&rx);
+                std::thread::spawn(move || loop {
+                    // Take the next connection under the lock, serve it
+                    // outside: peers queue behind `recv`, not behind a
+                    // long-running request on another worker.
+                    let stream = rx.lock().expect("worker queue poisoned").recv();
+                    match stream {
+                        Ok(stream) => serve_connection(&shared, stream),
+                        Err(_) => break, // acceptor gone: shutdown
+                    }
+                })
+            })
+            .collect();
+
+        let acceptor = {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || {
+                for stream in listener.incoming() {
+                    if shared.shutdown.load(Ordering::SeqCst) {
+                        break; // tx drops here; workers drain and exit
+                    }
+                    if let Ok(stream) = stream {
+                        shared.counters.connections.fetch_add(1, Ordering::Relaxed);
+                        if tx.send(stream).is_err() {
+                            break;
+                        }
+                    }
+                }
+            })
+        };
+
+        Ok(Self {
+            shared,
+            addr,
+            acceptor: Some(acceptor),
+            workers,
+        })
+    }
+
+    /// The address the daemon is listening on (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The engine serving this daemon's requests (for inspecting cache and
+    /// registry stats from tests and benchmarks).
+    pub fn engine(&self) -> &Engine {
+        &self.shared.engine
+    }
+
+    /// The current Prometheus text exposition, exactly as `GET /metrics`
+    /// returns it.
+    pub fn metrics(&self) -> String {
+        metrics_text(&self.shared)
+    }
+
+    /// Stops accepting, drains in-flight connections, and joins every
+    /// thread. Equivalent to dropping the server, but explicit at call
+    /// sites that care about ordering.
+    pub fn shutdown(self) {
+        drop(self);
+    }
+
+    /// Blocks until the daemon stops accepting (i.e. forever, for a
+    /// daemon only a signal will stop) — the foreground mode `soctam
+    /// serve` uses.
+    pub fn join(mut self) {
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        // Unblock `accept` so the acceptor observes the flag. The dummy
+        // connection, if it wins the race into the queue, reads EOF and
+        // costs a worker nothing.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+        // Sever in-flight connections so workers blocked on an idle peer
+        // observe EOF instead of waiting for the peer to hang up.
+        self.shared.sever_active();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+impl std::fmt::Debug for Server {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Server")
+            .field("addr", &self.addr)
+            .field("workers", &self.workers.len())
+            .finish_non_exhaustive()
+    }
+}
+
+/// Serves one accepted connection to completion: an HTTP GET gets one
+/// response and a close; anything else is a stream of protocol request
+/// lines, each answered with one JSON line.
+fn serve_connection(shared: &Shared, stream: TcpStream) {
+    let _ = stream.set_nodelay(true);
+    let Some(conn_id) = shared.register(&stream) else {
+        return;
+    };
+    serve_registered_connection(shared, stream);
+    shared.deregister(conn_id);
+}
+
+/// The connection loop proper (split out so registration is impossible to
+/// leak past an early return).
+fn serve_registered_connection(shared: &Shared, stream: TcpStream) {
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(read_half);
+    let mut writer = stream;
+    let mut first = true;
+    let mut line = String::new();
+    loop {
+        line.clear();
+        match reader.read_line(&mut line) {
+            Ok(0) | Err(_) => return, // EOF or broken peer
+            Ok(_) => {}
+        }
+        if first && (line.starts_with("GET ") || line.starts_with("HEAD ")) {
+            shared
+                .counters
+                .http_requests
+                .fetch_add(1, Ordering::Relaxed);
+            serve_http(shared, &mut reader, &mut writer, line.trim());
+            return; // Connection: close
+        }
+        first = false;
+        let request = line.trim();
+        if request.is_empty() || request.starts_with('#') {
+            continue; // same skip rule as a batch file
+        }
+        let response = serve_request_line(shared, request);
+        if writer.write_all(response.as_bytes()).is_err()
+            || writer.write_all(b"\n").is_err()
+            || writer.flush().is_err()
+        {
+            return;
+        }
+    }
+}
+
+/// Parses and serves one protocol request line, returning the JSON
+/// response object (without the trailing newline).
+fn serve_request_line(shared: &Shared, request: &str) -> String {
+    let parsed = {
+        let mut resolver = shared.resolver.lock().expect("resolver poisoned");
+        protocol::parse_request(request, &mut *resolver)
+    };
+    match parsed {
+        Err(e) => {
+            shared.counters.parse_errors.fetch_add(1, Ordering::Relaxed);
+            shared
+                .counters
+                .responses_err
+                .fetch_add(1, Ordering::Relaxed);
+            protocol::render_parse_error(&e)
+        }
+        Ok(req) => {
+            let kind_counter = match &req.op {
+                EngineOp::Schedule { .. } => &shared.counters.schedule_requests,
+                EngineOp::Sweep { .. } => &shared.counters.sweep_requests,
+                EngineOp::Bounds { .. } => &shared.counters.bounds_requests,
+            };
+            kind_counter.fetch_add(1, Ordering::Relaxed);
+            let result = shared.engine.serve_one(&req);
+            let outcome_counter = if result.is_ok() {
+                &shared.counters.responses_ok
+            } else {
+                &shared.counters.responses_err
+            };
+            outcome_counter.fetch_add(1, Ordering::Relaxed);
+            protocol::render_result(&req, &result)
+        }
+    }
+}
+
+/// Serves the minimal HTTP/1.1 GET surface: `/healthz`, `/metrics`, 404.
+fn serve_http(
+    shared: &Shared,
+    reader: &mut BufReader<TcpStream>,
+    writer: &mut TcpStream,
+    request_line: &str,
+) {
+    // Drain the header block; the surface is GET/HEAD-only, so no body
+    // follows.
+    let mut header = String::new();
+    loop {
+        header.clear();
+        match reader.read_line(&mut header) {
+            Ok(0) | Err(_) => break,
+            Ok(_) if header.trim().is_empty() => break,
+            Ok(_) => {}
+        }
+    }
+    let head_only = request_line.starts_with("HEAD ");
+    let path = request_line.split_whitespace().nth(1).unwrap_or("/");
+    let (status, body) = match path {
+        "/healthz" => ("200 OK", "ok\n".to_owned()),
+        "/metrics" => ("200 OK", metrics_text(shared)),
+        _ => ("404 Not Found", "not found\n".to_owned()),
+    };
+    // A HEAD response carries the headers a GET would (including the
+    // body's Content-Length) but never the body itself (RFC 9110 §9.3.2).
+    let response = format!(
+        "HTTP/1.1 {status}\r\nContent-Type: text/plain; charset=utf-8\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n{}",
+        body.len(),
+        if head_only { "" } else { body.as_str() }
+    );
+    let _ = writer.write_all(response.as_bytes());
+    let _ = writer.flush();
+}
+
+/// Renders the Prometheus text exposition of the daemon's counters.
+fn metrics_text(shared: &Shared) -> String {
+    let c = &shared.counters;
+    let registry = shared.engine.registry();
+    let reg_stats = registry.stats();
+    let sol_stats = shared.engine.solution_stats().unwrap_or_default();
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "soctam_uptime_seconds {}",
+        shared.started.elapsed().as_secs_f64()
+    );
+    let rows: [(&str, u64); 22] = [
+        (
+            "soctam_connections_total",
+            c.connections.load(Ordering::Relaxed),
+        ),
+        (
+            "soctam_http_requests_total",
+            c.http_requests.load(Ordering::Relaxed),
+        ),
+        (
+            "soctam_requests_total{kind=\"schedule\"}",
+            c.schedule_requests.load(Ordering::Relaxed),
+        ),
+        (
+            "soctam_requests_total{kind=\"sweep\"}",
+            c.sweep_requests.load(Ordering::Relaxed),
+        ),
+        (
+            "soctam_requests_total{kind=\"bounds\"}",
+            c.bounds_requests.load(Ordering::Relaxed),
+        ),
+        (
+            "soctam_request_parse_errors_total",
+            c.parse_errors.load(Ordering::Relaxed),
+        ),
+        (
+            "soctam_responses_ok_total",
+            c.responses_ok.load(Ordering::Relaxed),
+        ),
+        (
+            "soctam_responses_err_total",
+            c.responses_err.load(Ordering::Relaxed),
+        ),
+        ("soctam_solution_cache_hits_total", sol_stats.hits),
+        ("soctam_solution_cache_misses_total", sol_stats.misses),
+        ("soctam_solution_cache_coalesced_total", sol_stats.coalesced),
+        ("soctam_solution_cache_evictions_total", sol_stats.evictions),
+        ("soctam_solution_cache_expiries_total", sol_stats.expiries),
+        ("soctam_solution_cache_failures_total", sol_stats.failures),
+        (
+            "soctam_solution_cache_resident",
+            shared.engine.solutions_len() as u64,
+        ),
+        ("soctam_context_registry_hits_total", reg_stats.hits),
+        ("soctam_context_registry_misses_total", reg_stats.misses),
+        (
+            "soctam_context_registry_evictions_total",
+            reg_stats.evictions,
+        ),
+        ("soctam_context_registry_expiries_total", reg_stats.expiries),
+        ("soctam_context_registry_resident", registry.len() as u64),
+        // Process-scoped (not per-server): the instrument counters cover
+        // every engine in the process, and the name says so.
+        (
+            "soctam_process_schedule_runs_total",
+            instrument::schedule_runs(),
+        ),
+        (
+            "soctam_process_context_compiles_total",
+            instrument::context_compiles(),
+        ),
+    ];
+    for (name, value) in rows {
+        let _ = writeln!(out, "{name} {value}");
+    }
+    out
+}

@@ -1,0 +1,275 @@
+//! Loopback integration suite: live daemon on 127.0.0.1, real TCP
+//! clients, responses pinned bit-identical to direct `Engine` calls.
+//!
+//! Tests in this binary share the process-wide instrumentation counters
+//! (`soctam_core::schedule::instrument`), so every test serializes on one
+//! mutex — counter deltas measured inside a test are then attributable to
+//! that test alone.
+
+use std::sync::{Mutex, MutexGuard, OnceLock};
+use std::time::Duration;
+
+use soctam_core::engine::Engine;
+use soctam_core::protocol::{self, benchmark_resolver};
+use soctam_core::schedule::instrument;
+use soctam_server::{client, Server, ServerConfig};
+
+fn serialize() -> MutexGuard<'static, ()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    LOCK.get_or_init(Mutex::default)
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// The mixed request set every test hammers: all three kinds, both
+/// scheduling modes, a power-constrained run, two SOCs.
+const REQUESTS: [&str; 6] = [
+    "schedule d695 --width 16",
+    "schedule d695 --width 16 --no-preempt",
+    "schedule d695 --width 24 --power",
+    "sweep d695 --from 15 --to 17",
+    "bounds p34392 --widths 16,24",
+    "bounds d695",
+];
+
+/// What the wire MUST return for each request: the same parser and
+/// renderer over a direct, uncached engine call.
+fn direct_responses(lines: &[&str]) -> Vec<String> {
+    let engine = Engine::new();
+    let mut resolver = benchmark_resolver();
+    lines
+        .iter()
+        .map(|line| {
+            let req = protocol::parse_request(line, &mut resolver).expect("test request parses");
+            protocol::render_result(&req, &engine.serve_one(&req))
+        })
+        .collect()
+}
+
+fn server(cfg: ServerConfig) -> Server {
+    Server::bind("127.0.0.1:0", cfg).expect("ephemeral loopback bind")
+}
+
+#[test]
+fn concurrent_clients_get_responses_bit_identical_to_direct_engine_calls() {
+    let _guard = serialize();
+    let want = direct_responses(&REQUESTS);
+    let server = server(ServerConfig::default());
+    let addr = server.local_addr();
+
+    // ≥4 concurrent clients, each sending the full mix, each starting at
+    // a different offset so identical requests overlap in flight.
+    std::thread::scope(|scope| {
+        for offset in 0..4 {
+            let want = &want;
+            scope.spawn(move || {
+                let mut conn = client::Connection::connect(addr).expect("connect");
+                for i in 0..REQUESTS.len() {
+                    let at = (i + offset) % REQUESTS.len();
+                    let got = conn.request(REQUESTS[at]).expect("round trip");
+                    assert_eq!(got, want[at], "response diverged for `{}`", REQUESTS[at]);
+                }
+            });
+        }
+    });
+
+    let metrics = server.metrics();
+    assert!(metrics.contains("soctam_connections_total 4"), "{metrics}");
+    server.shutdown();
+}
+
+#[test]
+fn warm_cache_pass_performs_zero_solver_invocations() {
+    let _guard = serialize();
+    let server = server(ServerConfig::default());
+    let addr = server.local_addr();
+
+    // Cold pass: populates the solution cache.
+    let cold = client::roundtrip(addr, &REQUESTS).expect("cold pass");
+
+    // Warm pass: counter-pinned to perform no solver work at all — no
+    // scheduler invocations, no context compilations.
+    let runs_before = instrument::schedule_runs();
+    let compiles_before = instrument::context_compiles();
+    let warm = client::roundtrip(addr, &REQUESTS).expect("warm pass");
+    assert_eq!(
+        instrument::schedule_runs(),
+        runs_before,
+        "a warm repeat request must never invoke the scheduler"
+    );
+    assert_eq!(
+        instrument::context_compiles(),
+        compiles_before,
+        "a warm repeat request must never compile a context"
+    );
+    assert_eq!(cold, warm, "cached responses are bit-identical");
+
+    let stats = server.engine().solution_stats().expect("cache enabled");
+    assert_eq!(stats.misses, REQUESTS.len() as u64);
+    assert_eq!(stats.hits, REQUESTS.len() as u64);
+    server.shutdown();
+}
+
+#[test]
+fn ttl_expiry_evicts_solutions_and_contexts() {
+    let _guard = serialize();
+    let server = server(ServerConfig {
+        ttl: Some(Duration::from_millis(150)),
+        ..ServerConfig::default()
+    });
+    let addr = server.local_addr();
+    let request = ["bounds d695 --widths 16,32"];
+
+    let cold = client::roundtrip(addr, &request).expect("cold pass");
+    let warm = client::roundtrip(addr, &request).expect("warm pass");
+    assert_eq!(server.engine().solution_stats().unwrap().hits, 1);
+
+    std::thread::sleep(Duration::from_millis(450));
+    let reheated = client::roundtrip(addr, &request).expect("post-expiry pass");
+    assert_eq!(cold, warm);
+    assert_eq!(cold, reheated, "expiry changes freshness, not results");
+
+    let stats = server.engine().solution_stats().unwrap();
+    assert_eq!(stats.expiries, 1, "the cached solution expired");
+    assert_eq!(stats.misses, 2, "the post-expiry request re-solved");
+    assert_eq!(
+        server.engine().registry().stats().expiries,
+        1,
+        "the compiled context expired alongside the solution"
+    );
+
+    // purge_expired sweeps both tiers once the reheated entries age out.
+    std::thread::sleep(Duration::from_millis(450));
+    assert_eq!(server.engine().purge_expired(), (1, 1));
+    assert_eq!(server.engine().solutions_len(), 0);
+    assert!(server.engine().registry().is_empty());
+    server.shutdown();
+}
+
+#[test]
+fn http_surface_serves_healthz_metrics_and_404() {
+    let _guard = serialize();
+    let server = server(ServerConfig::default());
+    let addr = server.local_addr();
+
+    let (status, body) = client::http_get(addr, "/healthz").expect("healthz");
+    assert_eq!(status, "HTTP/1.1 200 OK");
+    assert_eq!(body, "ok\n");
+
+    // Traffic first, then scrape: the counters must move.
+    client::roundtrip(addr, &["bounds d695", "bounds d695"]).expect("traffic");
+    let (status, body) = client::http_get(addr, "/metrics").expect("metrics");
+    assert_eq!(status, "HTTP/1.1 200 OK");
+    assert!(
+        body.contains("soctam_requests_total{kind=\"bounds\"} 2"),
+        "{body}"
+    );
+    assert!(
+        body.contains("soctam_solution_cache_hits_total 1"),
+        "{body}"
+    );
+    assert!(
+        body.contains("soctam_context_registry_misses_total 1"),
+        "{body}"
+    );
+    assert!(body.contains("soctam_uptime_seconds "), "{body}");
+
+    let (status, _) = client::http_get(addr, "/nope").expect("404 path");
+    assert_eq!(status, "HTTP/1.1 404 Not Found");
+
+    // HEAD gets GET's headers — including the body's Content-Length —
+    // but never the body itself.
+    {
+        use std::io::{Read, Write};
+        let mut stream = std::net::TcpStream::connect(addr).expect("connect");
+        write!(
+            stream,
+            "HEAD /healthz HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n"
+        )
+        .expect("send HEAD");
+        let mut raw = String::new();
+        stream.read_to_string(&mut raw).expect("read HEAD response");
+        assert!(raw.starts_with("HTTP/1.1 200 OK"), "{raw}");
+        assert!(raw.contains("Content-Length: 3"), "{raw}");
+        assert!(
+            raw.ends_with("\r\n\r\n"),
+            "HEAD response has no body: {raw:?}"
+        );
+    }
+    server.shutdown();
+}
+
+#[test]
+fn parse_errors_are_reported_per_line_and_do_not_kill_the_connection() {
+    let _guard = serialize();
+    let server = server(ServerConfig::default());
+    let mut conn = client::Connection::connect(server.local_addr()).expect("connect");
+
+    let bad = conn
+        .request("schedule d695 --width banana")
+        .expect("bad line answered");
+    assert!(bad.contains("\"ok\": false"), "{bad}");
+    assert!(
+        bad.contains("--width") && bad.contains("banana"),
+        "names the field: {bad}"
+    );
+
+    let unknown = conn
+        .request("frobnicate d695")
+        .expect("unknown kind answered");
+    assert!(unknown.contains("frobnicate"), "{unknown}");
+
+    // The daemon must refuse filesystem paths — benchmark names only.
+    let path = conn.request("bounds /etc/hostname").expect("path answered");
+    assert!(path.contains("\"ok\": false"), "{path}");
+    assert!(path.contains("benchmark names only"), "{path}");
+
+    // And the connection is still perfectly usable.
+    let good = conn
+        .request("bounds d695 --widths 16")
+        .expect("good line after bad");
+    assert!(good.contains("\"ok\": true"), "{good}");
+
+    let metrics = server.metrics();
+    assert!(
+        metrics.contains("soctam_request_parse_errors_total 3"),
+        "{metrics}"
+    );
+    server.shutdown();
+}
+
+#[test]
+fn comments_and_blank_lines_are_skipped_like_a_batch_file() {
+    let _guard = serialize();
+    let server = server(ServerConfig::default());
+    let mut conn = client::Connection::connect(server.local_addr()).expect("connect");
+    // Interleave batch-file noise with a real request on one connection:
+    // only the request is answered.
+    let response = conn
+        .request("# warm-up comment\n\nbounds d695 --widths 16")
+        .expect("noise then request");
+    assert!(response.contains("\"ok\": true"), "{response}");
+    server.shutdown();
+}
+
+#[test]
+fn infeasible_requests_fail_cleanly_and_are_not_cached() {
+    let _guard = serialize();
+    let server = server(ServerConfig::default());
+    let addr = server.local_addr();
+    // Width 0 bounds are rejected by the engine (not a parse error).
+    let responses = client::roundtrip(addr, &["bounds d695 --widths 0", "bounds d695 --widths 0"])
+        .expect("round trips");
+    for r in &responses {
+        assert!(r.contains("\"ok\": false"), "{r}");
+        assert!(r.contains("at least one wire"), "{r}");
+    }
+    let stats = server.engine().solution_stats().unwrap();
+    assert_eq!(stats.failures, 2, "errors are retried, never cached");
+    let metrics = server.metrics();
+    assert!(
+        metrics.contains("soctam_responses_err_total 2"),
+        "{metrics}"
+    );
+    server.shutdown();
+}
