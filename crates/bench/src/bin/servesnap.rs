@@ -14,6 +14,12 @@
 //! solution-cache hits — i.e. if result caching ever regresses to
 //! re-solving repeat traffic.
 //!
+//! The daemon runs with its JSONL request log enabled; after the warm
+//! pass the log is replayed back through `client::replay` (the same path
+//! as `soctam client --file`), and the replay's latency percentiles land
+//! in a `"replay"` section — exercising the log → replay loop end to end
+//! on every snapshot.
+//!
 //! Run with: `cargo run --release -p soctam-bench --bin servesnap`
 //! Options:  `--quick` shrinks the warm pass (the CI smoke);
 //!           `--clients <n>` client threads (default 4);
@@ -37,39 +43,7 @@ const REQUESTS: [&str; 6] = [
     "bounds p93791",
 ];
 
-/// Latency distribution of one pass, in milliseconds.
-struct LatencyStats {
-    count: usize,
-    mean_ms: f64,
-    p50_ms: f64,
-    p90_ms: f64,
-    p99_ms: f64,
-    max_ms: f64,
-}
-
-impl LatencyStats {
-    fn of(mut samples: Vec<f64>) -> Self {
-        assert!(!samples.is_empty(), "a pass always has samples");
-        samples.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
-        let pct = |p: f64| samples[((p / 100.0) * (samples.len() - 1) as f64).round() as usize];
-        Self {
-            count: samples.len(),
-            mean_ms: samples.iter().sum::<f64>() / samples.len() as f64,
-            p50_ms: pct(50.0),
-            p90_ms: pct(90.0),
-            p99_ms: pct(99.0),
-            max_ms: *samples.last().expect("non-empty"),
-        }
-    }
-
-    fn json(&self) -> String {
-        format!(
-            "{{\"count\": {}, \"mean_ms\": {:.4}, \"p50_ms\": {:.4}, \
-             \"p90_ms\": {:.4}, \"p99_ms\": {:.4}, \"max_ms\": {:.4}}}",
-            self.count, self.mean_ms, self.p50_ms, self.p90_ms, self.p99_ms, self.max_ms
-        )
-    }
-}
+use client::LatencySummary;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -84,10 +58,15 @@ fn main() {
         .max(1);
     let out_path = opt_value(&args, "--out").unwrap_or_else(|| "BENCH_serve.json".to_owned());
 
+    // Log every request of the run to a scratch JSONL file, then replay it
+    // back at the daemon — the log/replay loop is part of the snapshot.
+    let log_path = std::env::temp_dir().join(format!("servesnap-{}.log", std::process::id()));
+    std::fs::remove_file(&log_path).ok();
     let server = Server::bind(
         "127.0.0.1:0",
         ServerConfig {
             threads: clients,
+            log_path: Some(log_path.clone()),
             ..ServerConfig::default()
         },
     )
@@ -147,9 +126,22 @@ fn main() {
     let warm_wall_s = warm_t0.elapsed().as_secs_f64();
     let warm_latencies: Vec<f64> = per_client.into_iter().flatten().collect();
 
-    let cold = LatencyStats::of(cold_latencies);
-    let warm = LatencyStats::of(warm_latencies);
+    let cold = LatencySummary::of_millis(cold_latencies).expect("cold pass has samples");
+    let warm = LatencySummary::of_millis(warm_latencies).expect("warm pass has samples");
     let throughput = warm.count as f64 / warm_wall_s;
+
+    // Replay the run's own request log back at the (now warm) daemon, the
+    // way `soctam client --file LOG` would.
+    let log_text = std::fs::read_to_string(&log_path).expect("request log written");
+    let replay = client::replay(addr, &log_text).expect("replay round trip");
+    let replayed = cold.count + warm.count;
+    assert_eq!(
+        replay.responses.len(),
+        replayed,
+        "the log replays every cold and warm request"
+    );
+    assert_eq!(replay.failed, 0, "replayed requests all succeed");
+    let replay_latency = replay.latency.clone().expect("replay has samples");
     let sol = server.engine().solution_stats().expect("cache enabled");
     let reg = server.engine().registry().stats();
 
@@ -160,6 +152,10 @@ fn main() {
     println!(
         "warm:  {} requests, mean {:.3} ms, p50 {:.3} ms, p99 {:.3} ms ({:.0} req/s)",
         warm.count, warm.mean_ms, warm.p50_ms, warm.p99_ms, throughput
+    );
+    println!(
+        "replay: {} logged requests, mean {:.3} ms, p50 {:.3} ms, p99 {:.3} ms",
+        replay_latency.count, replay_latency.mean_ms, replay_latency.p50_ms, replay_latency.p99_ms
     );
     println!(
         "cache: {} misses, {} hits, {} coalesced (hit rate {:.4}); \
@@ -193,6 +189,15 @@ fn main() {
     let _ = writeln!(json, "  \"warm_requests_per_second\": {throughput:.1},");
     let _ = writeln!(
         json,
+        "  \"replay\": {{\"logged_requests\": {}, \"ok\": {}, \"failed\": {}, \
+         \"latency\": {}}},",
+        replayed,
+        replay.ok,
+        replay.failed,
+        replay_latency.json()
+    );
+    let _ = writeln!(
+        json,
         "  \"solution_cache\": {{\"hits\": {}, \"misses\": {}, \"coalesced\": {}, \
          \"evictions\": {}, \"expiries\": {}, \"failures\": {}, \"hit_rate\": {:.4}}},",
         sol.hits,
@@ -217,6 +222,7 @@ fn main() {
     }
     println!("wrote {out_path}");
     server.shutdown();
+    std::fs::remove_file(&log_path).ok();
 
     // The CI gate: a warm pass that hit the cache zero times means the
     // serving tier re-solved repeat traffic.

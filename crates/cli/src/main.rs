@@ -5,7 +5,9 @@
 //! soctam sweep <soc> [--from A] [--to B] [--alpha X]
 //! soctam batch <requests.txt> [--threads N] [--out FILE]
 //! soctam serve [--addr A] [--threads N] [--cache-cap C] [--ttl SECS]
-//! soctam client --addr A [--get PATH | <request words> | (stdin)]
+//!              [--idle-timeout SECS] [--max-requests N] [--max-line BYTES]
+//!              [--log FILE] [--warm FILE]
+//! soctam client --addr A [--get PATH | --file FILE | <request words> | (stdin)]
 //! soctam staircase <soc> <core>
 //! soctam wrapper <soc> <core> --width W
 //! soctam bounds <soc>
@@ -30,9 +32,16 @@
 //!
 //! `serve` runs the same grammar as a long-lived TCP daemon
 //! ([`soctam_server::Server`]) with a solution cache in front of the
-//! engine; `client` is its scripted counterpart — one request per argv
-//! tail (or per stdin line), one JSON response line each, plus `--get
-//! /healthz` / `--get /metrics` for the HTTP surface.
+//! engine. Its connections are bounded: `--idle-timeout` reaps slow or
+//! silent peers (0 disables), `--max-requests` caps one keep-alive
+//! connection (0 disables), and `--max-line` caps a request line's bytes.
+//! `--log FILE` appends one JSONL record per served request;
+//! `--warm FILE` pre-solves a request file or saved log at startup so the
+//! cache starts hot. `client` is the scripted counterpart — one request
+//! per argv tail (or per stdin line), one JSON response line each, plus
+//! `--get /healthz` / `--get /metrics` for the HTTP surface and
+//! `--file FILE` to replay a request file or saved log and print latency
+//! percentiles.
 
 use std::io::{BufRead, Write as _};
 use std::process::ExitCode;
@@ -66,7 +75,9 @@ const USAGE: &str = "usage:
   soctam sweep <soc> [--from A] [--to B] [--alpha X]
   soctam batch <requests.txt> [--threads N] [--out FILE]
   soctam serve [--addr A] [--threads N] [--cache-cap C] [--ttl SECS]
-  soctam client --addr A [--get PATH | <request words> | (requests on stdin)]
+               [--idle-timeout SECS] [--max-requests N] [--max-line BYTES]
+               [--log FILE] [--warm FILE]
+  soctam client --addr A [--get PATH | --file FILE | <request words> | (requests on stdin)]
   soctam staircase <soc> <core-name>
   soctam wrapper <soc> <core-name> --width W
   soctam bounds <soc>
@@ -309,9 +320,43 @@ fn cmd_batch(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// Parses a `--<name> SECS` option into an optional duration, where `0`
+/// explicitly disables the deadline (`Ok(Some(None))`) and absence keeps
+/// the caller's default (`Ok(None)`).
+fn opt_seconds(args: &[String], name: &str) -> Result<Option<Option<Duration>>, String> {
+    match opt_value(args, name)? {
+        None => Ok(None),
+        Some(secs) => {
+            let secs: f64 = secs.parse().map_err(|_| format!("invalid {name}"))?;
+            if !secs.is_finite() || secs < 0.0 {
+                return Err(format!("{name} must be a non-negative number of seconds"));
+            }
+            Ok(Some(if secs == 0.0 {
+                None
+            } else {
+                Some(Duration::from_secs_f64(secs))
+            }))
+        }
+    }
+}
+
 /// `soctam serve`: run the daemon in the foreground until killed.
 fn cmd_serve(args: &[String]) -> Result<(), String> {
-    check_known_args(args, &["--addr", "--threads", "--cache-cap", "--ttl"], &[])?;
+    check_known_args(
+        args,
+        &[
+            "--addr",
+            "--threads",
+            "--cache-cap",
+            "--ttl",
+            "--idle-timeout",
+            "--max-requests",
+            "--max-line",
+            "--log",
+            "--warm",
+        ],
+        &[],
+    )?;
     let addr = opt_value(args, "--addr")?.unwrap_or("127.0.0.1:3777");
     let threads: usize = opt_value(args, "--threads")?
         .unwrap_or("4")
@@ -321,32 +366,57 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         .unwrap_or("1024")
         .parse()
         .map_err(|_| "invalid --cache-cap")?;
-    let ttl = match opt_value(args, "--ttl")? {
+    let ttl = match opt_seconds(args, "--ttl")? {
+        Some(None) => return Err("--ttl must be a positive number of seconds".to_owned()),
+        Some(some) => some,
         None => None,
-        Some(secs) => {
-            let secs: f64 = secs.parse().map_err(|_| "invalid --ttl")?;
-            if !secs.is_finite() || secs <= 0.0 {
-                return Err("--ttl must be a positive number of seconds".to_owned());
-            }
-            Some(Duration::from_secs_f64(secs))
-        }
     };
-    let server = Server::bind(
-        addr,
-        ServerConfig {
-            threads,
-            cache_capacity,
-            ttl,
-            ..ServerConfig::default()
-        },
-    )
-    .map_err(|e| format!("binding `{addr}`: {e}"))?;
+    let mut cfg = ServerConfig {
+        threads,
+        cache_capacity,
+        ttl,
+        ..ServerConfig::default()
+    };
+    if let Some(idle) = opt_seconds(args, "--idle-timeout")? {
+        cfg.idle_timeout = idle; // 0 disables the peer deadline
+    }
+    if let Some(cap) = opt_value(args, "--max-requests")? {
+        let cap: u64 = cap.parse().map_err(|_| "invalid --max-requests")?;
+        cfg.max_requests = (cap > 0).then_some(cap); // 0 means unlimited
+    }
+    if let Some(bytes) = opt_value(args, "--max-line")? {
+        let bytes: usize = bytes.parse().map_err(|_| "invalid --max-line")?;
+        if bytes == 0 {
+            return Err("--max-line must be a positive byte count".to_owned());
+        }
+        cfg.max_line_bytes = bytes;
+    }
+    cfg.log_path = opt_value(args, "--log")?.map(std::path::PathBuf::from);
+    let warm_text = match opt_value(args, "--warm")? {
+        None => None,
+        Some(path) => Some(
+            std::fs::read_to_string(path)
+                .map_err(|e| format!("reading warm file `{path}`: {e}"))?,
+        ),
+    };
+
+    let idle_timeout = cfg.idle_timeout;
+    let server = Server::bind(addr, cfg).map_err(|e| format!("binding `{addr}`: {e}"))?;
+    if let Some(text) = warm_text {
+        let report = server.warm_from_text(&text);
+        println!(
+            "warmed the cache from {} requests ({} ok, {} failed, {} skipped)",
+            report.requests, report.ok, report.failed, report.skipped
+        );
+    }
     println!(
-        "soctam-server listening on {} ({} workers, solution cache capacity {}, ttl {})",
+        "soctam-server listening on {} ({} workers, solution cache capacity {}, ttl {}, \
+         idle timeout {})",
         server.local_addr(),
         threads.max(1),
         cache_capacity,
         ttl.map_or("none".to_owned(), |t| format!("{}s", t.as_secs_f64())),
+        idle_timeout.map_or("none".to_owned(), |t| format!("{}s", t.as_secs_f64())),
     );
     let _ = std::io::stdout().flush();
     server.join();
@@ -354,12 +424,14 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
 }
 
 /// `soctam client`: scripted counterpart of `serve`. One request from the
-/// argv tail (every token that isn't `--addr`/`--get` or their values),
-/// or one request per stdin line when the tail is empty; `--get PATH`
-/// scrapes the HTTP surface instead.
+/// argv tail (every token that isn't `--addr`/`--get`/`--file` or their
+/// values), or one request per stdin line when the tail is empty;
+/// `--get PATH` scrapes the HTTP surface, `--file FILE` replays a request
+/// file or saved JSONL log and prints latency percentiles.
 fn cmd_client(args: &[String]) -> Result<(), String> {
     let addr = req_value(args, "--addr")?.to_owned();
     let path = opt_value(args, "--get")?.map(str::to_owned);
+    let file = opt_value(args, "--file")?.map(str::to_owned);
 
     // The request words are whatever remains after the client's own
     // options; they are validated by the server, not here.
@@ -367,7 +439,7 @@ fn cmd_client(args: &[String]) -> Result<(), String> {
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
-            "--addr" | "--get" => i += 2,
+            "--addr" | "--get" | "--file" => i += 2,
             w => {
                 words.push(w);
                 i += 1;
@@ -376,8 +448,8 @@ fn cmd_client(args: &[String]) -> Result<(), String> {
     }
 
     if let Some(path) = path {
-        if !words.is_empty() {
-            return Err("--get cannot be combined with a request".to_owned());
+        if !words.is_empty() || file.is_some() {
+            return Err("--get cannot be combined with a request or --file".to_owned());
         }
         let (status, body) =
             client::http_get(&addr, &path).map_err(|e| format!("GET {path} on `{addr}`: {e}"))?;
@@ -385,6 +457,37 @@ fn cmd_client(args: &[String]) -> Result<(), String> {
             return Err(format!("GET {path}: {status}"));
         }
         print!("{body}");
+        return Ok(());
+    }
+
+    if let Some(file) = file {
+        if !words.is_empty() {
+            return Err("--file cannot be combined with a request".to_owned());
+        }
+        let text = std::fs::read_to_string(&file).map_err(|e| format!("reading `{file}`: {e}"))?;
+        let report =
+            client::replay(&addr, &text).map_err(|e| format!("replaying `{file}`: {e}"))?;
+        for (request, response) in &report.responses {
+            println!("{request}\n  -> {response}");
+        }
+        match &report.latency {
+            None => println!("replay: no replayable requests in `{file}`"),
+            Some(lat) => println!(
+                "replay: {} requests ({} ok, {} failed), latency mean {:.3} ms, \
+                 p50 {:.3} ms, p90 {:.3} ms, p99 {:.3} ms, max {:.3} ms",
+                lat.count,
+                report.ok,
+                report.failed,
+                lat.mean_ms,
+                lat.p50_ms,
+                lat.p90_ms,
+                lat.p99_ms,
+                lat.max_ms
+            ),
+        }
+        if report.failed > 0 {
+            return Err(format!("{} replayed requests failed", report.failed));
+        }
         return Ok(());
     }
 

@@ -50,7 +50,8 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use soctam_schedule::{
-    ContextRegistry, Cycles, ScheduleError, SolutionCache, SolutionCacheStats, TamWidth,
+    CacheLookup, ContextRegistry, Cycles, ScheduleError, SolutionCache, SolutionCacheStats,
+    TamWidth,
 };
 use soctam_soc::Soc;
 use soctam_volume::SweepPoint;
@@ -137,6 +138,44 @@ pub enum EngineOutput {
 /// Outcome of one request: requests fail independently (an infeasible
 /// power ceiling on one SOC does not poison the batch).
 pub type EngineResult = Result<EngineOutput, ScheduleError>;
+
+/// How the solution cache disposed of one request — reported by
+/// [`Engine::serve_one_traced`] so a serving tier can log the cache
+/// outcome per request instead of diffing racy global counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheDisposition {
+    /// Served from a completed cached result; the solver never ran.
+    Hit,
+    /// No usable cached entry; this request ran the solve.
+    Miss,
+    /// Joined a solve already in flight for an identical request.
+    Coalesced,
+    /// The engine has no solution cache; every request solves.
+    Uncached,
+}
+
+impl CacheDisposition {
+    /// The disposition as a lowercase label
+    /// (`hit`/`miss`/`coalesced`/`uncached`), the form request logs use.
+    pub fn label(self) -> &'static str {
+        match self {
+            Self::Hit => "hit",
+            Self::Miss => "miss",
+            Self::Coalesced => "coalesced",
+            Self::Uncached => "uncached",
+        }
+    }
+}
+
+impl From<CacheLookup> for CacheDisposition {
+    fn from(lookup: CacheLookup) -> Self {
+        match lookup {
+            CacheLookup::Hit => Self::Hit,
+            CacheLookup::Miss => Self::Miss,
+            CacheLookup::Coalesced => Self::Coalesced,
+        }
+    }
+}
 
 /// The identity of one cacheable request outcome: everything that can
 /// change the result. That is the [`ContextRegistry`] key — SOC content,
@@ -361,6 +400,26 @@ impl Engine {
         self.serve_request(request, false)
     }
 
+    /// [`Engine::serve_one`], additionally reporting how the solution
+    /// cache disposed of the request (hit / miss / coalesced, or
+    /// [`CacheDisposition::Uncached`] when no cache is configured).
+    pub fn serve_one_traced(&self, request: &EngineRequest) -> (EngineResult, CacheDisposition) {
+        let budget = request.flow.power.resolve(&request.soc);
+        match &self.solutions {
+            Some(cache) => {
+                let (result, lookup) = cache
+                    .get_or_compute_traced(SolutionKey::new(request, budget), || {
+                        self.solve(request, budget, false)
+                    });
+                (result, lookup.into())
+            }
+            None => (
+                self.solve(request, budget, false),
+                CacheDisposition::Uncached,
+            ),
+        }
+    }
+
     fn serve_request(&self, request: &EngineRequest, inner_sequential: bool) -> EngineResult {
         let budget = request.flow.power.resolve(&request.soc);
         match &self.solutions {
@@ -575,6 +634,24 @@ mod tests {
         let stats = engine.solution_stats().unwrap();
         assert_eq!(stats.misses, 1, "four identical requests, one solve");
         assert_eq!(stats.hits + stats.coalesced, 3);
+    }
+
+    #[test]
+    fn traced_serving_reports_cache_dispositions() {
+        let engine = Engine::new().with_solution_cache(16, None);
+        let d695 = Arc::new(benchmarks::d695());
+        let req = EngineRequest::bounds(Arc::clone(&d695), quick(), vec![16]);
+        let (first, d1) = engine.serve_one_traced(&req);
+        let (second, d2) = engine.serve_one_traced(&req);
+        assert_same_output(first.as_ref().unwrap(), second.as_ref().unwrap());
+        assert_eq!(d1, CacheDisposition::Miss);
+        assert_eq!(d2, CacheDisposition::Hit);
+
+        let plain = Engine::new();
+        let (result, d) = plain.serve_one_traced(&req);
+        assert!(result.is_ok());
+        assert_eq!(d, CacheDisposition::Uncached);
+        assert_eq!(d.label(), "uncached");
     }
 
     #[test]

@@ -132,15 +132,21 @@ pub fn flag(args: &[String], name: &str) -> bool {
 /// options are an error — including the easy-to-make mistake of following
 /// one flag directly with another (`--width --power`), which would
 /// otherwise be swallowed as the value and produce a baffling parse
-/// failure downstream.
+/// failure downstream. A repeated option is an error too: silently
+/// honouring the first `--width` of `--width 16 --width 32` would run a
+/// different request than the caller wrote and still report it `ok`.
 ///
 /// # Errors
 ///
 /// A message naming the offending option (and the swallowed flag, if any).
 pub fn opt_value<'a>(args: &'a [String], name: &str) -> Result<Option<&'a str>, String> {
-    let Some(i) = args.iter().position(|a| a == name) else {
+    let mut found = args.iter().enumerate().filter(|(_, a)| *a == name);
+    let Some((i, _)) = found.next() else {
         return Ok(None);
     };
+    if found.next().is_some() {
+        return Err(format!("option `{name}` given more than once"));
+    }
     match args.get(i + 1).map(String::as_str) {
         None => Err(format!("option `{name}` expects a value")),
         Some(v) if v.starts_with("--") => Err(format!(
@@ -218,15 +224,23 @@ pub fn request_flow(power: bool, no_preempt: bool) -> FlowConfig {
 pub fn parse_request(line: &str, resolver: &mut impl SocResolver) -> Result<EngineRequest, String> {
     let words: Vec<String> = line.split_whitespace().map(str::to_owned).collect();
     let (kind, rest) = words.split_first().ok_or("empty request")?;
-    let soc_name = rest.first().ok_or("missing SOC name")?;
-    let soc = resolver.resolve(soc_name)?;
-    let args = &rest[1..];
+    // Validate the request kind before touching the resolver: a garbage
+    // line like `frobnicate d695` must not load d695 into the resolver's
+    // memo as a side effect of failing to parse.
     let value_options: &[&str] = match kind.as_str() {
         "schedule" => &["--width"],
         "sweep" => &["--from", "--to"],
         "bounds" => &["--widths"],
         other => return Err(format!("unknown request kind `{other}`")),
     };
+    let soc_name = rest.first().ok_or("missing SOC name")?;
+    if soc_name.starts_with("--") {
+        // `schedule --width 16` forgot the SOC; resolving `--width` would
+        // report a baffling "unknown SOC `--width`".
+        return Err(format!("missing SOC name (found the flag `{soc_name}`)"));
+    }
+    let soc = resolver.resolve(soc_name)?;
+    let args = &rest[1..];
     check_known_args(args, value_options, &["--power", "--no-preempt"])?;
     let flow = request_flow(flag(args, "--power"), flag(args, "--no-preempt"));
     let op = match kind.as_str() {
@@ -314,6 +328,85 @@ pub fn json_escape(s: &str) -> String {
         }
     }
     out
+}
+
+/// Reverses [`json_escape`]: decodes the escape sequences that renderer
+/// (and the daemon's request log) can produce. Unknown escapes are kept
+/// verbatim rather than rejected — the input is our own output, so this is
+/// defense in depth, not a general JSON parser.
+pub fn json_unescape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('"') => out.push('"'),
+            Some('\\') => out.push('\\'),
+            Some('n') => out.push('\n'),
+            Some('r') => out.push('\r'),
+            Some('t') => out.push('\t'),
+            Some('u') => {
+                let hex: String = chars.by_ref().take(4).collect();
+                match u32::from_str_radix(&hex, 16).ok().and_then(char::from_u32) {
+                    Some(decoded) => out.push(decoded),
+                    None => {
+                        out.push_str("\\u");
+                        out.push_str(&hex);
+                    }
+                }
+            }
+            Some(other) => {
+                out.push('\\');
+                out.push(other);
+            }
+            None => out.push('\\'),
+        }
+    }
+    out
+}
+
+/// Extracts the (unescaped) value of a `"field": "..."` string member from
+/// one flat JSON object line — enough to read back the JSONL request log
+/// the daemon writes, without a JSON parser in the vendored-only workspace.
+pub fn json_string_field(line: &str, field: &str) -> Option<String> {
+    let marker = format!("\"{field}\": \"");
+    let start = line.find(&marker)? + marker.len();
+    let rest = &line[start..];
+    // Find the closing quote, skipping escaped ones.
+    let mut escaped = false;
+    for (i, c) in rest.char_indices() {
+        match c {
+            '\\' if !escaped => escaped = true,
+            '"' if !escaped => return Some(json_unescape(&rest[..i])),
+            _ => escaped = false,
+        }
+    }
+    None
+}
+
+/// Extracts replayable request lines from `text`, which may be a plain
+/// request file (one request per line, blank lines and `#` comments
+/// skipped) *or* a JSONL request log written by the serving daemon (lines
+/// starting with `{`; the `request` field is replayed, entries without one
+/// — e.g. oversized-line records — are skipped). The two may be mixed
+/// freely; `soctam client --file` and `soctam serve --warm` both accept
+/// either.
+pub fn replay_lines(text: &str) -> Vec<String> {
+    text.lines()
+        .filter_map(|line| {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                None
+            } else if line.starts_with('{') {
+                json_string_field(line, "request")
+            } else {
+                Some(line.to_owned())
+            }
+        })
+        .collect()
 }
 
 /// Renders one request's outcome as a single JSON object — the element
@@ -451,6 +544,106 @@ mod tests {
         assert!(err.contains("--widths") && err.contains("2000"), "{err}");
         // The cap itself is fine.
         assert!(parse_request("sweep d695 --from 1 --to 1024", &mut r).is_ok());
+    }
+
+    #[test]
+    fn unknown_kind_is_rejected_before_the_soc_resolves() {
+        let mut r = benchmark_resolver();
+        let err = parse_request("frobnicate d695", &mut r).unwrap_err();
+        assert!(err.contains("frobnicate"), "{err}");
+        assert!(
+            r.is_empty(),
+            "a garbage line must not load SOCs into the resolver memo"
+        );
+    }
+
+    #[test]
+    fn flag_shaped_soc_token_reports_a_missing_soc_name() {
+        let mut r = benchmark_resolver();
+        let err = parse_request("schedule --width 16", &mut r).unwrap_err();
+        assert!(err.contains("missing SOC name"), "{err}");
+        assert!(err.contains("--width"), "names the found flag: {err}");
+        assert!(r.is_empty(), "no resolver call for a flag-shaped token");
+        // A kind alone still reports the missing name.
+        let err = parse_request("bounds", &mut r).unwrap_err();
+        assert!(err.contains("missing SOC name"), "{err}");
+    }
+
+    #[test]
+    fn duplicate_value_options_are_parse_errors_naming_the_option() {
+        let mut r = benchmark_resolver();
+        let err = parse_request("schedule d695 --width 16 --width 32", &mut r).unwrap_err();
+        assert!(err.contains("--width"), "{err}");
+        assert!(err.contains("more than once"), "{err}");
+
+        let err = parse_request("sweep d695 --from 8 --from 12 --to 16", &mut r).unwrap_err();
+        assert!(
+            err.contains("--from") && err.contains("more than once"),
+            "{err}"
+        );
+        let err = parse_request("sweep d695 --from 8 --to 12 --to 16", &mut r).unwrap_err();
+        assert!(
+            err.contains("--to") && err.contains("more than once"),
+            "{err}"
+        );
+
+        let err = parse_request("bounds d695 --widths 8 --widths 16", &mut r).unwrap_err();
+        assert!(
+            err.contains("--widths") && err.contains("more than once"),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn json_unescape_round_trips() {
+        for s in [
+            "plain",
+            "quotes \"inside\" and \\ backslash",
+            "line\nbreak\ttab\rcr",
+            "control \u{1} char",
+            "unicode \u{0441}",
+        ] {
+            assert_eq!(json_unescape(&json_escape(s)), s, "{s:?}");
+        }
+        // Unknown escapes and truncated input survive verbatim.
+        assert_eq!(json_unescape("a\\qb"), "a\\qb");
+        assert_eq!(json_unescape("trailing\\"), "trailing\\");
+    }
+
+    #[test]
+    fn json_string_field_reads_log_lines() {
+        let line = "{\"ts_micros\": 1, \"peer\": \"127.0.0.1:9\", \
+                    \"request\": \"schedule d695 --width 16\", \"outcome\": \"ok\"}";
+        assert_eq!(
+            json_string_field(line, "request").as_deref(),
+            Some("schedule d695 --width 16")
+        );
+        assert_eq!(json_string_field(line, "outcome").as_deref(), Some("ok"));
+        assert_eq!(json_string_field(line, "absent"), None);
+        // Escaped quotes inside the value are handled.
+        let line = "{\"request\": \"bounds \\\"x\\\" --widths 8\"}";
+        assert_eq!(
+            json_string_field(line, "request").as_deref(),
+            Some("bounds \"x\" --widths 8")
+        );
+    }
+
+    #[test]
+    fn replay_lines_accepts_request_files_and_logs() {
+        let text = "# a mixed replay input\n\
+                    schedule d695 --width 16\n\
+                    \n\
+                    {\"ts_micros\": 5, \"request\": \"bounds d695\", \"outcome\": \"ok\"}\n\
+                    {\"ts_micros\": 6, \"outcome\": \"oversized\"}\n\
+                    sweep d695 --from 15 --to 17\n";
+        assert_eq!(
+            replay_lines(text),
+            [
+                "schedule d695 --width 16",
+                "bounds d695",
+                "sweep d695 --from 15 --to 17"
+            ]
+        );
     }
 
     #[test]

@@ -98,7 +98,7 @@ pub use menus::RectangleMenus;
 pub use optimizer::{schedule_best, schedule_best_with, ScheduleBuilder};
 pub use registry::{ContextRegistry, RegistryStats};
 pub use schedule::{CoreScheduleStats, Schedule, Slice};
-pub use solution_cache::{SolutionCache, SolutionCacheStats};
+pub use solution_cache::{CacheLookup, SolutionCache, SolutionCacheStats};
 pub use svg::SvgOptions;
 
 pub use soctam_wrapper::{Cycles, TamWidth};

@@ -254,8 +254,16 @@ impl ContextRegistry {
                 None => {
                     self.misses.fetch_add(1, Ordering::Relaxed);
                     if map.len() >= self.per_shard_capacity {
+                        // Victim selection skips in-flight slots: evicting
+                        // an entry whose cell is unset would discard the
+                        // compile in progress and detach later same-key
+                        // requests from it (recompiling instead of
+                        // rendezvousing). When every slot is in flight the
+                        // shard over-admits by one — in-flight compiles
+                        // always complete and become evictable.
                         let lru = map
                             .iter()
+                            .filter(|(_, e)| e.cell.get().is_some())
                             .min_by_key(|(_, e)| e.last_used)
                             .map(|(k, _)| k.clone());
                         if let Some(lru) = lru {
@@ -468,6 +476,46 @@ mod tests {
         reg.get_or_compile(&s, 8, Some(1));
         assert_eq!(reg.stats().misses, 4);
         assert_eq!(reg.stats().evictions, 2);
+    }
+
+    #[test]
+    fn lru_never_evicts_an_in_flight_slot() {
+        // Capacity-1 shard with a planted in-flight entry (empty cell) for
+        // key (d695, 8, None) — exactly the state a concurrent
+        // get_or_compile leaves between publishing the cell and finishing
+        // the compile. Capacity pressure must over-admit rather than evict
+        // it: eviction would discard the compile in progress and detach
+        // later same-key requests from the rendezvous.
+        let reg = ContextRegistry::new(1, 1);
+        let soc = Arc::new(benchmarks::d695());
+        let key = ContextKey::new(&soc, 8, None);
+        let planted: Arc<OnceLock<Arc<CompiledSoc>>> = Arc::new(OnceLock::new());
+        reg.shards[reg.shard_of(&key)].lock().unwrap().insert(
+            key,
+            Entry {
+                cell: Arc::clone(&planted),
+                last_used: 0,
+                deadline: None,
+            },
+        );
+
+        // Pressure from another key: over-admit by one, evict nothing.
+        reg.get_or_compile(&soc, 16, None);
+        assert_eq!(reg.len(), 2, "over-admitted past capacity");
+        assert_eq!(reg.stats().evictions, 0, "in-flight slot spared");
+
+        // The planted slot is intact: a same-key request rendezvouses on
+        // the planted cell (a registry hit) and completes it in place.
+        let ctx = reg.get_or_compile(&soc, 8, None);
+        assert!(
+            planted.get().is_some_and(|c| Arc::ptr_eq(c, &ctx)),
+            "the request completed the planted cell, not a replacement"
+        );
+        assert_eq!(reg.stats().hits, 1);
+
+        // With every slot completed, capacity pressure evicts normally.
+        reg.get_or_compile(&soc, 32, None);
+        assert_eq!(reg.stats().evictions, 1);
     }
 
     #[test]

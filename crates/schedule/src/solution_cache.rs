@@ -67,6 +67,33 @@ struct Slot<V, E> {
     deadline: Option<Instant>,
 }
 
+/// How one [`SolutionCache::get_or_compute_traced`] request was disposed
+/// of — the per-request counterpart of the cumulative
+/// [`SolutionCacheStats`], so a serving tier can log each request's cache
+/// outcome without diffing racy global counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheLookup {
+    /// Served from a completed cached result; the solver never ran.
+    Hit,
+    /// No usable entry; this request ran (or was first in line to run)
+    /// the solve.
+    Miss,
+    /// Joined a solve already in flight for the same key.
+    Coalesced,
+}
+
+impl CacheLookup {
+    /// The lookup as a lowercase label (`hit`/`miss`/`coalesced`), the
+    /// form request logs use.
+    pub fn label(self) -> &'static str {
+        match self {
+            Self::Hit => "hit",
+            Self::Miss => "miss",
+            Self::Coalesced => "coalesced",
+        }
+    }
+}
+
 /// Cumulative counters of one solution cache's traffic.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct SolutionCacheStats {
@@ -160,10 +187,25 @@ where
     /// Whatever `solve` (or the solve this request coalesced onto)
     /// returned.
     pub fn get_or_compute(&self, key: K, solve: impl FnOnce() -> Result<V, E>) -> Result<V, E> {
+        self.get_or_compute_traced(key, solve).0
+    }
+
+    /// [`SolutionCache::get_or_compute`], additionally reporting how this
+    /// request was disposed of (hit / miss / coalesced) so callers can log
+    /// per-request cache outcomes.
+    ///
+    /// # Errors
+    ///
+    /// As [`SolutionCache::get_or_compute`].
+    pub fn get_or_compute_traced(
+        &self,
+        key: K,
+        solve: impl FnOnce() -> Result<V, E>,
+    ) -> (Result<V, E>, CacheLookup) {
         let shard = &self.shards[self.shard_of(&key)];
         let stamp = self.clock.fetch_add(1, Ordering::Relaxed);
 
-        let cell = {
+        let (cell, lookup) = {
             let mut map = shard.lock().expect("solution-cache shard poisoned");
             // An entry past its deadline is dead even if resident; treat
             // the access as a miss. In-flight entries (cell not yet set)
@@ -177,21 +219,31 @@ where
                     self.expiries.fetch_add(1, Ordering::Relaxed);
                 } else {
                     slot.last_used = stamp;
-                    if slot.cell.get().is_some() {
+                    let lookup = if slot.cell.get().is_some() {
                         self.hits.fetch_add(1, Ordering::Relaxed);
+                        CacheLookup::Hit
                     } else {
                         self.coalesced.fetch_add(1, Ordering::Relaxed);
-                    }
-                    resident = Some(Arc::clone(&slot.cell));
+                        CacheLookup::Coalesced
+                    };
+                    resident = Some((Arc::clone(&slot.cell), lookup));
                 }
             }
             match resident {
-                Some(cell) => cell,
+                Some(found) => found,
                 None => {
                     self.misses.fetch_add(1, Ordering::Relaxed);
                     if map.len() >= self.per_shard_capacity {
+                        // Victim selection skips in-flight slots: evicting
+                        // a slot whose cell is unset would discard the
+                        // solve in progress and detach later same-key
+                        // requests from it (re-solving instead of
+                        // coalescing). When every slot is in flight the
+                        // shard over-admits by one — in-flight slots
+                        // always complete and become evictable.
                         let lru = map
                             .iter()
+                            .filter(|(_, slot)| slot.cell.get().is_some())
                             .min_by_key(|(_, slot)| slot.last_used)
                             .map(|(k, _)| k.clone());
                         if let Some(lru) = lru {
@@ -208,7 +260,7 @@ where
                             deadline: self.ttl.deadline(),
                         },
                     );
-                    cell
+                    (cell, CacheLookup::Miss)
                 }
             }
         };
@@ -236,7 +288,7 @@ where
                 map.remove(&key);
             }
         }
-        result
+        (result, lookup)
     }
 
     /// Only returns a completed, unexpired cached result; never solves,
@@ -422,6 +474,71 @@ mod tests {
         assert_eq!(cache.peek(&1), Some(10), "recently used survives");
         assert_eq!(cache.peek(&2), None, "LRU entry evicted");
         assert_eq!(cache.peek(&3), Some(30));
+    }
+
+    #[test]
+    fn lru_never_evicts_an_in_flight_slot() {
+        // Capacity-1 shard: while key 1's solve is in flight, a request
+        // for key 2 is at capacity and must over-admit rather than evict
+        // the in-flight slot — evicting it would discard the solve in
+        // progress and break same-key coalescing under capacity pressure.
+        let cache = Cache::new(1, 1, None);
+        let solves_of_1 = AtomicUsize::new(0);
+        // Two rendezvous points with the in-flight solver: `entered` proves
+        // the solve is in flight before the pressure request runs;
+        // `release` holds it in flight until the coalescing request joined.
+        let entered = Barrier::new(2);
+        let release = Barrier::new(2);
+        std::thread::scope(|scope| {
+            scope.spawn(|| {
+                let got = cache
+                    .get_or_compute(1, || {
+                        solves_of_1.fetch_add(1, Ordering::Relaxed);
+                        entered.wait();
+                        release.wait();
+                        Ok(10)
+                    })
+                    .unwrap();
+                assert_eq!(got, 10);
+            });
+            entered.wait();
+
+            // Capacity pressure while key 1 is in flight: over-admit.
+            let (got, lookup) = cache.get_or_compute_traced(2, || Ok(20));
+            assert_eq!(got.unwrap(), 20);
+            assert_eq!(lookup, CacheLookup::Miss);
+            assert_eq!(cache.len(), 2, "over-admitted past capacity by one");
+            assert_eq!(cache.stats().evictions, 0, "in-flight slot spared");
+
+            // A same-key request must still coalesce onto the in-flight
+            // solve, not start its own.
+            let joiner = scope.spawn(|| cache.get_or_compute_traced(1, || panic!("must coalesce")));
+            // The joiner observes the unset cell under the shard lock and
+            // blocks on it; release the solver once it has registered.
+            while cache.stats().coalesced == 0 {
+                std::thread::yield_now();
+            }
+            release.wait();
+            let (joined, lookup) = joiner.join().unwrap();
+            assert_eq!(joined.unwrap(), 10);
+            assert_eq!(lookup, CacheLookup::Coalesced);
+        });
+        assert_eq!(solves_of_1.load(Ordering::Relaxed), 1, "one solve of key 1");
+        // With key 1 completed, the next capacity pressure evicts normally.
+        cache.get_or_compute(3, || Ok(30)).unwrap();
+        assert!(cache.stats().evictions >= 1);
+    }
+
+    #[test]
+    fn traced_lookups_label_every_disposition() {
+        let cache = Cache::new(1, 4, None);
+        let (_, first) = cache.get_or_compute_traced(1, || Ok(10));
+        let (_, second) = cache.get_or_compute_traced(1, || Ok(10));
+        assert_eq!(first, CacheLookup::Miss);
+        assert_eq!(second, CacheLookup::Hit);
+        assert_eq!(CacheLookup::Miss.label(), "miss");
+        assert_eq!(CacheLookup::Hit.label(), "hit");
+        assert_eq!(CacheLookup::Coalesced.label(), "coalesced");
     }
 
     #[test]

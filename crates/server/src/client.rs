@@ -4,10 +4,14 @@
 //! Two calls mirror the daemon's two surfaces: [`roundtrip`] speaks the
 //! newline-delimited request protocol (one JSON response line per request
 //! line), [`http_get`] speaks the `GET /healthz` / `GET /metrics` HTTP
-//! surface.
+//! surface. [`replay`] drives a whole request file — or a saved JSONL
+//! request log — through one connection and summarizes the observed wire
+//! latencies ([`LatencySummary`]), which is what `soctam client --file`
+//! and the `servesnap` replay section print.
 
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Instant;
 
 /// A connected protocol client: send request lines, read response lines,
 /// one connection for any number of requests.
@@ -87,4 +91,104 @@ pub fn http_get(addr: impl ToSocketAddrs, path: &str) -> std::io::Result<(String
     })?;
     let status = head.lines().next().unwrap_or_default().to_owned();
     Ok((status, body.to_owned()))
+}
+
+/// Latency distribution of one pass of requests, in milliseconds.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LatencySummary {
+    /// Requests measured.
+    pub count: usize,
+    /// Arithmetic mean.
+    pub mean_ms: f64,
+    /// Median (nearest-rank on the sorted samples).
+    pub p50_ms: f64,
+    /// 90th percentile.
+    pub p90_ms: f64,
+    /// 99th percentile.
+    pub p99_ms: f64,
+    /// Slowest request.
+    pub max_ms: f64,
+}
+
+impl LatencySummary {
+    /// Summarizes a batch of per-request latencies (milliseconds).
+    /// Returns `None` for an empty batch — there is no distribution to
+    /// describe.
+    #[must_use]
+    pub fn of_millis(mut samples: Vec<f64>) -> Option<Self> {
+        if samples.is_empty() {
+            return None;
+        }
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+        let pct = |p: f64| samples[((p / 100.0) * (samples.len() - 1) as f64).round() as usize];
+        Some(Self {
+            count: samples.len(),
+            mean_ms: samples.iter().sum::<f64>() / samples.len() as f64,
+            p50_ms: pct(50.0),
+            p90_ms: pct(90.0),
+            p99_ms: pct(99.0),
+            max_ms: *samples.last().expect("non-empty"),
+        })
+    }
+
+    /// Renders the summary as one JSON object (the shape `servesnap`
+    /// embeds in `BENCH_serve.json`).
+    #[must_use]
+    pub fn json(&self) -> String {
+        format!(
+            "{{\"count\": {}, \"mean_ms\": {:.4}, \"p50_ms\": {:.4}, \
+             \"p90_ms\": {:.4}, \"p99_ms\": {:.4}, \"max_ms\": {:.4}}}",
+            self.count, self.mean_ms, self.p50_ms, self.p90_ms, self.p99_ms, self.max_ms
+        )
+    }
+}
+
+/// What came back from replaying a request file or saved log.
+#[derive(Debug, Clone)]
+pub struct ReplayReport {
+    /// Each replayed request paired with its one-line JSON response, in
+    /// replay order.
+    pub responses: Vec<(String, String)>,
+    /// Responses reporting `"ok": true`.
+    pub ok: usize,
+    /// Responses reporting an error (parse or engine).
+    pub failed: usize,
+    /// Wire-latency distribution over all replayed requests; `None` when
+    /// the input held no replayable lines.
+    pub latency: Option<LatencySummary>,
+}
+
+/// Replays `text` — a plain request file, or a JSONL request log written
+/// by `soctam serve --log` (see [`soctam_core::protocol::replay_lines`])
+/// — against a running daemon over one connection, measuring each
+/// request's wire latency.
+///
+/// # Errors
+///
+/// Propagates the first transport failure; request-level errors (a
+/// response with `"ok": false`) are tallied in
+/// [`ReplayReport::failed`], not raised.
+pub fn replay(addr: impl ToSocketAddrs, text: &str) -> std::io::Result<ReplayReport> {
+    let lines = soctam_core::protocol::replay_lines(text);
+    let mut conn = Connection::connect(addr)?;
+    let mut responses = Vec::with_capacity(lines.len());
+    let mut latencies = Vec::with_capacity(lines.len());
+    let (mut ok, mut failed) = (0, 0);
+    for line in lines {
+        let t0 = Instant::now();
+        let response = conn.request(&line)?;
+        latencies.push(t0.elapsed().as_secs_f64() * 1e3);
+        if response.contains("\"ok\": true") {
+            ok += 1;
+        } else {
+            failed += 1;
+        }
+        responses.push((line, response));
+    }
+    Ok(ReplayReport {
+        responses,
+        ok,
+        failed,
+        latency: LatencySummary::of_millis(latencies),
+    })
 }

@@ -28,14 +28,60 @@
 //! connection stays usable. Responses are bit-identical to calling the
 //! `Engine` directly — cached or not — which the loopback suite pins.
 //!
+//! # Connection lifecycle limits
+//!
+//! The daemon does not trust its peers. Every connection is bounded in
+//! three dimensions, each configurable through [`ServerConfig`]:
+//!
+//! * **time** — [`ServerConfig::idle_timeout`] arms `set_read_timeout` and
+//!   `set_write_timeout` on the socket, so an idle peer (or one too slow
+//!   to accept its responses) is reaped instead of pinning a pool worker
+//!   forever;
+//! * **bytes** — [`ServerConfig::max_line_bytes`] caps the length of one
+//!   request line (and of each HTTP header line) via bounded reads
+//!   (`Read::take`): a peer streaming bytes without a newline can never
+//!   grow the daemon's line buffer past the cap. An oversized request
+//!   line is answered with a parse-error JSON object and the connection
+//!   is closed;
+//! * **requests** — [`ServerConfig::max_requests`] caps how many requests
+//!   one keep-alive connection may issue; the cap'th response is written
+//!   in full, then the connection closes gracefully.
+//!
+//! On shutdown the daemon drains gracefully: idle connections are severed
+//! immediately (there is nothing to flush), while connections with a
+//! request in flight get up to [`ServerConfig::drain`] to finish solving
+//! and flush their response before being severed.
+//!
+//! # Request log
+//!
+//! With [`ServerConfig::log_path`] set, every served request line appends
+//! one JSON object to the log file (JSONL):
+//!
+//! ```text
+//! {"ts_micros": 1722950000000000, "peer": "127.0.0.1:51044",
+//!  "request": "schedule d695 --width 16", "outcome": "ok",
+//!  "cache": "hit", "latency_micros": 142}
+//! ```
+//!
+//! `outcome` is `ok`, `error` (the engine rejected the request),
+//! `parse_error`, or `oversized` (the line blew the byte cap; such
+//! records carry no `request` field). `cache` is the solution-cache
+//! disposition (`hit`/`miss`/`coalesced`/`uncached`), or `none` for
+//! lines that never reached the engine. The log doubles as a replay
+//! input: `soctam client --file LOG` replays it against a daemon and
+//! prints latency percentiles, and `soctam serve --warm LOG`
+//! ([`Server::warm_from_text`]) pre-solves its requests at startup so
+//! the cache starts hot.
+//!
 //! # HTTP surface
 //!
 //! A connection whose first line is an HTTP/1.1 `GET` is served one
 //! response and closed:
 //!
 //! * `GET /healthz` — `200 OK`, body `ok`;
-//! * `GET /metrics` — `200 OK`, Prometheus text exposition of request,
-//!   cache, registry, and solver counters;
+//! * `GET /metrics` — `200 OK`, Prometheus text exposition (`# TYPE`-
+//!   annotated counters and gauges) of request, cache, registry, and
+//!   solver counters;
 //! * anything else — `404 Not Found`.
 //!
 //! # Caching
@@ -68,14 +114,15 @@
 #![warn(missing_docs)]
 
 use std::fmt::Write as _;
-use std::io::{self, BufRead, BufReader, Write};
+use std::io::{self, BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::{Duration, Instant};
+use std::time::{Duration, Instant, SystemTime};
 
-use soctam_core::engine::{Engine, EngineOp};
+use soctam_core::engine::{CacheDisposition, Engine, EngineOp};
 use soctam_core::protocol::{self, MemoResolver};
 use soctam_core::schedule::{instrument, ContextRegistry};
 use soctam_core::soc::Soc;
@@ -96,17 +143,46 @@ pub struct ServerConfig {
     /// Optional time-to-live applied to both cached solutions and
     /// compiled contexts; `None` means entries never expire.
     pub ttl: Option<Duration>,
+    /// Per-connection read/write deadline (`set_read_timeout` /
+    /// `set_write_timeout`): a peer idle (or unwriteable) for this long is
+    /// reaped, freeing its pool worker. `None` trusts peers to hang up —
+    /// appropriate only behind a front end that enforces its own deadlines.
+    pub idle_timeout: Option<Duration>,
+    /// Most requests one keep-alive connection may issue; the last
+    /// response is written in full, then the connection closes
+    /// gracefully. `None` means unlimited.
+    pub max_requests: Option<u64>,
+    /// Byte cap on one request line (and each HTTP header line), enforced
+    /// with bounded reads so a newline-free byte stream can never grow the
+    /// daemon's line buffer past it. Oversized request lines are answered
+    /// with a parse-error JSON object and the connection is closed.
+    /// Clamped to at least 64.
+    pub max_line_bytes: usize,
+    /// Shutdown grace for connections with a request in flight: the drain
+    /// window in which their solve may finish and the response flush
+    /// before the socket is severed. Idle connections are severed
+    /// immediately regardless.
+    pub drain: Duration,
+    /// Append a JSONL record per served request line to this file (see
+    /// the [module docs](self) for the schema). `None` disables logging.
+    pub log_path: Option<PathBuf>,
 }
 
 impl Default for ServerConfig {
-    /// Four workers, a 1024-result cache over a default-sized registry,
-    /// no expiry.
+    /// Four workers, a 1024-result cache over a default-sized registry, no
+    /// expiry; 30-second peer deadlines, unlimited requests per
+    /// connection, 64 KiB line cap, 5-second shutdown drain, no log.
     fn default() -> Self {
         Self {
             threads: 4,
             cache_capacity: 1024,
             registry_capacity: ContextRegistry::DEFAULT_CAPACITY,
             ttl: None,
+            idle_timeout: Some(Duration::from_secs(30)),
+            max_requests: None,
+            max_line_bytes: 64 * 1024,
+            drain: Duration::from_secs(5),
+            log_path: None,
         }
     }
 }
@@ -122,36 +198,61 @@ struct Counters {
     parse_errors: AtomicU64,
     responses_ok: AtomicU64,
     responses_err: AtomicU64,
+    /// Connections reaped by the idle (read/write) deadline.
+    timeouts: AtomicU64,
+    /// Request lines that blew the byte cap (connection closed).
+    oversized_lines: AtomicU64,
+    /// Keep-alive connections closed by the per-connection request cap.
+    request_cap_closes: AtomicU64,
 }
 
 /// The daemon's SOC resolver: the shared memoizing resolver over the
 /// benchmark-only loader (a plain `fn` pointer, so the type is nameable).
 type BenchmarkOnlyResolver = MemoResolver<fn(&str) -> Result<Soc, String>>;
 
+/// One registered connection: the severing handle plus the busy flag the
+/// worker raises while a request is in flight (read but not yet answered),
+/// so shutdown can distinguish "blocked waiting for a peer" (sever now)
+/// from "solving/flushing" (drain first).
+struct ActiveConn {
+    stream: TcpStream,
+    busy: Arc<AtomicBool>,
+}
+
 /// Everything a worker thread needs to serve connections.
 struct Shared {
     engine: Engine,
+    cfg: ServerConfig,
     counters: Counters,
     resolver: Mutex<BenchmarkOnlyResolver>,
     started: Instant,
     shutdown: AtomicBool,
     /// Handles on every connection currently being served, so shutdown
     /// can sever them instead of waiting for idle peers to hang up.
-    active: Mutex<std::collections::HashMap<u64, TcpStream>>,
+    active: Mutex<std::collections::HashMap<u64, ActiveConn>>,
     next_conn_id: AtomicU64,
+    /// The JSONL request log, when configured.
+    log: Option<Mutex<std::fs::File>>,
 }
 
 impl Shared {
-    /// Registers a connection as active, returning its id (a clone of the
-    /// stream is kept so shutdown can `Shutdown::Both` it).
-    fn register(&self, stream: &TcpStream) -> Option<u64> {
+    /// Registers a connection as active, returning its id and busy flag (a
+    /// clone of the stream is kept so shutdown can `Shutdown::Both` it).
+    fn register(&self, stream: &TcpStream) -> Option<(u64, Arc<AtomicBool>)> {
         let id = self.next_conn_id.fetch_add(1, Ordering::Relaxed);
-        let clone = stream.try_clone().ok()?;
+        let stream = stream.try_clone().ok()?;
+        let busy = Arc::new(AtomicBool::new(false));
         self.active
             .lock()
             .expect("active-connection table poisoned")
-            .insert(id, clone);
-        Some(id)
+            .insert(
+                id,
+                ActiveConn {
+                    stream,
+                    busy: Arc::clone(&busy),
+                },
+            );
+        Some((id, busy))
     }
 
     fn deregister(&self, id: u64) {
@@ -161,16 +262,58 @@ impl Shared {
             .remove(&id);
     }
 
-    /// Severs every active connection: blocked worker reads return EOF,
-    /// so a dropped server never waits on an idle peer.
-    fn sever_active(&self) {
+    /// Severs connections: all of them, or only those with no request in
+    /// flight. Blocked worker reads observe EOF, so a dropped server never
+    /// waits on an idle peer.
+    fn sever(&self, idle_only: bool) {
         let active = self
             .active
             .lock()
             .expect("active-connection table poisoned");
-        for stream in active.values() {
-            let _ = stream.shutdown(std::net::Shutdown::Both);
+        for conn in active.values() {
+            if !idle_only || !conn.busy.load(Ordering::SeqCst) {
+                let _ = conn.stream.shutdown(std::net::Shutdown::Both);
+            }
         }
+    }
+
+    /// Whether any registered connection has a request in flight.
+    fn any_busy(&self) -> bool {
+        self.active
+            .lock()
+            .expect("active-connection table poisoned")
+            .values()
+            .any(|c| c.busy.load(Ordering::SeqCst))
+    }
+
+    /// Appends one JSONL record to the request log, if configured. The
+    /// `request` field is omitted when `request` is `None` (oversized
+    /// lines never parsed into a request), which also keeps such records
+    /// out of replay inputs.
+    fn log_request(
+        &self,
+        peer: &str,
+        request: Option<&str>,
+        outcome: &str,
+        cache: &str,
+        latency: Duration,
+    ) {
+        let Some(log) = &self.log else { return };
+        let ts_micros = SystemTime::now()
+            .duration_since(SystemTime::UNIX_EPOCH)
+            .map_or(0, |d| d.as_micros());
+        let request_field = request.map_or(String::new(), |r| {
+            format!("\"request\": \"{}\", ", protocol::json_escape(r))
+        });
+        let line = format!(
+            "{{\"ts_micros\": {ts_micros}, \"peer\": \"{}\", {request_field}\
+             \"outcome\": \"{outcome}\", \"cache\": \"{cache}\", \
+             \"latency_micros\": {}}}\n",
+            protocol::json_escape(peer),
+            latency.as_micros(),
+        );
+        let mut file = log.lock().expect("request log poisoned");
+        let _ = file.write_all(line.as_bytes());
     }
 }
 
@@ -186,10 +329,25 @@ fn load_benchmark(name: &str) -> Result<Soc, String> {
     })
 }
 
+/// Summary of a cache-warming pass ([`Server::warm_from_text`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WarmReport {
+    /// Replayable request lines found in the input.
+    pub requests: usize,
+    /// Requests solved (or already cached) successfully.
+    pub ok: usize,
+    /// Requests the engine rejected (infeasible configs are reported, not
+    /// fatal — the daemon still starts).
+    pub failed: usize,
+    /// Lines that did not parse as requests (e.g. a log recorded against a
+    /// benchmark set this daemon does not serve).
+    pub skipped: usize,
+}
+
 /// A running serving daemon: a TCP acceptor plus a pool of connection
 /// workers over one cached [`Engine`]. Dropping (or calling
-/// [`Server::shutdown`]) stops accepting, drains the workers, and joins
-/// every thread.
+/// [`Server::shutdown`]) stops accepting, drains in-flight responses
+/// (severing idle peers immediately), and joins every thread.
 pub struct Server {
     shared: Arc<Shared>,
     addr: SocketAddr,
@@ -203,10 +361,12 @@ impl Server {
     ///
     /// # Errors
     ///
-    /// Propagates the bind failure (address in use, permission, …).
-    pub fn bind(addr: impl ToSocketAddrs, cfg: ServerConfig) -> io::Result<Self> {
+    /// Propagates the bind failure (address in use, permission, …) and
+    /// request-log open failures.
+    pub fn bind(addr: impl ToSocketAddrs, mut cfg: ServerConfig) -> io::Result<Self> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
+        cfg.max_line_bytes = cfg.max_line_bytes.max(64);
 
         let mut registry = ContextRegistry::new(
             ContextRegistry::DEFAULT_SHARDS,
@@ -218,8 +378,19 @@ impl Server {
         let engine = Engine::with_registry(Arc::new(registry))
             .with_solution_cache(cfg.cache_capacity, cfg.ttl);
 
+        let log = match &cfg.log_path {
+            None => None,
+            Some(path) => Some(Mutex::new(
+                std::fs::OpenOptions::new()
+                    .create(true)
+                    .append(true)
+                    .open(path)?,
+            )),
+        };
+
         let shared = Arc::new(Shared {
             engine,
+            cfg,
             counters: Counters::default(),
             resolver: Mutex::new(MemoResolver::new(
                 load_benchmark as fn(&str) -> Result<Soc, String>,
@@ -228,11 +399,12 @@ impl Server {
             shutdown: AtomicBool::new(false),
             active: Mutex::new(std::collections::HashMap::new()),
             next_conn_id: AtomicU64::new(0),
+            log,
         });
 
         let (tx, rx) = mpsc::channel::<TcpStream>();
         let rx = Arc::new(Mutex::new(rx));
-        let workers = (0..cfg.threads.max(1))
+        let workers = (0..shared.cfg.threads.max(1))
             .map(|_| {
                 let shared = Arc::clone(&shared);
                 let rx = Arc::clone(&rx);
@@ -291,7 +463,35 @@ impl Server {
         metrics_text(&self.shared)
     }
 
-    /// Stops accepting, drains in-flight connections, and joins every
+    /// Pre-solves every replayable request in `text` — a plain request
+    /// file or a saved JSONL request log
+    /// ([`soctam_core::protocol::replay_lines`]) — through the daemon's
+    /// own engine and resolver, so the solution cache starts hot before
+    /// real traffic arrives. Lines that fail to parse are skipped, not
+    /// fatal: a warming input must never keep the daemon from starting.
+    pub fn warm_from_text(&self, text: &str) -> WarmReport {
+        let lines = protocol::replay_lines(text);
+        let mut report = WarmReport {
+            requests: lines.len(),
+            ..WarmReport::default()
+        };
+        for line in &lines {
+            let parsed = {
+                let mut resolver = self.shared.resolver.lock().expect("resolver poisoned");
+                protocol::parse_request(line, &mut *resolver)
+            };
+            match parsed {
+                Err(_) => report.skipped += 1,
+                Ok(req) => match self.shared.engine.serve_one(&req) {
+                    Ok(_) => report.ok += 1,
+                    Err(_) => report.failed += 1,
+                },
+            }
+        }
+        report
+    }
+
+    /// Stops accepting, drains in-flight responses, and joins every
     /// thread. Equivalent to dropping the server, but explicit at call
     /// sites that care about ordering.
     pub fn shutdown(self) {
@@ -318,9 +518,16 @@ impl Drop for Server {
         if let Some(acceptor) = self.acceptor.take() {
             let _ = acceptor.join();
         }
-        // Sever in-flight connections so workers blocked on an idle peer
-        // observe EOF instead of waiting for the peer to hang up.
-        self.shared.sever_active();
+        // Graceful drain: sever idle connections immediately (their
+        // workers are blocked waiting on a peer, with nothing to flush),
+        // then give connections with a request in flight up to the drain
+        // window to finish solving and flush before severing the rest.
+        self.shared.sever(true);
+        let deadline = Instant::now() + self.shared.cfg.drain;
+        while self.shared.any_busy() && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        self.shared.sever(false);
         for worker in self.workers.drain(..) {
             let _ = worker.join();
         }
@@ -336,40 +543,118 @@ impl std::fmt::Debug for Server {
     }
 }
 
+/// Outcome of one bounded line read.
+enum LineRead {
+    /// A complete line (or the final, newline-less line before EOF) is in
+    /// the buffer.
+    Line,
+    /// The byte cap was hit before a newline arrived.
+    Oversized,
+    /// The peer hung up cleanly.
+    Eof,
+    /// The read deadline elapsed (`WouldBlock`/`TimedOut`).
+    TimedOut,
+    /// Any other transport failure.
+    Failed,
+}
+
+/// Reads one `\n`-terminated line into `buf` (cleared first), never
+/// buffering more than `max + 1` bytes of it — the bounded read that keeps
+/// a newline-free byte stream from growing daemon memory without limit.
+fn read_bounded_line(reader: &mut BufReader<TcpStream>, buf: &mut Vec<u8>, max: usize) -> LineRead {
+    buf.clear();
+    let mut bounded = reader.by_ref().take(max as u64 + 1);
+    match bounded.read_until(b'\n', buf) {
+        Ok(0) => LineRead::Eof,
+        Ok(_) if buf.last() == Some(&b'\n') || buf.len() <= max => LineRead::Line,
+        Ok(_) => LineRead::Oversized,
+        Err(e)
+            if matches!(
+                e.kind(),
+                io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+            ) =>
+        {
+            LineRead::TimedOut
+        }
+        Err(_) => LineRead::Failed,
+    }
+}
+
 /// Serves one accepted connection to completion: an HTTP GET gets one
 /// response and a close; anything else is a stream of protocol request
 /// lines, each answered with one JSON line.
 fn serve_connection(shared: &Shared, stream: TcpStream) {
     let _ = stream.set_nodelay(true);
-    let Some(conn_id) = shared.register(&stream) else {
+    let _ = stream.set_read_timeout(shared.cfg.idle_timeout);
+    let _ = stream.set_write_timeout(shared.cfg.idle_timeout);
+    let Some((conn_id, busy)) = shared.register(&stream) else {
         return;
     };
-    serve_registered_connection(shared, stream);
+    serve_registered_connection(shared, stream, &busy);
     shared.deregister(conn_id);
 }
 
 /// The connection loop proper (split out so registration is impossible to
 /// leak past an early return).
-fn serve_registered_connection(shared: &Shared, stream: TcpStream) {
+fn serve_registered_connection(shared: &Shared, stream: TcpStream, busy: &AtomicBool) {
+    let peer = stream
+        .peer_addr()
+        .map_or_else(|_| "unknown".to_owned(), |a| a.to_string());
     let Ok(read_half) = stream.try_clone() else {
         return;
     };
     let mut reader = BufReader::new(read_half);
     let mut writer = stream;
     let mut first = true;
-    let mut line = String::new();
+    let mut served: u64 = 0;
+    let mut buf = Vec::new();
     loop {
-        line.clear();
-        match reader.read_line(&mut line) {
-            Ok(0) | Err(_) => return, // EOF or broken peer
-            Ok(_) => {}
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return; // draining: no new request is read
         }
+        match read_bounded_line(&mut reader, &mut buf, shared.cfg.max_line_bytes) {
+            LineRead::Eof | LineRead::Failed => return,
+            LineRead::TimedOut => {
+                shared.counters.timeouts.fetch_add(1, Ordering::Relaxed);
+                return; // idle (or unwriteable) peer reaped
+            }
+            LineRead::Oversized => {
+                busy.store(true, Ordering::SeqCst);
+                shared
+                    .counters
+                    .oversized_lines
+                    .fetch_add(1, Ordering::Relaxed);
+                shared.counters.parse_errors.fetch_add(1, Ordering::Relaxed);
+                shared
+                    .counters
+                    .responses_err
+                    .fetch_add(1, Ordering::Relaxed);
+                let response = protocol::render_parse_error(&format!(
+                    "request line exceeds the {}-byte cap; closing connection",
+                    shared.cfg.max_line_bytes
+                ));
+                shared.log_request(&peer, None, "oversized", "none", Duration::ZERO);
+                let _ = writer.write_all(response.as_bytes());
+                let _ = writer.write_all(b"\n");
+                let _ = writer.flush();
+                // Discard (bounded, fixed-buffer — memory never grows) what
+                // remains of the over-long line: closing with unread data
+                // would RST the verdict out from under the peer.
+                let _ = io::copy(&mut reader.by_ref().take(1 << 20), &mut io::sink());
+                busy.store(false, Ordering::SeqCst);
+                return; // the over-long line is never buffered, only drained
+            }
+            LineRead::Line => {}
+        }
+        let line = String::from_utf8_lossy(&buf);
         if first && (line.starts_with("GET ") || line.starts_with("HEAD ")) {
             shared
                 .counters
                 .http_requests
                 .fetch_add(1, Ordering::Relaxed);
+            busy.store(true, Ordering::SeqCst);
             serve_http(shared, &mut reader, &mut writer, line.trim());
+            busy.store(false, Ordering::SeqCst);
             return; // Connection: close
         }
         first = false;
@@ -377,19 +662,37 @@ fn serve_registered_connection(shared: &Shared, stream: TcpStream) {
         if request.is_empty() || request.starts_with('#') {
             continue; // same skip rule as a batch file
         }
-        let response = serve_request_line(shared, request);
-        if writer.write_all(response.as_bytes()).is_err()
-            || writer.write_all(b"\n").is_err()
-            || writer.flush().is_err()
-        {
+        // Busy from "request read" to "response flushed": shutdown's
+        // drain waits for this window instead of severing mid-solve.
+        busy.store(true, Ordering::SeqCst);
+        let request = request.to_owned();
+        let t0 = Instant::now();
+        let (response, outcome, cache) = serve_request_line(shared, &request);
+        // Log before the response flushes: once the peer reads its reply,
+        // the record is already durable.
+        shared.log_request(&peer, Some(&request), outcome, cache, t0.elapsed());
+        let write_ok = writer.write_all(response.as_bytes()).is_ok()
+            && writer.write_all(b"\n").is_ok()
+            && writer.flush().is_ok();
+        busy.store(false, Ordering::SeqCst);
+        if !write_ok {
             return;
+        }
+        served += 1;
+        if shared.cfg.max_requests.is_some_and(|cap| served >= cap) {
+            shared
+                .counters
+                .request_cap_closes
+                .fetch_add(1, Ordering::Relaxed);
+            return; // cap'th response flushed; keep-alive ends here
         }
     }
 }
 
 /// Parses and serves one protocol request line, returning the JSON
-/// response object (without the trailing newline).
-fn serve_request_line(shared: &Shared, request: &str) -> String {
+/// response object (without the trailing newline), the outcome label, and
+/// the cache-disposition label — the last two feed the request log.
+fn serve_request_line(shared: &Shared, request: &str) -> (String, &'static str, &'static str) {
     let parsed = {
         let mut resolver = shared.resolver.lock().expect("resolver poisoned");
         protocol::parse_request(request, &mut *resolver)
@@ -401,7 +704,7 @@ fn serve_request_line(shared: &Shared, request: &str) -> String {
                 .counters
                 .responses_err
                 .fetch_add(1, Ordering::Relaxed);
-            protocol::render_parse_error(&e)
+            (protocol::render_parse_error(&e), "parse_error", "none")
         }
         Ok(req) => {
             let kind_counter = match &req.op {
@@ -410,17 +713,28 @@ fn serve_request_line(shared: &Shared, request: &str) -> String {
                 EngineOp::Bounds { .. } => &shared.counters.bounds_requests,
             };
             kind_counter.fetch_add(1, Ordering::Relaxed);
-            let result = shared.engine.serve_one(&req);
-            let outcome_counter = if result.is_ok() {
-                &shared.counters.responses_ok
+            let (result, disposition) = shared.engine.serve_one_traced(&req);
+            let (outcome_counter, outcome) = if result.is_ok() {
+                (&shared.counters.responses_ok, "ok")
             } else {
-                &shared.counters.responses_err
+                (&shared.counters.responses_err, "error")
             };
             outcome_counter.fetch_add(1, Ordering::Relaxed);
-            protocol::render_result(&req, &result)
+            let cache = match disposition {
+                CacheDisposition::Hit => "hit",
+                CacheDisposition::Miss => "miss",
+                CacheDisposition::Coalesced => "coalesced",
+                CacheDisposition::Uncached => "uncached",
+            };
+            (protocol::render_result(&req, &result), outcome, cache)
         }
     }
 }
+
+/// Most header lines one HTTP request may carry before the daemon stops
+/// reading and answers 431 — with the per-line byte cap, this bounds the
+/// bytes a header block can make the daemon consume.
+const MAX_HTTP_HEADER_LINES: usize = 128;
 
 /// Serves the minimal HTTP/1.1 GET surface: `/healthz`, `/metrics`, 404.
 fn serve_http(
@@ -429,24 +743,35 @@ fn serve_http(
     writer: &mut TcpStream,
     request_line: &str,
 ) {
-    // Drain the header block; the surface is GET/HEAD-only, so no body
-    // follows.
-    let mut header = String::new();
-    loop {
-        header.clear();
-        match reader.read_line(&mut header) {
-            Ok(0) | Err(_) => break,
-            Ok(_) if header.trim().is_empty() => break,
-            Ok(_) => {}
+    // Drain the header block under the same per-line byte cap as the wire
+    // protocol; the surface is GET/HEAD-only, so no body follows.
+    let mut header = Vec::new();
+    let mut lines = 0;
+    let header_overflow = loop {
+        if lines >= MAX_HTTP_HEADER_LINES {
+            break true;
         }
-    }
-    let head_only = request_line.starts_with("HEAD ");
-    let path = request_line.split_whitespace().nth(1).unwrap_or("/");
-    let (status, body) = match path {
-        "/healthz" => ("200 OK", "ok\n".to_owned()),
-        "/metrics" => ("200 OK", metrics_text(shared)),
-        _ => ("404 Not Found", "not found\n".to_owned()),
+        lines += 1;
+        match read_bounded_line(reader, &mut header, shared.cfg.max_line_bytes) {
+            LineRead::Oversized => break true,
+            LineRead::Line if !header.iter().all(|b| b.is_ascii_whitespace()) => {}
+            _ => break false, // blank line, EOF, timeout, or failure
+        }
     };
+    let (status, body) = if header_overflow {
+        (
+            "431 Request Header Fields Too Large",
+            "header block exceeds the configured cap\n".to_owned(),
+        )
+    } else {
+        let path = request_line.split_whitespace().nth(1).unwrap_or("/");
+        match path {
+            "/healthz" => ("200 OK", "ok\n".to_owned()),
+            "/metrics" => ("200 OK", metrics_text(shared)),
+            _ => ("404 Not Found", "not found\n".to_owned()),
+        }
+    };
+    let head_only = request_line.starts_with("HEAD ");
     // A HEAD response carries the headers a GET would (including the
     // body's Content-Length) but never the body itself (RFC 9110 §9.3.2).
     let response = format!(
@@ -459,82 +784,159 @@ fn serve_http(
     let _ = writer.flush();
 }
 
-/// Renders the Prometheus text exposition of the daemon's counters.
+/// Renders the Prometheus text exposition of the daemon's counters. Every
+/// metric family carries its `# TYPE` line (counter or gauge) so real
+/// scrapers ingest the exposition, not just `grep`.
 fn metrics_text(shared: &Shared) -> String {
     let c = &shared.counters;
     let registry = shared.engine.registry();
     let reg_stats = registry.stats();
     let sol_stats = shared.engine.solution_stats().unwrap_or_default();
     let mut out = String::new();
+    let _ = writeln!(out, "# TYPE soctam_uptime_seconds gauge");
     let _ = writeln!(
         out,
         "soctam_uptime_seconds {}",
         shared.started.elapsed().as_secs_f64()
     );
-    let rows: [(&str, u64); 22] = [
+    // One entry per metric *family*: (family name, type, samples), where a
+    // sample is (label suffix, value). Most families have the single
+    // unlabelled sample.
+    type Samples = Vec<(&'static str, u64)>;
+    let families: Vec<(&str, &str, Samples)> = vec![
         (
             "soctam_connections_total",
-            c.connections.load(Ordering::Relaxed),
+            "counter",
+            vec![("", c.connections.load(Ordering::Relaxed))],
         ),
         (
             "soctam_http_requests_total",
-            c.http_requests.load(Ordering::Relaxed),
+            "counter",
+            vec![("", c.http_requests.load(Ordering::Relaxed))],
         ),
         (
-            "soctam_requests_total{kind=\"schedule\"}",
-            c.schedule_requests.load(Ordering::Relaxed),
-        ),
-        (
-            "soctam_requests_total{kind=\"sweep\"}",
-            c.sweep_requests.load(Ordering::Relaxed),
-        ),
-        (
-            "soctam_requests_total{kind=\"bounds\"}",
-            c.bounds_requests.load(Ordering::Relaxed),
+            "soctam_requests_total",
+            "counter",
+            vec![
+                (
+                    "{kind=\"schedule\"}",
+                    c.schedule_requests.load(Ordering::Relaxed),
+                ),
+                ("{kind=\"sweep\"}", c.sweep_requests.load(Ordering::Relaxed)),
+                (
+                    "{kind=\"bounds\"}",
+                    c.bounds_requests.load(Ordering::Relaxed),
+                ),
+            ],
         ),
         (
             "soctam_request_parse_errors_total",
-            c.parse_errors.load(Ordering::Relaxed),
+            "counter",
+            vec![("", c.parse_errors.load(Ordering::Relaxed))],
         ),
         (
             "soctam_responses_ok_total",
-            c.responses_ok.load(Ordering::Relaxed),
+            "counter",
+            vec![("", c.responses_ok.load(Ordering::Relaxed))],
         ),
         (
             "soctam_responses_err_total",
-            c.responses_err.load(Ordering::Relaxed),
+            "counter",
+            vec![("", c.responses_err.load(Ordering::Relaxed))],
         ),
-        ("soctam_solution_cache_hits_total", sol_stats.hits),
-        ("soctam_solution_cache_misses_total", sol_stats.misses),
-        ("soctam_solution_cache_coalesced_total", sol_stats.coalesced),
-        ("soctam_solution_cache_evictions_total", sol_stats.evictions),
-        ("soctam_solution_cache_expiries_total", sol_stats.expiries),
-        ("soctam_solution_cache_failures_total", sol_stats.failures),
+        (
+            "soctam_connection_timeouts_total",
+            "counter",
+            vec![("", c.timeouts.load(Ordering::Relaxed))],
+        ),
+        (
+            "soctam_request_line_oversized_total",
+            "counter",
+            vec![("", c.oversized_lines.load(Ordering::Relaxed))],
+        ),
+        (
+            "soctam_request_cap_closes_total",
+            "counter",
+            vec![("", c.request_cap_closes.load(Ordering::Relaxed))],
+        ),
+        (
+            "soctam_solution_cache_hits_total",
+            "counter",
+            vec![("", sol_stats.hits)],
+        ),
+        (
+            "soctam_solution_cache_misses_total",
+            "counter",
+            vec![("", sol_stats.misses)],
+        ),
+        (
+            "soctam_solution_cache_coalesced_total",
+            "counter",
+            vec![("", sol_stats.coalesced)],
+        ),
+        (
+            "soctam_solution_cache_evictions_total",
+            "counter",
+            vec![("", sol_stats.evictions)],
+        ),
+        (
+            "soctam_solution_cache_expiries_total",
+            "counter",
+            vec![("", sol_stats.expiries)],
+        ),
+        (
+            "soctam_solution_cache_failures_total",
+            "counter",
+            vec![("", sol_stats.failures)],
+        ),
         (
             "soctam_solution_cache_resident",
-            shared.engine.solutions_len() as u64,
+            "gauge",
+            vec![("", shared.engine.solutions_len() as u64)],
         ),
-        ("soctam_context_registry_hits_total", reg_stats.hits),
-        ("soctam_context_registry_misses_total", reg_stats.misses),
+        (
+            "soctam_context_registry_hits_total",
+            "counter",
+            vec![("", reg_stats.hits)],
+        ),
+        (
+            "soctam_context_registry_misses_total",
+            "counter",
+            vec![("", reg_stats.misses)],
+        ),
         (
             "soctam_context_registry_evictions_total",
-            reg_stats.evictions,
+            "counter",
+            vec![("", reg_stats.evictions)],
         ),
-        ("soctam_context_registry_expiries_total", reg_stats.expiries),
-        ("soctam_context_registry_resident", registry.len() as u64),
+        (
+            "soctam_context_registry_expiries_total",
+            "counter",
+            vec![("", reg_stats.expiries)],
+        ),
+        (
+            "soctam_context_registry_resident",
+            "gauge",
+            vec![("", registry.len() as u64)],
+        ),
         // Process-scoped (not per-server): the instrument counters cover
         // every engine in the process, and the name says so.
         (
             "soctam_process_schedule_runs_total",
-            instrument::schedule_runs(),
+            "counter",
+            vec![("", instrument::schedule_runs())],
         ),
         (
             "soctam_process_context_compiles_total",
-            instrument::context_compiles(),
+            "counter",
+            vec![("", instrument::context_compiles())],
         ),
     ];
-    for (name, value) in rows {
-        let _ = writeln!(out, "{name} {value}");
+    for (name, kind, samples) in families {
+        let _ = writeln!(out, "# TYPE {name} {kind}");
+        for (labels, value) in samples {
+            let _ = writeln!(out, "{name}{labels} {value}");
+        }
     }
     out
 }

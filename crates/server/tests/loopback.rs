@@ -7,12 +7,12 @@
 //! that test alone.
 
 use std::sync::{Mutex, MutexGuard, OnceLock};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use soctam_core::engine::Engine;
 use soctam_core::protocol::{self, benchmark_resolver};
 use soctam_core::schedule::instrument;
-use soctam_server::{client, Server, ServerConfig};
+use soctam_server::{client, Server, ServerConfig, WarmReport};
 
 fn serialize() -> MutexGuard<'static, ()> {
     static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
@@ -271,5 +271,266 @@ fn infeasible_requests_fail_cleanly_and_are_not_cached() {
         metrics.contains("soctam_responses_err_total 2"),
         "{metrics}"
     );
+    server.shutdown();
+}
+
+#[test]
+fn idle_peers_are_reaped_freeing_workers_for_fresh_clients() {
+    let _guard = serialize();
+    // Two workers, both occupied by peers that never send a byte: without
+    // the read deadline the fresh client below would starve forever.
+    let server = server(ServerConfig {
+        threads: 2,
+        idle_timeout: Some(Duration::from_millis(400)),
+        ..ServerConfig::default()
+    });
+    let addr = server.local_addr();
+    let idle_a = client::Connection::connect(addr).expect("idle connect");
+    let idle_b = client::Connection::connect(addr).expect("idle connect");
+    std::thread::sleep(Duration::from_millis(100)); // workers pick them up
+
+    let t0 = Instant::now();
+    let responses =
+        client::roundtrip(addr, &["bounds d695 --widths 16"]).expect("fresh client served");
+    assert!(responses[0].contains("\"ok\": true"), "{}", responses[0]);
+    assert!(
+        t0.elapsed() < Duration::from_secs(5),
+        "fresh client waited {:?} behind idle peers",
+        t0.elapsed()
+    );
+
+    // Both idle peers end up reaped (the second may lag the first by one
+    // deadline period).
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while !server
+        .metrics()
+        .contains("soctam_connection_timeouts_total 2")
+        && Instant::now() < deadline
+    {
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    let metrics = server.metrics();
+    assert!(
+        metrics.contains("soctam_connection_timeouts_total 2"),
+        "{metrics}"
+    );
+    drop((idle_a, idle_b));
+    server.shutdown();
+}
+
+#[test]
+fn a_newline_free_flood_is_answered_at_the_cap_and_closed() {
+    let _guard = serialize();
+    let server = server(ServerConfig {
+        max_line_bytes: 1024,
+        ..ServerConfig::default()
+    });
+    let addr = server.local_addr();
+
+    use std::io::{BufRead, BufReader, Write};
+    let stream = std::net::TcpStream::connect(addr).expect("connect");
+    let mut writer = stream.try_clone().expect("clone");
+    // 100 KiB with no newline: the daemon may only ever buffer cap + 1
+    // bytes of it (the bounded read), then must answer and close. Our
+    // write can race the close, so failures past the verdict are fine.
+    let flood = vec![b'x'; 100 * 1024];
+    let _ = writer.write_all(&flood);
+    let _ = writer.flush();
+
+    let mut reader = BufReader::new(stream);
+    let mut verdict = String::new();
+    reader.read_line(&mut verdict).expect("verdict line");
+    assert!(verdict.contains("\"ok\": false"), "{verdict}");
+    assert!(verdict.contains("1024-byte cap"), "{verdict}");
+
+    let mut rest = String::new();
+    let eof = reader.read_line(&mut rest);
+    assert!(
+        matches!(eof, Ok(0) | Err(_)),
+        "connection closed after the verdict, got {rest:?}"
+    );
+
+    let metrics = server.metrics();
+    assert!(
+        metrics.contains("soctam_request_line_oversized_total 1"),
+        "{metrics}"
+    );
+    server.shutdown();
+}
+
+#[test]
+fn the_request_cap_ends_a_keep_alive_session_after_the_last_response() {
+    let _guard = serialize();
+    let server = server(ServerConfig {
+        max_requests: Some(2),
+        ..ServerConfig::default()
+    });
+    let addr = server.local_addr();
+
+    let mut conn = client::Connection::connect(addr).expect("connect");
+    let first = conn.request("bounds d695 --widths 16").expect("request 1");
+    let second = conn.request("bounds d695 --widths 16").expect("request 2");
+    assert_eq!(first, second, "the cap'th response is flushed in full");
+    // The third request on this connection meets a graceful close.
+    let third = conn.request("bounds d695 --widths 16");
+    assert!(third.is_err(), "the keep-alive session ended at the cap");
+
+    // A fresh connection starts a fresh budget.
+    let fresh = client::roundtrip(addr, &["bounds d695 --widths 16"]).expect("fresh connection");
+    assert_eq!(fresh[0], first);
+
+    let metrics = server.metrics();
+    assert!(
+        metrics.contains("soctam_request_cap_closes_total 1"),
+        "{metrics}"
+    );
+    server.shutdown();
+}
+
+#[test]
+fn shutdown_drains_an_in_flight_response_before_severing() {
+    let _guard = serialize();
+    let server = server(ServerConfig::default());
+    let addr = server.local_addr();
+
+    // A cold schedule solve is in flight when shutdown lands: the drain
+    // window must let it finish and flush instead of severing mid-solve.
+    let client_thread = std::thread::spawn(move || {
+        let mut conn = client::Connection::connect(addr).expect("connect");
+        conn.request("schedule d695 --width 17")
+    });
+    std::thread::sleep(Duration::from_millis(150));
+    server.shutdown();
+    let response = client_thread
+        .join()
+        .expect("client thread")
+        .expect("the in-flight response was drained, not severed");
+    assert!(response.contains("\"ok\": true"), "{response}");
+}
+
+#[test]
+fn the_request_log_records_jsonl_and_replays() {
+    let _guard = serialize();
+    let log_path =
+        std::env::temp_dir().join(format!("soctam_loopback_log_{}.jsonl", std::process::id()));
+    std::fs::remove_file(&log_path).ok();
+    let server = server(ServerConfig {
+        log_path: Some(log_path.clone()),
+        ..ServerConfig::default()
+    });
+    let addr = server.local_addr();
+
+    client::roundtrip(
+        addr,
+        &["bounds d695 --widths 16", "definitely not a request"],
+    )
+    .expect("traffic");
+
+    // Each served request appended one self-contained JSONL record.
+    let text = std::fs::read_to_string(&log_path).expect("log written");
+    let lines: Vec<&str> = text.lines().collect();
+    assert_eq!(lines.len(), 2, "{text}");
+    assert!(
+        lines[0].contains("\"request\": \"bounds d695 --widths 16\""),
+        "{}",
+        lines[0]
+    );
+    assert!(lines[0].contains("\"outcome\": \"ok\""), "{}", lines[0]);
+    assert!(lines[0].contains("\"cache\": \"miss\""), "{}", lines[0]);
+    assert!(lines[0].contains("\"ts_micros\": "), "{}", lines[0]);
+    assert!(lines[0].contains("\"latency_micros\": "), "{}", lines[0]);
+    assert!(lines[0].contains("\"peer\": \"127.0.0.1:"), "{}", lines[0]);
+    assert!(
+        lines[1].contains("\"outcome\": \"parse_error\""),
+        "{}",
+        lines[1]
+    );
+    assert!(lines[1].contains("\"cache\": \"none\""), "{}", lines[1]);
+
+    // The log replays: its request lines go back over the wire, and the
+    // warmed daemon answers the good one from cache.
+    let report = client::replay(addr, &text).expect("replay");
+    assert_eq!(report.responses.len(), 2);
+    assert_eq!((report.ok, report.failed), (1, 1));
+    assert!(report.responses[0].1.contains("\"ok\": true"));
+    assert!(report.latency.is_some());
+    assert_eq!(
+        server.engine().solution_stats().unwrap().hits,
+        1,
+        "the replayed request hit the cache"
+    );
+
+    std::fs::remove_file(&log_path).ok();
+    server.shutdown();
+}
+
+#[test]
+fn warm_from_text_pre_solves_requests_and_logs() {
+    let _guard = serialize();
+    let server = server(ServerConfig::default());
+    // A warm input mixes plain request lines, JSONL log records, comments,
+    // and junk; only the junk is skipped, and nothing is fatal.
+    let report = server.warm_from_text(
+        "# saved traffic\n\
+         bounds d695 --widths 16\n\
+         {\"ts_micros\": 1, \"peer\": \"x\", \"request\": \"bounds d695 --widths 24\", \
+          \"outcome\": \"ok\", \"cache\": \"miss\", \"latency_micros\": 5}\n\
+         definitely not a request\n",
+    );
+    assert_eq!(
+        report,
+        WarmReport {
+            requests: 3,
+            ok: 2,
+            failed: 0,
+            skipped: 1
+        }
+    );
+
+    // Warmed traffic is served straight from the cache.
+    let addr = server.local_addr();
+    let responses = client::roundtrip(addr, &["bounds d695 --widths 16"]).expect("warmed request");
+    assert!(responses[0].contains("\"ok\": true"));
+    let stats = server.engine().solution_stats().unwrap();
+    assert_eq!((stats.hits, stats.misses), (1, 2));
+    server.shutdown();
+}
+
+#[test]
+fn metrics_exposition_carries_type_lines_for_every_family() {
+    let _guard = serialize();
+    let server = server(ServerConfig::default());
+    let (status, body) = client::http_get(server.local_addr(), "/metrics").expect("metrics");
+    assert_eq!(status, "HTTP/1.1 200 OK");
+
+    for family in [
+        "soctam_uptime_seconds gauge",
+        "soctam_connections_total counter",
+        "soctam_requests_total counter",
+        "soctam_connection_timeouts_total counter",
+        "soctam_request_line_oversized_total counter",
+        "soctam_request_cap_closes_total counter",
+        "soctam_solution_cache_resident gauge",
+    ] {
+        assert!(
+            body.contains(&format!("# TYPE {family}")),
+            "missing `# TYPE {family}`:\n{body}"
+        );
+    }
+
+    // Every sample line belongs to a TYPE-annotated family — a scraper
+    // never meets an untyped metric.
+    let typed: std::collections::HashSet<&str> = body
+        .lines()
+        .filter_map(|l| l.strip_prefix("# TYPE "))
+        .filter_map(|l| l.split_whitespace().next())
+        .collect();
+    for line in body
+        .lines()
+        .filter(|l| !l.starts_with('#') && !l.trim().is_empty())
+    {
+        let name = line.split(['{', ' ']).next().expect("metric name");
+        assert!(typed.contains(name), "sample `{line}` has no # TYPE");
+    }
     server.shutdown();
 }
