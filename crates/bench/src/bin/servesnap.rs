@@ -20,6 +20,14 @@
 //! in a `"replay"` section — exercising the log → replay loop end to end
 //! on every snapshot.
 //!
+//! A final **overload pass** offers load far over capacity to a second,
+//! deliberately under-provisioned daemon (one worker, a two-slot pending
+//! queue, injected per-request latency) from retrying clients. The
+//! `"overload"` section records the shed rate, goodput, and client-side
+//! latency percentiles — and the snapshot **fails** (exit 1) if the
+//! over-capacity pass sheds nothing (admission control regressed) or if
+//! any retrying client ultimately fails (resilience regressed).
+//!
 //! Run with: `cargo run --release -p soctam-bench --bin servesnap`
 //! Options:  `--quick` shrinks the warm pass (the CI smoke);
 //!           `--clients <n>` client threads (default 4);
@@ -27,9 +35,12 @@
 //!           `--out <file>` changes the output path.
 
 use std::fmt::Write as _;
-use std::time::Instant;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use soctam_bench::{json_escape, opt_value};
+use soctam_core::fault::FaultPlan;
+use soctam_server::client::{RetryPolicy, RetryingClient};
 use soctam_server::{client, Server, ServerConfig};
 
 /// The mixed request set: all three kinds, both scheduling modes, a
@@ -44,6 +55,17 @@ const REQUESTS: [&str; 6] = [
 ];
 
 use client::LatencySummary;
+
+/// Reads one counter out of the daemon's Prometheus exposition.
+fn metric_value(metrics: &str, name: &str) -> u64 {
+    metrics
+        .lines()
+        .find_map(|line| {
+            line.strip_prefix(name)
+                .and_then(|rest| rest.trim().parse().ok())
+        })
+        .unwrap_or_else(|| panic!("no metric `{name}` in:\n{metrics}"))
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -168,6 +190,83 @@ fn main() {
         reg.hits
     );
 
+    // Overload pass: a second, deliberately under-provisioned daemon (one
+    // worker, a two-slot pending queue, 5 ms of injected latency per
+    // request) is offered eight simultaneous retrying clients — load far
+    // over capacity. Sheds are absorbed by the clients' backoff, so the
+    // pass measures the resilience contract end to end: non-zero sheds,
+    // zero eventual failures, and the goodput the daemon sustains while
+    // shedding.
+    const OVERLOAD_REQUEST: &str = "bounds d695 --widths 16";
+    let overload_clients: usize = 8;
+    let overload_iters: usize = if quick { 5 } else { 15 };
+    let overload = Server::bind(
+        "127.0.0.1:0",
+        ServerConfig {
+            threads: 1,
+            max_pending: 2,
+            fault_plan: Some(Arc::new(
+                FaultPlan::parse("io:latency=5ms").expect("static plan parses"),
+            )),
+            ..ServerConfig::default()
+        },
+    )
+    .expect("ephemeral loopback bind");
+    overload.warm_from_text(OVERLOAD_REQUEST); // service time ≈ injected latency
+    let overload_addr = overload.local_addr();
+
+    let overload_t0 = Instant::now();
+    let per_client: Vec<(Vec<f64>, u64, u64)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..overload_clients)
+            .map(|seed| {
+                scope.spawn(move || {
+                    let policy = RetryPolicy {
+                        retries: 60,
+                        backoff: Duration::from_millis(5),
+                        seed: seed as u64,
+                    };
+                    let mut client =
+                        RetryingClient::new(overload_addr, policy).expect("loopback resolves");
+                    let mut latencies = Vec::with_capacity(overload_iters);
+                    let mut failed = 0u64;
+                    for _ in 0..overload_iters {
+                        let t0 = Instant::now();
+                        match client.request(OVERLOAD_REQUEST) {
+                            Ok(response) if response.contains("\"ok\": true") => {
+                                latencies.push(t0.elapsed().as_secs_f64() * 1e3);
+                            }
+                            _ => failed += 1,
+                        }
+                    }
+                    (latencies, client.retried(), failed)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("overload client panicked"))
+            .collect()
+    });
+    let overload_wall_s = overload_t0.elapsed().as_secs_f64();
+    let overload_metrics = overload.metrics();
+    overload.shutdown();
+
+    let sheds = metric_value(&overload_metrics, "soctam_shed_total");
+    let overload_retried: u64 = per_client.iter().map(|(_, r, _)| r).sum();
+    let overload_failed: u64 = per_client.iter().map(|(_, _, f)| f).sum();
+    let overload_latencies: Vec<f64> = per_client.into_iter().flat_map(|(l, _, _)| l).collect();
+    let overload_ok = overload_latencies.len();
+    let goodput = overload_ok as f64 / overload_wall_s;
+    let offered_rps = (overload_clients * overload_iters) as f64 / overload_wall_s;
+    let overload_latency =
+        LatencySummary::of_millis(overload_latencies).expect("overload pass has samples");
+
+    println!(
+        "overload: {} clients x {} requests at capacity 1 worker + 2 pending: \
+         {} sheds, {} retries, {:.0} req/s goodput, p99 {:.1} ms",
+        overload_clients, overload_iters, sheds, overload_retried, goodput, overload_latency.p99_ms
+    );
+
     let mut json = String::new();
     json.push_str("{\n  \"bench\": \"servesnap\",\n");
     let _ = writeln!(
@@ -211,8 +310,19 @@ fn main() {
     let _ = writeln!(
         json,
         "  \"registry\": {{\"hits\": {}, \"misses\": {}, \"evictions\": {}, \
-         \"expiries\": {}}}",
+         \"expiries\": {}}},",
         reg.hits, reg.misses, reg.evictions, reg.expiries
+    );
+    let _ = writeln!(
+        json,
+        "  \"overload\": {{\"clients\": {overload_clients}, \
+         \"requests_per_client\": {overload_iters}, \"workers\": 1, \"max_pending\": 2, \
+         \"fault_plan\": \"io:latency=5ms\", \"sheds\": {sheds}, \
+         \"retried\": {overload_retried}, \"ok\": {overload_ok}, \
+         \"failed\": {overload_failed}, \"wall_seconds\": {overload_wall_s:.4}, \
+         \"offered_rps\": {offered_rps:.1}, \"goodput_rps\": {goodput:.1}, \
+         \"latency\": {}}}",
+        overload_latency.json()
     );
     json.push_str("}\n");
 
@@ -224,10 +334,26 @@ fn main() {
     server.shutdown();
     std::fs::remove_file(&log_path).ok();
 
-    // The CI gate: a warm pass that hit the cache zero times means the
-    // serving tier re-solved repeat traffic.
+    // The CI gates: a warm pass that hit the cache zero times means the
+    // serving tier re-solved repeat traffic; an over-capacity overload
+    // pass that shed nothing means admission control regressed; a client
+    // that never succeeded despite its retry budget means the resilience
+    // loop regressed.
     if sol.hits == 0 {
         eprintln!("error: warm pass recorded zero solution-cache hits — result caching regressed");
+        std::process::exit(1);
+    }
+    if sheds == 0 {
+        eprintln!(
+            "error: over-capacity offered load recorded zero sheds — admission control regressed"
+        );
+        std::process::exit(1);
+    }
+    if overload_failed > 0 {
+        eprintln!(
+            "error: {overload_failed} overload requests never succeeded despite retries — \
+             client resilience regressed"
+        );
         std::process::exit(1);
     }
 }

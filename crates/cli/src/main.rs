@@ -6,8 +6,10 @@
 //! soctam batch <requests.txt> [--threads N] [--out FILE]
 //! soctam serve [--addr A] [--threads N] [--cache-cap C] [--ttl SECS]
 //!              [--idle-timeout SECS] [--max-requests N] [--max-line BYTES]
-//!              [--log FILE] [--warm FILE]
-//! soctam client --addr A [--get PATH | --file FILE | <request words> | (stdin)]
+//!              [--log FILE] [--warm FILE] [--max-pending N]
+//!              [--fault-inject PLAN]
+//! soctam client --addr A [--retries N] [--backoff SECS]
+//!              [--get PATH | --file FILE | <request words> | (stdin)]
 //! soctam staircase <soc> <core>
 //! soctam wrapper <soc> <core> --width W
 //! soctam bounds <soc>
@@ -37,11 +39,17 @@
 //! connection (0 disables), and `--max-line` caps a request line's bytes.
 //! `--log FILE` appends one JSONL record per served request;
 //! `--warm FILE` pre-solves a request file or saved log at startup so the
-//! cache starts hot. `client` is the scripted counterpart — one request
-//! per argv tail (or per stdin line), one JSON response line each, plus
-//! `--get /healthz` / `--get /metrics` for the HTTP surface and
-//! `--file FILE` to replay a request file or saved log and print latency
-//! percentiles.
+//! cache starts hot. `--max-pending N` bounds the admission-control
+//! queue (excess connections are shed with a structured busy answer),
+//! and `--fault-inject PLAN` arms a deterministic chaos plan
+//! (`solve:panic:every=97,io:latency=5ms:every=13` — see
+//! [`soctam_core::fault::FaultPlan`]). `client` is the scripted
+//! counterpart — one request per argv tail (or per stdin line), one JSON
+//! response line each, plus `--get /healthz` / `--get /metrics` for the
+//! HTTP surface and `--file FILE` to replay a request file or saved log
+//! and print latency percentiles. `--retries N` (with base delay
+//! `--backoff SECS`) retries shed connections, transient errors, and
+//! transport failures with exponential backoff and deterministic jitter.
 
 use std::io::{BufRead, Write as _};
 use std::process::ExitCode;
@@ -49,6 +57,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use soctam_core::engine::{Engine, EngineRequest, EngineResult};
+use soctam_core::fault::FaultPlan;
 use soctam_core::flow::{FlowConfig, ParamSweep, PowerPolicy, TestFlow};
 use soctam_core::protocol::{self, check_known_args, flag, opt_value, req_value};
 use soctam_core::report;
@@ -76,8 +85,9 @@ const USAGE: &str = "usage:
   soctam batch <requests.txt> [--threads N] [--out FILE]
   soctam serve [--addr A] [--threads N] [--cache-cap C] [--ttl SECS]
                [--idle-timeout SECS] [--max-requests N] [--max-line BYTES]
-               [--log FILE] [--warm FILE]
-  soctam client --addr A [--get PATH | --file FILE | <request words> | (requests on stdin)]
+               [--log FILE] [--warm FILE] [--max-pending N] [--fault-inject PLAN]
+  soctam client --addr A [--retries N] [--backoff SECS]
+               [--get PATH | --file FILE | <request words> | (requests on stdin)]
   soctam staircase <soc> <core-name>
   soctam wrapper <soc> <core-name> --width W
   soctam bounds <soc>
@@ -354,6 +364,8 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
             "--max-line",
             "--log",
             "--warm",
+            "--max-pending",
+            "--fault-inject",
         ],
         &[],
     )?;
@@ -392,6 +404,16 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         cfg.max_line_bytes = bytes;
     }
     cfg.log_path = opt_value(args, "--log")?.map(std::path::PathBuf::from);
+    if let Some(pending) = opt_value(args, "--max-pending")? {
+        let pending: usize = pending.parse().map_err(|_| "invalid --max-pending")?;
+        if pending == 0 {
+            return Err("--max-pending must be a positive connection count".to_owned());
+        }
+        cfg.max_pending = pending;
+    }
+    if let Some(plan) = opt_value(args, "--fault-inject")? {
+        cfg.fault_plan = Some(Arc::new(FaultPlan::parse(plan)?));
+    }
     let warm_text = match opt_value(args, "--warm")? {
         None => None,
         Some(path) => Some(
@@ -401,7 +423,12 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     };
 
     let idle_timeout = cfg.idle_timeout;
+    let max_pending = cfg.max_pending;
+    let fault_plan = cfg.fault_plan.clone();
     let server = Server::bind(addr, cfg).map_err(|e| format!("binding `{addr}`: {e}"))?;
+    if let Some(plan) = &fault_plan {
+        println!("fault injection armed: {plan}");
+    }
     if let Some(text) = warm_text {
         let report = server.warm_from_text(&text);
         println!(
@@ -411,12 +438,13 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     }
     println!(
         "soctam-server listening on {} ({} workers, solution cache capacity {}, ttl {}, \
-         idle timeout {})",
+         idle timeout {}, pending queue {})",
         server.local_addr(),
         threads.max(1),
         cache_capacity,
         ttl.map_or("none".to_owned(), |t| format!("{}s", t.as_secs_f64())),
         idle_timeout.map_or("none".to_owned(), |t| format!("{}s", t.as_secs_f64())),
+        max_pending,
     );
     let _ = std::io::stdout().flush();
     server.join();
@@ -424,14 +452,26 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
 }
 
 /// `soctam client`: scripted counterpart of `serve`. One request from the
-/// argv tail (every token that isn't `--addr`/`--get`/`--file` or their
-/// values), or one request per stdin line when the tail is empty;
-/// `--get PATH` scrapes the HTTP surface, `--file FILE` replays a request
-/// file or saved JSONL log and prints latency percentiles.
+/// argv tail (every token that isn't `--addr`/`--get`/`--file`/
+/// `--retries`/`--backoff` or their values), or one request per stdin
+/// line when the tail is empty; `--get PATH` scrapes the HTTP surface,
+/// `--file FILE` replays a request file or saved JSONL log and prints
+/// latency percentiles. `--retries N` retries shed/transient/failed
+/// requests with exponential backoff (base `--backoff SECS`).
 fn cmd_client(args: &[String]) -> Result<(), String> {
     let addr = req_value(args, "--addr")?.to_owned();
     let path = opt_value(args, "--get")?.map(str::to_owned);
     let file = opt_value(args, "--file")?.map(str::to_owned);
+    let retries: u32 = opt_value(args, "--retries")?
+        .unwrap_or("0")
+        .parse()
+        .map_err(|_| "invalid --retries")?;
+    let backoff = match opt_seconds(args, "--backoff")? {
+        None => Duration::from_millis(100),
+        Some(None) => Duration::ZERO, // 0 retries immediately
+        Some(Some(d)) => d,
+    };
+    let policy = client::RetryPolicy::new(retries, backoff);
 
     // The request words are whatever remains after the client's own
     // options; they are validated by the server, not here.
@@ -439,7 +479,7 @@ fn cmd_client(args: &[String]) -> Result<(), String> {
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
-            "--addr" | "--get" | "--file" => i += 2,
+            "--addr" | "--get" | "--file" | "--retries" | "--backoff" => i += 2,
             w => {
                 words.push(w);
                 i += 1;
@@ -465,19 +505,20 @@ fn cmd_client(args: &[String]) -> Result<(), String> {
             return Err("--file cannot be combined with a request".to_owned());
         }
         let text = std::fs::read_to_string(&file).map_err(|e| format!("reading `{file}`: {e}"))?;
-        let report =
-            client::replay(&addr, &text).map_err(|e| format!("replaying `{file}`: {e}"))?;
+        let report = client::replay_with_retry(&addr, &text, policy)
+            .map_err(|e| format!("replaying `{file}`: {e}"))?;
         for (request, response) in &report.responses {
             println!("{request}\n  -> {response}");
         }
         match &report.latency {
             None => println!("replay: no replayable requests in `{file}`"),
             Some(lat) => println!(
-                "replay: {} requests ({} ok, {} failed), latency mean {:.3} ms, \
+                "replay: {} requests ({} ok, {} failed, {} retried), latency mean {:.3} ms, \
                  p50 {:.3} ms, p90 {:.3} ms, p99 {:.3} ms, max {:.3} ms",
                 lat.count,
                 report.ok,
                 report.failed,
+                report.retried,
                 lat.mean_ms,
                 lat.p50_ms,
                 lat.p90_ms,
@@ -491,8 +532,8 @@ fn cmd_client(args: &[String]) -> Result<(), String> {
         return Ok(());
     }
 
-    let mut conn =
-        client::Connection::connect(&addr).map_err(|e| format!("connecting to `{addr}`: {e}"))?;
+    let mut conn = client::RetryingClient::new(&addr, policy)
+        .map_err(|e| format!("resolving `{addr}`: {e}"))?;
     if words.is_empty() {
         // Scripted mode: request lines on stdin, response lines on stdout.
         let stdin = std::io::stdin();
@@ -822,6 +863,74 @@ mod tests {
         assert!(run(&argv(&["serve", "--ttl", "-3"])).is_err());
         assert!(run(&argv(&["serve", "--cache-cap", "lots"])).is_err());
         assert!(run(&argv(&["serve", "--addres", "127.0.0.1:0"])).is_err());
+        assert!(run(&argv(&["serve", "--max-pending", "0"])).is_err());
+        assert!(run(&argv(&["serve", "--max-pending", "some"])).is_err());
+        let err = run(&argv(&["serve", "--fault-inject", "solve:explode"])).unwrap_err();
+        assert!(err.contains("solve:explode"), "names the bad spec: {err}");
+    }
+
+    #[test]
+    fn client_rejects_bad_retry_argv() {
+        assert!(run(&argv(&[
+            "client",
+            "--addr",
+            "127.0.0.1:1",
+            "--retries",
+            "-1",
+            "bounds",
+            "d695",
+        ]))
+        .is_err());
+        assert!(run(&argv(&[
+            "client",
+            "--addr",
+            "127.0.0.1:1",
+            "--backoff",
+            "fast",
+            "bounds",
+            "d695",
+        ]))
+        .is_err());
+    }
+
+    #[test]
+    fn client_retries_through_to_a_late_answer() {
+        // --retries covers connect refusals too: nothing listens on the
+        // reserved port, so without the retry budget this would fail, and
+        // with retries but no listener it still fails after the budget.
+        let err = run(&argv(&[
+            "client",
+            "--addr",
+            "127.0.0.1:9", // discard port: nothing listens
+            "--retries",
+            "1",
+            "--backoff",
+            "0",
+            "bounds",
+            "d695",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("bounds d695"), "names the request: {err}");
+
+        // Against a live server the retrying path answers like the plain
+        // one.
+        let server = Server::bind("127.0.0.1:0", ServerConfig::default()).unwrap();
+        let addr = server.local_addr().to_string();
+        run(&argv(&[
+            "client",
+            "--addr",
+            &addr,
+            "--retries",
+            "2",
+            "--backoff",
+            "0.01",
+            "bounds",
+            "d695",
+            "--widths",
+            "16",
+        ]))
+        .unwrap();
+        server.shutdown();
     }
 
     #[test]

@@ -45,17 +45,19 @@
 
 use std::hash::{DefaultHasher, Hash, Hasher};
 use std::num::NonZeroUsize;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
 use soctam_schedule::{
-    CacheLookup, ContextRegistry, Cycles, ScheduleError, SolutionCache, SolutionCacheStats,
-    TamWidth,
+    panic_message, CacheLookup, ContextRegistry, Cycles, ScheduleError, SolutionCache,
+    SolutionCacheStats, TamWidth,
 };
 use soctam_soc::Soc;
 use soctam_volume::SweepPoint;
 
+use crate::fault::{FaultAction, FaultPlan, FaultSite};
 use crate::flow::{FlowConfig, FlowRun, ParamSweep, TestFlow};
 
 /// What one request asks the engine to compute.
@@ -251,6 +253,8 @@ pub struct Engine {
     registry: Arc<ContextRegistry>,
     solutions: Option<Arc<SolutionCache<SolutionKey, EngineOutput, ScheduleError>>>,
     threads: Option<NonZeroUsize>,
+    faults: Option<Arc<FaultPlan>>,
+    recovered_panics: AtomicU64,
 }
 
 impl Engine {
@@ -265,6 +269,8 @@ impl Engine {
             registry,
             solutions: None,
             threads: None,
+            faults: None,
+            recovered_panics: AtomicU64::new(0),
         }
     }
 
@@ -296,6 +302,22 @@ impl Engine {
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = NonZeroUsize::new(threads.max(1));
         self
+    }
+
+    /// Arms a deterministic [`FaultPlan`]: `solve`-site faults fire
+    /// inside this engine's panic-isolation boundary, so an injected
+    /// panic exercises exactly the recovery path a genuine solver bug
+    /// would. Chaos suites and the `serve --fault-inject` flag use this;
+    /// production engines never arm one.
+    pub fn with_fault_plan(mut self, plan: Arc<FaultPlan>) -> Self {
+        self.faults = Some(plan);
+        self
+    }
+
+    /// How many solver panics this engine has caught and converted into
+    /// [`ScheduleError::SolverPanic`] responses.
+    pub fn recovered_panics(&self) -> u64 {
+        self.recovered_panics.load(Ordering::Relaxed)
     }
 
     /// The registry serving this engine's contexts.
@@ -430,9 +452,61 @@ impl Engine {
         }
     }
 
-    /// The uncached solve: context from the registry, then the requested
-    /// operation over it.
+    /// The uncached solve, under the engine's panic-isolation boundary:
+    /// a panic anywhere below — the registry compile, the scheduler, the
+    /// wire assigner, an armed `solve`-site fault — is caught here and
+    /// rendered as a per-request [`ScheduleError::SolverPanic`] instead
+    /// of unwinding through the caller's worker thread. Because this
+    /// boundary sits *inside* the solution cache's solve closure, a
+    /// panicking solve publishes an error into the rendezvous cell like
+    /// any other failure: coalesced waiters receive it and the entry is
+    /// torn down, never cached.
     fn solve(
+        &self,
+        request: &EngineRequest,
+        budget: Option<u64>,
+        inner_sequential: bool,
+    ) -> EngineResult {
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            self.fire_solve_faults()?;
+            self.solve_unguarded(request, budget, inner_sequential)
+        }));
+        match outcome {
+            Ok(result) => result,
+            Err(payload) => {
+                self.recovered_panics.fetch_add(1, Ordering::Relaxed);
+                Err(ScheduleError::SolverPanic {
+                    message: panic_message(payload.as_ref()),
+                })
+            }
+        }
+    }
+
+    /// Applies any armed `solve`-site faults: latency stalls compose,
+    /// then the first panic/error action strikes.
+    fn fire_solve_faults(&self) -> Result<(), ScheduleError> {
+        let Some(plan) = &self.faults else {
+            return Ok(());
+        };
+        let mut strike = None;
+        for action in plan.fire(FaultSite::Solve) {
+            match action {
+                FaultAction::Latency(d) => std::thread::sleep(d),
+                other => strike = strike.or(Some(other)),
+            }
+        }
+        match strike {
+            Some(FaultAction::Panic) => panic!("injected fault: solver panic"),
+            Some(FaultAction::Error) => Err(ScheduleError::SolverPanic {
+                message: "injected fault: solver error".to_owned(),
+            }),
+            _ => Ok(()),
+        }
+    }
+
+    /// The solve body proper: context from the registry, then the
+    /// requested operation over it.
+    fn solve_unguarded(
         &self,
         request: &EngineRequest,
         budget: Option<u64>,
@@ -702,6 +776,90 @@ mod tests {
         let req = EngineRequest::bounds(d695, quick(), vec![16]);
         assert!(engine.serve_one(&req).is_ok());
         assert_eq!(engine.solutions_len(), 0);
+    }
+
+    #[test]
+    fn injected_solver_panics_become_transient_errors_and_are_not_cached() {
+        let plan = Arc::new(FaultPlan::parse("solve:panic:every=2").unwrap());
+        let engine = Engine::new()
+            .with_solution_cache(16, None)
+            .with_fault_plan(Arc::clone(&plan));
+        let d695 = Arc::new(benchmarks::d695());
+        let req = EngineRequest::bounds(Arc::clone(&d695), quick(), vec![16]);
+
+        // Solve #1 is clean and caches; evict it so solve #2 happens.
+        assert!(engine.serve_one(&req).is_ok());
+        engine.solutions.as_ref().unwrap().clear();
+        // Solve #2 hits the fault: the panic is caught, rendered as a
+        // transient SolverPanic, and the worker thread survives.
+        let err = engine.serve_one(&req).unwrap_err();
+        assert!(err.is_transient(), "recovered panic is transient: {err}");
+        assert!(err.to_string().contains("injected fault"));
+        assert_eq!(engine.recovered_panics(), 1);
+        assert_eq!(plan.injected_total(), 1);
+        // The failure was not cached: solve #3 retries and succeeds.
+        assert!(engine.serve_one(&req).is_ok());
+        assert_eq!(engine.solutions_len(), 1);
+        // The cache never saw a raw panic — the engine caught it first.
+        assert_eq!(engine.solution_stats().unwrap().panics, 0);
+    }
+
+    #[test]
+    fn concurrent_identical_requests_all_receive_the_recovered_panic() {
+        // Coalesced waiters on a panicking solve must get the error, not
+        // hang: the engine's catch_unwind sits inside the cache's solve
+        // closure, so the panic is published into the rendezvous cell as
+        // an ordinary failed result.
+        let plan = Arc::new(FaultPlan::parse("solve:panic").unwrap());
+        let engine = Arc::new(
+            Engine::new()
+                .with_solution_cache(16, None)
+                .with_fault_plan(plan),
+        );
+        let d695 = Arc::new(benchmarks::d695());
+        let results: Vec<_> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    let engine = Arc::clone(&engine);
+                    let soc = Arc::clone(&d695);
+                    scope
+                        .spawn(move || engine.serve_one(&EngineRequest::schedule(soc, quick(), 16)))
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for result in results {
+            assert!(result.unwrap_err().is_transient(), "every request errored");
+        }
+        assert_eq!(engine.solutions_len(), 0, "no panicked result was cached");
+    }
+
+    #[test]
+    fn batch_with_injected_faults_fails_only_the_struck_requests() {
+        // Deterministic plan: solves 2 and 4 are struck. With a
+        // single-threaded engine the solve order equals request order.
+        let plan = Arc::new(FaultPlan::parse("solve:error:every=2").unwrap());
+        let engine = Engine::new().with_threads(1).with_fault_plan(plan);
+        let d695 = Arc::new(benchmarks::d695());
+        let req = |w| EngineRequest::bounds(Arc::clone(&d695), quick(), vec![w]);
+        let results = engine.serve(&[req(8), req(16), req(24), req(32)]);
+        assert!(results[0].is_ok());
+        assert!(results[1].as_ref().is_err_and(ScheduleError::is_transient));
+        assert!(results[2].is_ok());
+        assert!(results[3].as_ref().is_err_and(ScheduleError::is_transient));
+    }
+
+    #[test]
+    fn injected_latency_delays_but_does_not_corrupt() {
+        let plan = Arc::new(FaultPlan::parse("solve:latency=1ms").unwrap());
+        let faulted = Engine::new().with_fault_plan(plan);
+        let clean = Engine::new();
+        let d695 = Arc::new(benchmarks::d695());
+        let req = EngineRequest::bounds(Arc::clone(&d695), quick(), vec![16, 32]);
+        assert_same_output(
+            &faulted.serve_one(&req).unwrap(),
+            &clean.serve_one(&req).unwrap(),
+        );
     }
 
     #[test]

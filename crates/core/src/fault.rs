@@ -1,0 +1,319 @@
+//! Deterministic fault injection for resilience testing.
+//!
+//! A [`FaultPlan`] is a comma-separated list of fault specs parsed from
+//! the `serve --fault-inject` flag:
+//!
+//! ```text
+//! solve:panic:every=97,io:latency=5ms:every=13
+//! ```
+//!
+//! Each spec is `site:action[=param][:every=N]`:
+//!
+//! * **site** — where the fault strikes: `solve` (inside the engine's
+//!   solve path, under its panic isolation) or `io` (the daemon's
+//!   per-request connection handling);
+//! * **action** — `panic` (the site panics), `error` (the site fails with
+//!   a transient error; at the `io` site the connection is severed as if
+//!   the transport died), or `latency=DUR` (the site stalls for `DUR`,
+//!   e.g. `5ms`, `2s`, `250us`);
+//! * **every=N** — the fault fires on every `N`th occurrence at its site
+//!   (default 1: every occurrence).
+//!
+//! Firing is counter-based, not random: the `k`th solve (or request)
+//! hits a fault if and only if `k ≡ 0 (mod N)`, so a chaos run is exactly
+//! reproducible and the non-faulted requests are knowable in advance —
+//! which is what lets the chaos suite assert they stay bit-identical to a
+//! fault-free run. Each spec counts how often it fired
+//! ([`FaultPlan::injected`]); the serving layer exports those counts (and
+//! the matching recovery counters) through `/metrics`.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Where a fault strikes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultSite {
+    /// The engine's solve path (under its `catch_unwind` isolation).
+    Solve,
+    /// The serving daemon's per-request connection handling.
+    Io,
+}
+
+impl FaultSite {
+    fn label(self) -> &'static str {
+        match self {
+            FaultSite::Solve => "solve",
+            FaultSite::Io => "io",
+        }
+    }
+}
+
+/// What a firing fault does to its site.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FaultAction {
+    /// The site panics.
+    Panic,
+    /// The site fails with a transient error (the `io` site severs the
+    /// connection, as a dead transport would).
+    Error,
+    /// The site stalls for the given duration before proceeding.
+    Latency(Duration),
+}
+
+/// One parsed fault spec with its deterministic firing counters.
+#[derive(Debug)]
+pub struct FaultSpec {
+    site: FaultSite,
+    action: FaultAction,
+    every: u64,
+    hits: AtomicU64,
+    injected: AtomicU64,
+}
+
+impl FaultSpec {
+    /// The canonical label for this spec (`site:action`, e.g.
+    /// `solve:panic` or `io:latency`), the form `/metrics` uses.
+    pub fn label(&self) -> String {
+        let action = match &self.action {
+            FaultAction::Panic => "panic",
+            FaultAction::Error => "error",
+            FaultAction::Latency(_) => "latency",
+        };
+        format!("{}:{}", self.site.label(), action)
+    }
+
+    /// How often this fault has fired.
+    pub fn injected(&self) -> u64 {
+        self.injected.load(Ordering::Relaxed)
+    }
+}
+
+/// A parsed `--fault-inject` plan. See the [module docs](self) for the
+/// grammar and determinism guarantees.
+#[derive(Debug, Default)]
+pub struct FaultPlan {
+    specs: Vec<FaultSpec>,
+}
+
+impl FaultPlan {
+    /// Parses a comma-separated plan (`site:action[=param][:every=N]`, …).
+    ///
+    /// # Errors
+    ///
+    /// A message naming the malformed spec and what was expected.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let mut specs = Vec::new();
+        for raw in text.split(',').map(str::trim).filter(|s| !s.is_empty()) {
+            specs.push(Self::parse_spec(raw)?);
+        }
+        if specs.is_empty() {
+            return Err("empty fault plan: expected site:action[=param][:every=N], ...".to_owned());
+        }
+        Ok(Self { specs })
+    }
+
+    fn parse_spec(raw: &str) -> Result<FaultSpec, String> {
+        let mut parts = raw.split(':');
+        let site = match parts.next() {
+            Some("solve") => FaultSite::Solve,
+            Some("io") => FaultSite::Io,
+            other => {
+                return Err(format!(
+                    "fault spec `{raw}`: unknown site `{}` (expected solve or io)",
+                    other.unwrap_or("")
+                ))
+            }
+        };
+        let action = match parts.next() {
+            Some("panic") => FaultAction::Panic,
+            Some("error") => FaultAction::Error,
+            Some(a) if a.starts_with("latency=") => FaultAction::Latency(
+                parse_duration(&a["latency=".len()..])
+                    .map_err(|e| format!("fault spec `{raw}`: {e}"))?,
+            ),
+            other => {
+                return Err(format!(
+                "fault spec `{raw}`: unknown action `{}` (expected panic, error, or latency=DUR)",
+                other.unwrap_or("")
+            ))
+            }
+        };
+        let every = match parts.next() {
+            None => 1,
+            Some(e) if e.starts_with("every=") => e["every=".len()..]
+                .parse::<u64>()
+                .ok()
+                .filter(|&n| n >= 1)
+                .ok_or_else(|| format!("fault spec `{raw}`: every=N needs a positive integer"))?,
+            Some(junk) => return Err(format!("fault spec `{raw}`: unexpected `{junk}`")),
+        };
+        if let Some(junk) = parts.next() {
+            return Err(format!("fault spec `{raw}`: unexpected trailing `{junk}`"));
+        }
+        Ok(FaultSpec {
+            site,
+            action,
+            every,
+            hits: AtomicU64::new(0),
+            injected: AtomicU64::new(0),
+        })
+    }
+
+    /// Advances every spec's occurrence counter for `site` and returns
+    /// the actions that fire on this occurrence, in plan order. Callers
+    /// apply latency actions first (they compose), then the first
+    /// panic/error action.
+    pub fn fire(&self, site: FaultSite) -> Vec<FaultAction> {
+        let mut fired = Vec::new();
+        for spec in self.specs.iter().filter(|s| s.site == site) {
+            let occurrence = spec.hits.fetch_add(1, Ordering::Relaxed) + 1;
+            if occurrence % spec.every == 0 {
+                spec.injected.fetch_add(1, Ordering::Relaxed);
+                fired.push(spec.action.clone());
+            }
+        }
+        fired
+    }
+
+    /// Per-spec injection counts as `(label, count)` pairs, in plan
+    /// order — the rows `/metrics` renders.
+    pub fn injected(&self) -> Vec<(String, u64)> {
+        self.specs
+            .iter()
+            .map(|s| (s.label(), s.injected()))
+            .collect()
+    }
+
+    /// Total injections across the plan.
+    pub fn injected_total(&self) -> u64 {
+        self.specs.iter().map(FaultSpec::injected).sum()
+    }
+}
+
+impl fmt::Display for FaultPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, spec) in self.specs.iter().enumerate() {
+            if i > 0 {
+                f.write_str(",")?;
+            }
+            match &spec.action {
+                FaultAction::Latency(d) => {
+                    write!(f, "{}:latency={}us", spec.site.label(), d.as_micros())?
+                }
+                _ => write!(f, "{}", spec.label())?,
+            }
+            if spec.every != 1 {
+                write!(f, ":every={}", spec.every)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Parses `250us` / `5ms` / `2s` into a [`Duration`].
+fn parse_duration(text: &str) -> Result<Duration, String> {
+    let (digits, unit): (String, String) = text.chars().partition(|c| c.is_ascii_digit());
+    let n: u64 = digits
+        .parse()
+        .map_err(|_| format!("bad duration `{text}` (expected e.g. 5ms, 2s, 250us)"))?;
+    match unit.as_str() {
+        "us" => Ok(Duration::from_micros(n)),
+        "ms" => Ok(Duration::from_millis(n)),
+        "s" => Ok(Duration::from_secs(n)),
+        _ => Err(format!(
+            "bad duration unit in `{text}` (expected us, ms, or s)"
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_issue_grammar() {
+        let plan = FaultPlan::parse("solve:panic:every=97,io:latency=5ms:every=13").unwrap();
+        assert_eq!(plan.specs.len(), 2);
+        assert_eq!(plan.specs[0].site, FaultSite::Solve);
+        assert_eq!(plan.specs[0].action, FaultAction::Panic);
+        assert_eq!(plan.specs[0].every, 97);
+        assert_eq!(plan.specs[1].site, FaultSite::Io);
+        assert_eq!(
+            plan.specs[1].action,
+            FaultAction::Latency(Duration::from_millis(5))
+        );
+        assert_eq!(plan.specs[1].every, 13);
+        assert_eq!(
+            plan.to_string(),
+            "solve:panic:every=97,io:latency=5000us:every=13"
+        );
+    }
+
+    #[test]
+    fn every_defaults_to_one_and_error_action_parses() {
+        let plan = FaultPlan::parse("io:error").unwrap();
+        assert_eq!(plan.specs[0].every, 1);
+        assert_eq!(plan.specs[0].action, FaultAction::Error);
+        assert_eq!(plan.fire(FaultSite::Io), vec![FaultAction::Error]);
+    }
+
+    #[test]
+    fn rejects_malformed_specs() {
+        for bad in [
+            "",
+            "solve",
+            "solve:explode",
+            "network:panic",
+            "solve:panic:every=0",
+            "solve:panic:every=x",
+            "io:latency=5parsec",
+            "solve:panic:every=3:extra",
+        ] {
+            assert!(FaultPlan::parse(bad).is_err(), "`{bad}` should be rejected");
+        }
+    }
+
+    #[test]
+    fn firing_is_deterministic_modulo_every() {
+        let plan = FaultPlan::parse("solve:panic:every=3").unwrap();
+        let fired: Vec<bool> = (1..=9)
+            .map(|_| !plan.fire(FaultSite::Solve).is_empty())
+            .collect();
+        assert_eq!(
+            fired,
+            vec![false, false, true, false, false, true, false, false, true]
+        );
+        assert_eq!(plan.injected(), vec![("solve:panic".to_owned(), 3)]);
+        assert_eq!(plan.injected_total(), 3);
+        // Occurrences at the other site never advance this spec.
+        assert!(plan.fire(FaultSite::Io).is_empty());
+        assert_eq!(plan.injected_total(), 3);
+    }
+
+    #[test]
+    fn multiple_specs_at_one_site_fire_independently() {
+        let plan = FaultPlan::parse("solve:latency=1us:every=2,solve:error:every=3").unwrap();
+        let mut latencies = 0;
+        let mut errors = 0;
+        for _ in 1..=6 {
+            for action in plan.fire(FaultSite::Solve) {
+                match action {
+                    FaultAction::Latency(_) => latencies += 1,
+                    FaultAction::Error => errors += 1,
+                    FaultAction::Panic => unreachable!(),
+                }
+            }
+        }
+        assert_eq!((latencies, errors), (3, 2));
+    }
+
+    #[test]
+    fn durations_parse_in_all_units() {
+        assert_eq!(parse_duration("250us").unwrap(), Duration::from_micros(250));
+        assert_eq!(parse_duration("5ms").unwrap(), Duration::from_millis(5));
+        assert_eq!(parse_duration("2s").unwrap(), Duration::from_secs(2));
+        assert!(parse_duration("5").is_err());
+        assert!(parse_duration("ms").is_err());
+    }
+}

@@ -53,6 +53,7 @@
 #![warn(missing_docs)]
 
 pub mod engine;
+pub mod fault;
 pub mod flow;
 pub mod protocol;
 pub mod report;

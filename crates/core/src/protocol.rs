@@ -441,10 +441,22 @@ pub fn render_result(req: &EngineRequest, result: &EngineResult) -> String {
         req.soc.name().replace(['"', '\\'], "_")
     ));
     match result {
-        Err(e) => out.push_str(&format!(
-            "\"ok\": false, \"error\": \"{}\"}}",
-            json_escape(&e.to_string())
-        )),
+        Err(e) => {
+            // A transient failure (a recovered solver panic or injected
+            // fault) is marked so retrying clients know the request
+            // itself is fine and a retry is worthwhile; genuine request
+            // errors (infeasible config, bad widths) carry no flag and
+            // are never retried.
+            let transient = if e.is_transient() {
+                "\"transient\": true, "
+            } else {
+                ""
+            };
+            out.push_str(&format!(
+                "\"ok\": false, {transient}\"error\": \"{}\"}}",
+                json_escape(&e.to_string())
+            ));
+        }
         Ok(EngineOutput::Schedule(run)) => out.push_str(&format!(
             "\"ok\": true, \"makespan\": {}, \"lower_bound\": {}, \"volume\": {}, \
              \"m\": {}, \"d\": {}, \"slack\": {}}}",
@@ -650,6 +662,27 @@ mod tests {
     fn render_parse_error_escapes() {
         let line = render_parse_error("bad \"token\"");
         assert_eq!(line, "{\"ok\": false, \"error\": \"bad \\\"token\\\"\"}");
+    }
+
+    #[test]
+    fn transient_errors_are_flagged_and_genuine_errors_are_not() {
+        let req = parse_request("bounds d695 --widths 16", &mut benchmark_resolver()).unwrap();
+        let recovered = render_result(
+            &req,
+            &Err(soctam_schedule::ScheduleError::SolverPanic {
+                message: "index out of bounds".to_owned(),
+            }),
+        );
+        assert!(recovered.contains("\"ok\": false"));
+        assert!(recovered.contains("\"transient\": true"));
+        let genuine = render_result(
+            &req,
+            &Err(soctam_schedule::ScheduleError::InvalidConfig {
+                reason: "zero width".to_owned(),
+            }),
+        );
+        assert!(genuine.contains("\"ok\": false"));
+        assert!(!genuine.contains("transient"));
     }
 
     #[test]

@@ -28,6 +28,24 @@ pub enum ScheduleError {
         /// Description of the violated invariant.
         reason: String,
     },
+    /// The solver panicked while serving this request (or a
+    /// fault-injection plan forced a failure). The panic was caught and
+    /// isolated; the request failed but the process — and every other
+    /// request — is unaffected. Transient by construction: retrying the
+    /// same request may well succeed.
+    SolverPanic {
+        /// The rendered panic payload.
+        message: String,
+    },
+}
+
+impl ScheduleError {
+    /// Whether this error is transient — caused by a recovered fault
+    /// (solver panic, injected failure) rather than by the request
+    /// itself — so clients know a retry is worthwhile.
+    pub fn is_transient(&self) -> bool {
+        matches!(self, ScheduleError::SolverPanic { .. })
+    }
 }
 
 impl fmt::Display for ScheduleError {
@@ -42,6 +60,9 @@ impl fmt::Display for ScheduleError {
                 "scheduler stuck at time {at_time}: cores {remaining:?} cannot be scheduled"
             ),
             ScheduleError::Invalid { reason } => write!(f, "invalid schedule: {reason}"),
+            ScheduleError::SolverPanic { message } => {
+                write!(f, "solver panicked (recovered): {message}")
+            }
         }
     }
 }
@@ -73,6 +94,19 @@ mod tests {
         };
         let msg = e.to_string();
         assert!(msg.contains("99") && msg.contains('4'));
+    }
+
+    #[test]
+    fn solver_panic_is_the_only_transient_error() {
+        let p = ScheduleError::SolverPanic {
+            message: "index out of bounds".to_owned(),
+        };
+        assert!(p.is_transient());
+        assert!(p.to_string().contains("recovered"));
+        assert!(!ScheduleError::Invalid {
+            reason: "x".to_owned()
+        }
+        .is_transient());
     }
 
     #[test]

@@ -87,6 +87,7 @@ mod schedule;
 mod solution_cache;
 mod state;
 mod svg;
+pub mod sync;
 pub mod validate;
 
 pub use bitset::BitSet;
@@ -100,5 +101,6 @@ pub use registry::{ContextRegistry, RegistryStats};
 pub use schedule::{CoreScheduleStats, Schedule, Slice};
 pub use solution_cache::{CacheLookup, SolutionCache, SolutionCacheStats};
 pub use svg::SvgOptions;
+pub use sync::{lock_unpoisoned, panic_message};
 
 pub use soctam_wrapper::{Cycles, TamWidth};

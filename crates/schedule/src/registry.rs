@@ -38,6 +38,7 @@
 use std::collections::hash_map::RandomState;
 use std::collections::HashMap;
 use std::hash::{BuildHasher, DefaultHasher, Hash, Hasher};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 use std::time::{Duration, Instant};
@@ -47,6 +48,7 @@ use soctam_wrapper::TamWidth;
 
 use crate::context::CompiledSoc;
 use crate::expiry::TtlPolicy;
+use crate::sync::{lock_unpoisoned, panic_message};
 
 /// The identity of one compiled context: SOC content, width cap, and the
 /// constraint-relevant configuration (power budget).
@@ -95,8 +97,15 @@ impl Hash for ContextKey {
 /// for the *same* key rendezvous on the cell (one compiles, the rest
 /// wait), while hits on other keys in the shard proceed immediately
 /// instead of stalling behind a multi-millisecond compile.
+/// What a rendezvous cell ends up holding: the compiled context, or the
+/// rendered payload of the panic that killed the compile. Publishing the
+/// panic keeps waiters rendezvoused on the cell from blocking forever
+/// (and keeps the `OnceLock` from poisoning every later same-key
+/// request).
+type CompileOutcome = Result<Arc<CompiledSoc>, String>;
+
 struct Entry {
-    cell: Arc<OnceLock<Arc<CompiledSoc>>>,
+    cell: Arc<OnceLock<CompileOutcome>>,
     last_used: u64,
     deadline: Option<Instant>,
 }
@@ -113,6 +122,10 @@ pub struct RegistryStats {
     /// Entries dropped because their TTL elapsed (see
     /// [`ContextRegistry::with_ttl`]).
     pub expiries: u64,
+    /// Compiles that panicked (caught, torn down, and re-raised in the
+    /// panicking thread; rendezvoused waiters retried instead of
+    /// hanging and no shard lock was poisoned).
+    pub panics: u64,
 }
 
 impl RegistryStats {
@@ -154,6 +167,7 @@ pub struct ContextRegistry {
     misses: AtomicU64,
     evictions: AtomicU64,
     expiries: AtomicU64,
+    panics: AtomicU64,
 }
 
 impl ContextRegistry {
@@ -181,6 +195,7 @@ impl ContextRegistry {
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
             expiries: AtomicU64::new(0),
+            panics: AtomicU64::new(0),
         }
     }
 
@@ -201,7 +216,7 @@ impl ContextRegistry {
         let now = Instant::now();
         let mut dropped = 0;
         for shard in &self.shards {
-            let mut map = shard.lock().expect("registry shard poisoned");
+            let mut map = lock_unpoisoned(shard);
             let before = map.len();
             map.retain(|_, e| e.cell.get().is_none() || !TtlPolicy::expired(e.deadline, now));
             dropped += before - map.len();
@@ -229,69 +244,133 @@ impl ContextRegistry {
         let key = ContextKey::new(soc, w_max, power_budget);
         let compile_soc = Arc::clone(&key.soc);
         let compile_cap = key.w_max;
-        let shard = &self.shards[self.shard_of(&key)];
-        let stamp = self.clock.fetch_add(1, Ordering::Relaxed);
+        self.get_or_compile_with(key, || {
+            Arc::new(CompiledSoc::compile_arc(
+                Arc::clone(&compile_soc),
+                compile_cap,
+            ))
+        })
+    }
 
-        let cell = {
-            let mut map = shard.lock().expect("registry shard poisoned");
-            // A context past its TTL deadline is dead even if resident:
-            // evict it and recompile (a compile still in flight is never
-            // expired out from under the thread publishing it).
-            let mut resident = None;
-            if let Some(entry) = map.get_mut(&key) {
-                if entry.cell.get().is_some() && TtlPolicy::expired(entry.deadline, Instant::now())
-                {
-                    map.remove(&key);
-                    self.expiries.fetch_add(1, Ordering::Relaxed);
-                } else {
-                    entry.last_used = stamp;
-                    self.hits.fetch_add(1, Ordering::Relaxed);
-                    resident = Some(Arc::clone(&entry.cell));
+    /// The rendezvous machinery behind [`ContextRegistry::get_or_compile`],
+    /// parameterized over the compile step so the panic-isolation
+    /// discipline can be exercised by tests without a genuinely crashing
+    /// compiler.
+    fn get_or_compile_with(
+        &self,
+        key: ContextKey,
+        compile: impl Fn() -> Arc<CompiledSoc>,
+    ) -> Arc<CompiledSoc> {
+        let shard = &self.shards[self.shard_of(&key)];
+
+        loop {
+            let stamp = self.clock.fetch_add(1, Ordering::Relaxed);
+            let cell = {
+                let mut map = lock_unpoisoned(shard);
+                // A context past its TTL deadline is dead even if
+                // resident: evict it and recompile (a compile still in
+                // flight is never expired out from under the thread
+                // publishing it). An entry whose compile panicked is dead
+                // too: its publisher tears it down, but a racing probe
+                // may see it first and must not rendezvous with it.
+                let mut resident = None;
+                if let Some(entry) = map.get_mut(&key) {
+                    let completed = entry.cell.get();
+                    let panicked = matches!(completed, Some(Err(_)));
+                    if panicked
+                        || (completed.is_some()
+                            && TtlPolicy::expired(entry.deadline, Instant::now()))
+                    {
+                        map.remove(&key);
+                        if !panicked {
+                            self.expiries.fetch_add(1, Ordering::Relaxed);
+                        }
+                    } else {
+                        entry.last_used = stamp;
+                        self.hits.fetch_add(1, Ordering::Relaxed);
+                        resident = Some(Arc::clone(&entry.cell));
+                    }
                 }
-            }
-            match resident {
-                Some(cell) => cell,
-                None => {
-                    self.misses.fetch_add(1, Ordering::Relaxed);
-                    if map.len() >= self.per_shard_capacity {
-                        // Victim selection skips in-flight slots: evicting
-                        // an entry whose cell is unset would discard the
-                        // compile in progress and detach later same-key
-                        // requests from it (recompiling instead of
-                        // rendezvousing). When every slot is in flight the
-                        // shard over-admits by one — in-flight compiles
-                        // always complete and become evictable.
-                        let lru = map
-                            .iter()
-                            .filter(|(_, e)| e.cell.get().is_some())
-                            .min_by_key(|(_, e)| e.last_used)
-                            .map(|(k, _)| k.clone());
-                        if let Some(lru) = lru {
-                            map.remove(&lru);
-                            self.evictions.fetch_add(1, Ordering::Relaxed);
+                match resident {
+                    Some(cell) => cell,
+                    None => {
+                        self.misses.fetch_add(1, Ordering::Relaxed);
+                        if map.len() >= self.per_shard_capacity {
+                            // Victim selection skips in-flight slots:
+                            // evicting an entry whose cell is unset would
+                            // discard the compile in progress and detach
+                            // later same-key requests from it (recompiling
+                            // instead of rendezvousing). When every slot
+                            // is in flight the shard over-admits by one —
+                            // in-flight compiles always complete and
+                            // become evictable.
+                            let lru = map
+                                .iter()
+                                .filter(|(_, e)| e.cell.get().is_some())
+                                .min_by_key(|(_, e)| e.last_used)
+                                .map(|(k, _)| k.clone());
+                            if let Some(lru) = lru {
+                                map.remove(&lru);
+                                self.evictions.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                        let cell = Arc::new(OnceLock::new());
+                        map.insert(
+                            key.clone(),
+                            Entry {
+                                cell: Arc::clone(&cell),
+                                last_used: stamp,
+                                deadline: self.ttl.deadline(),
+                            },
+                        );
+                        cell
+                    }
+                }
+            };
+
+            // Outside the shard lock: the publishing thread compiles into
+            // the cell; same-key requests that arrived meanwhile block
+            // here (and only here) until the context is ready. An
+            // evicted-mid-compile entry still completes through the
+            // caller's own cell handle. The compile runs under
+            // `catch_unwind` so a panicking compiler still publishes the
+            // cell — waiters are released instead of hanging, and the
+            // `OnceLock` is never poisoned.
+            let mut ran = false;
+            let outcome = cell.get_or_init(|| {
+                ran = true;
+                match catch_unwind(AssertUnwindSafe(&compile)) {
+                    Ok(ctx) => Ok(ctx),
+                    Err(payload) => Err(panic_message(payload.as_ref())),
+                }
+            });
+
+            match outcome {
+                Ok(ctx) => return Arc::clone(ctx),
+                Err(message) => {
+                    // Tear the dead slot down (idempotent under the
+                    // ptr_eq guard) so later requests recompile instead
+                    // of rendezvousing with a corpse.
+                    {
+                        let mut map = lock_unpoisoned(shard);
+                        if map.get(&key).is_some_and(|e| Arc::ptr_eq(&e.cell, &cell)) {
+                            map.remove(&key);
                         }
                     }
-                    let cell = Arc::new(OnceLock::new());
-                    map.insert(
-                        key,
-                        Entry {
-                            cell: Arc::clone(&cell),
-                            last_used: stamp,
-                            deadline: self.ttl.deadline(),
-                        },
-                    );
-                    cell
+                    if ran {
+                        // The panic was ours: re-raise it now that the
+                        // cell is published and the entry torn down, so
+                        // the caller's isolation layer sees it exactly
+                        // once.
+                        self.panics.fetch_add(1, Ordering::Relaxed);
+                        panic!("context compilation panicked: {message}");
+                    }
+                    // A waiter: the compile we rendezvoused with died.
+                    // Retry as a fresh miss — our own compile may well
+                    // succeed (the panic could be an injected fault).
                 }
             }
-        };
-
-        // Outside the shard lock: the publishing thread compiles into the
-        // cell; same-key requests that arrived meanwhile block here (and
-        // only here) until the context is ready. An evicted-mid-compile
-        // entry still completes through the caller's own cell handle.
-        Arc::clone(
-            cell.get_or_init(|| Arc::new(CompiledSoc::compile_arc(compile_soc, compile_cap))),
-        )
+        }
     }
 
     /// Like [`ContextRegistry::get_or_compile`], but only returns a cached
@@ -303,9 +382,7 @@ impl ContextRegistry {
         power_budget: Option<u64>,
     ) -> Option<Arc<CompiledSoc>> {
         let key = ContextKey::new(soc, w_max, power_budget);
-        let map = self.shards[self.shard_of(&key)]
-            .lock()
-            .expect("registry shard poisoned");
+        let map = lock_unpoisoned(&self.shards[self.shard_of(&key)]);
         // An entry whose compile is still in flight is not yet peekable,
         // and an expired entry is no longer servable (eviction is left to
         // `get_or_compile`/`purge_expired`).
@@ -313,15 +390,12 @@ impl ContextRegistry {
         if TtlPolicy::expired(entry.deadline, Instant::now()) {
             return None;
         }
-        entry.cell.get().cloned()
+        entry.cell.get().and_then(|o| o.as_ref().ok()).cloned()
     }
 
     /// Number of contexts currently resident.
     pub fn len(&self) -> usize {
-        self.shards
-            .iter()
-            .map(|s| s.lock().expect("registry shard poisoned").len())
-            .sum()
+        self.shards.iter().map(|s| lock_unpoisoned(s).len()).sum()
     }
 
     /// Whether the registry holds no contexts.
@@ -337,7 +411,7 @@ impl ContextRegistry {
     /// Drops every cached context (stats are kept).
     pub fn clear(&self) {
         for shard in &self.shards {
-            shard.lock().expect("registry shard poisoned").clear();
+            lock_unpoisoned(shard).clear();
         }
     }
 
@@ -348,6 +422,7 @@ impl ContextRegistry {
             misses: self.misses.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
             expiries: self.expiries.load(Ordering::Relaxed),
+            panics: self.panics.load(Ordering::Relaxed),
         }
     }
 
@@ -392,8 +467,7 @@ mod tests {
             RegistryStats {
                 hits: 1,
                 misses: 1,
-                evictions: 0,
-                expiries: 0,
+                ..Default::default()
             }
         );
         assert_eq!(reg.len(), 1);
@@ -489,7 +563,7 @@ mod tests {
         let reg = ContextRegistry::new(1, 1);
         let soc = Arc::new(benchmarks::d695());
         let key = ContextKey::new(&soc, 8, None);
-        let planted: Arc<OnceLock<Arc<CompiledSoc>>> = Arc::new(OnceLock::new());
+        let planted: Arc<OnceLock<CompileOutcome>> = Arc::new(OnceLock::new());
         reg.shards[reg.shard_of(&key)].lock().unwrap().insert(
             key,
             Entry {
@@ -508,7 +582,10 @@ mod tests {
         // the planted cell (a registry hit) and completes it in place.
         let ctx = reg.get_or_compile(&soc, 8, None);
         assert!(
-            planted.get().is_some_and(|c| Arc::ptr_eq(c, &ctx)),
+            planted
+                .get()
+                .and_then(|o| o.as_ref().ok())
+                .is_some_and(|c| Arc::ptr_eq(c, &ctx)),
             "the request completed the planted cell, not a replacement"
         );
         assert_eq!(reg.stats().hits, 1);
@@ -516,6 +593,44 @@ mod tests {
         // With every slot completed, capacity pressure evicts normally.
         reg.get_or_compile(&soc, 32, None);
         assert_eq!(reg.stats().evictions, 1);
+    }
+
+    #[test]
+    fn panicking_compile_neither_poisons_shards_nor_hangs_waiters() {
+        use std::sync::Barrier;
+
+        let reg = ContextRegistry::new(1, 4);
+        let soc = Arc::new(benchmarks::d695());
+        let entered = Barrier::new(2);
+        let release = Barrier::new(2);
+        std::thread::scope(|scope| {
+            let panicker = scope.spawn(|| {
+                reg.get_or_compile_with(ContextKey::new(&soc, 8, None), || {
+                    entered.wait();
+                    release.wait();
+                    panic!("compiler died mid-flight");
+                })
+            });
+            entered.wait();
+            // A waiter rendezvouses on the in-flight cell before the
+            // compile panics (the registry counts the rendezvous as a
+            // hit), then must be released and retry with its own
+            // (working) compile instead of hanging or dying of poison.
+            let waiter = scope.spawn(|| reg.get_or_compile(&soc, 8, None));
+            while reg.stats().hits == 0 {
+                std::thread::yield_now();
+            }
+            release.wait();
+            assert!(panicker.join().is_err(), "panic re-raised in its thread");
+            let ctx = waiter.join().expect("waiter released, not hung");
+            assert_eq!(ctx.w_max(), 8);
+        });
+        assert_eq!(reg.stats().panics, 1);
+        // No shard is poisoned and the dead entry was torn down: the key
+        // serves normally ever after.
+        let again = reg.get_or_compile(&soc, 8, None);
+        assert_eq!(again.w_max(), 8);
+        assert_eq!(reg.len(), 1);
     }
 
     #[test]
@@ -545,8 +660,7 @@ mod tests {
         let s = RegistryStats {
             hits: 3,
             misses: 1,
-            evictions: 0,
-            expiries: 0,
+            ..Default::default()
         };
         assert!((s.hit_rate() - 0.75).abs() < 1e-12);
         assert_eq!(RegistryStats::default().hit_rate(), 0.0);

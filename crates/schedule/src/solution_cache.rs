@@ -29,6 +29,17 @@
 //! poison a key for the cache's lifetime
 //! ([`SolutionCacheStats::failures`] counts them).
 //!
+//! # Panics are isolated
+//!
+//! A solve that *panics* is caught inside the rendezvous cell, so the
+//! cell is always published and coalesced waiters never hang on an
+//! abandoned in-flight slot. The panicked entry is torn down
+//! ([`SolutionCacheStats::panics`] counts it), the panic is re-raised in
+//! the thread whose solve panicked, and every coalesced waiter retries
+//! with its own solve closure as if it had missed. Shard locks recover
+//! from poisoning ([`lock_unpoisoned`](crate::sync::lock_unpoisoned))
+//! rather than cascading a panic across unrelated requests.
+//!
 //! # Bounds
 //!
 //! Entry *count* is bounded per shard with LRU eviction, exactly like the
@@ -52,17 +63,28 @@
 use std::collections::hash_map::RandomState;
 use std::collections::HashMap;
 use std::hash::{BuildHasher, Hash};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
 use crate::expiry::TtlPolicy;
+use crate::sync::{lock_unpoisoned, panic_message};
+
+/// What a rendezvous cell ends up holding: the solve's result, or the
+/// rendered payload of the panic that killed it. Publishing the panic
+/// instead of abandoning the cell is what keeps coalesced waiters from
+/// blocking forever on a slot whose solver died.
+enum SlotOutcome<V, E> {
+    Done(Result<V, E>),
+    Panicked(String),
+}
 
 /// One cache slot. As in the registry, the result lives behind a
 /// `OnceLock` cell so the solve happens outside the shard lock and
 /// same-key requests rendezvous on the cell.
 struct Slot<V, E> {
-    cell: Arc<OnceLock<Result<V, E>>>,
+    cell: Arc<OnceLock<SlotOutcome<V, E>>>,
     last_used: u64,
     deadline: Option<Instant>,
 }
@@ -111,6 +133,9 @@ pub struct SolutionCacheStats {
     pub expiries: u64,
     /// Solves that returned an error (the entry is removed, not cached).
     pub failures: u64,
+    /// Solves that panicked (caught, torn down, and re-raised in the
+    /// panicking thread; coalesced waiters retried instead of hanging).
+    pub panics: u64,
 }
 
 impl SolutionCacheStats {
@@ -141,6 +166,7 @@ pub struct SolutionCache<K, V, E> {
     evictions: AtomicU64,
     expiries: AtomicU64,
     failures: AtomicU64,
+    panics: AtomicU64,
 }
 
 impl<K, V, E> SolutionCache<K, V, E>
@@ -171,6 +197,7 @@ where
             evictions: AtomicU64::new(0),
             expiries: AtomicU64::new(0),
             failures: AtomicU64::new(0),
+            panics: AtomicU64::new(0),
         }
     }
 
@@ -203,106 +230,158 @@ where
         solve: impl FnOnce() -> Result<V, E>,
     ) -> (Result<V, E>, CacheLookup) {
         let shard = &self.shards[self.shard_of(&key)];
-        let stamp = self.clock.fetch_add(1, Ordering::Relaxed);
+        // `solve` is consumed only by the request that actually runs it;
+        // a waiter whose in-flight solver panicked still holds its own
+        // closure and retries with it instead of hanging or giving up.
+        let mut solve = Some(solve);
 
-        let (cell, lookup) = {
-            let mut map = shard.lock().expect("solution-cache shard poisoned");
-            // An entry past its deadline is dead even if resident; treat
-            // the access as a miss. In-flight entries (cell not yet set)
-            // are never expired out from under their solver — the deadline
-            // clock starts at insertion but a slow first solve still
-            // coalesces correctly.
-            let mut resident = None;
-            if let Some(slot) = map.get_mut(&key) {
-                if slot.cell.get().is_some() && TtlPolicy::expired(slot.deadline, Instant::now()) {
-                    map.remove(&key);
-                    self.expiries.fetch_add(1, Ordering::Relaxed);
-                } else {
-                    slot.last_used = stamp;
-                    let lookup = if slot.cell.get().is_some() {
-                        self.hits.fetch_add(1, Ordering::Relaxed);
-                        CacheLookup::Hit
+        loop {
+            let stamp = self.clock.fetch_add(1, Ordering::Relaxed);
+            let (cell, lookup) = {
+                let mut map = lock_unpoisoned(shard);
+                // An entry past its deadline is dead even if resident;
+                // treat the access as a miss. In-flight entries (cell not
+                // yet set) are never expired out from under their solver —
+                // the deadline clock starts at insertion but a slow first
+                // solve still coalesces correctly. An entry whose solve
+                // panicked is dead too: its publisher tears it down, but a
+                // racing probe may see it first and must not serve it.
+                let mut resident = None;
+                if let Some(slot) = map.get_mut(&key) {
+                    let completed = slot.cell.get();
+                    let panicked = matches!(completed, Some(SlotOutcome::Panicked(_)));
+                    if panicked
+                        || (completed.is_some()
+                            && TtlPolicy::expired(slot.deadline, Instant::now()))
+                    {
+                        map.remove(&key);
+                        if !panicked {
+                            self.expiries.fetch_add(1, Ordering::Relaxed);
+                        }
                     } else {
-                        self.coalesced.fetch_add(1, Ordering::Relaxed);
-                        CacheLookup::Coalesced
-                    };
-                    resident = Some((Arc::clone(&slot.cell), lookup));
+                        slot.last_used = stamp;
+                        let lookup = if completed.is_some() {
+                            self.hits.fetch_add(1, Ordering::Relaxed);
+                            CacheLookup::Hit
+                        } else {
+                            self.coalesced.fetch_add(1, Ordering::Relaxed);
+                            CacheLookup::Coalesced
+                        };
+                        resident = Some((Arc::clone(&slot.cell), lookup));
+                    }
                 }
-            }
-            match resident {
-                Some(found) => found,
-                None => {
-                    self.misses.fetch_add(1, Ordering::Relaxed);
-                    if map.len() >= self.per_shard_capacity {
-                        // Victim selection skips in-flight slots: evicting
-                        // a slot whose cell is unset would discard the
-                        // solve in progress and detach later same-key
-                        // requests from it (re-solving instead of
-                        // coalescing). When every slot is in flight the
-                        // shard over-admits by one — in-flight slots
-                        // always complete and become evictable.
-                        let lru = map
-                            .iter()
-                            .filter(|(_, slot)| slot.cell.get().is_some())
-                            .min_by_key(|(_, slot)| slot.last_used)
-                            .map(|(k, _)| k.clone());
-                        if let Some(lru) = lru {
-                            map.remove(&lru);
-                            self.evictions.fetch_add(1, Ordering::Relaxed);
+                match resident {
+                    Some(found) => found,
+                    None => {
+                        self.misses.fetch_add(1, Ordering::Relaxed);
+                        if map.len() >= self.per_shard_capacity {
+                            // Victim selection skips in-flight slots:
+                            // evicting a slot whose cell is unset would
+                            // discard the solve in progress and detach
+                            // later same-key requests from it (re-solving
+                            // instead of coalescing). When every slot is
+                            // in flight the shard over-admits by one —
+                            // in-flight slots always complete and become
+                            // evictable.
+                            let lru = map
+                                .iter()
+                                .filter(|(_, slot)| slot.cell.get().is_some())
+                                .min_by_key(|(_, slot)| slot.last_used)
+                                .map(|(k, _)| k.clone());
+                            if let Some(lru) = lru {
+                                map.remove(&lru);
+                                self.evictions.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                        let cell = Arc::new(OnceLock::new());
+                        map.insert(
+                            key.clone(),
+                            Slot {
+                                cell: Arc::clone(&cell),
+                                last_used: stamp,
+                                deadline: self.ttl.deadline(),
+                            },
+                        );
+                        (cell, CacheLookup::Miss)
+                    }
+                }
+            };
+
+            // Outside the shard lock: `get_or_init` guarantees exactly one
+            // closure runs per cell no matter how many requests rendezvous
+            // on it — usually the inserting request's, but a coalesced
+            // request that arrives at an empty cell first solves in its
+            // stead, which is just as correct (every request carries the
+            // same work). `ran` tells us whether ours ran, so exactly one
+            // request handles a failure. The solve runs under
+            // `catch_unwind` so a panicking solver still publishes the
+            // cell: waiters blocked on it are released instead of hanging
+            // on an abandoned slot, and `get_or_init` itself is never
+            // poisoned.
+            let mut ran = false;
+            let outcome = cell.get_or_init(|| {
+                ran = true;
+                let solve = solve.take().expect("solve closure still available");
+                match catch_unwind(AssertUnwindSafe(solve)) {
+                    Ok(result) => SlotOutcome::Done(result),
+                    Err(payload) => SlotOutcome::Panicked(panic_message(payload.as_ref())),
+                }
+            });
+
+            match outcome {
+                SlotOutcome::Done(result) => {
+                    let result = result.clone();
+                    if ran && result.is_err() {
+                        self.failures.fetch_add(1, Ordering::Relaxed);
+                        let mut map = lock_unpoisoned(shard);
+                        // Only remove the entry this solve published — the
+                        // key may already hold a newer entry from a later
+                        // request.
+                        if map.get(&key).is_some_and(|s| Arc::ptr_eq(&s.cell, &cell)) {
+                            map.remove(&key);
                         }
                     }
-                    let cell = Arc::new(OnceLock::new());
-                    map.insert(
-                        key.clone(),
-                        Slot {
-                            cell: Arc::clone(&cell),
-                            last_used: stamp,
-                            deadline: self.ttl.deadline(),
-                        },
-                    );
-                    (cell, CacheLookup::Miss)
+                    return (result, lookup);
+                }
+                SlotOutcome::Panicked(message) => {
+                    // Tear the dead slot down (idempotent under the
+                    // ptr_eq guard — probes racing with us remove it too)
+                    // so later requests re-solve instead of rendezvousing
+                    // with a corpse.
+                    {
+                        let mut map = lock_unpoisoned(shard);
+                        if map.get(&key).is_some_and(|s| Arc::ptr_eq(&s.cell, &cell)) {
+                            map.remove(&key);
+                        }
+                    }
+                    if ran {
+                        // The panic was ours: re-raise it now that the
+                        // cell is published and the entry torn down, so
+                        // the caller's own isolation layer (the engine's
+                        // catch_unwind) sees it exactly once.
+                        self.panics.fetch_add(1, Ordering::Relaxed);
+                        panic!("solution-cache solve panicked: {message}");
+                    }
+                    // A waiter: the solve we coalesced onto died, but our
+                    // own closure is untouched — retry as a fresh miss.
                 }
             }
-        };
-
-        // Outside the shard lock: `get_or_init` guarantees exactly one
-        // closure runs per cell no matter how many requests rendezvous on
-        // it — usually the inserting request's, but a coalesced request
-        // that arrives at an empty cell first solves in its stead, which
-        // is just as correct (every request carries the same work).
-        // `ran` tells us whether ours ran, so exactly one request handles
-        // a failure.
-        let mut ran = false;
-        let result = cell
-            .get_or_init(|| {
-                ran = true;
-                solve()
-            })
-            .clone();
-        if ran && result.is_err() {
-            self.failures.fetch_add(1, Ordering::Relaxed);
-            let mut map = shard.lock().expect("solution-cache shard poisoned");
-            // Only remove the entry this solve published — the key may
-            // already hold a newer entry from a later request.
-            if map.get(&key).is_some_and(|s| Arc::ptr_eq(&s.cell, &cell)) {
-                map.remove(&key);
-            }
         }
-        (result, lookup)
     }
 
     /// Only returns a completed, unexpired cached result; never solves,
     /// never blocks on an in-flight solve, counts neither hit nor miss.
     pub fn peek(&self, key: &K) -> Option<V> {
         let now = Instant::now();
-        let map = self.shards[self.shard_of(key)]
-            .lock()
-            .expect("solution-cache shard poisoned");
+        let map = lock_unpoisoned(&self.shards[self.shard_of(key)]);
         let slot = map.get(key)?;
         if TtlPolicy::expired(slot.deadline, now) {
             return None;
         }
-        slot.cell.get().and_then(|r| r.as_ref().ok()).cloned()
+        match slot.cell.get()? {
+            SlotOutcome::Done(r) => r.as_ref().ok().cloned(),
+            SlotOutcome::Panicked(_) => None,
+        }
     }
 
     /// Drops every entry whose TTL has elapsed (in-flight solves are
@@ -312,7 +391,7 @@ where
         let now = Instant::now();
         let mut dropped = 0;
         for shard in &self.shards {
-            let mut map = shard.lock().expect("solution-cache shard poisoned");
+            let mut map = lock_unpoisoned(shard);
             let before = map.len();
             map.retain(|_, slot| {
                 slot.cell.get().is_none() || !TtlPolicy::expired(slot.deadline, now)
@@ -326,10 +405,7 @@ where
     /// Number of results currently resident (including expired entries not
     /// yet lazily evicted and solves still in flight).
     pub fn len(&self) -> usize {
-        self.shards
-            .iter()
-            .map(|s| s.lock().expect("solution-cache shard poisoned").len())
-            .sum()
+        self.shards.iter().map(|s| lock_unpoisoned(s).len()).sum()
     }
 
     /// Whether the cache holds no entries.
@@ -345,7 +421,7 @@ where
     /// Drops every cached result (stats are kept).
     pub fn clear(&self) {
         for shard in &self.shards {
-            shard.lock().expect("solution-cache shard poisoned").clear();
+            lock_unpoisoned(shard).clear();
         }
     }
 
@@ -358,6 +434,7 @@ where
             evictions: self.evictions.load(Ordering::Relaxed),
             expiries: self.expiries.load(Ordering::Relaxed),
             failures: self.failures.load(Ordering::Relaxed),
+            panics: self.panics.load(Ordering::Relaxed),
         }
     }
 
@@ -527,6 +604,61 @@ mod tests {
         // With key 1 completed, the next capacity pressure evicts normally.
         cache.get_or_compute(3, || Ok(30)).unwrap();
         assert!(cache.stats().evictions >= 1);
+    }
+
+    #[test]
+    fn panicking_solve_does_not_hang_coalesced_waiters() {
+        // The resilience invariant this cache pins: a solver that panics
+        // mid-flight must release every request coalesced onto its slot.
+        // Before the `SlotOutcome` cell, the panic escaped `get_or_init`
+        // with the cell unset — waiters blocked on it were stuck forever
+        // (or killed by `Once` poisoning).
+        const WAITERS: usize = 4;
+        let cache = Cache::new(1, 16, None);
+        let entered = Barrier::new(2);
+        let release = Barrier::new(2);
+        std::thread::scope(|scope| {
+            let panicker = scope.spawn(|| {
+                cache.get_or_compute(9, || {
+                    entered.wait();
+                    release.wait();
+                    panic!("solver died mid-flight");
+                })
+            });
+            entered.wait();
+            // Every waiter joins the in-flight solve before it panics.
+            let waiters: Vec<_> = (0..WAITERS)
+                .map(|_| scope.spawn(|| cache.get_or_compute(9, || Ok(99))))
+                .collect();
+            while cache.stats().coalesced < WAITERS as u64 {
+                std::thread::yield_now();
+            }
+            release.wait();
+            // The panicking thread re-raises; its join reports the panic.
+            assert!(panicker.join().is_err(), "panic re-raised in its thread");
+            // Waiters retry with their own closures and complete.
+            for w in waiters {
+                assert_eq!(w.join().unwrap().unwrap(), 99, "waiter released");
+            }
+        });
+        assert_eq!(cache.stats().panics, 1);
+        // The dead slot was torn down and replaced by a retry's entry.
+        assert_eq!(cache.peek(&9), Some(99));
+        // The shard survived: later traffic behaves normally.
+        assert_eq!(cache.get_or_compute(9, || Ok(0)).unwrap(), 99);
+    }
+
+    #[test]
+    fn panicked_entry_is_removed_and_next_request_resolves() {
+        let cache = Cache::new(2, 8, None);
+        let died = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            cache.get_or_compute(5, || -> Result<u64, String> { panic!("boom") })
+        }));
+        assert!(died.is_err());
+        assert_eq!(cache.len(), 0, "panicked entry torn down");
+        assert_eq!(cache.stats().panics, 1);
+        assert_eq!(cache.get_or_compute(5, || Ok(50)).unwrap(), 50);
+        assert_eq!(cache.stats().panics, 1, "clean retry counts no panic");
     }
 
     #[test]

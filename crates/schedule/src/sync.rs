@@ -1,0 +1,73 @@
+//! Poison-recovering locking and panic-payload helpers shared by every
+//! mutex in the scheduling/serving stack.
+//!
+//! A poisoned `Mutex` means *some* thread panicked while holding the
+//! guard — it says nothing about the integrity of the data behind it.
+//! Every structure in this workspace that takes a lock (cache shards,
+//! registry shards, the server's connection table) holds only
+//! crash-consistent state: each critical section either completes a map
+//! operation or leaves the map as it was, so the value behind a poisoned
+//! lock is always safe to keep using. Propagating the poison instead
+//! (`.lock().expect(..)`) turns one recovered panic into a process-wide
+//! cascade: every later request touching the same shard dies too. A
+//! resilient daemon wants exactly the opposite — recover the guard,
+//! serve the request, and let the original panic be reported once, where
+//! it was caught.
+
+use std::any::Any;
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+/// Locks `mutex`, recovering the guard if a previous holder panicked.
+///
+/// Use this instead of `.lock().expect("poisoned")` everywhere the
+/// guarded data is crash-consistent (see the [module docs](self)).
+pub fn lock_unpoisoned<T: ?Sized>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Renders a caught panic payload (from `std::panic::catch_unwind`) as a
+/// human-readable message.
+///
+/// `panic!("...")` payloads are `&str` or `String`; anything else (a
+/// `panic_any` value) is reported by a placeholder rather than lost.
+pub fn panic_message(payload: &(dyn Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+    use std::sync::Mutex;
+
+    #[test]
+    fn recovers_a_poisoned_lock() {
+        let m = Mutex::new(7u32);
+        let _ = catch_unwind(AssertUnwindSafe(|| {
+            let _guard = m.lock().unwrap();
+            panic!("poison the lock");
+        }));
+        assert!(m.is_poisoned());
+        let mut guard = lock_unpoisoned(&m);
+        assert_eq!(*guard, 7, "data behind a poisoned lock is intact");
+        *guard = 8;
+        drop(guard);
+        assert_eq!(*lock_unpoisoned(&m), 8);
+    }
+
+    #[test]
+    fn renders_str_string_and_opaque_payloads() {
+        let p = catch_unwind(|| panic!("plain str")).unwrap_err();
+        assert_eq!(panic_message(p.as_ref()), "plain str");
+        let p = catch_unwind(|| panic!("formatted {}", 42)).unwrap_err();
+        assert_eq!(panic_message(p.as_ref()), "formatted 42");
+        let p = catch_unwind(|| std::panic::panic_any(17u8)).unwrap_err();
+        assert_eq!(panic_message(p.as_ref()), "non-string panic payload");
+    }
+}

@@ -8,10 +8,24 @@
 //! request log — through one connection and summarizes the observed wire
 //! latencies ([`LatencySummary`]), which is what `soctam client --file`
 //! and the `servesnap` replay section print.
+//!
+//! # Resilience
+//!
+//! The daemon sheds connections under overload (a one-line
+//! `{"ok": false, "busy": true, ...}` answer, then close) and renders
+//! recovered solver panics as `"transient": true` errors. A
+//! [`RetryingClient`] absorbs both, plus plain transport failures:
+//! each retryable outcome reconnects and retries with exponential
+//! backoff and *deterministic* jitter (seeded [`rand::rngs::StdRng`], so
+//! a chaos run's timing is reproducible). `soctam client --retries N
+//! --backoff SECS` and [`replay_with_retry`] ride on it.
 
 use std::io::{BufRead, BufReader, Read, Write};
-use std::net::{TcpStream, ToSocketAddrs};
-use std::time::Instant;
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::time::{Duration, Instant};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
 /// A connected protocol client: send request lines, read response lines,
 /// one connection for any number of requests.
@@ -67,6 +81,158 @@ pub fn roundtrip(addr: impl ToSocketAddrs, lines: &[&str]) -> std::io::Result<Ve
     lines.iter().map(|line| conn.request(line)).collect()
 }
 
+/// Whether a one-line JSON response asks to be retried: an admission-
+/// control shed (`"busy": true`) or a transient failure such as a
+/// recovered solver panic (`"transient": true`).
+#[must_use]
+pub fn is_retryable_response(response: &str) -> bool {
+    response.contains("\"busy\": true") || response.contains("\"transient\": true")
+}
+
+/// Exponential backoff with deterministic jitter.
+///
+/// Attempt `k` (1-based) sleeps `backoff · 2^(k-1)` scaled by a uniform
+/// jitter factor in `[0.5, 1.0)`, capped at [`RetryPolicy::MAX_DELAY`].
+/// The jitter stream is seeded, so two runs with equal seeds back off
+/// identically — chaos tests stay reproducible.
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Additional attempts after the first (0 = never retry).
+    pub retries: u32,
+    /// Base delay before the first retry (doubles each attempt).
+    pub backoff: Duration,
+    /// Seed of the jitter stream.
+    pub seed: u64,
+}
+
+impl RetryPolicy {
+    /// Ceiling on any single backoff sleep, whatever the attempt count.
+    pub const MAX_DELAY: Duration = Duration::from_secs(5);
+
+    /// A policy that never retries (the plain-client behaviour).
+    #[must_use]
+    pub fn none() -> Self {
+        Self {
+            retries: 0,
+            backoff: Duration::ZERO,
+            seed: 0,
+        }
+    }
+
+    /// `retries` extra attempts with base delay `backoff` and a default
+    /// jitter seed.
+    #[must_use]
+    pub fn new(retries: u32, backoff: Duration) -> Self {
+        Self {
+            retries,
+            backoff,
+            seed: 0x5eed_50c7,
+        }
+    }
+
+    /// The sleep before (1-based) retry `attempt`, drawing jitter from
+    /// `rng`.
+    fn delay(&self, rng: &mut StdRng, attempt: u32) -> Duration {
+        let doubled = self
+            .backoff
+            .saturating_mul(1u32 << attempt.saturating_sub(1).min(16));
+        let full = doubled.min(Self::MAX_DELAY);
+        if full.is_zero() {
+            return full;
+        }
+        // Uniform jitter factor in [0.5, 1.0): decorrelates a thundering
+        // herd of shed clients without ever collapsing the delay to zero.
+        let micros = full.as_micros() as u64;
+        Duration::from_micros(micros / 2 + rng.gen_range(0..micros.div_ceil(2).max(1)))
+    }
+}
+
+/// A protocol client that retries: transport failures (including connect
+/// refusals), admission-control sheds, and `"transient": true` error
+/// responses each trigger a reconnect and a backed-off resend, up to
+/// [`RetryPolicy::retries`] extra attempts per request.
+#[derive(Debug)]
+pub struct RetryingClient {
+    addr: SocketAddr,
+    policy: RetryPolicy,
+    rng: StdRng,
+    conn: Option<Connection>,
+    retried: u64,
+}
+
+impl RetryingClient {
+    /// Prepares a client for `addr`. Connecting is lazy — and retried —
+    /// so constructing against a daemon that is still binding (or
+    /// momentarily drowning) succeeds.
+    ///
+    /// # Errors
+    ///
+    /// Fails only if `addr` resolves to no address at all.
+    pub fn new(addr: impl ToSocketAddrs, policy: RetryPolicy) -> std::io::Result<Self> {
+        let addr = addr.to_socket_addrs()?.next().ok_or_else(|| {
+            std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                "address resolved to nothing",
+            )
+        })?;
+        let rng = StdRng::seed_from_u64(policy.seed);
+        Ok(Self {
+            addr,
+            policy,
+            rng,
+            conn: None,
+            retried: 0,
+        })
+    }
+
+    /// Request attempts made beyond each first try, summed over the
+    /// client's lifetime.
+    #[must_use]
+    pub fn retried(&self) -> u64 {
+        self.retried
+    }
+
+    /// Sends one request line, retrying per the policy, and returns the
+    /// final one-line JSON response.
+    ///
+    /// # Errors
+    ///
+    /// The last transport failure, once the attempt budget is spent. A
+    /// still-retryable *response* (the daemon kept shedding) is returned
+    /// as `Ok` — callers see exactly what the daemon last said.
+    pub fn request(&mut self, line: &str) -> std::io::Result<String> {
+        let mut attempt = 0;
+        loop {
+            let outcome = self.request_once(line);
+            let retryable = match &outcome {
+                Ok(response) => is_retryable_response(response),
+                Err(_) => true,
+            };
+            if !retryable || attempt >= self.policy.retries {
+                return outcome;
+            }
+            attempt += 1;
+            self.retried += 1;
+            // A shed or transient answer came over a connection the
+            // daemon is about to close (or already severed): reconnect.
+            self.conn = None;
+            std::thread::sleep(self.policy.delay(&mut self.rng, attempt));
+        }
+    }
+
+    fn request_once(&mut self, line: &str) -> std::io::Result<String> {
+        if self.conn.is_none() {
+            self.conn = Some(Connection::connect(self.addr)?);
+        }
+        let conn = self.conn.as_mut().expect("connection just established");
+        let outcome = conn.request(line);
+        if outcome.is_err() {
+            self.conn = None;
+        }
+        outcome
+    }
+}
+
 /// Issues `GET <path>` against the daemon's HTTP surface, returning the
 /// status line and the body.
 ///
@@ -113,13 +279,15 @@ pub struct LatencySummary {
 impl LatencySummary {
     /// Summarizes a batch of per-request latencies (milliseconds).
     /// Returns `None` for an empty batch — there is no distribution to
-    /// describe.
+    /// describe. Never panics: samples are ordered by `f64::total_cmp`,
+    /// so even a NaN smuggled in by a broken clock is sorted (last), not
+    /// a crash.
     #[must_use]
     pub fn of_millis(mut samples: Vec<f64>) -> Option<Self> {
         if samples.is_empty() {
             return None;
         }
-        samples.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+        samples.sort_by(f64::total_cmp);
         let pct = |p: f64| samples[((p / 100.0) * (samples.len() - 1) as f64).round() as usize];
         Some(Self {
             count: samples.len(),
@@ -127,7 +295,7 @@ impl LatencySummary {
             p50_ms: pct(50.0),
             p90_ms: pct(90.0),
             p99_ms: pct(99.0),
-            max_ms: *samples.last().expect("non-empty"),
+            max_ms: samples[samples.len() - 1],
         })
     }
 
@@ -154,8 +322,12 @@ pub struct ReplayReport {
     /// Responses reporting an error (parse or engine).
     pub failed: usize,
     /// Wire-latency distribution over all replayed requests; `None` when
-    /// the input held no replayable lines.
+    /// the input held no replayable lines. Each request's latency covers
+    /// every attempt it needed, backoff sleeps included — the latency a
+    /// caller actually experienced.
     pub latency: Option<LatencySummary>,
+    /// Request attempts beyond each first try (0 without a retry policy).
+    pub retried: u64,
 }
 
 /// Replays `text` — a plain request file, or a JSONL request log written
@@ -169,14 +341,31 @@ pub struct ReplayReport {
 /// response with `"ok": false`) are tallied in
 /// [`ReplayReport::failed`], not raised.
 pub fn replay(addr: impl ToSocketAddrs, text: &str) -> std::io::Result<ReplayReport> {
+    replay_with_retry(addr, text, RetryPolicy::none())
+}
+
+/// [`replay`], but through a [`RetryingClient`]: sheds, transient
+/// errors, and transport failures are retried per `policy`, so a replay
+/// against an overloaded (or fault-injected) daemon can still finish
+/// with every request answered.
+///
+/// # Errors
+///
+/// Propagates a transport failure only after the policy's attempt
+/// budget is spent on it.
+pub fn replay_with_retry(
+    addr: impl ToSocketAddrs,
+    text: &str,
+    policy: RetryPolicy,
+) -> std::io::Result<ReplayReport> {
     let lines = soctam_core::protocol::replay_lines(text);
-    let mut conn = Connection::connect(addr)?;
+    let mut client = RetryingClient::new(addr, policy)?;
     let mut responses = Vec::with_capacity(lines.len());
     let mut latencies = Vec::with_capacity(lines.len());
     let (mut ok, mut failed) = (0, 0);
     for line in lines {
         let t0 = Instant::now();
-        let response = conn.request(&line)?;
+        let response = client.request(&line)?;
         latencies.push(t0.elapsed().as_secs_f64() * 1e3);
         if response.contains("\"ok\": true") {
             ok += 1;
@@ -190,5 +379,71 @@ pub fn replay(addr: impl ToSocketAddrs, text: &str) -> std::io::Result<ReplayRep
         ok,
         failed,
         latency: LatencySummary::of_millis(latencies),
+        retried: client.retried(),
     })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_summary_of_an_empty_batch_is_none_not_a_panic() {
+        assert_eq!(LatencySummary::of_millis(Vec::new()), None);
+    }
+
+    #[test]
+    fn latency_summary_survives_non_finite_samples() {
+        // total_cmp orders NaN after every finite sample: the summary is
+        // produced (NaN surfaces in max_ms, where a reader can see it)
+        // instead of panicking mid-replay.
+        let summary = LatencySummary::of_millis(vec![2.0, f64::NAN, 1.0]).unwrap();
+        assert_eq!(summary.count, 3);
+        assert_eq!(summary.p50_ms, 2.0);
+        assert!(summary.max_ms.is_nan());
+    }
+
+    #[test]
+    fn retryable_responses_are_sheds_and_transients_only() {
+        assert!(is_retryable_response(
+            "{\"ok\": false, \"busy\": true, \"transient\": true, \"error\": \"...\"}"
+        ));
+        assert!(is_retryable_response(
+            "{\"ok\": false, \"transient\": true, \"error\": \"solver panicked (recovered)\"}"
+        ));
+        assert!(!is_retryable_response("{\"ok\": true, \"makespan\": 5}"));
+        assert!(!is_retryable_response(
+            "{\"ok\": false, \"error\": \"unknown SOC\"}"
+        ));
+    }
+
+    #[test]
+    fn backoff_delays_are_deterministic_jittered_and_capped() {
+        let policy = RetryPolicy {
+            retries: 8,
+            backoff: Duration::from_millis(100),
+            seed: 7,
+        };
+        let mut a = StdRng::seed_from_u64(policy.seed);
+        let mut b = StdRng::seed_from_u64(policy.seed);
+        for attempt in 1..=8 {
+            let d = policy.delay(&mut a, attempt);
+            // Same seed, same stream: the run is reproducible.
+            assert_eq!(d, policy.delay(&mut b, attempt));
+            let full = policy
+                .backoff
+                .saturating_mul(1 << (attempt - 1))
+                .min(RetryPolicy::MAX_DELAY);
+            assert!(d >= full / 2 && d < full, "attempt {attempt}: {d:?}");
+        }
+        // Far past the doubling horizon the cap still holds.
+        assert!(policy.delay(&mut a, 1000) < RetryPolicy::MAX_DELAY);
+    }
+
+    #[test]
+    fn zero_backoff_never_sleeps() {
+        let policy = RetryPolicy::none();
+        let mut rng = StdRng::seed_from_u64(0);
+        assert_eq!(policy.delay(&mut rng, 1), Duration::ZERO);
+    }
 }

@@ -52,6 +52,49 @@
 //! request in flight get up to [`ServerConfig::drain`] to finish solving
 //! and flush their response before being severed.
 //!
+//! # Admission control
+//!
+//! Accepted connections queue on a *bounded* channel of capacity
+//! [`ServerConfig::max_pending`]. When every worker is busy and the queue
+//! is full, the daemon **sheds** instead of queueing without limit: the
+//! connection is answered immediately — protocol peers get one structured
+//! line, `{"ok": false, "busy": true, "transient": true, ...}`, HTTP peers
+//! get `503 Service Unavailable` with `Retry-After` — and closed. Sheds
+//! are counted (`soctam_shed_total`), the queue depth is exported as a
+//! gauge, and `GET /healthz` degrades to `503` while the queue is
+//! saturated so load balancers stop routing to a drowning instance.
+//! Shedding keeps tail latency bounded under overload: capacity is spent
+//! finishing admitted requests, not growing an unbounded backlog.
+//!
+//! # Panic isolation
+//!
+//! A panic anywhere in a request's solve path is confined to that
+//! request. The engine catches solver panics and renders them as
+//! transient error responses; the solution cache and context registry
+//! publish panics to coalesced waiters and tear the slot down (waiters
+//! retry, never hang); and each pool worker is guarded — if a connection
+//! handler panics anyway, the worker is respawned and the daemon keeps
+//! serving. Every recovery is visible in `/metrics`
+//! (`soctam_worker_panics_total`, `soctam_solver_panics_recovered_total`,
+//! cache/registry panic counters). Shared-state mutexes recover from
+//! poisoning rather than propagating it: a panic that interleaved with a
+//! critical section must not take down every later request that touches
+//! the same lock.
+//!
+//! # Fault injection
+//!
+//! [`ServerConfig::fault_plan`] arms a deterministic
+//! [`soctam_core::fault::FaultPlan`] (`serve --fault-inject
+//! "solve:panic:every=97,io:latency=5ms:every=13"`): `solve`-site faults
+//! strike inside the engine (under its panic isolation), `io`-site faults
+//! strike the daemon's per-request connection handling — latency stalls
+//! the response, `error` severs the connection as a dead transport would,
+//! `panic` kills the worker mid-request (exercising the respawn guard).
+//! Firing is counter-based, not random, so a chaos run is reproducible
+//! and non-faulted responses can be pinned bit-identical to a fault-free
+//! run. Injections are exported per spec as
+//! `soctam_fault_injected_total{fault="..."}`.
+//!
 //! # Request log
 //!
 //! With [`ServerConfig::log_path`] set, every served request line appends
@@ -78,7 +121,9 @@
 //! A connection whose first line is an HTTP/1.1 `GET` is served one
 //! response and closed:
 //!
-//! * `GET /healthz` — `200 OK`, body `ok`;
+//! * `GET /healthz` — `200 OK`, body `ok` — or `503 Service Unavailable`,
+//!   body `saturated`, while the pending queue is full (see *Admission
+//!   control* above);
 //! * `GET /metrics` — `200 OK`, Prometheus text exposition (`# TYPE`-
 //!   annotated counters and gauges) of request, cache, registry, and
 //!   solver counters;
@@ -123,8 +168,9 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant, SystemTime};
 
 use soctam_core::engine::{CacheDisposition, Engine, EngineOp};
-use soctam_core::protocol::{self, MemoResolver};
-use soctam_core::schedule::{instrument, ContextRegistry};
+use soctam_core::fault::{FaultAction, FaultPlan, FaultSite};
+use soctam_core::protocol;
+use soctam_core::schedule::{instrument, lock_unpoisoned, ContextRegistry};
 use soctam_core::soc::Soc;
 
 pub mod client;
@@ -166,12 +212,21 @@ pub struct ServerConfig {
     /// Append a JSONL record per served request line to this file (see
     /// the [module docs](self) for the schema). `None` disables logging.
     pub log_path: Option<PathBuf>,
+    /// Most accepted connections that may wait for a free worker before
+    /// the daemon starts shedding (see *Admission control* in the
+    /// [module docs](self)). Clamped to at least 1.
+    pub max_pending: usize,
+    /// Deterministic fault-injection plan for chaos testing (see *Fault
+    /// injection* in the [module docs](self)). `None` — the production
+    /// default — injects nothing.
+    pub fault_plan: Option<Arc<FaultPlan>>,
 }
 
 impl Default for ServerConfig {
     /// Four workers, a 1024-result cache over a default-sized registry, no
     /// expiry; 30-second peer deadlines, unlimited requests per
-    /// connection, 64 KiB line cap, 5-second shutdown drain, no log.
+    /// connection, 64 KiB line cap, 5-second shutdown drain, no log; a
+    /// 64-connection pending queue, no fault injection.
     fn default() -> Self {
         Self {
             threads: 4,
@@ -183,6 +238,8 @@ impl Default for ServerConfig {
             max_line_bytes: 64 * 1024,
             drain: Duration::from_secs(5),
             log_path: None,
+            max_pending: 64,
+            fault_plan: None,
         }
     }
 }
@@ -204,11 +261,42 @@ struct Counters {
     oversized_lines: AtomicU64,
     /// Keep-alive connections closed by the per-connection request cap.
     request_cap_closes: AtomicU64,
+    /// Connections shed by admission control (queue full).
+    sheds: AtomicU64,
+    /// Worker threads that died to a panic and were respawned.
+    worker_panics: AtomicU64,
 }
 
-/// The daemon's SOC resolver: the shared memoizing resolver over the
-/// benchmark-only loader (a plain `fn` pointer, so the type is nameable).
-type BenchmarkOnlyResolver = MemoResolver<fn(&str) -> Result<Soc, String>>;
+/// The daemon's SOC resolver: every benchmark model, resolved once at
+/// bind time into an immutable map. The request path does a read-only
+/// lookup — no lock, no contention, nothing for a panic to poison.
+struct BenchmarkCatalog {
+    socs: std::collections::HashMap<&'static str, Arc<Soc>>,
+}
+
+impl BenchmarkCatalog {
+    fn new() -> Self {
+        Self {
+            socs: soctam_core::soc::benchmarks::NAMES
+                .iter()
+                .filter_map(|name| {
+                    soctam_core::soc::benchmarks::by_name(name).map(|soc| (*name, Arc::new(soc)))
+                })
+                .collect(),
+        }
+    }
+
+    /// Resolves a benchmark name — never a filesystem path: remote peers
+    /// must not be able to make the daemon read paths.
+    fn resolve(&self, name: &str) -> Result<Arc<Soc>, String> {
+        self.socs.get(name).cloned().ok_or_else(|| {
+            format!(
+                "unknown SOC `{name}` (the server resolves benchmark names only: {})",
+                soctam_core::soc::benchmarks::NAMES.join(", ")
+            )
+        })
+    }
+}
 
 /// One registered connection: the severing handle plus the busy flag the
 /// worker raises while a request is in flight (read but not yet answered),
@@ -224,7 +312,7 @@ struct Shared {
     engine: Engine,
     cfg: ServerConfig,
     counters: Counters,
-    resolver: Mutex<BenchmarkOnlyResolver>,
+    catalog: BenchmarkCatalog,
     started: Instant,
     shutdown: AtomicBool,
     /// Handles on every connection currently being served, so shutdown
@@ -233,6 +321,19 @@ struct Shared {
     next_conn_id: AtomicU64,
     /// The JSONL request log, when configured.
     log: Option<Mutex<std::fs::File>>,
+    /// Accepted connections sitting in the bounded queue, not yet picked
+    /// up by a worker. Incremented before the enqueue attempt and backed
+    /// out on a failed one, so the gauge never under-counts; `/healthz`
+    /// reports saturation when it reaches `max_pending`.
+    queue_depth: AtomicU64,
+    /// Live pool workers (a gauge: respawns keep it at `cfg.threads`).
+    worker_threads: AtomicU64,
+    /// Short-lived threads currently writing shed responses, capped so a
+    /// connection flood cannot mint unbounded threads.
+    shed_threads: AtomicU64,
+    /// Join handles of respawned workers (the original handle died with
+    /// the panicking thread); drained by [`Server::drop`].
+    respawned: Mutex<Vec<JoinHandle<()>>>,
 }
 
 impl Shared {
@@ -242,34 +343,25 @@ impl Shared {
         let id = self.next_conn_id.fetch_add(1, Ordering::Relaxed);
         let stream = stream.try_clone().ok()?;
         let busy = Arc::new(AtomicBool::new(false));
-        self.active
-            .lock()
-            .expect("active-connection table poisoned")
-            .insert(
-                id,
-                ActiveConn {
-                    stream,
-                    busy: Arc::clone(&busy),
-                },
-            );
+        lock_unpoisoned(&self.active).insert(
+            id,
+            ActiveConn {
+                stream,
+                busy: Arc::clone(&busy),
+            },
+        );
         Some((id, busy))
     }
 
     fn deregister(&self, id: u64) {
-        self.active
-            .lock()
-            .expect("active-connection table poisoned")
-            .remove(&id);
+        lock_unpoisoned(&self.active).remove(&id);
     }
 
     /// Severs connections: all of them, or only those with no request in
     /// flight. Blocked worker reads observe EOF, so a dropped server never
     /// waits on an idle peer.
     fn sever(&self, idle_only: bool) {
-        let active = self
-            .active
-            .lock()
-            .expect("active-connection table poisoned");
+        let active = lock_unpoisoned(&self.active);
         for conn in active.values() {
             if !idle_only || !conn.busy.load(Ordering::SeqCst) {
                 let _ = conn.stream.shutdown(std::net::Shutdown::Both);
@@ -279,11 +371,15 @@ impl Shared {
 
     /// Whether any registered connection has a request in flight.
     fn any_busy(&self) -> bool {
-        self.active
-            .lock()
-            .expect("active-connection table poisoned")
+        lock_unpoisoned(&self.active)
             .values()
             .any(|c| c.busy.load(Ordering::SeqCst))
+    }
+
+    /// Whether the pending queue is saturated (admission control is
+    /// shedding and `/healthz` should degrade).
+    fn saturated(&self) -> bool {
+        self.queue_depth.load(Ordering::SeqCst) >= self.cfg.max_pending as u64
     }
 
     /// Appends one JSONL record to the request log, if configured. The
@@ -312,21 +408,9 @@ impl Shared {
             protocol::json_escape(peer),
             latency.as_micros(),
         );
-        let mut file = log.lock().expect("request log poisoned");
+        let mut file = lock_unpoisoned(log);
         let _ = file.write_all(line.as_bytes());
     }
-}
-
-/// The loader behind the daemon's SOC resolver: benchmark names only,
-/// never the filesystem (remote peers must not be able to make the
-/// daemon read paths).
-fn load_benchmark(name: &str) -> Result<Soc, String> {
-    soctam_core::soc::benchmarks::by_name(name).ok_or_else(|| {
-        format!(
-            "unknown SOC `{name}` (the server resolves benchmark names only: {})",
-            soctam_core::soc::benchmarks::NAMES.join(", ")
-        )
-    })
 }
 
 /// Summary of a cache-warming pass ([`Server::warm_from_text`]).
@@ -367,6 +451,7 @@ impl Server {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
         cfg.max_line_bytes = cfg.max_line_bytes.max(64);
+        cfg.max_pending = cfg.max_pending.max(1);
 
         let mut registry = ContextRegistry::new(
             ContextRegistry::DEFAULT_SHARDS,
@@ -375,8 +460,11 @@ impl Server {
         if let Some(ttl) = cfg.ttl {
             registry = registry.with_ttl(ttl);
         }
-        let engine = Engine::with_registry(Arc::new(registry))
+        let mut engine = Engine::with_registry(Arc::new(registry))
             .with_solution_cache(cfg.cache_capacity, cfg.ttl);
+        if let Some(plan) = &cfg.fault_plan {
+            engine = engine.with_fault_plan(Arc::clone(plan));
+        }
 
         let log = match &cfg.log_path {
             None => None,
@@ -392,33 +480,25 @@ impl Server {
             engine,
             cfg,
             counters: Counters::default(),
-            resolver: Mutex::new(MemoResolver::new(
-                load_benchmark as fn(&str) -> Result<Soc, String>,
-            )),
+            catalog: BenchmarkCatalog::new(),
             started: Instant::now(),
             shutdown: AtomicBool::new(false),
             active: Mutex::new(std::collections::HashMap::new()),
             next_conn_id: AtomicU64::new(0),
             log,
+            queue_depth: AtomicU64::new(0),
+            worker_threads: AtomicU64::new(0),
+            shed_threads: AtomicU64::new(0),
+            respawned: Mutex::new(Vec::new()),
         });
 
-        let (tx, rx) = mpsc::channel::<TcpStream>();
+        // The *bounded* connection queue: admission control. `try_send`
+        // either queues (at most `max_pending` waiting) or fails
+        // immediately, and a failed enqueue becomes a shed, not a stall.
+        let (tx, rx) = mpsc::sync_channel::<TcpStream>(shared.cfg.max_pending);
         let rx = Arc::new(Mutex::new(rx));
         let workers = (0..shared.cfg.threads.max(1))
-            .map(|_| {
-                let shared = Arc::clone(&shared);
-                let rx = Arc::clone(&rx);
-                std::thread::spawn(move || loop {
-                    // Take the next connection under the lock, serve it
-                    // outside: peers queue behind `recv`, not behind a
-                    // long-running request on another worker.
-                    let stream = rx.lock().expect("worker queue poisoned").recv();
-                    match stream {
-                        Ok(stream) => serve_connection(&shared, stream),
-                        Err(_) => break, // acceptor gone: shutdown
-                    }
-                })
-            })
+            .map(|_| spawn_worker(&shared, &rx))
             .collect();
 
         let acceptor = {
@@ -430,8 +510,20 @@ impl Server {
                     }
                     if let Ok(stream) = stream {
                         shared.counters.connections.fetch_add(1, Ordering::Relaxed);
-                        if tx.send(stream).is_err() {
-                            break;
+                        // Raise the gauge *before* the enqueue attempt
+                        // (backing out on failure): a worker's decrement
+                        // can then never race it below the true depth.
+                        shared.queue_depth.fetch_add(1, Ordering::SeqCst);
+                        match tx.try_send(stream) {
+                            Ok(()) => {}
+                            Err(mpsc::TrySendError::Full(stream)) => {
+                                shared.queue_depth.fetch_sub(1, Ordering::SeqCst);
+                                shed(&shared, stream);
+                            }
+                            Err(mpsc::TrySendError::Disconnected(_)) => {
+                                shared.queue_depth.fetch_sub(1, Ordering::SeqCst);
+                                break;
+                            }
                         }
                     }
                 }
@@ -476,10 +568,8 @@ impl Server {
             ..WarmReport::default()
         };
         for line in &lines {
-            let parsed = {
-                let mut resolver = self.shared.resolver.lock().expect("resolver poisoned");
-                protocol::parse_request(line, &mut *resolver)
-            };
+            let parsed =
+                protocol::parse_request(line, &mut |name: &str| self.shared.catalog.resolve(name));
             match parsed {
                 Err(_) => report.skipped += 1,
                 Ok(req) => match self.shared.engine.serve_one(&req) {
@@ -531,6 +621,18 @@ impl Drop for Server {
         for worker in self.workers.drain(..) {
             let _ = worker.join();
         }
+        // Workers respawned after a panic are tracked in `Shared` (the
+        // original handle died with the panicking thread); a respawn can
+        // itself panic and respawn, so drain until the list stays empty.
+        loop {
+            let respawned: Vec<_> = lock_unpoisoned(&self.shared.respawned).drain(..).collect();
+            if respawned.is_empty() {
+                break;
+            }
+            for worker in respawned {
+                let _ = worker.join();
+            }
+        }
     }
 }
 
@@ -541,6 +643,126 @@ impl std::fmt::Debug for Server {
             .field("workers", &self.workers.len())
             .finish_non_exhaustive()
     }
+}
+
+/// Spawns one pool worker: a loop taking connections off the bounded
+/// queue, guarded so a panic in a connection handler costs the daemon one
+/// request, not one worker.
+fn spawn_worker(
+    shared: &Arc<Shared>,
+    rx: &Arc<Mutex<mpsc::Receiver<TcpStream>>>,
+) -> JoinHandle<()> {
+    let shared = Arc::clone(shared);
+    let rx = Arc::clone(rx);
+    shared.worker_threads.fetch_add(1, Ordering::SeqCst);
+    std::thread::spawn(move || {
+        let _guard = RespawnGuard {
+            shared: Arc::clone(&shared),
+            rx: Arc::clone(&rx),
+        };
+        loop {
+            // Take the next connection under the lock, serve it outside:
+            // peers queue behind `recv`, not behind a long-running
+            // request on another worker.
+            let stream = lock_unpoisoned(&rx).recv();
+            match stream {
+                Ok(stream) => {
+                    shared.queue_depth.fetch_sub(1, Ordering::SeqCst);
+                    serve_connection(&shared, stream);
+                }
+                Err(_) => break, // acceptor gone: shutdown
+            }
+        }
+    })
+}
+
+/// Keeps the worker pool at strength: if a worker thread unwinds out of
+/// its loop (a connection handler panicked — e.g. an injected `io:panic`
+/// fault), the guard's drop respawns a replacement and counts the
+/// recovery. A normal shutdown exit respawns nothing.
+struct RespawnGuard {
+    shared: Arc<Shared>,
+    rx: Arc<Mutex<mpsc::Receiver<TcpStream>>>,
+}
+
+impl Drop for RespawnGuard {
+    fn drop(&mut self) {
+        self.shared.worker_threads.fetch_sub(1, Ordering::SeqCst);
+        if std::thread::panicking() && !self.shared.shutdown.load(Ordering::SeqCst) {
+            self.shared
+                .counters
+                .worker_panics
+                .fetch_add(1, Ordering::Relaxed);
+            let replacement = spawn_worker(&self.shared, &self.rx);
+            lock_unpoisoned(&self.shared.respawned).push(replacement);
+        }
+    }
+}
+
+/// Most shed responses in flight at once. Beyond this, shed connections
+/// are dropped without a reply: the courtesy write must never become its
+/// own resource exhaustion under a connection flood.
+const MAX_SHED_THREADS: u64 = 32;
+
+/// How long a shed-response thread will wait on the peer. Sheds happen
+/// when the daemon is drowning; a slow peer gets cut off, not waited for.
+const SHED_GRACE: Duration = Duration::from_secs(2);
+
+/// Sheds one connection the bounded queue refused: counts it and answers
+/// on a short-lived thread (the acceptor must never block on peer I/O),
+/// with a structured busy line for protocol peers or `503` +
+/// `Retry-After` for HTTP peers.
+fn shed(shared: &Arc<Shared>, stream: TcpStream) {
+    shared.counters.sheds.fetch_add(1, Ordering::Relaxed);
+    if shared.shed_threads.fetch_add(1, Ordering::SeqCst) >= MAX_SHED_THREADS {
+        shared.shed_threads.fetch_sub(1, Ordering::SeqCst);
+        return; // flood: drop without the courtesy reply
+    }
+    let shared = Arc::clone(shared);
+    std::thread::spawn(move || {
+        write_shed_response(&shared, stream);
+        shared.shed_threads.fetch_sub(1, Ordering::SeqCst);
+    });
+}
+
+/// Reads just the first request line (briefly — see [`SHED_GRACE`]) to
+/// tell HTTP from wire-protocol peers, answers accordingly, and closes.
+fn write_shed_response(shared: &Shared, stream: TcpStream) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(SHED_GRACE));
+    let _ = stream.set_write_timeout(Some(SHED_GRACE));
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(read_half);
+    let mut writer = stream;
+    let mut buf = Vec::new();
+    let first_line = match read_bounded_line(&mut reader, &mut buf, shared.cfg.max_line_bytes) {
+        LineRead::Line => String::from_utf8_lossy(&buf).trim().to_owned(),
+        _ => return, // peer hung up or stalled: nothing owed
+    };
+    let response = if first_line.starts_with("GET ") || first_line.starts_with("HEAD ") {
+        let body = "busy: workers and the pending queue are full; retry with backoff\n";
+        format!(
+            "HTTP/1.1 503 Service Unavailable\r\nContent-Type: text/plain; \
+             charset=utf-8\r\nContent-Length: {}\r\nRetry-After: 1\r\n\
+             Connection: close\r\n\r\n{}",
+            body.len(),
+            if first_line.starts_with("HEAD ") {
+                ""
+            } else {
+                body
+            }
+        )
+    } else {
+        format!(
+            "{{\"ok\": false, \"busy\": true, \"transient\": true, \"error\": \
+             \"server at capacity ({} connections pending); retry with backoff\"}}\n",
+            shared.cfg.max_pending
+        )
+    };
+    let _ = writer.write_all(response.as_bytes());
+    let _ = writer.flush();
 }
 
 /// Outcome of one bounded line read.
@@ -590,8 +812,18 @@ fn serve_connection(shared: &Shared, stream: TcpStream) {
     let Some((conn_id, busy)) = shared.register(&stream) else {
         return;
     };
+    // Deregister on drop, not on fall-through: a panicking handler (e.g.
+    // an injected `io:panic` fault) must not leak its entry in the
+    // active-connection table — shutdown would wait a full drain window
+    // on a connection no worker is serving.
+    struct Deregister<'a>(&'a Shared, u64);
+    impl Drop for Deregister<'_> {
+        fn drop(&mut self) {
+            self.0.deregister(self.1);
+        }
+    }
+    let _deregister = Deregister(shared, conn_id);
     serve_registered_connection(shared, stream, &busy);
-    shared.deregister(conn_id);
 }
 
 /// The connection loop proper (split out so registration is impossible to
@@ -662,6 +894,26 @@ fn serve_registered_connection(shared: &Shared, stream: TcpStream, busy: &Atomic
         if request.is_empty() || request.starts_with('#') {
             continue; // same skip rule as a batch file
         }
+        // `io`-site fault injection fires once per protocol request line:
+        // latency stalls compose, then `error` severs the connection (a
+        // dead transport) and `panic` kills this worker mid-request (the
+        // respawn guard recovers the pool).
+        if let Some(plan) = &shared.cfg.fault_plan {
+            let mut severed = false;
+            for action in plan.fire(FaultSite::Io) {
+                match action {
+                    FaultAction::Latency(d) => std::thread::sleep(d),
+                    FaultAction::Error => {
+                        severed = true;
+                        break;
+                    }
+                    FaultAction::Panic => panic!("injected fault: io panic"),
+                }
+            }
+            if severed {
+                return;
+            }
+        }
         // Busy from "request read" to "response flushed": shutdown's
         // drain waits for this window instead of severing mid-solve.
         busy.store(true, Ordering::SeqCst);
@@ -693,10 +945,7 @@ fn serve_registered_connection(shared: &Shared, stream: TcpStream, busy: &Atomic
 /// response object (without the trailing newline), the outcome label, and
 /// the cache-disposition label — the last two feed the request log.
 fn serve_request_line(shared: &Shared, request: &str) -> (String, &'static str, &'static str) {
-    let parsed = {
-        let mut resolver = shared.resolver.lock().expect("resolver poisoned");
-        protocol::parse_request(request, &mut *resolver)
-    };
+    let parsed = protocol::parse_request(request, &mut |name: &str| shared.catalog.resolve(name));
     match parsed {
         Err(e) => {
             shared.counters.parse_errors.fetch_add(1, Ordering::Relaxed);
@@ -766,6 +1015,12 @@ fn serve_http(
     } else {
         let path = request_line.split_whitespace().nth(1).unwrap_or("/");
         match path {
+            // Load-aware health: a saturated instance reports 503 so load
+            // balancers stop routing to it until the queue drains.
+            "/healthz" if shared.saturated() => (
+                "503 Service Unavailable",
+                "saturated: the pending queue is full\n".to_owned(),
+            ),
             "/healthz" => ("200 OK", "ok\n".to_owned()),
             "/metrics" => ("200 OK", metrics_text(shared)),
             _ => ("404 Not Found", "not found\n".to_owned()),
@@ -860,6 +1115,46 @@ fn metrics_text(shared: &Shared) -> String {
             vec![("", c.request_cap_closes.load(Ordering::Relaxed))],
         ),
         (
+            "soctam_shed_total",
+            "counter",
+            vec![("", c.sheds.load(Ordering::Relaxed))],
+        ),
+        (
+            "soctam_queue_depth",
+            "gauge",
+            vec![("", shared.queue_depth.load(Ordering::SeqCst))],
+        ),
+        (
+            "soctam_queue_capacity",
+            "gauge",
+            vec![("", shared.cfg.max_pending as u64)],
+        ),
+        (
+            "soctam_worker_threads",
+            "gauge",
+            vec![("", shared.worker_threads.load(Ordering::SeqCst))],
+        ),
+        (
+            "soctam_worker_panics_total",
+            "counter",
+            vec![("", c.worker_panics.load(Ordering::Relaxed))],
+        ),
+        (
+            "soctam_solver_panics_recovered_total",
+            "counter",
+            vec![("", shared.engine.recovered_panics())],
+        ),
+        (
+            "soctam_solution_cache_panics_total",
+            "counter",
+            vec![("", sol_stats.panics)],
+        ),
+        (
+            "soctam_context_registry_panics_total",
+            "counter",
+            vec![("", reg_stats.panics)],
+        ),
+        (
             "soctam_solution_cache_hits_total",
             "counter",
             vec![("", sol_stats.hits)],
@@ -936,6 +1231,18 @@ fn metrics_text(shared: &Shared) -> String {
         let _ = writeln!(out, "# TYPE {name} {kind}");
         for (labels, value) in samples {
             let _ = writeln!(out, "{name}{labels} {value}");
+        }
+    }
+    // Fault-injection counts, one sample per armed spec. Only rendered
+    // when a plan is armed: a production daemon's exposition carries no
+    // chaos-harness rows.
+    if let Some(plan) = &shared.cfg.fault_plan {
+        let _ = writeln!(out, "# TYPE soctam_fault_injected_total counter");
+        for (label, count) in plan.injected() {
+            let _ = writeln!(
+                out,
+                "soctam_fault_injected_total{{fault=\"{label}\"}} {count}"
+            );
         }
     }
     out
