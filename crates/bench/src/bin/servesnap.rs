@@ -106,7 +106,7 @@ fn main() {
             let response = conn.request(request).expect("cold round trip");
             cold_latencies.push(t0.elapsed().as_secs_f64() * 1e3);
             assert!(
-                response.contains("\"ok\": true"),
+                client::response_ok(&response),
                 "cold request failed: {request} -> {response}"
             );
             cold_responses.push(response);
@@ -232,7 +232,7 @@ fn main() {
                     for _ in 0..overload_iters {
                         let t0 = Instant::now();
                         match client.request(OVERLOAD_REQUEST) {
-                            Ok(response) if response.contains("\"ok\": true") => {
+                            Ok(response) if client::response_ok(&response) => {
                                 latencies.push(t0.elapsed().as_secs_f64() * 1e3);
                             }
                             _ => failed += 1,

@@ -8,6 +8,8 @@
 //!              [--idle-timeout SECS] [--max-requests N] [--max-line BYTES]
 //!              [--log FILE] [--warm FILE] [--max-pending N]
 //!              [--fault-inject PLAN]
+//! soctam balance --backends A1,A2[,...] [--addr A] [--threads N]
+//!              [--probe-interval SECS] [--backend-conns N] [...]
 //! soctam client --addr A [--retries N] [--backoff SECS]
 //!              [--get PATH | --file FILE | <request words> | (stdin)]
 //! soctam staircase <soc> <core>
@@ -43,7 +45,12 @@
 //! queue (excess connections are shed with a structured busy answer),
 //! and `--fault-inject PLAN` arms a deterministic chaos plan
 //! (`solve:panic:every=97,io:latency=5ms:every=13` — see
-//! [`soctam_core::fault::FaultPlan`]). `client` is the scripted
+//! [`soctam_core::fault::FaultPlan`]). `balance` fronts a ring of `serve`
+//! daemons with the same protocol and HTTP surface, consistent-hashing
+//! each request's solution-cache key onto a backend so shard caches stay
+//! hot and disjoint, failing over past dead or shedding backends, and
+//! health-probing the ring (see [`soctam_server::balance`]). `client` is
+//! the scripted
 //! counterpart — one request per argv tail (or per stdin line), one JSON
 //! response line each, plus `--get /healthz` / `--get /metrics` for the
 //! HTTP surface and `--file FILE` to replay a request file or saved log
@@ -64,6 +71,7 @@ use soctam_core::report;
 use soctam_core::schedule::CompiledSoc;
 use soctam_core::soc::{benchmarks, itc02, Soc};
 use soctam_core::volume::CostCurve;
+use soctam_server::balance::{Balancer, BalancerConfig};
 use soctam_server::{client, Server, ServerConfig};
 
 fn main() -> ExitCode {
@@ -86,6 +94,10 @@ const USAGE: &str = "usage:
   soctam serve [--addr A] [--threads N] [--cache-cap C] [--ttl SECS]
                [--idle-timeout SECS] [--max-requests N] [--max-line BYTES]
                [--log FILE] [--warm FILE] [--max-pending N] [--fault-inject PLAN]
+  soctam balance --backends A1,A2[,...] [--addr A] [--threads N]
+               [--probe-interval SECS] [--probe-timeout SECS] [--retries N]
+               [--backoff SECS] [--backend-conns N] [--max-line BYTES]
+               [--idle-timeout SECS] [--max-pending N]
   soctam client --addr A [--retries N] [--backoff SECS]
                [--get PATH | --file FILE | <request words> | (requests on stdin)]
   soctam staircase <soc> <core-name>
@@ -101,6 +113,7 @@ fn run(args: &[String]) -> Result<(), String> {
         Some("sweep") => cmd_sweep(&args[1..]),
         Some("batch") => cmd_batch(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
+        Some("balance") => cmd_balance(&args[1..]),
         Some("client") => cmd_client(&args[1..]),
         Some("staircase") => cmd_staircase(&args[1..]),
         Some("wrapper") => cmd_wrapper(&args[1..]),
@@ -448,6 +461,108 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     );
     let _ = std::io::stdout().flush();
     server.join();
+    Ok(())
+}
+
+/// `soctam balance`: run the consistent-hash cluster front in the
+/// foreground until killed. `--backends` names the ring; everything else
+/// tunes the front (see [`soctam_server::balance`]).
+fn cmd_balance(args: &[String]) -> Result<(), String> {
+    check_known_args(
+        args,
+        &[
+            "--addr",
+            "--backends",
+            "--threads",
+            "--probe-interval",
+            "--probe-timeout",
+            "--retries",
+            "--backoff",
+            "--backend-conns",
+            "--max-line",
+            "--idle-timeout",
+            "--max-pending",
+        ],
+        &[],
+    )?;
+    let addr = opt_value(args, "--addr")?.unwrap_or("127.0.0.1:3780");
+    let mut backends = Vec::new();
+    for token in req_value(args, "--backends")?.split(',') {
+        let token = token.trim();
+        if token.is_empty() {
+            continue;
+        }
+        let resolved = std::net::ToSocketAddrs::to_socket_addrs(token)
+            .map_err(|e| format!("resolving backend `{token}`: {e}"))?
+            .next()
+            .ok_or_else(|| format!("backend `{token}` resolved to nothing"))?;
+        backends.push(resolved);
+    }
+    if backends.is_empty() {
+        return Err("--backends names no backend addresses".to_owned());
+    }
+
+    let mut cfg = BalancerConfig::default();
+    if let Some(threads) = opt_value(args, "--threads")? {
+        cfg.threads = threads.parse().map_err(|_| "invalid --threads")?;
+    }
+    if let Some(interval) = opt_seconds(args, "--probe-interval")? {
+        cfg.probe_interval =
+            interval.ok_or("--probe-interval must be a positive number of seconds".to_owned())?;
+    }
+    if let Some(timeout) = opt_seconds(args, "--probe-timeout")? {
+        cfg.probe_timeout =
+            timeout.ok_or("--probe-timeout must be a positive number of seconds".to_owned())?;
+    }
+    if let Some(retries) = opt_value(args, "--retries")? {
+        cfg.retries = retries.parse().map_err(|_| "invalid --retries")?;
+    }
+    if let Some(backoff) = opt_seconds(args, "--backoff")? {
+        cfg.backoff = backoff.unwrap_or(Duration::ZERO); // 0 retries immediately
+    }
+    if let Some(conns) = opt_value(args, "--backend-conns")? {
+        let conns: usize = conns.parse().map_err(|_| "invalid --backend-conns")?;
+        if conns == 0 {
+            return Err("--backend-conns must be a positive connection count".to_owned());
+        }
+        cfg.backend_conns = conns;
+    }
+    if let Some(bytes) = opt_value(args, "--max-line")? {
+        let bytes: usize = bytes.parse().map_err(|_| "invalid --max-line")?;
+        if bytes == 0 {
+            return Err("--max-line must be a positive byte count".to_owned());
+        }
+        cfg.max_line_bytes = bytes;
+    }
+    if let Some(idle) = opt_seconds(args, "--idle-timeout")? {
+        cfg.idle_timeout = idle; // 0 disables the peer deadline
+    }
+    if let Some(pending) = opt_value(args, "--max-pending")? {
+        let pending: usize = pending.parse().map_err(|_| "invalid --max-pending")?;
+        if pending == 0 {
+            return Err("--max-pending must be a positive connection count".to_owned());
+        }
+        cfg.max_pending = pending;
+    }
+
+    let probe_interval = cfg.probe_interval;
+    let backend_conns = cfg.backend_conns;
+    let front = Balancer::bind(addr, &backends, cfg.clone())
+        .map_err(|e| format!("binding `{addr}`: {e}"))?;
+    println!(
+        "soctam-balance listening on {} ({} workers, {} backends, {} pooled conns each, \
+         probing every {}s)",
+        front.local_addr(),
+        cfg.threads.max(1),
+        backends.len(),
+        backend_conns,
+        probe_interval.as_secs_f64(),
+    );
+    for backend in &backends {
+        println!("  backend {backend}");
+    }
+    let _ = std::io::stdout().flush();
+    front.join();
     Ok(())
 }
 

@@ -243,6 +243,23 @@ impl Hash for SolutionKey {
     }
 }
 
+/// A stable 64-bit digest of `request`'s solution-cache identity: the
+/// exact fields [`SolutionKey`] hashes (SOC content, width cap, resolved
+/// power budget, preemption mode, operation, parameter grid), fed through
+/// the same `DefaultHasher`. Two requests digest equally exactly when the
+/// solution cache would hash them onto the same entry, which is what a
+/// cluster front needs to pin each cache key to one backend shard — see
+/// [`protocol::route_key`](crate::protocol::route_key). `DefaultHasher`
+/// uses fixed SipHash keys, so the digest is stable across processes and
+/// runs of the same build.
+#[must_use]
+pub fn solution_cache_digest(request: &EngineRequest) -> u64 {
+    let budget = request.flow.power.resolve(&request.soc);
+    let mut h = DefaultHasher::new();
+    SolutionKey::new(request, budget).hash(&mut h);
+    h.finish()
+}
+
 /// Concurrent batch-serving facade over a shared [`ContextRegistry`].
 ///
 /// Construction is cheap; the engine is `Sync`, so one instance can serve

@@ -387,6 +387,83 @@ pub fn json_string_field(line: &str, field: &str) -> Option<String> {
     None
 }
 
+/// Extracts the value of a *top-level* `"field": true|false` boolean
+/// member from one JSON object line — the classification primitive for
+/// response handling (`"ok"`, `"busy"`, `"transient"`). Unlike a raw
+/// substring match, this cannot be fooled by request text echoed inside a
+/// string value (a parse error quoting `"busy": true` back at the
+/// client), nor by a member of a nested object: string contents are
+/// skipped escape-aware and only depth-1 members are consulted. Returns
+/// `None` when the field is absent (or not a boolean).
+#[must_use]
+pub fn json_bool_field(line: &str, field: &str) -> Option<bool> {
+    let bytes = line.as_bytes();
+    let mut depth = 0usize;
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'{' | b'[' => {
+                depth += 1;
+                i += 1;
+            }
+            b'}' | b']' => {
+                depth = depth.saturating_sub(1);
+                i += 1;
+            }
+            b'"' => {
+                // Scan the whole string, tracking escapes, so nothing
+                // inside it — braces, quotes, `"busy": true` — counts.
+                let start = i + 1;
+                let mut j = start;
+                let mut escaped = false;
+                while j < bytes.len() {
+                    match bytes[j] {
+                        b'\\' if !escaped => escaped = true,
+                        b'"' if !escaped => break,
+                        _ => escaped = false,
+                    }
+                    j += 1;
+                }
+                let content = &line[start..j.min(bytes.len())];
+                // Past the closing quote (or end of line). A *key* is
+                // followed by `:`; a string *value* is not.
+                i = j + 1;
+                let mut k = i;
+                while k < bytes.len() && bytes[k].is_ascii_whitespace() {
+                    k += 1;
+                }
+                if depth == 1 && content == field && bytes.get(k) == Some(&b':') {
+                    let mut v = k + 1;
+                    while v < bytes.len() && bytes[v].is_ascii_whitespace() {
+                        v += 1;
+                    }
+                    let rest = &line[v.min(bytes.len())..];
+                    if rest.starts_with("true") {
+                        return Some(true);
+                    }
+                    if rest.starts_with("false") {
+                        return Some(false);
+                    }
+                    return None; // present, but not a boolean
+                }
+            }
+            _ => i += 1,
+        }
+    }
+    None
+}
+
+/// The cluster-routing key of a parsed request: a stable digest of its
+/// solution-cache identity (see
+/// [`engine::solution_cache_digest`](crate::engine::solution_cache_digest)).
+/// Requests the backend's `SolutionCache` would treat as one entry route
+/// to one shard, so a consistent-hash front (`soctam balance`) keeps each
+/// backend's cache hot and the shards' key sets disjoint.
+#[must_use]
+pub fn route_key(request: &EngineRequest) -> u64 {
+    crate::engine::solution_cache_digest(request)
+}
+
 /// Extracts replayable request lines from `text`, which may be a plain
 /// request file (one request per line, blank lines and `#` comments
 /// skipped) *or* a JSONL request log written by the serving daemon (lines
@@ -638,6 +715,55 @@ mod tests {
             json_string_field(line, "request").as_deref(),
             Some("bounds \"x\" --widths 8")
         );
+    }
+
+    #[test]
+    fn json_bool_field_reads_top_level_booleans_only() {
+        let ok = "{\"op\": \"schedule\", \"soc\": \"d695\", \"ok\": true, \"makespan\": 41}";
+        assert_eq!(json_bool_field(ok, "ok"), Some(true));
+        assert_eq!(json_bool_field(ok, "busy"), None);
+        let shed = "{\"ok\": false, \"busy\": true, \"transient\": true, \"error\": \"x\"}";
+        assert_eq!(json_bool_field(shed, "ok"), Some(false));
+        assert_eq!(json_bool_field(shed, "busy"), Some(true));
+        assert_eq!(json_bool_field(shed, "transient"), Some(true));
+        // Whitespace around the colon and value is tolerated.
+        assert_eq!(json_bool_field("{ \"ok\" :  true }", "ok"), Some(true));
+        // Present but not a boolean: absent, not a guess.
+        assert_eq!(json_bool_field("{\"ok\": 1}", "ok"), None);
+        assert_eq!(json_bool_field("{\"ok\": \"true\"}", "ok"), None);
+    }
+
+    #[test]
+    fn json_bool_field_is_not_fooled_by_echoed_request_text() {
+        // The exact bug class: a parse error echoing hostile request text
+        // into its `error` string. Substring matching sees `"busy": true`
+        // and `"ok": true`; field classification must not.
+        let echo = render_parse_error("unknown request kind `{\"busy\": true, \"ok\": true}`");
+        assert_eq!(json_bool_field(&echo, "ok"), Some(false));
+        assert_eq!(json_bool_field(&echo, "busy"), None);
+        assert_eq!(json_bool_field(&echo, "transient"), None);
+        // Nested objects don't leak members to the top level either.
+        let nested = "{\"ok\": false, \"detail\": {\"busy\": true}}";
+        assert_eq!(json_bool_field(nested, "busy"), None);
+        // A string *value* that equals the field name is not a key.
+        let value = "{\"error\": \"busy\", \"busy\": false}";
+        assert_eq!(json_bool_field(value, "busy"), Some(false));
+    }
+
+    #[test]
+    fn route_key_is_the_solution_cache_identity() {
+        let mut r = benchmark_resolver();
+        let a = parse_request("bounds d695 --widths 16", &mut r).unwrap();
+        let b = parse_request("bounds d695 --widths 16", &mut r).unwrap();
+        assert_eq!(route_key(&a), route_key(&b), "same cache key, same shard");
+        let widths = parse_request("bounds d695 --widths 24", &mut r).unwrap();
+        assert_ne!(route_key(&a), route_key(&widths));
+        let op = parse_request("schedule d695 --width 16", &mut r).unwrap();
+        assert_ne!(route_key(&a), route_key(&op));
+        let power = parse_request("bounds d695 --widths 16 --power", &mut r).unwrap();
+        assert_ne!(route_key(&a), route_key(&power));
+        let soc = parse_request("bounds p34392 --widths 16", &mut r).unwrap();
+        assert_ne!(route_key(&a), route_key(&soc));
     }
 
     #[test]

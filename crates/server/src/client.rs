@@ -15,10 +15,13 @@
 //! `{"ok": false, "busy": true, ...}` answer, then close) and renders
 //! recovered solver panics as `"transient": true` errors. A
 //! [`RetryingClient`] absorbs both, plus plain transport failures:
-//! each retryable outcome reconnects and retries with exponential
-//! backoff and *deterministic* jitter (seeded [`rand::rngs::StdRng`], so
-//! a chaos run's timing is reproducible). `soctam client --retries N
-//! --backoff SECS` and [`replay_with_retry`] ride on it.
+//! each retryable outcome retries with exponential backoff and
+//! *deterministic* jitter (seeded [`rand::rngs::StdRng`], so a chaos
+//! run's timing is reproducible), reconnecting only when the socket is
+//! actually gone (transport error or shed). Responses are classified on
+//! their real top-level JSON fields ([`response_ok`],
+//! [`is_retryable_response`]), never by substring. `soctam client
+//! --retries N --backoff SECS` and [`replay_with_retry`] ride on it.
 
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
@@ -26,6 +29,8 @@ use std::time::{Duration, Instant};
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+
+use soctam_core::protocol::json_bool_field;
 
 /// A connected protocol client: send request lines, read response lines,
 /// one connection for any number of requests.
@@ -46,6 +51,19 @@ impl Connection {
         writer.set_nodelay(true).ok();
         let reader = BufReader::new(writer.try_clone()?);
         Ok(Self { reader, writer })
+    }
+
+    /// Bounds every read and write on this connection (`None` removes the
+    /// bound). The balancer sets this on pooled backend connections so a
+    /// hung backend surfaces as a transport error — and a failover — not
+    /// a front worker blocked forever.
+    ///
+    /// # Errors
+    ///
+    /// Propagates `setsockopt` failures.
+    pub fn set_io_timeout(&self, timeout: Option<Duration>) -> std::io::Result<()> {
+        self.writer.set_read_timeout(timeout)?;
+        self.writer.set_write_timeout(timeout)
     }
 
     /// Sends one request line and reads its one-line JSON response
@@ -81,12 +99,34 @@ pub fn roundtrip(addr: impl ToSocketAddrs, lines: &[&str]) -> std::io::Result<Ve
     lines.iter().map(|line| conn.request(line)).collect()
 }
 
+/// Whether a one-line JSON response reports success: its *top-level*
+/// `"ok"` field is `true`. Classification is field-based
+/// ([`soctam_core::protocol::json_bool_field`]), never a substring match
+/// — a parse-error response echoes the offending request text into its
+/// `error` string, so a hostile request line containing `"ok": true`
+/// must not count as a success.
+#[must_use]
+pub fn response_ok(response: &str) -> bool {
+    json_bool_field(response, "ok") == Some(true)
+}
+
+/// Whether a one-line JSON response is an admission-control shed: its
+/// top-level `"busy"` field is `true`. The daemon closes the connection
+/// right after writing such an answer, so a busy response also means the
+/// transport underneath is gone.
+#[must_use]
+pub fn response_busy(response: &str) -> bool {
+    json_bool_field(response, "busy") == Some(true)
+}
+
 /// Whether a one-line JSON response asks to be retried: an admission-
 /// control shed (`"busy": true`) or a transient failure such as a
-/// recovered solver panic (`"transient": true`).
+/// recovered solver panic (`"transient": true`). Both are read as real
+/// top-level fields, so request text echoed inside an `error` string can
+/// never spoof a retry.
 #[must_use]
 pub fn is_retryable_response(response: &str) -> bool {
-    response.contains("\"busy\": true") || response.contains("\"transient\": true")
+    response_busy(response) || json_bool_field(response, "transient") == Some(true)
 }
 
 /// Exponential backoff with deterministic jitter.
@@ -149,8 +189,11 @@ impl RetryPolicy {
 
 /// A protocol client that retries: transport failures (including connect
 /// refusals), admission-control sheds, and `"transient": true` error
-/// responses each trigger a reconnect and a backed-off resend, up to
-/// [`RetryPolicy::retries`] extra attempts per request.
+/// responses each trigger a backed-off resend, up to
+/// [`RetryPolicy::retries`] extra attempts per request. Reconnecting is
+/// reserved for the outcomes that actually kill the socket — transport
+/// errors and sheds (the daemon closes right after a busy answer); a
+/// transient error response keeps its healthy keep-alive connection.
 #[derive(Debug)]
 pub struct RetryingClient {
     addr: SocketAddr,
@@ -158,6 +201,7 @@ pub struct RetryingClient {
     rng: StdRng,
     conn: Option<Connection>,
     retried: u64,
+    io_timeout: Option<Duration>,
 }
 
 impl RetryingClient {
@@ -182,7 +226,20 @@ impl RetryingClient {
             rng,
             conn: None,
             retried: 0,
+            io_timeout: None,
         })
+    }
+
+    /// Bounds every read and write on this client's connections (applied
+    /// to the current connection and every reconnect). `None` — the
+    /// default — never times out.
+    #[must_use]
+    pub fn with_io_timeout(mut self, timeout: Option<Duration>) -> Self {
+        self.io_timeout = timeout;
+        if let Some(conn) = &self.conn {
+            conn.set_io_timeout(timeout).ok();
+        }
+        self
     }
 
     /// Request attempts made beyond each first try, summed over the
@@ -213,16 +270,23 @@ impl RetryingClient {
             }
             attempt += 1;
             self.retried += 1;
-            // A shed or transient answer came over a connection the
-            // daemon is about to close (or already severed): reconnect.
-            self.conn = None;
+            // Only sheds close the socket: a busy answer (and any
+            // transport failure, already dropped in `request_once`) means
+            // reconnect. A `"transient": true` error — a recovered solver
+            // panic — arrives on a healthy keep-alive connection, which
+            // stays pooled for the retry.
+            if matches!(&outcome, Ok(response) if response_busy(response)) {
+                self.conn = None;
+            }
             std::thread::sleep(self.policy.delay(&mut self.rng, attempt));
         }
     }
 
     fn request_once(&mut self, line: &str) -> std::io::Result<String> {
         if self.conn.is_none() {
-            self.conn = Some(Connection::connect(self.addr)?);
+            let conn = Connection::connect(self.addr)?;
+            conn.set_io_timeout(self.io_timeout)?;
+            self.conn = Some(conn);
         }
         let conn = self.conn.as_mut().expect("connection just established");
         let outcome = conn.request(line);
@@ -242,6 +306,41 @@ impl RetryingClient {
 pub fn http_get(addr: impl ToSocketAddrs, path: &str) -> std::io::Result<(String, String)> {
     let mut stream = TcpStream::connect(addr)?;
     stream.set_nodelay(true).ok();
+    write!(
+        stream,
+        "GET {path} HTTP/1.1\r\nHost: soctam\r\nConnection: close\r\n\r\n"
+    )?;
+    stream.flush()?;
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw)?;
+    let (head, body) = raw.split_once("\r\n\r\n").ok_or_else(|| {
+        std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            "response carries no header/body separator",
+        )
+    })?;
+    let status = head.lines().next().unwrap_or_default().to_owned();
+    Ok((status, body.to_owned()))
+}
+
+/// [`http_get`] with a deadline on connect, reads, and writes — what the
+/// balancer's health prober and metrics roll-up use, so one hung backend
+/// cannot stall the probe loop or a front `/metrics` scrape.
+///
+/// # Errors
+///
+/// Propagates transport failures (timeouts included) or a malformed
+/// (header-less) response.
+pub fn http_get_timeout(
+    addr: SocketAddr,
+    path: &str,
+    timeout: Duration,
+) -> std::io::Result<(String, String)> {
+    let stream = TcpStream::connect_timeout(&addr, timeout)?;
+    stream.set_nodelay(true).ok();
+    stream.set_read_timeout(Some(timeout))?;
+    stream.set_write_timeout(Some(timeout))?;
+    let mut stream = stream;
     write!(
         stream,
         "GET {path} HTTP/1.1\r\nHost: soctam\r\nConnection: close\r\n\r\n"
@@ -300,13 +399,27 @@ impl LatencySummary {
     }
 
     /// Renders the summary as one JSON object (the shape `servesnap`
-    /// embeds in `BENCH_serve.json`).
+    /// embeds in `BENCH_serve.json`). JSON has no NaN or infinity, so a
+    /// non-finite statistic — reachable since `of_millis` tolerates NaN
+    /// samples — renders as `null`, keeping the document parseable.
     #[must_use]
     pub fn json(&self) -> String {
+        fn ms(value: f64) -> String {
+            if value.is_finite() {
+                format!("{value:.4}")
+            } else {
+                "null".to_owned()
+            }
+        }
         format!(
-            "{{\"count\": {}, \"mean_ms\": {:.4}, \"p50_ms\": {:.4}, \
-             \"p90_ms\": {:.4}, \"p99_ms\": {:.4}, \"max_ms\": {:.4}}}",
-            self.count, self.mean_ms, self.p50_ms, self.p90_ms, self.p99_ms, self.max_ms
+            "{{\"count\": {}, \"mean_ms\": {}, \"p50_ms\": {}, \
+             \"p90_ms\": {}, \"p99_ms\": {}, \"max_ms\": {}}}",
+            self.count,
+            ms(self.mean_ms),
+            ms(self.p50_ms),
+            ms(self.p90_ms),
+            ms(self.p99_ms),
+            ms(self.max_ms)
         )
     }
 }
@@ -367,7 +480,7 @@ pub fn replay_with_retry(
         let t0 = Instant::now();
         let response = client.request(&line)?;
         latencies.push(t0.elapsed().as_secs_f64() * 1e3);
-        if response.contains("\"ok\": true") {
+        if response_ok(&response) {
             ok += 1;
         } else {
             failed += 1;
@@ -404,6 +517,20 @@ mod tests {
     }
 
     #[test]
+    fn latency_summary_json_renders_non_finite_samples_as_null() {
+        let summary = LatencySummary::of_millis(vec![2.0, f64::NAN, 1.0]).unwrap();
+        let json = summary.json();
+        // `{:.4}` would have written a bare `NaN` here — invalid JSON.
+        assert!(!json.contains("NaN") && !json.contains("inf"), "{json}");
+        assert!(json.contains("\"max_ms\": null"), "{json}");
+        assert!(json.contains("\"mean_ms\": null"), "{json}");
+        assert!(json.contains("\"p50_ms\": 2.0000"), "{json}");
+
+        let finite = LatencySummary::of_millis(vec![1.0, 2.0]).unwrap().json();
+        assert!(!finite.contains("null"), "{finite}");
+    }
+
+    #[test]
     fn retryable_responses_are_sheds_and_transients_only() {
         assert!(is_retryable_response(
             "{\"ok\": false, \"busy\": true, \"transient\": true, \"error\": \"...\"}"
@@ -414,6 +541,30 @@ mod tests {
         assert!(!is_retryable_response("{\"ok\": true, \"makespan\": 5}"));
         assert!(!is_retryable_response(
             "{\"ok\": false, \"error\": \"unknown SOC\"}"
+        ));
+        // A parse error echoing hostile request text must classify on the
+        // real top-level fields, not on substrings of the echo.
+        let echo = soctam_core::protocol::render_parse_error(
+            "unknown request kind `x \"busy\": true, \"transient\": true`",
+        );
+        assert!(!is_retryable_response(&echo), "{echo}");
+        assert!(!response_ok(&echo), "{echo}");
+        let echo_ok = soctam_core::protocol::render_parse_error("junk \"ok\": true junk");
+        assert!(!response_ok(&echo_ok), "{echo_ok}");
+    }
+
+    #[test]
+    fn response_classifiers_read_top_level_fields() {
+        assert!(response_ok(
+            "{\"op\": \"bounds\", \"ok\": true, \"bounds\": []}"
+        ));
+        assert!(!response_ok("{\"ok\": false, \"error\": \"x\"}"));
+        assert!(!response_ok("not json at all"));
+        assert!(response_busy(
+            "{\"ok\": false, \"busy\": true, \"transient\": true, \"error\": \"x\"}"
+        ));
+        assert!(!response_busy(
+            "{\"ok\": false, \"transient\": true, \"error\": \"solver panicked (recovered)\"}"
         ));
     }
 

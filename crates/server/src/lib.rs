@@ -148,7 +148,7 @@
 //! let server = Server::bind("127.0.0.1:0", ServerConfig::default()).unwrap();
 //! let addr = server.local_addr();
 //! let responses = client::roundtrip(addr, &["bounds d695 --widths 16,32"]).unwrap();
-//! assert!(responses[0].contains("\"ok\": true"));
+//! assert!(client::response_ok(&responses[0]));
 //! let (status, body) = client::http_get(addr, "/healthz").unwrap();
 //! assert!(status.contains("200"));
 //! assert_eq!(body, "ok\n");
@@ -173,6 +173,7 @@ use soctam_core::protocol;
 use soctam_core::schedule::{instrument, lock_unpoisoned, ContextRegistry};
 use soctam_core::soc::Soc;
 
+pub mod balance;
 pub mod client;
 
 /// Configuration of a serving daemon.
@@ -270,12 +271,12 @@ struct Counters {
 /// The daemon's SOC resolver: every benchmark model, resolved once at
 /// bind time into an immutable map. The request path does a read-only
 /// lookup — no lock, no contention, nothing for a panic to poison.
-struct BenchmarkCatalog {
+pub(crate) struct BenchmarkCatalog {
     socs: std::collections::HashMap<&'static str, Arc<Soc>>,
 }
 
 impl BenchmarkCatalog {
-    fn new() -> Self {
+    pub(crate) fn new() -> Self {
         Self {
             socs: soctam_core::soc::benchmarks::NAMES
                 .iter()
@@ -288,7 +289,7 @@ impl BenchmarkCatalog {
 
     /// Resolves a benchmark name — never a filesystem path: remote peers
     /// must not be able to make the daemon read paths.
-    fn resolve(&self, name: &str) -> Result<Arc<Soc>, String> {
+    pub(crate) fn resolve(&self, name: &str) -> Result<Arc<Soc>, String> {
         self.socs.get(name).cloned().ok_or_else(|| {
             format!(
                 "unknown SOC `{name}` (the server resolves benchmark names only: {})",
@@ -555,6 +556,16 @@ impl Server {
         metrics_text(&self.shared)
     }
 
+    /// A handle that can render this daemon's metrics even after the
+    /// daemon has shut down — the final scrape a supervisor takes to
+    /// verify gauges (queue depth, worker threads) drained to zero.
+    #[must_use]
+    pub fn metrics_probe(&self) -> MetricsProbe {
+        MetricsProbe {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+
     /// Pre-solves every replayable request in `text` — a plain request
     /// file or a saved JSONL request log
     /// ([`soctam_core::protocol::replay_lines`]) — through the daemon's
@@ -633,6 +644,35 @@ impl Drop for Server {
                 let _ = worker.join();
             }
         }
+        // Every worker has exited and the queue's sender is gone: any
+        // residual depth is connections that died queued — e.g. the last
+        // worker left through a panic (no respawn at shutdown), never
+        // reaching its disconnected-`recv` drain. Zero it so a
+        // post-shutdown scrape ([`MetricsProbe`]) reads a clean gauge.
+        self.shared.queue_depth.store(0, Ordering::SeqCst);
+    }
+}
+
+/// A scrape handle detached from the [`Server`]'s lifetime (see
+/// [`Server::metrics_probe`]): it holds the shared state alive, so the
+/// exposition stays renderable across — and after — shutdown.
+#[derive(Clone)]
+pub struct MetricsProbe {
+    shared: Arc<Shared>,
+}
+
+impl MetricsProbe {
+    /// Renders the Prometheus text exposition from the daemon's current
+    /// (or final, post-shutdown) counter state.
+    #[must_use]
+    pub fn render(&self) -> String {
+        metrics_text(&self.shared)
+    }
+}
+
+impl std::fmt::Debug for MetricsProbe {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MetricsProbe").finish_non_exhaustive()
     }
 }
 
@@ -670,7 +710,16 @@ fn spawn_worker(
                     shared.queue_depth.fetch_sub(1, Ordering::SeqCst);
                     serve_connection(&shared, stream);
                 }
-                Err(_) => break, // acceptor gone: shutdown
+                Err(_) => {
+                    // Acceptor gone: shutdown. The channel is empty (a
+                    // disconnected `recv` drains before erroring) and its
+                    // sender is dropped, so whatever the gauge still
+                    // counts are queued connections discarded unserved —
+                    // zero it, or the final `/metrics` scrape reports
+                    // phantom depth forever.
+                    shared.queue_depth.store(0, Ordering::SeqCst);
+                    break;
+                }
             }
         }
     })
@@ -702,11 +751,11 @@ impl Drop for RespawnGuard {
 /// Most shed responses in flight at once. Beyond this, shed connections
 /// are dropped without a reply: the courtesy write must never become its
 /// own resource exhaustion under a connection flood.
-const MAX_SHED_THREADS: u64 = 32;
+pub(crate) const MAX_SHED_THREADS: u64 = 32;
 
 /// How long a shed-response thread will wait on the peer. Sheds happen
 /// when the daemon is drowning; a slow peer gets cut off, not waited for.
-const SHED_GRACE: Duration = Duration::from_secs(2);
+pub(crate) const SHED_GRACE: Duration = Duration::from_secs(2);
 
 /// Sheds one connection the bounded queue refused: counts it and answers
 /// on a short-lived thread (the acceptor must never block on peer I/O),
@@ -766,7 +815,7 @@ fn write_shed_response(shared: &Shared, stream: TcpStream) {
 }
 
 /// Outcome of one bounded line read.
-enum LineRead {
+pub(crate) enum LineRead {
     /// A complete line (or the final, newline-less line before EOF) is in
     /// the buffer.
     Line,
@@ -783,7 +832,11 @@ enum LineRead {
 /// Reads one `\n`-terminated line into `buf` (cleared first), never
 /// buffering more than `max + 1` bytes of it — the bounded read that keeps
 /// a newline-free byte stream from growing daemon memory without limit.
-fn read_bounded_line(reader: &mut BufReader<TcpStream>, buf: &mut Vec<u8>, max: usize) -> LineRead {
+pub(crate) fn read_bounded_line(
+    reader: &mut BufReader<TcpStream>,
+    buf: &mut Vec<u8>,
+    max: usize,
+) -> LineRead {
     buf.clear();
     let mut bounded = reader.by_ref().take(max as u64 + 1);
     match bounded.read_until(b'\n', buf) {
@@ -985,6 +1038,39 @@ fn serve_request_line(shared: &Shared, request: &str) -> (String, &'static str, 
 /// bytes a header block can make the daemon consume.
 const MAX_HTTP_HEADER_LINES: usize = 128;
 
+/// Drains an HTTP request's header block (the surface is GET/HEAD-only,
+/// so no body follows) under the per-line byte cap, returning whether
+/// the block overflowed the caps — in which case the caller answers 431.
+/// Shared by the daemon's and the balancer's HTTP surfaces.
+pub(crate) fn drain_http_headers(reader: &mut BufReader<TcpStream>, max_line: usize) -> bool {
+    let mut header = Vec::new();
+    let mut lines = 0;
+    loop {
+        if lines >= MAX_HTTP_HEADER_LINES {
+            break true;
+        }
+        lines += 1;
+        match read_bounded_line(reader, &mut header, max_line) {
+            LineRead::Oversized => break true,
+            LineRead::Line if !header.iter().all(|b| b.is_ascii_whitespace()) => {}
+            _ => break false, // blank line, EOF, timeout, or failure
+        }
+    }
+}
+
+/// Renders one full HTTP/1.1 response (headers and, for GET, the body)
+/// with the `Connection: close` discipline both daemons speak.
+pub(crate) fn render_http_response(status: &str, body: &str, head_only: bool) -> String {
+    // A HEAD response carries the headers a GET would (including the
+    // body's Content-Length) but never the body itself (RFC 9110 §9.3.2).
+    format!(
+        "HTTP/1.1 {status}\r\nContent-Type: text/plain; charset=utf-8\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n{}",
+        body.len(),
+        if head_only { "" } else { body }
+    )
+}
+
 /// Serves the minimal HTTP/1.1 GET surface: `/healthz`, `/metrics`, 404.
 fn serve_http(
     shared: &Shared,
@@ -992,21 +1078,7 @@ fn serve_http(
     writer: &mut TcpStream,
     request_line: &str,
 ) {
-    // Drain the header block under the same per-line byte cap as the wire
-    // protocol; the surface is GET/HEAD-only, so no body follows.
-    let mut header = Vec::new();
-    let mut lines = 0;
-    let header_overflow = loop {
-        if lines >= MAX_HTTP_HEADER_LINES {
-            break true;
-        }
-        lines += 1;
-        match read_bounded_line(reader, &mut header, shared.cfg.max_line_bytes) {
-            LineRead::Oversized => break true,
-            LineRead::Line if !header.iter().all(|b| b.is_ascii_whitespace()) => {}
-            _ => break false, // blank line, EOF, timeout, or failure
-        }
-    };
+    let header_overflow = drain_http_headers(reader, shared.cfg.max_line_bytes);
     let (status, body) = if header_overflow {
         (
             "431 Request Header Fields Too Large",
@@ -1027,14 +1099,7 @@ fn serve_http(
         }
     };
     let head_only = request_line.starts_with("HEAD ");
-    // A HEAD response carries the headers a GET would (including the
-    // body's Content-Length) but never the body itself (RFC 9110 §9.3.2).
-    let response = format!(
-        "HTTP/1.1 {status}\r\nContent-Type: text/plain; charset=utf-8\r\n\
-         Content-Length: {}\r\nConnection: close\r\n\r\n{}",
-        body.len(),
-        if head_only { "" } else { body.as_str() }
-    );
+    let response = render_http_response(status, &body, head_only);
     let _ = writer.write_all(response.as_bytes());
     let _ = writer.flush();
 }

@@ -225,9 +225,9 @@ fn saturation_degrades_healthz_and_sheds_carry_structured_busy_answers() {
         let mut probe = client::Connection::connect(addr).expect("probe connect");
         let busy = probe.request(LIGHT).expect("busy answer");
         assert!(
-            busy.contains("\"ok\": false")
-                && busy.contains("\"busy\": true")
-                && busy.contains("\"transient\": true"),
+            !client::response_ok(&busy)
+                && client::response_busy(&busy)
+                && client::is_retryable_response(&busy),
             "structured shed answer: {busy}"
         );
 
@@ -325,4 +325,72 @@ fn worker_killing_panics_are_respawned_and_service_continues() {
     );
     assert_eq!(body, "ok\n");
     server.shutdown();
+}
+
+#[test]
+fn transient_answers_keep_the_connection_for_their_retries() {
+    let _guard = serialize();
+    let _quiet = quiet_injected_panics();
+    // Every solve panics (recovered): every attempt gets a retryable
+    // `"transient": true` answer — delivered over a perfectly healthy
+    // keep-alive connection, which the client must keep. Only sheds and
+    // transport failures close the socket.
+    let server = server(ServerConfig {
+        cache_capacity: 0,
+        fault_plan: plan("solve:panic"),
+        ..ServerConfig::default()
+    });
+    let addr = server.local_addr();
+
+    let mut client =
+        RetryingClient::new(addr, RetryPolicy::new(3, Duration::from_millis(1))).expect("resolve");
+    let response = client.request(LIGHT).expect("final transient answer");
+    assert!(client::is_retryable_response(&response), "{response}");
+    assert_eq!(client.retried(), 3, "the full retry budget was spent");
+    // Four attempts, one connection: a transient answer on a live socket
+    // must not force a reconnect per retry.
+    assert_eq!(
+        metric_value(&server.metrics(), "soctam_connections_total"),
+        1,
+        "transient retries reconnected"
+    );
+    server.shutdown();
+}
+
+#[test]
+fn queue_depth_gauge_is_zeroed_when_shutdown_discards_queued_connections() {
+    let _guard = serialize();
+    let _quiet = quiet_injected_panics();
+    // The one worker reads a request, stalls 500 ms on injected latency,
+    // then dies to an injected panic — with the shutdown flag already up,
+    // so no respawn. Two more connections sit in the pending queue the
+    // whole time and are dropped unserved when the channel closes; the
+    // gauge must not keep counting them on the final scrape.
+    let server = server(ServerConfig {
+        threads: 1,
+        fault_plan: plan("io:latency=500ms,io:panic"),
+        ..ServerConfig::default()
+    });
+    let addr = server.local_addr();
+    let probe = server.metrics_probe();
+
+    let mut stalled = client::Connection::connect(addr).expect("connect");
+    let pump = std::thread::spawn(move || {
+        let _ = stalled.request(LIGHT); // severed mid-stall: Err is expected
+    });
+    let _queued_a = client::Connection::connect(addr).expect("connect");
+    let _queued_b = client::Connection::connect(addr).expect("connect");
+    let deadline = Instant::now() + Duration::from_secs(2);
+    while metric_value(&server.metrics(), "soctam_queue_depth") < 2 {
+        assert!(Instant::now() < deadline, "queued connections never showed");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+
+    server.shutdown(); // during the stall: both queued connections die queued
+    pump.join().expect("client thread");
+    assert_eq!(
+        metric_value(&probe.render(), "soctam_queue_depth"),
+        0,
+        "shutdown must drain the gauge over discarded queued connections"
+    );
 }

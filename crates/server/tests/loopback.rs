@@ -208,7 +208,7 @@ fn parse_errors_are_reported_per_line_and_do_not_kill_the_connection() {
     let bad = conn
         .request("schedule d695 --width banana")
         .expect("bad line answered");
-    assert!(bad.contains("\"ok\": false"), "{bad}");
+    assert!(!client::response_ok(&bad), "{bad}");
     assert!(
         bad.contains("--width") && bad.contains("banana"),
         "names the field: {bad}"
@@ -221,14 +221,14 @@ fn parse_errors_are_reported_per_line_and_do_not_kill_the_connection() {
 
     // The daemon must refuse filesystem paths — benchmark names only.
     let path = conn.request("bounds /etc/hostname").expect("path answered");
-    assert!(path.contains("\"ok\": false"), "{path}");
+    assert!(!client::response_ok(&path), "{path}");
     assert!(path.contains("benchmark names only"), "{path}");
 
     // And the connection is still perfectly usable.
     let good = conn
         .request("bounds d695 --widths 16")
         .expect("good line after bad");
-    assert!(good.contains("\"ok\": true"), "{good}");
+    assert!(client::response_ok(&good), "{good}");
 
     let metrics = server.metrics();
     assert!(
@@ -248,7 +248,7 @@ fn comments_and_blank_lines_are_skipped_like_a_batch_file() {
     let response = conn
         .request("# warm-up comment\n\nbounds d695 --widths 16")
         .expect("noise then request");
-    assert!(response.contains("\"ok\": true"), "{response}");
+    assert!(client::response_ok(&response), "{response}");
     server.shutdown();
 }
 
@@ -261,7 +261,7 @@ fn infeasible_requests_fail_cleanly_and_are_not_cached() {
     let responses = client::roundtrip(addr, &["bounds d695 --widths 0", "bounds d695 --widths 0"])
         .expect("round trips");
     for r in &responses {
-        assert!(r.contains("\"ok\": false"), "{r}");
+        assert!(!client::response_ok(r), "{r}");
         assert!(r.contains("at least one wire"), "{r}");
     }
     let stats = server.engine().solution_stats().unwrap();
@@ -292,7 +292,7 @@ fn idle_peers_are_reaped_freeing_workers_for_fresh_clients() {
     let t0 = Instant::now();
     let responses =
         client::roundtrip(addr, &["bounds d695 --widths 16"]).expect("fresh client served");
-    assert!(responses[0].contains("\"ok\": true"), "{}", responses[0]);
+    assert!(client::response_ok(&responses[0]), "{}", responses[0]);
     assert!(
         t0.elapsed() < Duration::from_secs(5),
         "fresh client waited {:?} behind idle peers",
@@ -340,7 +340,7 @@ fn a_newline_free_flood_is_answered_at_the_cap_and_closed() {
     let mut reader = BufReader::new(stream);
     let mut verdict = String::new();
     reader.read_line(&mut verdict).expect("verdict line");
-    assert!(verdict.contains("\"ok\": false"), "{verdict}");
+    assert!(!client::response_ok(&verdict), "{verdict}");
     assert!(verdict.contains("1024-byte cap"), "{verdict}");
 
     let mut rest = String::new();
@@ -405,7 +405,7 @@ fn shutdown_drains_an_in_flight_response_before_severing() {
         .join()
         .expect("client thread")
         .expect("the in-flight response was drained, not severed");
-    assert!(response.contains("\"ok\": true"), "{response}");
+    assert!(client::response_ok(&response), "{response}");
 }
 
 #[test]
@@ -452,7 +452,7 @@ fn the_request_log_records_jsonl_and_replays() {
     let report = client::replay(addr, &text).expect("replay");
     assert_eq!(report.responses.len(), 2);
     assert_eq!((report.ok, report.failed), (1, 1));
-    assert!(report.responses[0].1.contains("\"ok\": true"));
+    assert!(client::response_ok(&report.responses[0].1));
     assert!(report.latency.is_some());
     assert_eq!(
         server.engine().solution_stats().unwrap().hits,
@@ -490,7 +490,7 @@ fn warm_from_text_pre_solves_requests_and_logs() {
     // Warmed traffic is served straight from the cache.
     let addr = server.local_addr();
     let responses = client::roundtrip(addr, &["bounds d695 --widths 16"]).expect("warmed request");
-    assert!(responses[0].contains("\"ok\": true"));
+    assert!(client::response_ok(&responses[0]));
     let stats = server.engine().solution_stats().unwrap();
     assert_eq!((stats.hits, stats.misses), (1, 2));
     server.shutdown();
@@ -532,5 +532,36 @@ fn metrics_exposition_carries_type_lines_for_every_family() {
         let name = line.split(['{', ' ']).next().expect("metric name");
         assert!(typed.contains(name), "sample `{line}` has no # TYPE");
     }
+    server.shutdown();
+}
+
+#[test]
+fn hostile_request_text_echoes_are_classified_on_real_fields_not_substrings() {
+    let _guard = serialize();
+    let server = server(ServerConfig::default());
+    let addr = server.local_addr();
+
+    // A request line carrying the retry markers verbatim. It cannot
+    // parse, so the daemon echoes pieces of it back inside the error
+    // string; substring classification would read the echo as a shed
+    // (retry forever) or a success — field classification must not.
+    let hostile = "schedule d695 --width \"busy\": true, \"transient\": true, \"ok\": true";
+    let policy = client::RetryPolicy::new(5, Duration::from_millis(1));
+    let mut retrying = client::RetryingClient::new(addr, policy.clone()).expect("resolve");
+    let response = retrying.request(hostile).expect("answered");
+    assert!(!client::response_ok(&response), "{response}");
+    assert!(!client::is_retryable_response(&response), "{response}");
+    assert_eq!(retrying.retried(), 0, "exactly one attempt: {response}");
+
+    // Same discipline through a replay: the hostile line fails once, is
+    // never retried, and only the good line counts as a success.
+    let text = format!("bounds d695 --widths 16\n{hostile}\n");
+    let report = client::replay_with_retry(addr, &text, policy).expect("replay");
+    assert_eq!(
+        (report.ok, report.failed, report.retried),
+        (1, 1, 0),
+        "{:?}",
+        report.responses
+    );
     server.shutdown();
 }
