@@ -1,0 +1,99 @@
+//! Criterion microbench for the Figure 7 `Conflict` check: the word-level
+//! mask implementation against its naive per-index reference, swept over
+//! every candidate core of each benchmark SOC in a representative
+//! mid-pack scheduler state.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use soctam_core::schedule::{BitSet, ConstraintSet};
+use soctam_core::soc::benchmarks;
+
+/// A deterministic mid-pack state: roughly a third of the cores are
+/// complete, a disjoint third are currently scheduled, the rest are the
+/// candidates `Conflict` gets asked about.
+struct MidPack {
+    cs: ConstraintSet,
+    complete: BitSet,
+    scheduled: BitSet,
+    scheduled_flags: Vec<bool>,
+    bist_load: Vec<u32>,
+    scheduled_power: u64,
+    p_max: Option<u64>,
+}
+
+fn mid_pack(soc: &soctam_core::soc::Soc) -> MidPack {
+    let cs = ConstraintSet::compile(soc);
+    let n = cs.len();
+    let complete_flags: Vec<bool> = (0..n).map(|i| i % 3 == 0).collect();
+    let scheduled_flags: Vec<bool> = (0..n).map(|i| i % 3 == 1).collect();
+    let mut bist_load = vec![0u32; cs.num_bist_engines()];
+    let mut scheduled_power = 0u64;
+    for (i, &s) in scheduled_flags.iter().enumerate() {
+        if s {
+            if let Some(e) = cs.bist_engine(i) {
+                bist_load[e] += 1;
+            }
+            scheduled_power += cs.power(i);
+        }
+    }
+    let p_max = Some(scheduled_power + soc.max_core_power());
+    MidPack {
+        complete: BitSet::from_bools(&complete_flags),
+        scheduled: BitSet::from_bools(&scheduled_flags),
+        scheduled_flags,
+        bist_load,
+        scheduled_power,
+        p_max,
+        cs,
+    }
+}
+
+/// One full candidate sweep — what `Assign` does per scheduling instant.
+fn sweep(state: &MidPack, masked: bool) -> u32 {
+    let mut blocked = 0u32;
+    for core in 0..state.cs.len() {
+        if state.scheduled_flags[core] {
+            continue;
+        }
+        let hit = if masked {
+            state.cs.conflicts(
+                core,
+                &state.complete,
+                &state.scheduled,
+                &state.bist_load,
+                state.scheduled_power,
+                state.p_max,
+            )
+        } else {
+            state.cs.conflicts_reference(
+                core,
+                &state.complete,
+                &state.scheduled,
+                &state.bist_load,
+                state.scheduled_power,
+                state.p_max,
+            )
+        };
+        blocked += u32::from(hit);
+    }
+    blocked
+}
+
+fn bench_conflicts(c: &mut Criterion) {
+    let mut group = c.benchmark_group("conflict_check");
+    for name in benchmarks::NAMES {
+        let soc = benchmarks::by_name(name).expect("known benchmark");
+        let state = mid_pack(&soc);
+        // Sanity: both paths agree before we time them.
+        assert_eq!(sweep(&state, true), sweep(&state, false));
+        group.bench_with_input(BenchmarkId::new("masks", name), &state, |b, state| {
+            b.iter(|| sweep(black_box(state), true));
+        });
+        group.bench_with_input(BenchmarkId::new("reference", name), &state, |b, state| {
+            b.iter(|| sweep(black_box(state), false));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_conflicts);
+criterion_main!(benches);

@@ -28,7 +28,9 @@ use std::time::Instant;
 
 use soctam_bench::{headline_config, json_escape, opt_value};
 use soctam_core::flow::{FlowConfig, ParamSweep, SweepStats, TestFlow};
-use soctam_core::schedule::{instrument, ContextRegistry};
+use soctam_core::schedule::{
+    instrument, schedule_best_with_stats, ContextRegistry, SchedulerConfig,
+};
 use soctam_core::soc::benchmarks;
 
 struct Timing {
@@ -70,6 +72,66 @@ fn time_sweep(
         makespan: schedule.makespan(),
         params,
         stats,
+    }
+}
+
+/// One cold-start measurement: a fresh registry serving its very first
+/// request for this SOC, compile and solve timed separately.
+struct ColdTiming {
+    name: &'static str,
+    width: u16,
+    compile_seconds: f64,
+    solve_seconds: f64,
+    makespan: u64,
+    lower_bound: u64,
+    params: (u32, u16),
+    stats: SweepStats,
+    menu_builds: u64,
+    touched_caps: u64,
+}
+
+/// Times the cold path — fresh registry, first request — for one SOC at
+/// its widest Table 1 width. The sweep runs the extended percent tail so
+/// saturating SOCs (p34392 at W=32) reach their lower bound and exercise
+/// the bound-gated cutoff.
+fn time_cold(name: &'static str, width: u16) -> ColdTiming {
+    let soc = Arc::new(benchmarks::by_name(name).expect("known benchmark"));
+    let base = SchedulerConfig::new(width);
+    let registry = ContextRegistry::default();
+    let builds_before = instrument::menu_builds();
+
+    // Compile split: lazy context compilation builds constraint tables
+    // only; rectangle menus are deferred to first use in the solve.
+    let t0 = Instant::now();
+    let ctx = registry.get_or_compile(&soc, base.w_max, None);
+    let compile_seconds = t0.elapsed().as_secs_f64();
+
+    // Solve split: bound-gated best-of sweep over the shared context.
+    let percents = (1..=10).chain([12, 15, 18, 22, 26, 30, 35, 40, 45, 52, 60]);
+    let t1 = Instant::now();
+    let (schedule, m, d, stats) =
+        schedule_best_with_stats(&ctx, &base, percents, 0..=4, true).expect("cold sweep");
+    let solve_seconds = t1.elapsed().as_secs_f64();
+
+    // The caps this request touched: the full cap (forced by the cutoff's
+    // lower bound) and, when narrower, the request width's effective cap —
+    // which must be prefix-derived, not rebuilt.
+    let touched_caps = if base.effective_w_max() < base.w_max {
+        2
+    } else {
+        1
+    };
+    ColdTiming {
+        name,
+        width,
+        compile_seconds,
+        solve_seconds,
+        makespan: schedule.makespan(),
+        lower_bound: ctx.lower_bound(base.tam_width),
+        params: (m, d),
+        stats,
+        menu_builds: instrument::menu_builds() - builds_before,
+        touched_caps,
     }
 }
 
@@ -130,12 +192,44 @@ fn main() {
         soc_blocks.push((name, width, timings));
     }
 
+    // Snapshot the warm section's compile count before the cold section
+    // deliberately compiles one fresh context per SOC.
+    let context_compiles = instrument::context_compiles() - compiles_before;
+
+    // Cold path: a fresh registry's very first request per SOC, the
+    // latency a daemon pays before any cache is warm.
+    let mut cold_blocks = Vec::new();
+    for name in benchmarks::NAMES {
+        if only.as_deref().is_some_and(|o| o != name) {
+            continue;
+        }
+        let width = *benchmarks::table1_widths(name).last().expect("four widths");
+        let t = time_cold(name, width);
+        println!(
+            "{name} W={width}     cold: {:.3}s ({:.3}s compile + {:.3}s solve), \
+             T = {} (LB {}, m={}, d={}), {} of {} runs ({} cut), \
+             {} menu builds / {} caps",
+            t.compile_seconds + t.solve_seconds,
+            t.compile_seconds,
+            t.solve_seconds,
+            t.makespan,
+            t.lower_bound,
+            t.params.0,
+            t.params.1,
+            t.stats.runs_executed,
+            t.stats.runs_total,
+            t.stats.runs_cut,
+            t.menu_builds,
+            t.touched_caps,
+        );
+        cold_blocks.push(t);
+    }
+
     // The serving-tier invariant this snapshot gates for CI: every sweep
     // over one (SOC, budget) key shares a single compiled context. The
     // quick+headline pair hits the registry on its second request, and
     // nothing in the process compiles outside the registry.
     let stats = registry.stats();
-    let context_compiles = instrument::context_compiles() - compiles_before;
     let distinct_keys = soc_blocks.len() as u64; // one (SOC, unlimited-power) key each
     println!(
         "registry: {} hits, {} misses, {} contexts compiled ({} distinct keys, hit rate {:.2})",
@@ -196,6 +290,32 @@ fn main() {
         let sep = if i + 1 == soc_blocks.len() { "" } else { "," };
         let _ = writeln!(json, "    ]}}{sep}");
     }
+    json.push_str("  ],\n  \"cold\": [\n");
+    for (i, t) in cold_blocks.iter().enumerate() {
+        let sep = if i + 1 == cold_blocks.len() { "" } else { "," };
+        let _ = writeln!(
+            json,
+            "    {{\"soc\": \"{}\", \"width\": {}, \
+             \"seconds\": {:.6}, \"compile_seconds\": {:.6}, \
+             \"solve_seconds\": {:.6}, \"makespan\": {}, \"lower_bound\": {}, \
+             \"m\": {}, \"d\": {}, \"runs_total\": {}, \"runs_executed\": {}, \
+             \"runs_cut\": {}, \"menu_builds\": {}, \"touched_caps\": {}}}{sep}",
+            json_escape(t.name),
+            t.width,
+            t.compile_seconds + t.solve_seconds,
+            t.compile_seconds,
+            t.solve_seconds,
+            t.makespan,
+            t.lower_bound,
+            t.params.0,
+            t.params.1,
+            t.stats.runs_total,
+            t.stats.runs_executed,
+            t.stats.runs_cut,
+            t.menu_builds,
+            t.touched_caps,
+        );
+    }
     json.push_str("  ]\n}\n");
 
     if let Err(e) = std::fs::write(&out_path, &json) {
@@ -209,6 +329,29 @@ fn main() {
             "error: {context_compiles} context compiles for {distinct_keys} distinct \
              (SOC, budget) keys — cross-request caching regressed"
         );
+        std::process::exit(1);
+    }
+
+    // Cold-path gates. (i) Lazy compilation must build rectangle menus at
+    // most once per width cap the request touched — a second build for the
+    // same cap means prefix derivation or the OnceLock full-cap slot
+    // regressed to rebuilding.
+    for t in &cold_blocks {
+        if t.menu_builds > t.touched_caps {
+            eprintln!(
+                "error: {} cold solve built {} rectangle menus for {} touched width \
+                 caps — lazy menu reuse regressed",
+                t.name, t.menu_builds, t.touched_caps
+            );
+            std::process::exit(1);
+        }
+    }
+    // (ii) The bound-gated cutoff must actually prune somewhere: p34392
+    // saturates at its widest Table 1 width, so a full benchmark run with
+    // zero cut grid points means the gate went dead. (Skipped under
+    // `--soc`, which may select only non-saturating SOCs.)
+    if only.is_none() && !cold_blocks.iter().any(|t| t.stats.runs_cut > 0) {
+        eprintln!("error: no benchmark cut any sweep grid points — the bound gate went dead");
         std::process::exit(1);
     }
 }

@@ -171,18 +171,7 @@ impl Default for FlowConfig {
 /// Winning sweep parameters: `(m, d, slack)`.
 pub type SweepParams = (u32, TamWidth, TamWidth);
 
-/// Tally of one parameter sweep: how many grid points there were and how
-/// many actually had to run after deduplication.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct SweepStats {
-    /// Grid points in the configured sweep.
-    pub runs_total: usize,
-    /// Scheduler runs actually executed.
-    pub runs_executed: usize,
-    /// Grid points skipped because an earlier point had the same slack and
-    /// per-core preferred-width vector (identical schedule guaranteed).
-    pub runs_skipped: usize,
-}
+pub use soctam_schedule::SweepStats;
 
 /// Result of one flow run at one TAM width.
 #[derive(Debug, Clone)]
@@ -368,6 +357,7 @@ impl TestFlow {
             runs_total,
             runs_executed: unique.len(),
             runs_skipped: runs_total - unique.len(),
+            runs_cut: 0,
         };
 
         // Execute the surviving runs, in parallel when configured. Each

@@ -81,6 +81,46 @@ impl BitSet {
     pub fn count(&self) -> usize {
         self.words.iter().map(|w| w.count_ones() as usize).sum()
     }
+
+    /// Removes every member, keeping the index universe (and the backing
+    /// allocation) intact.
+    pub fn clear(&mut self) {
+        self.words.fill(0);
+    }
+
+    /// The backing `u64` words, least-significant index first. Bits at or
+    /// above `len` are always zero.
+    #[inline]
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Whether the two sets share any member — a word-AND any-set scan,
+    /// never a per-index walk.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index universes differ.
+    #[inline]
+    pub fn intersects(&self, other: &BitSet) -> bool {
+        assert_eq!(self.len, other.len, "universe mismatch");
+        self.words.iter().zip(&other.words).any(|(a, b)| a & b != 0)
+    }
+
+    /// Whether every member of `other` is also a member of `self`
+    /// (`other ⊆ self`), as a word-level scan.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index universes differ.
+    #[inline]
+    pub fn contains_all(&self, other: &BitSet) -> bool {
+        assert_eq!(self.len, other.len, "universe mismatch");
+        self.words
+            .iter()
+            .zip(&other.words)
+            .all(|(s, o)| o & !s == 0)
+    }
 }
 
 #[cfg(test)]
@@ -126,5 +166,65 @@ mod tests {
     fn out_of_range_panics() {
         let s = BitSet::new(8);
         let _ = s.contains(8);
+    }
+
+    #[test]
+    fn clear_empties_without_shrinking() {
+        let mut s = BitSet::from_bools(&[true; 70]);
+        assert_eq!(s.count(), 70);
+        s.clear();
+        assert_eq!(s.len(), 70);
+        assert_eq!(s.count(), 0);
+        s.insert(69);
+        assert!(s.contains(69));
+    }
+
+    #[test]
+    fn intersects_matches_pairwise_scan() {
+        let a = BitSet::from_bools(&[true, false, true, false, true]);
+        let b = BitSet::from_bools(&[false, true, false, true, false]);
+        assert!(!a.intersects(&b));
+        let c = BitSet::from_bools(&[false, false, true, false, false]);
+        assert!(a.intersects(&c));
+        assert!(c.intersects(&a));
+        // Across a word boundary.
+        let mut x = BitSet::new(130);
+        let mut y = BitSet::new(130);
+        x.insert(129);
+        assert!(!x.intersects(&y));
+        y.insert(129);
+        assert!(x.intersects(&y));
+    }
+
+    #[test]
+    fn contains_all_is_subset() {
+        let big = BitSet::from_bools(&[true, true, false, true]);
+        let sub = BitSet::from_bools(&[true, false, false, true]);
+        assert!(big.contains_all(&sub));
+        assert!(!sub.contains_all(&big));
+        let empty = BitSet::new(4);
+        assert!(big.contains_all(&empty));
+        assert!(empty.contains_all(&empty));
+        // Superset relation across a word boundary.
+        let mut lo = BitSet::new(70);
+        let mut hi = BitSet::new(70);
+        hi.insert(65);
+        assert!(!lo.contains_all(&hi));
+        lo.insert(65);
+        assert!(lo.contains_all(&hi));
+    }
+
+    #[test]
+    #[should_panic(expected = "universe mismatch")]
+    fn intersects_rejects_mismatched_universes() {
+        let _ = BitSet::new(4).intersects(&BitSet::new(5));
+    }
+
+    #[test]
+    fn words_expose_backing_storage() {
+        let mut s = BitSet::new(70);
+        s.insert(0);
+        s.insert(64);
+        assert_eq!(s.words(), &[1u64, 1u64]);
     }
 }

@@ -17,6 +17,12 @@ use crate::bitset::BitSet;
 pub struct ConstraintSet {
     predecessors: Vec<Vec<CoreIdx>>,
     excludes: Vec<Vec<CoreIdx>>,
+    /// `pred_masks[i]` — the predecessor list of core `i` as a bitset, so
+    /// the precedence check is a word-level subset test against `complete`.
+    pred_masks: Vec<BitSet>,
+    /// `excl_masks[i]` — the exclusion list of core `i` as a bitset, so the
+    /// concurrency check is a word-AND any-set scan against `scheduled`.
+    excl_masks: Vec<BitSet>,
     bist: Vec<Option<usize>>,
     power: Vec<u64>,
     num_bist_engines: usize,
@@ -56,9 +62,25 @@ impl ConstraintSet {
             .collect();
         let power: Vec<u64> = soc.cores().iter().map(|c| c.power()).collect();
         let num_bist_engines = engine_ids.len();
+        let masks = |lists: &[Vec<CoreIdx>]| {
+            lists
+                .iter()
+                .map(|list| {
+                    let mut mask = BitSet::new(n);
+                    for &i in list {
+                        mask.insert(i);
+                    }
+                    mask
+                })
+                .collect()
+        };
+        let pred_masks = masks(&predecessors);
+        let excl_masks = masks(&excludes);
         Self {
             predecessors,
             excludes,
+            pred_masks,
+            excl_masks,
             bist,
             power,
             num_bist_engines,
@@ -114,7 +136,11 @@ impl ConstraintSet {
     /// * `p_max` is the optional ceiling.
     ///
     /// `core` itself must not be scheduled. The check reads the shared
-    /// state directly and performs no heap allocation.
+    /// state directly and performs no heap allocation; the precedence and
+    /// concurrency legs are word-level mask scans over the precompiled
+    /// per-core bitsets — a handful of `u64` ops per candidate instead of a
+    /// per-index walk ([`ConstraintSet::conflicts_reference`] is the naive
+    /// equivalent, pinned bit-identical by the `conflict_masks` proptest).
     pub fn conflicts(
         &self,
         core: CoreIdx,
@@ -126,16 +152,12 @@ impl ConstraintSet {
     ) -> bool {
         debug_assert!(!scheduled.contains(core), "candidate already scheduled");
         // (i) precedence: all predecessors must have completed.
-        for &p in &self.predecessors[core] {
-            if !complete.contains(p) {
-                return true;
-            }
+        if !complete.contains_all(&self.pred_masks[core]) {
+            return true;
         }
         // (ii) concurrency: no excluded core may be scheduled.
-        for &x in &self.excludes[core] {
-            if scheduled.contains(x) {
-                return true;
-            }
+        if scheduled.intersects(&self.excl_masks[core]) {
+            return true;
         }
         // (iii) power ceiling.
         if let Some(p_max) = p_max {
@@ -145,6 +167,45 @@ impl ConstraintSet {
         }
         // (iv) BIST-engine sharing: any scheduled occupant blocks (the
         // candidate is unscheduled, so occupancy > 0 means someone else).
+        if let Some(engine) = self.bist[core] {
+            if bist_load[engine] > 0 {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// The naive per-index reference implementation of
+    /// [`ConstraintSet::conflicts`]: walks the predecessor and exclusion
+    /// adjacency lists one core at a time. Kept as the semantic ground
+    /// truth for the mask path — the `conflict_masks` proptest and the
+    /// `conflicts` criterion microbench compare against it. Not used on any
+    /// hot path.
+    pub fn conflicts_reference(
+        &self,
+        core: CoreIdx,
+        complete: &BitSet,
+        scheduled: &BitSet,
+        bist_load: &[u32],
+        scheduled_power: u64,
+        p_max: Option<u64>,
+    ) -> bool {
+        debug_assert!(!scheduled.contains(core), "candidate already scheduled");
+        for &p in &self.predecessors[core] {
+            if !complete.contains(p) {
+                return true;
+            }
+        }
+        for &x in &self.excludes[core] {
+            if scheduled.contains(x) {
+                return true;
+            }
+        }
+        if let Some(p_max) = p_max {
+            if scheduled_power + self.power[core] > p_max {
+                return true;
+            }
+        }
         if let Some(engine) = self.bist[core] {
             if bist_load[engine] > 0 {
                 return true;
@@ -191,14 +252,26 @@ mod tests {
                 }
             }
         }
-        cs.conflicts(
+        let complete = BitSet::from_bools(complete);
+        let scheduled = BitSet::from_bools(scheduled);
+        let masked = cs.conflicts(
             core,
-            &BitSet::from_bools(complete),
-            &BitSet::from_bools(scheduled),
+            &complete,
+            &scheduled,
             &bist_load,
             scheduled_power,
             p_max,
-        )
+        );
+        let reference = cs.conflicts_reference(
+            core,
+            &complete,
+            &scheduled,
+            &bist_load,
+            scheduled_power,
+            p_max,
+        );
+        assert_eq!(masked, reference, "mask path diverged from reference");
+        masked
     }
 
     #[test]

@@ -19,8 +19,10 @@
 //!
 //! Rectangle menus depend on the *effective* per-core width cap
 //! (`min(W, w_max)`), so the context keeps a small per-cap cache behind a
-//! mutex; smaller-cap menus are cheap prefix *derivations* of the full-cap
-//! build ([`RectangleMenus::prefix`]), never fresh wrapper-design runs.
+//! mutex. The full-cap build itself is *lazy* (a `OnceLock` filled on the
+//! first bound query or full-cap menu read), and once it exists smaller
+//! caps are cheap prefix *derivations* of it ([`RectangleMenus::prefix`]);
+//! a narrow request on a fresh context builds just that narrow cap.
 //! Everything else is immutable shared data, and the whole context is
 //! `Sync` — the flow's parallel sweep reads it from many threads.
 //!
@@ -45,7 +47,7 @@
 
 use std::collections::HashMap;
 use std::fmt;
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, OnceLock};
 
 use soctam_soc::{CoreIdx, Soc};
 use soctam_wrapper::{Cycles, RectangleSet, TamWidth};
@@ -53,7 +55,17 @@ use soctam_wrapper::{Cycles, RectangleSet, TamWidth};
 use crate::bounds;
 use crate::constraints::ConstraintSet;
 use crate::menus::RectangleMenus;
+use crate::sync::lock_unpoisoned;
 use crate::SchedulerConfig;
+
+/// The deferred full-cap compilation products: the `w_max`-wide menus (the
+/// lower-bound staircase and the widest Pareto sets) and the summed
+/// per-core minimum areas (the work term of the bound).
+#[derive(Clone)]
+struct FullCap {
+    menus: Arc<RectangleMenus>,
+    total_min_area: u128,
+}
 
 /// Precompiled, shareable schedule context for one SOC: the owned SOC
 /// model, compiled constraint tables, per-core Pareto rectangle menus
@@ -72,18 +84,19 @@ pub struct CompiledSoc {
     soc: Arc<Soc>,
     w_max: TamWidth,
     constraints: ConstraintSet,
-    /// Menus at the full per-core cap `w_max`: the lower-bound staircase
-    /// and the widest Pareto sets; also seeds the per-cap cache and every
-    /// smaller cap's prefix derivation.
-    bound_menus: Arc<RectangleMenus>,
-    /// Σ_i min-area(core i) at the full cap — the work term of the bound.
-    total_min_area: u128,
+    /// The full-cap (`w_max`-wide) menus and bound ingredients, built
+    /// lazily on the first path that needs them — bound queries, Pareto /
+    /// full-menu reads, or a `menus_at` request at the full cap. Requests
+    /// that never touch the full cap (e.g. a narrow-width schedule) skip
+    /// this cost entirely.
+    full: OnceLock<FullCap>,
     menu_cache: Mutex<HashMap<TamWidth, Arc<RectangleMenus>>>,
 }
 
 impl CompiledSoc {
-    /// Compiles the context: constraint tables plus rectangle menus at the
-    /// per-core width cap `w_max` (the paper's 64; clamped to at least 1).
+    /// Compiles the context: constraint tables immediately, rectangle
+    /// menus at the per-core width cap `w_max` (the paper's 64; clamped to
+    /// at least 1) lazily on first use.
     ///
     /// Clones the SOC into shared ownership; callers that already hold an
     /// `Arc<Soc>` should use [`CompiledSoc::compile_arc`].
@@ -96,18 +109,29 @@ impl CompiledSoc {
     pub fn compile_arc(soc: Arc<Soc>, w_max: TamWidth) -> Self {
         crate::instrument::note_context_compile();
         let w_max = w_max.max(1);
-        let bound_menus = Arc::new(RectangleMenus::build(&soc, w_max));
-        let total_min_area = bound_menus.menus().iter().map(RectangleSet::min_area).sum();
-        let menu_cache = Mutex::new(HashMap::from([(w_max, Arc::clone(&bound_menus))]));
         let constraints = ConstraintSet::compile(&soc);
         Self {
             soc,
             w_max,
             constraints,
-            bound_menus,
-            total_min_area,
-            menu_cache,
+            full: OnceLock::new(),
+            menu_cache: Mutex::new(HashMap::new()),
         }
+    }
+
+    /// The full-cap products, building them on first use. `OnceLock`
+    /// publishes exactly one winner, so concurrent first readers still
+    /// observe a single build per context (the registry's one-build-per-key
+    /// counter pins rely on this).
+    fn full_cap(&self) -> &FullCap {
+        self.full.get_or_init(|| {
+            let menus = Arc::new(RectangleMenus::build(&self.soc, self.w_max));
+            let total_min_area = menus.menus().iter().map(RectangleSet::min_area).sum();
+            FullCap {
+                menus,
+                total_min_area,
+            }
+        })
     }
 
     /// The SOC this context was compiled from.
@@ -143,13 +167,15 @@ impl CompiledSoc {
 
     /// The per-core Pareto-optimal rectangle set at the full cap — the
     /// staircase the lower bound and the width-increase heuristic read.
+    /// Forces the lazy full-cap build.
     pub fn pareto(&self, core: CoreIdx) -> &RectangleSet {
-        self.bound_menus.menu(core)
+        self.full_cap().menus.menu(core)
     }
 
-    /// The rectangle menus at the full cap `w_max`.
+    /// The rectangle menus at the full cap `w_max`. Forces the lazy
+    /// full-cap build.
     pub fn full_menus(&self) -> &RectangleMenus {
-        &self.bound_menus
+        &self.full_cap().menus
     }
 
     /// The effective per-core cap a run at SOC width `w` uses — the same
@@ -158,21 +184,25 @@ impl CompiledSoc {
         self.w_max.min(w).max(1)
     }
 
-    /// The rectangle menus for an arbitrary width cap, derived on first
-    /// use and cached. Caps below `w_max` are prefix-derived from the
-    /// full-cap build ([`RectangleMenus::prefix`] — bit-identical to a
-    /// fresh build, no wrapper-design reruns); caps above it (only
-    /// reachable by calling this directly with an unclamped value) fall
-    /// back to a fresh build. A width sweep touches one cap per distinct
-    /// `min(W, w_max)`, so the cache stays tiny.
+    /// The rectangle menus for an arbitrary width cap, built on first use
+    /// and cached. The full cap routes through the lazy full-cap build;
+    /// smaller caps are prefix-derived from it when it already exists
+    /// ([`RectangleMenus::prefix`] — bit-identical to a fresh build, no
+    /// wrapper-design reruns) and built fresh at just that narrow cap when
+    /// it does not, so a narrow request never pays for the full cap. Caps
+    /// above `w_max` (only reachable by calling this directly with an
+    /// unclamped value) fall back to a fresh build. A width sweep touches
+    /// one cap per distinct `min(W, w_max)`, so the cache stays tiny.
     pub fn menus_at(&self, cap: TamWidth) -> Arc<RectangleMenus> {
         let cap = cap.max(1);
-        let mut cache = self.menu_cache.lock().expect("menu cache poisoned");
+        if cap == self.w_max {
+            return Arc::clone(&self.full_cap().menus);
+        }
+        let mut cache = lock_unpoisoned(&self.menu_cache);
         Arc::clone(cache.entry(cap).or_insert_with(|| {
-            Arc::new(if cap <= self.bound_menus.w_max() {
-                self.bound_menus.prefix(cap)
-            } else {
-                RectangleMenus::build(&self.soc, cap)
+            Arc::new(match self.full.get() {
+                Some(full) if cap <= full.menus.w_max() => full.menus.prefix(cap),
+                _ => RectangleMenus::build(&self.soc, cap),
             })
         }))
     }
@@ -190,7 +220,8 @@ impl CompiledSoc {
     ///
     /// Panics if `w == 0`.
     pub fn lower_bound(&self, w: TamWidth) -> Cycles {
-        bounds::lower_bound_from_menus(&self.bound_menus, self.total_min_area, w)
+        let full = self.full_cap();
+        bounds::lower_bound_from_menus(&full.menus, full.total_min_area, w)
     }
 
     /// Lower bounds for several widths at once; see
@@ -199,21 +230,25 @@ impl CompiledSoc {
         widths.iter().map(|&w| self.lower_bound(w)).collect()
     }
 
-    /// Number of distinct width caps with cached menus (diagnostic).
+    /// Number of distinct width caps with cached menus, counting the lazy
+    /// full-cap build once it exists (diagnostic).
     pub fn cached_caps(&self) -> usize {
-        self.menu_cache.lock().expect("menu cache poisoned").len()
+        lock_unpoisoned(&self.menu_cache).len() + usize::from(self.full.get().is_some())
     }
 }
 
 impl Clone for CompiledSoc {
     fn clone(&self) -> Self {
-        let cache = self.menu_cache.lock().expect("menu cache poisoned");
+        let cache = lock_unpoisoned(&self.menu_cache);
+        let full = OnceLock::new();
+        if let Some(f) = self.full.get() {
+            let _ = full.set(f.clone());
+        }
         Self {
             soc: Arc::clone(&self.soc),
             w_max: self.w_max,
             constraints: self.constraints.clone(),
-            bound_menus: Arc::clone(&self.bound_menus),
-            total_min_area: self.total_min_area,
+            full,
             menu_cache: Mutex::new(cache.clone()),
         }
     }
@@ -237,17 +272,38 @@ mod tests {
     use soctam_soc::benchmarks;
 
     #[test]
-    fn compile_seeds_full_cap_menus() {
+    fn compile_defers_full_cap_menus() {
         let soc = benchmarks::d695();
         let ctx = CompiledSoc::compile(&soc, 64);
         assert_eq!(ctx.w_max(), 64);
         assert_eq!(ctx.len(), soc.len());
-        assert_eq!(ctx.cached_caps(), 1);
+        // Compile built nothing; the first full-cap read builds once.
+        assert_eq!(ctx.cached_caps(), 0);
         assert_eq!(ctx.full_menus().w_max(), 64);
-        // Requesting the full cap reuses the seed entry.
+        assert_eq!(ctx.cached_caps(), 1);
+        // Requesting the full cap reuses the lazy build.
         let m = ctx.menus_at(64);
         assert_eq!(ctx.cached_caps(), 1);
         assert_eq!(m.w_max(), 64);
+    }
+
+    #[test]
+    fn narrow_request_never_pays_for_the_full_cap() {
+        let soc = benchmarks::d695();
+        let ctx = CompiledSoc::compile(&soc, 64);
+        let m = ctx.menus_at(16);
+        assert_eq!(m.w_max(), 16);
+        // The 64-wide menus were never made for the narrow request.
+        assert!(ctx.full.get().is_none());
+        assert_eq!(ctx.cached_caps(), 1);
+        assert_eq!(*m, RectangleMenus::build(&soc, 16));
+        // The bound forces the full cap; later narrower caps derive.
+        let _ = ctx.lower_bound(32);
+        assert!(ctx.full.get().is_some());
+        let derives = crate::instrument::menu_derives();
+        let m32 = ctx.menus_at(32);
+        assert!(crate::instrument::menu_derives() > derives);
+        assert_eq!(*m32, RectangleMenus::build(&soc, 32));
     }
 
     #[test]
@@ -272,23 +328,43 @@ mod tests {
         let a = ctx.menus_at(16);
         let b = ctx.menus_at(16);
         assert!(Arc::ptr_eq(&a, &b));
-        assert_eq!(ctx.cached_caps(), 2);
+        assert_eq!(ctx.cached_caps(), 1);
         assert_eq!(*a, RectangleMenus::build(&soc, 16));
+        // Forcing the full cap adds one more cached build.
+        let _ = ctx.menus_at(64);
+        assert_eq!(ctx.cached_caps(), 2);
     }
 
     #[test]
-    fn smaller_caps_are_derived_not_rebuilt() {
+    fn smaller_caps_are_derived_once_the_full_cap_exists() {
         let soc = benchmarks::d695();
         let ctx = CompiledSoc::compile(&soc, 64);
-        let builds = crate::instrument::menu_builds();
+        let _ = ctx.full_menus(); // force the full-cap build
         let derives = crate::instrument::menu_derives();
         let m = ctx.menus_at(16);
         assert_eq!(*m, RectangleMenus::build(&soc, 16)); // this build is the reference
         assert!(crate::instrument::menu_derives() > derives);
-        let _ = builds;
         // A cap above w_max falls back to a fresh build.
         let wide = ctx.menus_at(80);
         assert_eq!(wide.w_max(), 80);
+    }
+
+    #[test]
+    fn menu_cache_recovers_from_poison() {
+        let soc = benchmarks::d695();
+        let ctx = CompiledSoc::compile(&soc, 64);
+        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _guard = ctx.menu_cache.lock().unwrap();
+            panic!("poison the menu cache");
+        }));
+        assert!(ctx.menu_cache.lock().is_err(), "cache should be poisoned");
+        // Every cache path shrugs the poison off instead of panicking.
+        let m = ctx.menus_at(16);
+        assert_eq!(*m, RectangleMenus::build(&soc, 16));
+        assert_eq!(ctx.cached_caps(), 1);
+        let cloned = ctx.clone();
+        assert_eq!(cloned.cached_caps(), 1);
+        assert!(Arc::ptr_eq(&cloned.menus_at(16), &m));
     }
 
     #[test]

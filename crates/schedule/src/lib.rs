@@ -96,7 +96,9 @@ pub use constraints::ConstraintSet;
 pub use context::CompiledSoc;
 pub use error::ScheduleError;
 pub use menus::RectangleMenus;
-pub use optimizer::{schedule_best, schedule_best_with, ScheduleBuilder};
+pub use optimizer::{
+    schedule_best, schedule_best_with, schedule_best_with_stats, ScheduleBuilder, SweepStats,
+};
 pub use registry::{ContextRegistry, RegistryStats};
 pub use schedule::{CoreScheduleStats, Schedule, Slice};
 pub use solution_cache::{CacheLookup, SolutionCache, SolutionCacheStats};

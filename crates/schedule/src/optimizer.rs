@@ -157,19 +157,37 @@ fn run_with_menus(
             &compiled
         }
     };
-    let mut states = initialize(soc, cfg, menus);
-    let n = states.len();
-    let bist_load = vec![0; constraints.num_bist_engines()];
+    let mut scratch = PackScratch::for_soc(soc.len(), constraints.num_bist_engines());
+    run_with_menus_scratch(soc, cfg, menus, constraints, &mut scratch)
+}
+
+/// [`run_with_menus`] over caller-owned scratch, so a sweep reuses one set
+/// of packer buffers across its whole `(m, d)` grid instead of
+/// reallocating them per run.
+fn run_with_menus_scratch<'m>(
+    soc: &Soc,
+    cfg: &SchedulerConfig,
+    menus: &'m RectangleMenus,
+    constraints: &ConstraintSet,
+    scratch: &mut PackScratch<'m>,
+) -> Result<Schedule, ScheduleError> {
+    scratch.reset(soc, cfg, menus);
+    let PackScratch {
+        states,
+        complete,
+        scheduled,
+        bist_load,
+    } = scratch;
     Packer {
         cfg,
         constraints,
-        states: &mut states,
+        states,
         w_avail: cfg.tam_width,
         scheduled_power: 0,
         now: 0,
         slices: Vec::new(),
-        complete: BitSet::new(n),
-        scheduled: BitSet::new(n),
+        complete,
+        scheduled,
         bist_load,
         scheduled_count: 0,
     }
@@ -177,31 +195,50 @@ fn run_with_menus(
     .map(|slices| Schedule::from_slices(soc.name(), cfg.tam_width, slices))
 }
 
-/// Procedure `Initialize` (Figure 5): preferred widths over the shared
-/// rectangle menus.
-fn initialize<'m>(
-    soc: &Soc,
-    cfg: &SchedulerConfig,
-    menus: &'m RectangleMenus,
-) -> Vec<CoreState<'m>> {
-    let prefs = menus.preferred_widths(cfg);
-    soc.cores()
-        .iter()
-        .zip(menus.menus())
-        .zip(prefs)
-        .map(|((core, rects), width_pref)| {
-            let budget = if cfg.allow_preemption {
-                core.max_preemptions()
-            } else {
-                0
-            };
-            let mut state = CoreState::new(rects, width_pref, budget);
-            // Unstarted cores advertise their preferred-width testing time
-            // so the max-time-remaining priorities can rank them.
-            state.time_left = state.time_at(width_pref);
-            state
-        })
-        .collect()
+/// The packer's per-run buffers, allocated once per sweep and *cleared*
+/// (not reallocated) between runs.
+struct PackScratch<'m> {
+    states: Vec<CoreState<'m>>,
+    complete: BitSet,
+    scheduled: BitSet,
+    bist_load: Vec<u32>,
+}
+
+impl<'m> PackScratch<'m> {
+    fn for_soc(cores: usize, bist_engines: usize) -> Self {
+        Self {
+            states: Vec::with_capacity(cores),
+            complete: BitSet::new(cores),
+            scheduled: BitSet::new(cores),
+            bist_load: vec![0; bist_engines],
+        }
+    }
+
+    /// Procedure `Initialize` (Figure 5): preferred widths over the shared
+    /// rectangle menus, plus a wipe of the incremental occupancy state.
+    fn reset(&mut self, soc: &Soc, cfg: &SchedulerConfig, menus: &'m RectangleMenus) {
+        let prefs = menus.preferred_widths(cfg);
+        self.states.clear();
+        self.states
+            .extend(soc.cores().iter().zip(menus.menus()).zip(prefs).map(
+                |((core, rects), width_pref)| {
+                    let budget = if cfg.allow_preemption {
+                        core.max_preemptions()
+                    } else {
+                        0
+                    };
+                    let mut state = CoreState::new(rects, width_pref, budget);
+                    // Unstarted cores advertise their preferred-width
+                    // testing time so the max-time-remaining priorities can
+                    // rank them.
+                    state.time_left = state.time_at(width_pref);
+                    state
+                },
+            ));
+        self.complete.clear();
+        self.scheduled.clear();
+        self.bist_load.fill(0);
+    }
 }
 
 struct Packer<'a, 'm> {
@@ -214,10 +251,11 @@ struct Packer<'a, 'm> {
     slices: Vec<Slice>,
     /// Incremental mirrors of the per-core `complete`/`scheduled` flags,
     /// maintained on assign/retire so `Conflict` never materializes them.
-    complete: BitSet,
-    scheduled: BitSet,
+    /// Borrowed from the sweep-owned [`PackScratch`].
+    complete: &'a mut BitSet,
+    scheduled: &'a mut BitSet,
     /// Scheduled-test count per BIST engine.
-    bist_load: Vec<u32>,
+    bist_load: &'a mut Vec<u32>,
     /// Number of currently scheduled cores.
     scheduled_count: usize,
 }
@@ -267,7 +305,7 @@ impl Packer<'_, '_> {
                 }
             }
             debug_assert_eq!(self.scheduled_count, scheduled_count);
-            debug_assert_eq!(self.bist_load, bist_load);
+            debug_assert_eq!(*self.bist_load, bist_load);
         }
     }
 
@@ -315,9 +353,9 @@ impl Packer<'_, '_> {
     fn conflict(&self, core: CoreIdx) -> bool {
         self.constraints.conflicts(
             core,
-            &self.complete,
-            &self.scheduled,
-            &self.bist_load,
+            self.complete,
+            self.scheduled,
+            self.bist_load,
             self.scheduled_power,
             self.cfg.p_max,
         )
@@ -510,6 +548,9 @@ pub fn schedule_best(
 /// recompiling. Bit-identical to [`schedule_best`] when the context was
 /// compiled from the same SOC at `base.effective_w_max()`.
 ///
+/// Runs with the lower-bound sweep cutoff enabled (see
+/// [`schedule_best_with_stats`]) — the winner is provably unchanged.
+///
 /// # Errors
 ///
 /// As for [`schedule_best`]; additionally rejects a context compiled from
@@ -520,18 +561,82 @@ pub fn schedule_best_with(
     percents: impl IntoIterator<Item = u32>,
     bumps: impl IntoIterator<Item = TamWidth> + Clone,
 ) -> Result<(Schedule, u32, TamWidth), ScheduleError> {
+    schedule_best_with_stats(ctx, base, percents, bumps, true).map(|(s, m, d, _)| (s, m, d))
+}
+
+/// Tally of one parameter sweep: how many grid points there were, how many
+/// actually ran, and how many were skipped without running.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SweepStats {
+    /// Grid points in the configured sweep.
+    pub runs_total: usize,
+    /// Scheduler runs actually executed.
+    pub runs_executed: usize,
+    /// Grid points skipped because an earlier point had the same slack and
+    /// per-core preferred-width vector (identical schedule guaranteed).
+    pub runs_skipped: usize,
+    /// Grid points cut because the incumbent makespan already met the
+    /// width's testing-time lower bound (no remaining point can win).
+    pub runs_cut: usize,
+}
+
+/// [`schedule_best_with`], additionally reporting a [`SweepStats`] tally
+/// and exposing the bound-gated cutoff as a switch.
+///
+/// With `use_cutoff`, the sweep consults the context-cached
+/// [`CompiledSoc::lower_bound`] at the sweep's TAM width and stops
+/// executing grid points as soon as the incumbent's makespan meets it:
+/// every schedule's makespan is at least the bound, so no remaining point
+/// can be *strictly* better and the first-winner tie-break keeps the
+/// incumbent. The winner (and error behavior) is therefore bit-identical
+/// with the cutoff on or off — only `runs_cut` differs (pinned by the
+/// `cutoff` suite on all four ITC'02 benchmarks).
+///
+/// # Errors
+///
+/// As for [`schedule_best_with`].
+pub fn schedule_best_with_stats(
+    ctx: &CompiledSoc,
+    base: &SchedulerConfig,
+    percents: impl IntoIterator<Item = u32>,
+    bumps: impl IntoIterator<Item = TamWidth> + Clone,
+    use_cutoff: bool,
+) -> Result<(Schedule, u32, TamWidth, SweepStats), ScheduleError> {
     let soc = ctx.soc();
+    // Grid-invariant validation, hoisted out of the per-run path; the
+    // error values match what every run would have reported.
+    if base.tam_width == 0 {
+        return Err(ScheduleError::InvalidConfig {
+            reason: "TAM width must be at least one wire".to_owned(),
+        });
+    }
+    if soc.is_empty() {
+        return Err(ScheduleError::InvalidConfig {
+            reason: "SOC has no cores".to_owned(),
+        });
+    }
+    soc.validate()?;
+
+    let bound = use_cutoff.then(|| ctx.lower_bound(base.tam_width));
     let menus = ctx.menus_for_config(base);
+    let constraints = ctx.constraints();
+    let mut scratch = PackScratch::for_soc(soc.len(), constraints.num_bist_engines());
     let mut best: Option<(Schedule, u32, TamWidth)> = None;
     let mut first_err: Option<ScheduleError> = None;
+    let mut stats = SweepStats::default();
     for m in percents {
         for d in bumps.clone() {
+            stats.runs_total += 1;
+            if let (Some(bound), Some((b, _, _))) = (bound, best.as_ref()) {
+                if b.makespan() <= bound {
+                    stats.runs_cut += 1;
+                    continue;
+                }
+            }
+            stats.runs_executed += 1;
+            crate::instrument::note_schedule_run();
             let cfg = base.clone().with_percent(m).with_bump(d);
-            match ScheduleBuilder::new(soc, cfg)
-                .with_menus(&menus)
-                .with_context(ctx)
-                .run()
-            {
+            match run_with_menus_scratch(soc, &cfg, &menus, constraints, &mut scratch) {
                 Ok(s) => {
                     if best
                         .as_ref()
@@ -546,7 +651,7 @@ pub fn schedule_best_with(
             }
         }
     }
-    best.ok_or_else(|| {
+    best.map(|(s, m, d)| (s, m, d, stats)).ok_or_else(|| {
         first_err.unwrap_or(ScheduleError::InvalidConfig {
             reason: "empty parameter sweep".to_owned(),
         })
@@ -731,6 +836,38 @@ mod tests {
         // Best-of can only improve on the default single run.
         let single = ScheduleBuilder::new(&soc, base).run().unwrap();
         assert!(best.makespan() <= single.makespan());
+    }
+
+    #[test]
+    fn cutoff_preserves_winner_and_reports_cuts() {
+        let soc = benchmarks::d695();
+        let base = SchedulerConfig::new(16);
+        let ctx = CompiledSoc::compile(&soc, base.effective_w_max());
+        let (s_on, m_on, d_on, on) =
+            schedule_best_with_stats(&ctx, &base, 1..=10, 0..=4, true).unwrap();
+        let (s_off, m_off, d_off, off) =
+            schedule_best_with_stats(&ctx, &base, 1..=10, 0..=4, false).unwrap();
+        assert_eq!((s_on, m_on, d_on), (s_off, m_off, d_off));
+        // The ungated sweep executes the whole grid; the gated one accounts
+        // for every point either as executed or cut.
+        assert_eq!(off.runs_total, 50);
+        assert_eq!(off.runs_executed, 50);
+        assert_eq!(off.runs_cut, 0);
+        assert_eq!(on.runs_total, 50);
+        assert_eq!(on.runs_executed + on.runs_cut, 50);
+        assert_eq!(on.runs_skipped, 0);
+    }
+
+    #[test]
+    fn stats_sweep_matches_plain_best_of() {
+        let soc = benchmarks::d695();
+        let base = SchedulerConfig::new(24);
+        let ctx = CompiledSoc::compile(&soc, base.effective_w_max());
+        let (s, m, d) = schedule_best_with(&ctx, &base, 1..=5, 0..=2).unwrap();
+        let (s2, m2, d2, stats) =
+            schedule_best_with_stats(&ctx, &base, 1..=5, 0..=2, true).unwrap();
+        assert_eq!((s, m, d), (s2, m2, d2));
+        assert_eq!(stats.runs_total, 15);
     }
 
     #[test]

@@ -1,0 +1,120 @@
+//! Pins the word-level mask implementation of `ConstraintSet::conflicts`
+//! (Figure 7) bit-identical to the naive per-index reference over random
+//! precedence / concurrency / BIST / power topologies and random
+//! incremental scheduler states.
+
+use proptest::prelude::*;
+use soctam_schedule::{BitSet, ConstraintSet};
+use soctam_soc::{Core, Soc};
+use soctam_wrapper::CoreTest;
+
+/// Builds a random SOC: `n` cores with the given BIST/power attributes,
+/// plus precedence and concurrency edges (indices folded into range).
+fn build_soc(
+    n: usize,
+    prec: &[(usize, usize)],
+    conc: &[(usize, usize)],
+    bist: &[Option<usize>],
+    power: &[u64],
+) -> Soc {
+    let mut soc = Soc::new("random");
+    for i in 0..n {
+        let test = CoreTest::new(
+            (i as u32 % 7) + 1,
+            (i as u32 % 5) + 1,
+            0,
+            vec![((i as u32 * 13) % 40) + 1],
+            (i as u64 % 9) + 1,
+        )
+        .unwrap();
+        let mut builder = Core::builder(format!("c{i}"), test);
+        if let Some(Some(engine)) = bist.get(i) {
+            builder = builder.bist_engine(*engine);
+        }
+        if let Some(&p) = power.get(i) {
+            builder = builder.power(p);
+        }
+        soc.add_core(builder.build());
+    }
+    for &(a, b) in prec {
+        let (a, b) = (a % n, b % n);
+        if a != b {
+            let _ = soc.add_precedence(a, b);
+        }
+    }
+    for &(a, b) in conc {
+        let (a, b) = (a % n, b % n);
+        if a != b {
+            let _ = soc.add_concurrency(a, b);
+        }
+    }
+    soc
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// For every unscheduled candidate of a random topology in a random
+    /// incremental state, the mask-based `conflicts` answers exactly as
+    /// the per-index `conflicts_reference`.
+    #[test]
+    fn mask_conflicts_match_reference(
+        n in 2usize..80,
+        prec in proptest::collection::vec((0usize..1000, 0usize..1000), 0..40),
+        conc in proptest::collection::vec((0usize..1000, 0usize..1000), 0..40),
+        bist in proptest::collection::vec(proptest::option::of(0usize..4), 0..80),
+        power in proptest::collection::vec(1u64..200, 0..80),
+        complete_bits in proptest::collection::vec(proptest::bool::ANY, 0..80),
+        scheduled_bits in proptest::collection::vec(proptest::bool::ANY, 0..80),
+        p_max in proptest::option::of(1u64..600),
+    ) {
+        let soc = build_soc(n, &prec, &conc, &bist, &power);
+        let cs = ConstraintSet::compile(&soc);
+        prop_assert_eq!(cs.len(), n);
+
+        let at = |bits: &[bool], i: usize| bits.get(i).copied().unwrap_or(false);
+        // A core is at most one of complete/scheduled, as in the packer.
+        let complete: Vec<bool> = (0..n)
+            .map(|i| at(&complete_bits, i) && !at(&scheduled_bits, i))
+            .collect();
+        let scheduled: Vec<bool> = (0..n).map(|i| at(&scheduled_bits, i)).collect();
+
+        // Recompute the occupancy the scheduler maintains incrementally.
+        let mut bist_load = vec![0u32; cs.num_bist_engines()];
+        let mut scheduled_power = 0u64;
+        for (i, &s) in scheduled.iter().enumerate() {
+            if s {
+                if let Some(e) = cs.bist_engine(i) {
+                    bist_load[e] += 1;
+                }
+                scheduled_power += cs.power(i);
+            }
+        }
+
+        let complete_set = BitSet::from_bools(&complete);
+        let scheduled_set = BitSet::from_bools(&scheduled);
+        for core in (0..n).filter(|&i| !scheduled[i]) {
+            let masked = cs.conflicts(
+                core,
+                &complete_set,
+                &scheduled_set,
+                &bist_load,
+                scheduled_power,
+                p_max,
+            );
+            let reference = cs.conflicts_reference(
+                core,
+                &complete_set,
+                &scheduled_set,
+                &bist_load,
+                scheduled_power,
+                p_max,
+            );
+            prop_assert_eq!(
+                masked, reference,
+                "core {} diverged (complete {:?}, scheduled {:?})",
+                core, complete, scheduled
+            );
+        }
+    }
+}

@@ -1,0 +1,88 @@
+//! The bound-gated sweep cutoff must be invisible in results: on every
+//! ITC'02 benchmark, `schedule_best_with` (cutoff on) returns the exact
+//! winner the ungated sweep would have picked, and the [`SweepStats`]
+//! tallies account for every grid point.
+
+use soctam_schedule::{schedule_best_with_stats, CompiledSoc, SchedulerConfig};
+use soctam_soc::benchmarks;
+
+/// Runs the paper's full `m x d` grid with and without the cutoff and
+/// returns both outcomes.
+#[allow(clippy::type_complexity)]
+fn both_sweeps(
+    name: &str,
+    width: u16,
+) -> (
+    (
+        soctam_schedule::Schedule,
+        u32,
+        u16,
+        soctam_schedule::SweepStats,
+    ),
+    (
+        soctam_schedule::Schedule,
+        u32,
+        u16,
+        soctam_schedule::SweepStats,
+    ),
+) {
+    let soc = benchmarks::by_name(name).expect("known benchmark");
+    let base = SchedulerConfig::new(width);
+    let ctx = CompiledSoc::compile(&soc, base.effective_w_max());
+    let gated = schedule_best_with_stats(&ctx, &base, 1..=10, 0..=4, true).expect("gated sweep");
+    let plain = schedule_best_with_stats(&ctx, &base, 1..=10, 0..=4, false).expect("plain sweep");
+    (gated, plain)
+}
+
+#[test]
+fn cutoff_returns_the_same_winner_on_every_benchmark() {
+    for name in benchmarks::NAMES {
+        for &width in &benchmarks::table1_widths(name) {
+            let ((gs, gm, gd, gstats), (ps, pm, pd, pstats)) = both_sweeps(name, width);
+            assert_eq!(
+                (gs, gm, gd),
+                (ps, pm, pd),
+                "{name} W={width}: cutoff changed the sweep winner"
+            );
+
+            // The plain sweep runs the whole 10 x 5 grid.
+            assert_eq!(pstats.runs_total, 50, "{name} W={width}");
+            assert_eq!(pstats.runs_executed, 50, "{name} W={width}");
+            assert_eq!(pstats.runs_cut, 0, "{name} W={width}");
+
+            // The gated sweep accounts for every point: executed or cut
+            // (nothing silently dropped), never more than the grid.
+            assert_eq!(gstats.runs_total, 50, "{name} W={width}");
+            assert_eq!(
+                gstats.runs_executed + gstats.runs_cut,
+                50,
+                "{name} W={width}: executed + cut must cover the grid"
+            );
+            assert_eq!(gstats.runs_skipped, 0, "{name} W={width}");
+        }
+    }
+}
+
+#[test]
+fn cutoff_fires_where_the_bound_is_met() {
+    // p34392 saturates at W=32: with the extended percent tail the sweep
+    // reaches the lower bound (Table 1: 544,602 cycles, core c18's own
+    // minimum), so the optimal incumbent must prune the rest of the grid.
+    let soc = benchmarks::p34392();
+    let base = SchedulerConfig::new(32);
+    let ctx = CompiledSoc::compile(&soc, base.effective_w_max());
+    let percents = (1..=10).chain([12, 15, 18, 22, 26, 30, 35, 40, 45, 52, 60]);
+    let (schedule, m, d, stats) =
+        schedule_best_with_stats(&ctx, &base, percents.clone(), 0..=4, true).expect("gated sweep");
+    assert_eq!(schedule.makespan(), ctx.lower_bound(32));
+    assert!(
+        stats.runs_cut > 0,
+        "optimal incumbent should cut later grid points, stats: {stats:?}"
+    );
+    assert_eq!(stats.runs_executed + stats.runs_cut, stats.runs_total);
+
+    // And pruning still does not change the winner.
+    let (ps, pm, pd, _) =
+        schedule_best_with_stats(&ctx, &base, percents, 0..=4, false).expect("plain sweep");
+    assert_eq!((ps, pm, pd), (schedule, m, d));
+}

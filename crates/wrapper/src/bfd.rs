@@ -87,6 +87,10 @@ pub fn partition_bfd(items: &[u32], bins: usize) -> Partition {
 }
 
 /// Index of the first bin with the minimum load.
+///
+/// The linear-scan reference the heap-based placements are pinned against
+/// (here and in `design.rs`); production code uses the heaps.
+#[cfg(test)]
 pub(crate) fn min_load_bin(loads: &[u64]) -> usize {
     let mut best = 0;
     for (i, &l) in loads.iter().enumerate() {

@@ -1,7 +1,10 @@
 //! The `Design_wrapper` algorithm: wrapper scan chain construction for a
 //! given TAM width.
 
-use crate::bfd::{min_load_bin, partition_bfd};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::bfd::partition_bfd;
 use crate::{CoreTest, Cycles, TamWidth, WrapperError};
 
 /// A concrete wrapper design for one core at one TAM width.
@@ -92,40 +95,34 @@ impl WrapperDesign {
 
         // Wrapper input cells: each lengthens one chain's scan-in path.
         // Greedily place each cell on the chain with the shortest current
-        // scan-in (flops + input cells so far).
+        // scan-in (flops + input cells so far), ties toward the lowest
+        // chain index; `place_unit_cells` evaluates that greedy process in
+        // closed form.
         let mut in_len: Vec<u64> = chain_flops.clone();
-        for _ in 0..core.inputs() {
-            let bin = min_load_bin(&in_len);
-            in_len[bin] += 1;
-            chain_inputs[bin] += 1;
-        }
+        place_unit_cells(&mut in_len, &mut chain_inputs, core.inputs());
 
         // Wrapper output cells likewise for scan-out.
         let mut out_len: Vec<u64> = chain_flops.clone();
-        for _ in 0..core.outputs() {
-            let bin = min_load_bin(&out_len);
-            out_len[bin] += 1;
-            chain_outputs[bin] += 1;
-        }
+        place_unit_cells(&mut out_len, &mut chain_outputs, core.outputs());
 
         // Bidirectional cells sit on both the scan-in and scan-out paths of
         // their chain; place each on the chain minimizing the worse of the
-        // two resulting lengths.
-        for _ in 0..core.bidirs() {
-            let mut best = 0usize;
-            let mut best_cost = u64::MAX;
-            for i in 0..k {
-                let cost = (in_len[i] + 1).max(out_len[i] + 1);
-                if cost < best_cost {
-                    best_cost = cost;
-                    best = i;
-                }
+        // two resulting lengths. Same heap scheme, keyed on that cost: a
+        // placement changes only the placed chain's cost, so re-pushing the
+        // one updated entry keeps every key current.
+        if core.bidirs() > 0 {
+            let mut heap: BinaryHeap<Reverse<(u64, usize)>> = (0..k)
+                .map(|i| Reverse(((in_len[i] + 1).max(out_len[i] + 1), i)))
+                .collect();
+            for _ in 0..core.bidirs() {
+                let Reverse((_, best)) = heap.pop().expect("one entry per chain");
+                in_len[best] += 1;
+                out_len[best] += 1;
+                chain_inputs[best] += 1;
+                chain_outputs[best] += 1;
+                chain_bidirs[best] += 1;
+                heap.push(Reverse(((in_len[best] + 1).max(out_len[best] + 1), best)));
             }
-            in_len[best] += 1;
-            out_len[best] += 1;
-            chain_inputs[best] += 1;
-            chain_outputs[best] += 1;
-            chain_bidirs[best] += 1;
         }
 
         let design = Self {
@@ -195,6 +192,63 @@ impl WrapperDesign {
     }
 }
 
+/// Greedily drops `cells` unit-length wrapper cells one at a time onto the
+/// chain with the shortest current length (ties toward the lowest chain
+/// index), updating the per-chain length and placed-cell tallies.
+///
+/// The one-at-a-time process is evaluated in closed form by water-filling:
+/// repeatedly incrementing the minimum `(length, chain)` first raises the
+/// shortest chains in lockstep to a common level `T`, then deals the
+/// remainder one cell each to the lowest-indexed chains at that level —
+/// O(k log k) total instead of O(cells · log k), with the exact same final
+/// distribution (pinned by the `heap_placement_matches_scan_reference`
+/// proptest below).
+fn place_unit_cells(lengths: &mut [u64], counts: &mut [u64], cells: u32) {
+    if cells == 0 {
+        return;
+    }
+    let k = lengths.len();
+    if k == 1 {
+        // A single chain takes everything; skip the bookkeeping.
+        lengths[0] += u64::from(cells);
+        counts[0] += u64::from(cells);
+        return;
+    }
+    let mut cells = u64::from(cells);
+
+    // Shortest-first (stable, so equal lengths keep chain-index order).
+    let mut order: Vec<usize> = (0..k).collect();
+    order.sort_by_key(|&i| lengths[i]);
+
+    // Grow the pool of shortest chains: raising the current pool to the
+    // next chain's length absorbs `(next - level) * pool` cells.
+    let mut pool = 1usize;
+    let mut level = lengths[order[0]];
+    while pool < k {
+        let next = lengths[order[pool]];
+        let need = (next - level) * pool as u64;
+        if need > cells {
+            break;
+        }
+        cells -= need;
+        level = next;
+        pool += 1;
+    }
+
+    // Deal the rest round-robin over the pool: full rounds raise the
+    // common level; the remainder goes one cell each to the
+    // lowest-indexed pool chains (the one-at-a-time tie-break).
+    level += cells / pool as u64;
+    let extras = (cells % pool as u64) as usize;
+    let winners = &mut order[..pool];
+    winners.sort_unstable();
+    for (rank, &i) in winners.iter().enumerate() {
+        let new_len = level + u64::from(rank < extras);
+        counts[i] += new_len - lengths[i];
+        lengths[i] = new_len;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -202,6 +256,58 @@ mod tests {
 
     fn core(inputs: u32, outputs: u32, chains: Vec<u32>, patterns: u64) -> CoreTest {
         CoreTest::new(inputs, outputs, 0, chains, patterns).unwrap()
+    }
+
+    /// Reference `design_with_placement` that finds every greedy placement
+    /// target with a first-minimum linear scan instead of a heap.
+    fn design_scan_reference(
+        core: &CoreTest,
+        width: TamWidth,
+    ) -> (WrapperDesign, Vec<usize>, Vec<u64>) {
+        use crate::bfd::min_load_bin;
+        let k = usize::from(width);
+        let partition = partition_bfd(core.scan_chains(), k);
+        let chain_flops: Vec<u64> = partition.loads().to_vec();
+        let placement = partition.assignment().to_vec();
+
+        let mut chain_inputs = vec![0u64; k];
+        let mut chain_outputs = vec![0u64; k];
+        let mut chain_bidirs = vec![0u64; k];
+
+        let mut in_len = chain_flops.clone();
+        for _ in 0..core.inputs() {
+            let b = min_load_bin(&in_len);
+            in_len[b] += 1;
+            chain_inputs[b] += 1;
+        }
+        let mut out_len = chain_flops.clone();
+        for _ in 0..core.outputs() {
+            let b = min_load_bin(&out_len);
+            out_len[b] += 1;
+            chain_outputs[b] += 1;
+        }
+        for _ in 0..core.bidirs() {
+            let costs: Vec<u64> = (0..k)
+                .map(|i| (in_len[i] + 1).max(out_len[i] + 1))
+                .collect();
+            let b = min_load_bin(&costs);
+            in_len[b] += 1;
+            out_len[b] += 1;
+            chain_inputs[b] += 1;
+            chain_outputs[b] += 1;
+            chain_bidirs[b] += 1;
+        }
+
+        let design = WrapperDesign {
+            width,
+            scan_in: in_len.iter().copied().max().unwrap_or(0),
+            scan_out: out_len.iter().copied().max().unwrap_or(0),
+            patterns: core.patterns(),
+            chain_flops,
+            chain_inputs,
+            chain_outputs,
+        };
+        (design, placement, chain_bidirs)
     }
 
     #[test]
@@ -298,6 +404,26 @@ mod tests {
             let long = d.scan_in().max(d.scan_out());
             let short = d.scan_in().min(d.scan_out());
             prop_assert_eq!(d.test_time(), (1 + long) * patterns + short);
+        }
+
+        /// The closed-form cell placements pick exactly the chain the
+        /// first-minimum linear scan would, cell for cell, so the design,
+        /// scan chain placement, and bidir distribution are bit-identical
+        /// to the reference implementation.
+        #[test]
+        fn heap_placement_matches_scan_reference(
+            inputs in 0u32..400,
+            outputs in 0u32..400,
+            bidirs in 0u32..120,
+            chains in proptest::collection::vec(1u32..80, 0..12),
+            patterns in 1u64..500,
+            width in 1u16..64,
+        ) {
+            prop_assume!(inputs + outputs + bidirs > 0 || !chains.is_empty());
+            let c = CoreTest::new(inputs, outputs, bidirs, chains, patterns).unwrap();
+            let got = WrapperDesign::design_with_placement(&c, width).unwrap();
+            let want = design_scan_reference(&c, width);
+            prop_assert_eq!(got, want);
         }
 
         /// Monotonicity: test time is non-increasing in TAM width.
