@@ -28,6 +28,7 @@ use std::time::Instant;
 
 use soctam_bench::{headline_config, json_escape, opt_value};
 use soctam_core::flow::{FlowConfig, ParamSweep, SweepStats, TestFlow};
+use soctam_core::schedule::obs;
 use soctam_core::schedule::{
     instrument, schedule_best_with_stats, ContextRegistry, SchedulerConfig,
 };
@@ -76,12 +77,16 @@ fn time_sweep(
 }
 
 /// One cold-start measurement: a fresh registry serving its very first
-/// request for this SOC, compile and solve timed separately.
+/// request for this SOC, split into phases by the span recorder.
 struct ColdTiming {
     name: &'static str,
     width: u16,
+    total_seconds: f64,
     compile_seconds: f64,
     solve_seconds: f64,
+    /// The full per-phase exclusive split (`{"context_compile": µs, ...}`,
+    /// non-zero phases only), straight from the span recorder.
+    phases_json: String,
     makespan: u64,
     lower_bound: u64,
     params: (u32, u16),
@@ -91,27 +96,33 @@ struct ColdTiming {
 }
 
 /// Times the cold path — fresh registry, first request — for one SOC at
-/// its widest Table 1 width. The sweep runs the extended percent tail so
-/// saturating SOCs (p34392 at W=32) reach their lower bound and exercise
-/// the bound-gated cutoff.
+/// its widest Table 1 width, under an armed span recorder: the
+/// compile/solve split comes from the `context_compile` and
+/// `sweep`+`menu_build` phases the work sites record, not from an ad-hoc
+/// stopwatch around call boundaries. The sweep runs the extended percent
+/// tail so saturating SOCs (p34392 at W=32) reach their lower bound and
+/// exercise the bound-gated cutoff.
 fn time_cold(name: &'static str, width: u16) -> ColdTiming {
     let soc = Arc::new(benchmarks::by_name(name).expect("known benchmark"));
     let base = SchedulerConfig::new(width);
     let registry = ContextRegistry::default();
     let builds_before = instrument::menu_builds();
 
-    // Compile split: lazy context compilation builds constraint tables
-    // only; rectangle menus are deferred to first use in the solve.
+    obs::trace_begin();
     let t0 = Instant::now();
+    // Lazy context compilation builds constraint tables only; rectangle
+    // menus are deferred to first use inside the sweep.
     let ctx = registry.get_or_compile(&soc, base.w_max, None);
-    let compile_seconds = t0.elapsed().as_secs_f64();
-
-    // Solve split: bound-gated best-of sweep over the shared context.
+    // Bound-gated best-of sweep over the shared context.
     let percents = (1..=10).chain([12, 15, 18, 22, 26, 30, 35, 40, 45, 52, 60]);
-    let t1 = Instant::now();
     let (schedule, m, d, stats) =
         schedule_best_with_stats(&ctx, &base, percents, 0..=4, true).expect("cold sweep");
-    let solve_seconds = t1.elapsed().as_secs_f64();
+    let total_seconds = t0.elapsed().as_secs_f64();
+    let trace = obs::trace_end().expect("the recorder armed above");
+    let compile_seconds = trace.phase_total(obs::Phase::ContextCompile) as f64 / 1e6;
+    let solve_seconds = (trace.phase_total(obs::Phase::Sweep)
+        + trace.phase_total(obs::Phase::MenuBuild)) as f64
+        / 1e6;
 
     // The caps this request touched: the full cap (forced by the cutoff's
     // lower bound) and, when narrower, the request width's effective cap —
@@ -124,8 +135,10 @@ fn time_cold(name: &'static str, width: u16) -> ColdTiming {
     ColdTiming {
         name,
         width,
+        total_seconds,
         compile_seconds,
         solve_seconds,
+        phases_json: trace.phases_json(false),
         makespan: schedule.makespan(),
         lower_bound: ctx.lower_bound(base.tam_width),
         params: (m, d),
@@ -209,7 +222,7 @@ fn main() {
             "{name} W={width}     cold: {:.3}s ({:.3}s compile + {:.3}s solve), \
              T = {} (LB {}, m={}, d={}), {} of {} runs ({} cut), \
              {} menu builds / {} caps",
-            t.compile_seconds + t.solve_seconds,
+            t.total_seconds,
             t.compile_seconds,
             t.solve_seconds,
             t.makespan,
@@ -297,14 +310,16 @@ fn main() {
             json,
             "    {{\"soc\": \"{}\", \"width\": {}, \
              \"seconds\": {:.6}, \"compile_seconds\": {:.6}, \
-             \"solve_seconds\": {:.6}, \"makespan\": {}, \"lower_bound\": {}, \
+             \"solve_seconds\": {:.6}, \"phase_micros\": {}, \
+             \"makespan\": {}, \"lower_bound\": {}, \
              \"m\": {}, \"d\": {}, \"runs_total\": {}, \"runs_executed\": {}, \
              \"runs_cut\": {}, \"menu_builds\": {}, \"touched_caps\": {}}}{sep}",
             json_escape(t.name),
             t.width,
-            t.compile_seconds + t.solve_seconds,
+            t.total_seconds,
             t.compile_seconds,
             t.solve_seconds,
+            t.phases_json,
             t.makespan,
             t.lower_bound,
             t.params.0,

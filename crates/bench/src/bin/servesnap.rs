@@ -56,6 +56,38 @@ const REQUESTS: [&str; 6] = [
 
 use client::LatencySummary;
 
+/// Strips the `"trace"` member a `--trace` response carries, recovering
+/// the exact untraced response (the trace is always spliced last, before
+/// the closing brace).
+fn strip_trace(response: &str) -> String {
+    match response.find(", \"trace\": ") {
+        Some(i) => format!("{}}}", &response[..i]),
+        None => response.to_owned(),
+    }
+}
+
+/// Extracts the flat `"phases"` object of a `--trace` response as
+/// `(phase, exclusive_micros)` pairs.
+fn parse_phases(response: &str) -> Vec<(String, u64)> {
+    let Some(start) = response.find("\"phases\": {") else {
+        return Vec::new();
+    };
+    let rest = &response[start + "\"phases\": {".len()..];
+    let Some(end) = rest.find('}') else {
+        return Vec::new();
+    };
+    rest[..end]
+        .split(',')
+        .filter_map(|pair| {
+            let (key, value) = pair.split_once(':')?;
+            Some((
+                key.trim().trim_matches('"').to_owned(),
+                value.trim().parse().ok()?,
+            ))
+        })
+        .collect()
+}
+
 /// Reads one counter out of the daemon's Prometheus exposition.
 fn metric_value(metrics: &str, name: &str) -> u64 {
     metrics
@@ -96,22 +128,43 @@ fn main() {
     let addr = server.local_addr();
     println!("servesnap: daemon on {addr}, {clients} clients x {iters} warm iterations");
 
-    // Cold pass: every distinct request pays its solve exactly once.
+    // Cold pass: every distinct request pays its solve exactly once — and
+    // runs `--trace`d, so the daemon reports where the cold time went
+    // phase by phase instead of a client-side stopwatch guessing. The
+    // trace flag is presentation-only (cache identity unchanged), so the
+    // warm untraced repeats below still hit the entries these solves
+    // populate; the stored responses are trace-stripped for the warm
+    // byte-identity check.
     let mut cold_latencies = Vec::new();
     let mut cold_responses = Vec::new();
+    let mut cold_phase_micros: std::collections::BTreeMap<String, u64> =
+        std::collections::BTreeMap::new();
     {
         let mut conn = client::Connection::connect(addr).expect("cold connect");
         for request in REQUESTS {
+            let traced = format!("{request} --trace");
             let t0 = Instant::now();
-            let response = conn.request(request).expect("cold round trip");
+            let response = conn.request(&traced).expect("cold round trip");
             cold_latencies.push(t0.elapsed().as_secs_f64() * 1e3);
             assert!(
                 client::response_ok(&response),
                 "cold request failed: {request} -> {response}"
             );
-            cold_responses.push(response);
+            let phases = parse_phases(&response);
+            assert!(
+                !phases.is_empty(),
+                "traced cold response carries no phase split: {response}"
+            );
+            for (phase, micros) in phases {
+                *cold_phase_micros.entry(phase).or_insert(0) += micros;
+            }
+            cold_responses.push(strip_trace(&response));
         }
     }
+    assert!(
+        cold_phase_micros.get("sweep").copied().unwrap_or(0) > 0,
+        "cold pass reported zero sweep time — phase tracing regressed: {cold_phase_micros:?}"
+    );
 
     // Warm pass: concurrent clients replay the mix; every response must be
     // byte-identical to its cold counterpart, and none may re-solve.
@@ -283,6 +336,13 @@ fn main() {
     }
     json.push_str("  ],\n");
     let _ = writeln!(json, "  \"cold\": {},", cold.json());
+    let mut phase_obj = String::from("{");
+    for (i, (phase, micros)) in cold_phase_micros.iter().enumerate() {
+        let sep = if i == 0 { "" } else { ", " };
+        let _ = write!(phase_obj, "{sep}\"{}\": {micros}", json_escape(phase));
+    }
+    phase_obj.push('}');
+    let _ = writeln!(json, "  \"cold_phase_micros\": {phase_obj},");
     let _ = writeln!(json, "  \"warm\": {},", warm.json());
     let _ = writeln!(json, "  \"warm_wall_seconds\": {warm_wall_s:.4},");
     let _ = writeln!(json, "  \"warm_requests_per_second\": {throughput:.1},");

@@ -7,7 +7,7 @@
 //! soctam serve [--addr A] [--threads N] [--cache-cap C] [--ttl SECS]
 //!              [--idle-timeout SECS] [--max-requests N] [--max-line BYTES]
 //!              [--log FILE] [--warm FILE] [--max-pending N]
-//!              [--fault-inject PLAN]
+//!              [--fault-inject PLAN] [--slow-log MS] [--slow-log-file FILE]
 //! soctam balance --backends A1,A2[,...] [--addr A] [--threads N]
 //!              [--probe-interval SECS] [--backend-conns N] [...]
 //! soctam client --addr A [--retries N] [--backoff SECS]
@@ -45,7 +45,9 @@
 //! queue (excess connections are shed with a structured busy answer),
 //! and `--fault-inject PLAN` arms a deterministic chaos plan
 //! (`solve:panic:every=97,io:latency=5ms:every=13` — see
-//! [`soctam_core::fault::FaultPlan`]). `balance` fronts a ring of `serve`
+//! [`soctam_core::fault::FaultPlan`]). `--slow-log MS` emits a full
+//! phase-trace JSONL record for every request at or over the threshold,
+//! to `--slow-log-file FILE` or stderr. `balance` fronts a ring of `serve`
 //! daemons with the same protocol and HTTP surface, consistent-hashing
 //! each request's solution-cache key onto a backend so shard caches stay
 //! hot and disjoint, failing over past dead or shedding backends, and
@@ -94,6 +96,7 @@ const USAGE: &str = "usage:
   soctam serve [--addr A] [--threads N] [--cache-cap C] [--ttl SECS]
                [--idle-timeout SECS] [--max-requests N] [--max-line BYTES]
                [--log FILE] [--warm FILE] [--max-pending N] [--fault-inject PLAN]
+               [--slow-log MS] [--slow-log-file FILE]
   soctam balance --backends A1,A2[,...] [--addr A] [--threads N]
                [--probe-interval SECS] [--probe-timeout SECS] [--retries N]
                [--backoff SECS] [--backend-conns N] [--max-line BYTES]
@@ -379,6 +382,8 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
             "--warm",
             "--max-pending",
             "--fault-inject",
+            "--slow-log",
+            "--slow-log-file",
         ],
         &[],
     )?;
@@ -426,6 +431,17 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     }
     if let Some(plan) = opt_value(args, "--fault-inject")? {
         cfg.fault_plan = Some(Arc::new(FaultPlan::parse(plan)?));
+    }
+    if let Some(ms) = opt_value(args, "--slow-log")? {
+        let ms: f64 = ms.parse().map_err(|_| "invalid --slow-log")?;
+        if !ms.is_finite() || ms < 0.0 {
+            return Err("--slow-log must be a non-negative millisecond threshold".to_owned());
+        }
+        cfg.slow_log = Some(Duration::from_secs_f64(ms / 1000.0));
+    }
+    cfg.slow_log_path = opt_value(args, "--slow-log-file")?.map(std::path::PathBuf::from);
+    if cfg.slow_log_path.is_some() && cfg.slow_log.is_none() {
+        return Err("--slow-log-file needs --slow-log MS to set the threshold".to_owned());
     }
     let warm_text = match opt_value(args, "--warm")? {
         None => None,
@@ -629,7 +645,8 @@ fn cmd_client(args: &[String]) -> Result<(), String> {
             None => println!("replay: no replayable requests in `{file}`"),
             Some(lat) => println!(
                 "replay: {} requests ({} ok, {} failed, {} retried), latency mean {:.3} ms, \
-                 p50 {:.3} ms, p90 {:.3} ms, p99 {:.3} ms, max {:.3} ms",
+                 p50 {:.3} ms, p90 {:.3} ms, p99 {:.3} ms, p99.9 {:.3} ms, max {:.3} ms, \
+                 stddev {:.3} ms",
                 lat.count,
                 report.ok,
                 report.failed,
@@ -638,7 +655,9 @@ fn cmd_client(args: &[String]) -> Result<(), String> {
                 lat.p50_ms,
                 lat.p90_ms,
                 lat.p99_ms,
-                lat.max_ms
+                lat.p999_ms,
+                lat.max_ms,
+                lat.stddev_ms
             ),
         }
         if report.failed > 0 {

@@ -50,6 +50,7 @@ use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
+use soctam_schedule::obs;
 use soctam_schedule::{
     panic_message, CacheLookup, ContextRegistry, Cycles, ScheduleError, SolutionCache,
     SolutionCacheStats, TamWidth,
@@ -95,6 +96,11 @@ pub struct EngineRequest {
     pub flow: FlowConfig,
     /// The operation to perform.
     pub op: EngineOp,
+    /// Whether the caller asked for the phase trace in the response
+    /// (`--trace` / `trace=1`). Presentation-only: *excluded* from
+    /// [`solution_cache_digest`] and the solution key, so traced and
+    /// untraced twins share one cache entry and one balancer shard.
+    pub trace: bool,
 }
 
 impl EngineRequest {
@@ -104,6 +110,7 @@ impl EngineRequest {
             soc,
             flow,
             op: EngineOp::Schedule { width },
+            trace: false,
         }
     }
 
@@ -113,6 +120,7 @@ impl EngineRequest {
             soc,
             flow,
             op: EngineOp::Sweep { widths },
+            trace: false,
         }
     }
 
@@ -122,6 +130,7 @@ impl EngineRequest {
             soc,
             flow,
             op: EngineOp::Bounds { widths },
+            trace: false,
         }
     }
 }
@@ -446,6 +455,11 @@ impl Engine {
         let budget = request.flow.power.resolve(&request.soc);
         match &self.solutions {
             Some(cache) => {
+                // The span covers the whole cache interaction: a hit or a
+                // coalesced wait is all cache_lookup; a miss nests the
+                // solve's compile/menu/sweep spans inside it (the closure
+                // runs on this thread).
+                let _lookup_span = obs::span(obs::Phase::CacheLookup);
                 let (result, lookup) = cache
                     .get_or_compute_traced(SolutionKey::new(request, budget), || {
                         self.solve(request, budget, false)

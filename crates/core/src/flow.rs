@@ -24,6 +24,7 @@ use std::collections::HashSet;
 use std::num::NonZeroUsize;
 use std::sync::Arc;
 
+use soctam_schedule::obs;
 use soctam_schedule::{
     CompiledSoc, RectangleMenus, Schedule, ScheduleBuilder, ScheduleError, SchedulerConfig,
     TamWidth,
@@ -308,6 +309,7 @@ impl TestFlow {
         w: TamWidth,
     ) -> Result<(Schedule, SweepParams, SweepStats), ScheduleError> {
         let menus = self.menus_for(w);
+        let _sweep = obs::span(obs::Phase::Sweep);
         self.best_schedule_with_menus(w, &menus)
     }
 
@@ -434,6 +436,7 @@ impl TestFlow {
     /// cannot fail for schedules this flow produces.
     pub fn run(&self, w: TamWidth) -> Result<FlowRun, ScheduleError> {
         let (schedule, params, sweep) = self.best_schedule_detailed(w)?;
+        let _validate = obs::span(obs::Phase::Validate);
         let wires = WireAssignment::assign(&schedule).map_err(|e| ScheduleError::Invalid {
             reason: e.to_string(),
         })?;

@@ -10,10 +10,17 @@
 //! # Request grammar
 //!
 //! ```text
-//! schedule <soc> --width W   [--power] [--no-preempt]
-//! sweep    <soc> [--from A] [--to B]   [--power] [--no-preempt]
-//! bounds   <soc> [--widths a,b,c]      [--power] [--no-preempt]
+//! schedule <soc> --width W   [--power] [--no-preempt] [--trace]
+//! sweep    <soc> [--from A] [--to B]   [--power] [--no-preempt] [--trace]
+//! bounds   <soc> [--widths a,b,c]      [--power] [--no-preempt] [--trace]
 //! ```
+//!
+//! `--trace` (or the spelling `trace=1`) asks the serving daemon to embed
+//! the request's phase trace — per-phase microseconds, the span tree, the
+//! cache disposition, and solver-counter deltas — in the JSON response.
+//! It never affects the computed result, and it is *excluded* from
+//! [`route_key`]/the solution-cache identity, so a traced request and its
+//! untraced twin share one cache entry and one balancer shard.
 //!
 //! `<soc>` is resolved by a caller-supplied [`SocResolver`] — the CLI
 //! resolves benchmark names *and* `.soc` file paths, the serving daemon
@@ -241,8 +248,13 @@ pub fn parse_request(line: &str, resolver: &mut impl SocResolver) -> Result<Engi
     }
     let soc = resolver.resolve(soc_name)?;
     let args = &rest[1..];
-    check_known_args(args, value_options, &["--power", "--no-preempt"])?;
+    check_known_args(
+        args,
+        value_options,
+        &["--power", "--no-preempt", "--trace", "trace=1"],
+    )?;
     let flow = request_flow(flag(args, "--power"), flag(args, "--no-preempt"));
+    let trace = flag(args, "--trace") || flag(args, "trace=1");
     let op = match kind.as_str() {
         "schedule" => EngineOp::Schedule {
             width: num("--width", req_value(args, "--width")?)?,
@@ -284,7 +296,12 @@ pub fn parse_request(line: &str, resolver: &mut impl SocResolver) -> Result<Engi
         }
         _ => unreachable!("kind validated above"),
     };
-    Ok(EngineRequest { soc, flow, op })
+    Ok(EngineRequest {
+        soc,
+        flow,
+        op,
+        trace,
+    })
 }
 
 /// Parses a whole request file: one request per line, blank lines and
@@ -764,6 +781,21 @@ mod tests {
         assert_ne!(route_key(&a), route_key(&power));
         let soc = parse_request("bounds p34392 --widths 16", &mut r).unwrap();
         assert_ne!(route_key(&a), route_key(&soc));
+    }
+
+    #[test]
+    fn trace_is_parsed_but_never_part_of_the_route_key() {
+        let mut r = benchmark_resolver();
+        let plain = parse_request("schedule d695 --width 16", &mut r).unwrap();
+        assert!(!plain.trace);
+        let dashed = parse_request("schedule d695 --width 16 --trace", &mut r).unwrap();
+        assert!(dashed.trace);
+        let keyed = parse_request("schedule d695 --width 16 trace=1", &mut r).unwrap();
+        assert!(keyed.trace);
+        // Presentation-only: a traced request and its untraced twin land on
+        // the same cache entry and the same balancer shard.
+        assert_eq!(route_key(&plain), route_key(&dashed));
+        assert_eq!(route_key(&plain), route_key(&keyed));
     }
 
     #[test]

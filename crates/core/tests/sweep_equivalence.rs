@@ -239,6 +239,7 @@ fn concurrent_engine_hammer_matches_sequential_single_context_runs() {
                 soc: Arc::clone(&req.soc),
                 flow: req.flow.clone().with_parallel(false),
                 op: req.op.clone(),
+                trace: false,
             })
         })
         .collect();

@@ -108,6 +108,7 @@ impl CompiledSoc {
     /// avoiding the model clone.
     pub fn compile_arc(soc: Arc<Soc>, w_max: TamWidth) -> Self {
         crate::instrument::note_context_compile();
+        let _span = crate::obs::span(crate::obs::Phase::ContextCompile);
         let w_max = w_max.max(1);
         let constraints = ConstraintSet::compile(&soc);
         Self {
@@ -125,6 +126,7 @@ impl CompiledSoc {
     /// counter pins rely on this).
     fn full_cap(&self) -> &FullCap {
         self.full.get_or_init(|| {
+            let _span = crate::obs::span(crate::obs::Phase::MenuBuild);
             let menus = Arc::new(RectangleMenus::build(&self.soc, self.w_max));
             let total_min_area = menus.menus().iter().map(RectangleSet::min_area).sum();
             FullCap {
@@ -200,6 +202,7 @@ impl CompiledSoc {
         }
         let mut cache = lock_unpoisoned(&self.menu_cache);
         Arc::clone(cache.entry(cap).or_insert_with(|| {
+            let _span = crate::obs::span(crate::obs::Phase::MenuBuild);
             Arc::new(match self.full.get() {
                 Some(full) if cap <= full.menus.w_max() => full.menus.prefix(cap),
                 _ => RectangleMenus::build(&self.soc, cap),

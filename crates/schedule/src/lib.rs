@@ -81,6 +81,7 @@ mod error;
 mod expiry;
 pub mod instrument;
 mod menus;
+pub mod obs;
 mod optimizer;
 mod registry;
 mod schedule;

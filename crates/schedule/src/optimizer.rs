@@ -128,13 +128,21 @@ impl<'a> ScheduleBuilder<'a> {
 
         let shared_constraints = self.ctx.map(CompiledSoc::constraints);
         match (self.menus, self.ctx) {
-            (Some(menus), _) => run_with_menus(self.soc, cfg, menus, shared_constraints),
+            (Some(menus), _) => {
+                let _sweep = crate::obs::span(crate::obs::Phase::Sweep);
+                run_with_menus(self.soc, cfg, menus, shared_constraints)
+            }
             (None, Some(ctx)) => {
                 let menus = ctx.menus_for_config(cfg);
+                let _sweep = crate::obs::span(crate::obs::Phase::Sweep);
                 run_with_menus(self.soc, cfg, &menus, shared_constraints)
             }
             (None, None) => {
-                let menus = RectangleMenus::for_config(self.soc, cfg);
+                let menus = {
+                    let _span = crate::obs::span(crate::obs::Phase::MenuBuild);
+                    RectangleMenus::for_config(self.soc, cfg)
+                };
+                let _sweep = crate::obs::span(crate::obs::Phase::Sweep);
                 run_with_menus(self.soc, cfg, &menus, None)
             }
         }
@@ -620,6 +628,7 @@ pub fn schedule_best_with_stats(
     let bound = use_cutoff.then(|| ctx.lower_bound(base.tam_width));
     let menus = ctx.menus_for_config(base);
     let constraints = ctx.constraints();
+    let _sweep = crate::obs::span(crate::obs::Phase::Sweep);
     let mut scratch = PackScratch::for_soc(soc.len(), constraints.num_bist_engines());
     let mut best: Option<(Schedule, u32, TamWidth)> = None;
     let mut first_err: Option<ScheduleError> = None;

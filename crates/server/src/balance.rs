@@ -39,9 +39,12 @@
 //!
 //! The front answers `GET /healthz` (`200` while at least one backend is
 //! up, else `503`) and `GET /metrics`: its own `soctam_balance_*`
-//! families plus a roll-up — the sum, per family, of every live
-//! backend's exposition — so one scrape sees cluster-wide cache hits,
-//! sheds, and solver counters.
+//! families — including a `soctam_balance_proxy_latency_seconds`
+//! histogram over every proxied request line — plus a roll-up: the sum,
+//! per series, of every live backend's exposition, so one scrape sees
+//! cluster-wide cache hits, sheds, solver counters, and latency
+//! histograms (bucket counts are integral, so summing series merges the
+//! backends' histograms bucket-wise, exactly).
 //!
 //! # Sizing the connection pool
 //!
@@ -61,6 +64,7 @@ use std::time::{Duration, Instant};
 
 use soctam_core::protocol;
 use soctam_core::schedule::lock_unpoisoned;
+use soctam_core::schedule::obs;
 
 use crate::client::{self, RetryPolicy, RetryingClient};
 use crate::{drain_http_headers, read_bounded_line, render_http_response, BenchmarkCatalog};
@@ -308,6 +312,9 @@ struct FrontShared {
     conn_seq: AtomicU64,
     queue_depth: AtomicU64,
     shed_threads: AtomicU64,
+    /// Wall latency of each proxied request line (parse, route, forward,
+    /// and failover passes included) — `soctam_balance_proxy_latency_seconds`.
+    proxy_latency: obs::Histogram,
 }
 
 impl FrontShared {
@@ -370,6 +377,7 @@ impl Balancer {
             conn_seq: AtomicU64::new(0),
             queue_depth: AtomicU64::new(0),
             shed_threads: AtomicU64::new(0),
+            proxy_latency: obs::Histogram::new(),
         });
 
         let (tx, rx) = mpsc::sync_channel::<TcpStream>(shared.cfg.max_pending);
@@ -623,7 +631,9 @@ fn serve_front_connection(shared: &FrontShared, stream: TcpStream) {
             continue;
         }
         let request = request.to_owned();
+        let t0 = Instant::now();
         let response = proxy_request(shared, &request);
+        shared.proxy_latency.record(t0.elapsed());
         let write_ok = writer.write_all(response.as_bytes()).is_ok()
             && writer.write_all(b"\n").is_ok()
             && writer.flush().is_ok();
@@ -685,6 +695,11 @@ fn proxy_request(shared: &FrontShared, line: &str) -> String {
         }
         Ok(request) => request,
     };
+    // A proxy span: a no-op unless the calling thread armed a recorder
+    // (the front itself never does — the histogram above is its export),
+    // but an embedding test or tool that traces through `proxy_request`
+    // sees the forwarding time attributed to its phase.
+    let _span = obs::span(obs::Phase::Proxy);
     let order = shared.ring.candidates(protocol::route_key(&request));
     let owner = order[0];
     let mut last_busy = None;
@@ -814,6 +829,20 @@ fn front_metrics(shared: &FrontShared) -> String {
         "soctam_balance_uptime_seconds {:.3}",
         shared.started.elapsed().as_secs_f64()
     );
+    // `balance_`-prefixed, unlike the daemon's `soctam_build_info`: the
+    // roll-up below sums the backends' build-info series into this same
+    // exposition, and one scrape must not carry two families of one name.
+    let _ = writeln!(out, "# TYPE soctam_balance_build_info gauge");
+    let _ = writeln!(
+        out,
+        "soctam_balance_build_info{{version=\"{}\"}} 1",
+        env!("CARGO_PKG_VERSION")
+    );
+    let _ = writeln!(out, "# TYPE soctam_balance_proxy_latency_seconds histogram");
+    let proxy = shared.proxy_latency.snapshot();
+    if proxy.count > 0 {
+        proxy.render_into(&mut out, "soctam_balance_proxy_latency_seconds", "");
+    }
     out.push_str(&rollup_backend_metrics(shared));
     out
 }
@@ -859,7 +888,18 @@ fn rollup_backend_metrics(shared: &FrontShared) -> String {
             let Ok(value) = value.trim().parse::<f64>() else {
                 continue;
             };
-            let family = series.split(['{', ' ']).next().unwrap_or(series).to_owned();
+            let sample = series.split(['{', ' ']).next().unwrap_or(series);
+            // Histogram (and summary) sample names carry a suffix the
+            // family's TYPE line doesn't: group `X_bucket`/`X_sum`/
+            // `X_count` under family `X` whenever `X` is TYPE-annotated,
+            // so roll-up histograms keep their header and their series.
+            let family = ["_bucket", "_sum", "_count"]
+                .iter()
+                .find_map(|suffix| {
+                    let base = sample.strip_suffix(suffix)?;
+                    kinds.contains_key(base).then(|| base.to_owned())
+                })
+                .unwrap_or_else(|| sample.to_owned());
             if !sums.contains_key(series) {
                 series_order
                     .entry(family)
@@ -880,7 +920,9 @@ fn rollup_backend_metrics(shared: &FrontShared) -> String {
             if (value.fract()).abs() < f64::EPSILON {
                 let _ = writeln!(out, "{name} {}", value as i64);
             } else {
-                let _ = writeln!(out, "{name} {value:.3}");
+                // Six decimals: phase counters and histogram `_sum`s are
+                // microsecond-derived, and three would round them away.
+                let _ = writeln!(out, "{name} {value:.6}");
             }
         }
     }

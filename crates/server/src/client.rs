@@ -371,8 +371,13 @@ pub struct LatencySummary {
     pub p90_ms: f64,
     /// 99th percentile.
     pub p99_ms: f64,
+    /// 99.9th percentile — the deep tail a p99 smooths over.
+    pub p999_ms: f64,
     /// Slowest request.
     pub max_ms: f64,
+    /// Population standard deviation. 0 for a single sample; NaN only if
+    /// a sample was NaN (like the other statistics, surfaced not hidden).
+    pub stddev_ms: f64,
 }
 
 impl LatencySummary {
@@ -388,13 +393,18 @@ impl LatencySummary {
         }
         samples.sort_by(f64::total_cmp);
         let pct = |p: f64| samples[((p / 100.0) * (samples.len() - 1) as f64).round() as usize];
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        let variance =
+            samples.iter().map(|s| (s - mean) * (s - mean)).sum::<f64>() / samples.len() as f64;
         Some(Self {
             count: samples.len(),
-            mean_ms: samples.iter().sum::<f64>() / samples.len() as f64,
+            mean_ms: mean,
             p50_ms: pct(50.0),
             p90_ms: pct(90.0),
             p99_ms: pct(99.0),
+            p999_ms: pct(99.9),
             max_ms: samples[samples.len() - 1],
+            stddev_ms: variance.sqrt(),
         })
     }
 
@@ -413,13 +423,16 @@ impl LatencySummary {
         }
         format!(
             "{{\"count\": {}, \"mean_ms\": {}, \"p50_ms\": {}, \
-             \"p90_ms\": {}, \"p99_ms\": {}, \"max_ms\": {}}}",
+             \"p90_ms\": {}, \"p99_ms\": {}, \"p999_ms\": {}, \
+             \"max_ms\": {}, \"stddev_ms\": {}}}",
             self.count,
             ms(self.mean_ms),
             ms(self.p50_ms),
             ms(self.p90_ms),
             ms(self.p99_ms),
-            ms(self.max_ms)
+            ms(self.p999_ms),
+            ms(self.max_ms),
+            ms(self.stddev_ms)
         )
     }
 }
@@ -514,6 +527,29 @@ mod tests {
         assert_eq!(summary.count, 3);
         assert_eq!(summary.p50_ms, 2.0);
         assert!(summary.max_ms.is_nan());
+        assert!(summary.p999_ms.is_nan(), "p99.9 lands on the NaN tail");
+        assert!(summary.stddev_ms.is_nan(), "a NaN sample poisons stddev");
+    }
+
+    #[test]
+    fn latency_summary_tail_and_spread_statistics() {
+        // 998 identical samples with two 100 ms outliers: p99 smooths the
+        // outliers away; p99.9 (nearest-rank index 998) and stddev both
+        // see them.
+        let mut samples = vec![1.0; 998];
+        samples.extend([100.0, 100.0]);
+        let summary = LatencySummary::of_millis(samples).unwrap();
+        assert_eq!(summary.p99_ms, 1.0);
+        assert_eq!(summary.p999_ms, 100.0);
+        assert!(
+            (summary.stddev_ms - 4.4230).abs() < 0.01,
+            "population stddev of 998×1ms + 2×100ms, got {}",
+            summary.stddev_ms
+        );
+        // Degenerate cases stay exact: one sample spreads zero.
+        let single = LatencySummary::of_millis(vec![7.0]).unwrap();
+        assert_eq!(single.p999_ms, 7.0);
+        assert_eq!(single.stddev_ms, 0.0);
     }
 
     #[test]
@@ -524,6 +560,7 @@ mod tests {
         assert!(!json.contains("NaN") && !json.contains("inf"), "{json}");
         assert!(json.contains("\"max_ms\": null"), "{json}");
         assert!(json.contains("\"mean_ms\": null"), "{json}");
+        assert!(json.contains("\"stddev_ms\": null"), "{json}");
         assert!(json.contains("\"p50_ms\": 2.0000"), "{json}");
 
         let finite = LatencySummary::of_millis(vec![1.0, 2.0]).unwrap().json();

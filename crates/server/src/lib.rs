@@ -14,9 +14,9 @@
 //! wire format can never drift apart:
 //!
 //! ```text
-//! schedule <soc> --width W   [--power] [--no-preempt]
-//! sweep    <soc> [--from A] [--to B]   [--power] [--no-preempt]
-//! bounds   <soc> [--widths a,b,c]      [--power] [--no-preempt]
+//! schedule <soc> --width W   [--power] [--no-preempt] [--trace]
+//! sweep    <soc> [--from A] [--to B]   [--power] [--no-preempt] [--trace]
+//! bounds   <soc> [--widths a,b,c]      [--power] [--no-preempt] [--trace]
 //! ```
 //!
 //! Blank lines and `#` comments are skipped, exactly as in a batch file.
@@ -27,6 +27,33 @@
 //! to parse is answered with `{"ok": false, "error": "..."}` and the
 //! connection stays usable. Responses are bit-identical to calling the
 //! `Engine` directly — cached or not — which the loopback suite pins.
+//!
+//! # Phase tracing
+//!
+//! Every served request line runs under a
+//! [`soctam_core::schedule::obs`] span recorder: the daemon opens
+//! `resolve` and `render` spans around parsing and response formatting,
+//! the engine opens `cache_lookup` around its solution-cache closure, and
+//! the solve path nested inside a miss opens `context_compile`,
+//! `menu_build`, `sweep`, and `validate` at the actual work sites — so a
+//! warm request's compile and menu phases report exactly zero. The trace
+//! feeds four exports:
+//!
+//! * `--trace` (or `trace=1`) on a request line embeds a `"trace"` object
+//!   in that response: total and per-phase exclusive microseconds, the
+//!   span tree, the cache disposition, and the process-wide solver
+//!   counter deltas observed across the solve (concurrent traffic can
+//!   inflate the deltas — they are process counters, not request ones).
+//!   The flag is presentation-only and never part of the cache identity;
+//! * each JSONL request-log record carries a `"phases"` object of the
+//!   non-zero exclusive phase micros;
+//! * `/metrics` exports `soctam_request_latency_seconds` histograms per
+//!   request kind × cache disposition plus cumulative
+//!   `soctam_phase_seconds_total{phase="..."}` counters;
+//! * with [`ServerConfig::slow_log`] set, any request at or over the
+//!   threshold appends a full trace record (request-log fields plus
+//!   `"phases"` and `"spans"`) to [`ServerConfig::slow_log_path`], or to
+//!   stderr when no path is given.
 //!
 //! # Connection lifecycle limits
 //!
@@ -103,7 +130,7 @@
 //! ```text
 //! {"ts_micros": 1722950000000000, "peer": "127.0.0.1:51044",
 //!  "request": "schedule d695 --width 16", "outcome": "ok",
-//!  "cache": "hit", "latency_micros": 142}
+//!  "cache": "hit", "latency_micros": 142, "phases": {"resolve": 17}}
 //! ```
 //!
 //! `outcome` is `ok`, `error` (the engine rejected the request),
@@ -170,6 +197,7 @@ use std::time::{Duration, Instant, SystemTime};
 use soctam_core::engine::{CacheDisposition, Engine, EngineOp};
 use soctam_core::fault::{FaultAction, FaultPlan, FaultSite};
 use soctam_core::protocol;
+use soctam_core::schedule::obs;
 use soctam_core::schedule::{instrument, lock_unpoisoned, ContextRegistry};
 use soctam_core::soc::Soc;
 
@@ -221,6 +249,13 @@ pub struct ServerConfig {
     /// injection* in the [module docs](self)). `None` — the production
     /// default — injects nothing.
     pub fault_plan: Option<Arc<FaultPlan>>,
+    /// Slow-request threshold: a served request line whose wall latency
+    /// meets or exceeds it emits a full trace JSONL record (the request-log
+    /// fields plus `"phases"` and `"spans"`). `None` disables the slow log.
+    pub slow_log: Option<Duration>,
+    /// Where slow-request records are appended. With [`Self::slow_log`]
+    /// set and no path, records go to stderr.
+    pub slow_log_path: Option<PathBuf>,
 }
 
 impl Default for ServerConfig {
@@ -241,8 +276,33 @@ impl Default for ServerConfig {
             log_path: None,
             max_pending: 64,
             fault_plan: None,
+            slow_log: None,
+            slow_log_path: None,
         }
     }
+}
+
+/// Request-kind labels, indexed like [`Shared::latency`]'s outer axis.
+const KIND_LABELS: [&str; 3] = ["schedule", "sweep", "bounds"];
+
+/// Cache-disposition labels, indexed like [`Shared::latency`]'s inner
+/// axis (matching [`kind_and_cache_indices`]).
+const CACHE_LABELS: [&str; 4] = ["hit", "miss", "coalesced", "uncached"];
+
+/// Maps an op and a disposition onto [`Shared::latency`] indices.
+fn kind_and_cache_indices(op: &EngineOp, disposition: CacheDisposition) -> (usize, usize) {
+    let kind = match op {
+        EngineOp::Schedule { .. } => 0,
+        EngineOp::Sweep { .. } => 1,
+        EngineOp::Bounds { .. } => 2,
+    };
+    let cache = match disposition {
+        CacheDisposition::Hit => 0,
+        CacheDisposition::Miss => 1,
+        CacheDisposition::Coalesced => 2,
+        CacheDisposition::Uncached => 3,
+    };
+    (kind, cache)
 }
 
 /// Request/response traffic counters, exported through `/metrics`.
@@ -322,6 +382,16 @@ struct Shared {
     next_conn_id: AtomicU64,
     /// The JSONL request log, when configured.
     log: Option<Mutex<std::fs::File>>,
+    /// The slow-request trace log file, when a path is configured
+    /// (threshold set with no path falls back to stderr).
+    slow_log: Option<Mutex<std::fs::File>>,
+    /// Request-latency histograms: kind ([`KIND_LABELS`]) × cache
+    /// disposition ([`CACHE_LABELS`]). Only lines that reached the engine
+    /// are recorded — parse errors have no kind or disposition.
+    latency: [[obs::Histogram; CACHE_LABELS.len()]; KIND_LABELS.len()],
+    /// Cumulative exclusive per-phase time in microseconds, indexed like
+    /// [`obs::Phase::ALL`].
+    phase_micros: [AtomicU64; obs::Phase::ALL.len()],
     /// Accepted connections sitting in the bounded queue, not yet picked
     /// up by a worker. Incremented before the enqueue attempt and backed
     /// out on a failed one, so the gauge never under-counts; `/healthz`
@@ -386,7 +456,8 @@ impl Shared {
     /// Appends one JSONL record to the request log, if configured. The
     /// `request` field is omitted when `request` is `None` (oversized
     /// lines never parsed into a request), which also keeps such records
-    /// out of replay inputs.
+    /// out of replay inputs. `trace` adds a compact `"phases"` object of
+    /// the non-zero exclusive phase micros.
     fn log_request(
         &self,
         peer: &str,
@@ -394,24 +465,90 @@ impl Shared {
         outcome: &str,
         cache: &str,
         latency: Duration,
+        trace: Option<&obs::TraceTree>,
     ) {
         let Some(log) = &self.log else { return };
-        let ts_micros = SystemTime::now()
-            .duration_since(SystemTime::UNIX_EPOCH)
-            .map_or(0, |d| d.as_micros());
-        let request_field = request.map_or(String::new(), |r| {
-            format!("\"request\": \"{}\", ", protocol::json_escape(r))
-        });
-        let line = format!(
-            "{{\"ts_micros\": {ts_micros}, \"peer\": \"{}\", {request_field}\
-             \"outcome\": \"{outcome}\", \"cache\": \"{cache}\", \
-             \"latency_micros\": {}}}\n",
-            protocol::json_escape(peer),
-            latency.as_micros(),
-        );
+        let line = request_record(peer, request, outcome, cache, latency, trace, false);
         let mut file = lock_unpoisoned(log);
         let _ = file.write_all(line.as_bytes());
     }
+
+    /// Folds one served line into the latency histograms and the
+    /// cumulative phase counters, and emits a slow-log record when the
+    /// wall latency meets the configured threshold.
+    fn observe_request(&self, peer: &str, request: &str, served: &ServedLine, latency: Duration) {
+        if let Some((kind, cache)) = served.indices {
+            self.latency[kind][cache].record(latency);
+        }
+        if let Some(trace) = &served.trace {
+            for (i, (_, micros)) in trace.phase_micros().iter().enumerate() {
+                if *micros > 0 {
+                    self.phase_micros[i].fetch_add(*micros, Ordering::Relaxed);
+                }
+            }
+        }
+        let Some(threshold) = self.cfg.slow_log else {
+            return;
+        };
+        if latency < threshold {
+            return;
+        }
+        let line = request_record(
+            peer,
+            Some(request),
+            served.outcome,
+            served.cache,
+            latency,
+            served.trace.as_ref(),
+            true,
+        );
+        match &self.slow_log {
+            Some(file) => {
+                let mut file = lock_unpoisoned(file);
+                let _ = file.write_all(line.as_bytes());
+            }
+            None => eprint!("{line}"),
+        }
+    }
+}
+
+/// Renders one request-log JSONL record. `full` additionally embeds the
+/// span tree — the slow-log shape; the regular log keeps only the compact
+/// non-zero `"phases"` object.
+fn request_record(
+    peer: &str,
+    request: Option<&str>,
+    outcome: &str,
+    cache: &str,
+    latency: Duration,
+    trace: Option<&obs::TraceTree>,
+    full: bool,
+) -> String {
+    let ts_micros = SystemTime::now()
+        .duration_since(SystemTime::UNIX_EPOCH)
+        .map_or(0, |d| d.as_micros());
+    let request_field = request.map_or(String::new(), |r| {
+        format!("\"request\": \"{}\", ", protocol::json_escape(r))
+    });
+    let trace_fields = trace.map_or(String::new(), |t| {
+        let mut fields = format!(", \"phases\": {}", t.phases_json(false));
+        if full {
+            let _ = write!(
+                fields,
+                ", \"trace_total_micros\": {}, \"spans\": {}",
+                t.total_micros,
+                t.spans_json()
+            );
+        }
+        fields
+    });
+    format!(
+        "{{\"ts_micros\": {ts_micros}, \"peer\": \"{}\", {request_field}\
+         \"outcome\": \"{outcome}\", \"cache\": \"{cache}\", \
+         \"latency_micros\": {}{trace_fields}}}\n",
+        protocol::json_escape(peer),
+        latency.as_micros(),
+    )
 }
 
 /// Summary of a cache-warming pass ([`Server::warm_from_text`]).
@@ -476,6 +613,15 @@ impl Server {
                     .open(path)?,
             )),
         };
+        let slow_log = match &cfg.slow_log_path {
+            None => None,
+            Some(path) => Some(Mutex::new(
+                std::fs::OpenOptions::new()
+                    .create(true)
+                    .append(true)
+                    .open(path)?,
+            )),
+        };
 
         let shared = Arc::new(Shared {
             engine,
@@ -487,6 +633,9 @@ impl Server {
             active: Mutex::new(std::collections::HashMap::new()),
             next_conn_id: AtomicU64::new(0),
             log,
+            slow_log,
+            latency: std::array::from_fn(|_| std::array::from_fn(|_| obs::Histogram::new())),
+            phase_micros: std::array::from_fn(|_| AtomicU64::new(0)),
             queue_depth: AtomicU64::new(0),
             worker_threads: AtomicU64::new(0),
             shed_threads: AtomicU64::new(0),
@@ -918,7 +1067,7 @@ fn serve_registered_connection(shared: &Shared, stream: TcpStream, busy: &Atomic
                     "request line exceeds the {}-byte cap; closing connection",
                     shared.cfg.max_line_bytes
                 ));
-                shared.log_request(&peer, None, "oversized", "none", Duration::ZERO);
+                shared.log_request(&peer, None, "oversized", "none", Duration::ZERO, None);
                 let _ = writer.write_all(response.as_bytes());
                 let _ = writer.write_all(b"\n");
                 let _ = writer.flush();
@@ -972,11 +1121,20 @@ fn serve_registered_connection(shared: &Shared, stream: TcpStream, busy: &Atomic
         busy.store(true, Ordering::SeqCst);
         let request = request.to_owned();
         let t0 = Instant::now();
-        let (response, outcome, cache) = serve_request_line(shared, &request);
+        let line = serve_request_line(shared, &request);
+        let latency = t0.elapsed();
+        shared.observe_request(&peer, &request, &line, latency);
         // Log before the response flushes: once the peer reads its reply,
         // the record is already durable.
-        shared.log_request(&peer, Some(&request), outcome, cache, t0.elapsed());
-        let write_ok = writer.write_all(response.as_bytes()).is_ok()
+        shared.log_request(
+            &peer,
+            Some(&request),
+            line.outcome,
+            line.cache,
+            latency,
+            line.trace.as_ref(),
+        );
+        let write_ok = writer.write_all(line.response.as_bytes()).is_ok()
             && writer.write_all(b"\n").is_ok()
             && writer.flush().is_ok();
         busy.store(false, Ordering::SeqCst);
@@ -994,11 +1152,71 @@ fn serve_registered_connection(shared: &Shared, stream: TcpStream, busy: &Atomic
     }
 }
 
-/// Parses and serves one protocol request line, returning the JSON
-/// response object (without the trailing newline), the outcome label, and
-/// the cache-disposition label — the last two feed the request log.
-fn serve_request_line(shared: &Shared, request: &str) -> (String, &'static str, &'static str) {
-    let parsed = protocol::parse_request(request, &mut |name: &str| shared.catalog.resolve(name));
+/// One served protocol request line: the JSON response object (without
+/// the trailing newline) plus everything the connection loop folds into
+/// the request log, the latency histograms, and the slow log.
+struct ServedLine {
+    response: String,
+    outcome: &'static str,
+    cache: &'static str,
+    /// `(kind, cache)` histogram indices; `None` for lines that never
+    /// reached the engine (parse errors have no kind or disposition).
+    indices: Option<(usize, usize)>,
+    /// The request's phase trace. Present for every served line — the
+    /// recorder is armed unconditionally because an unarmed span is
+    /// nearly free but a missing trace would blind the phase counters.
+    trace: Option<obs::TraceTree>,
+}
+
+/// Snapshot of the process-wide solver counters, for the `--trace`
+/// response's deltas.
+#[derive(Clone, Copy)]
+struct SolverCounters {
+    menu_builds: u64,
+    menu_derives: u64,
+    constraint_compiles: u64,
+    context_compiles: u64,
+    schedule_runs: u64,
+}
+
+impl SolverCounters {
+    fn now() -> Self {
+        Self {
+            menu_builds: instrument::menu_builds(),
+            menu_derives: instrument::menu_derives(),
+            constraint_compiles: instrument::constraint_compiles(),
+            context_compiles: instrument::context_compiles(),
+            schedule_runs: instrument::schedule_runs(),
+        }
+    }
+
+    /// Renders `self - before` as a JSON object. Process counters, not
+    /// request ones: concurrent traffic can inflate the deltas.
+    fn delta_json(&self, before: &Self) -> String {
+        format!(
+            "{{\"menu_builds\": {}, \"menu_derives\": {}, \
+             \"constraint_compiles\": {}, \"context_compiles\": {}, \
+             \"schedule_runs\": {}}}",
+            self.menu_builds - before.menu_builds,
+            self.menu_derives - before.menu_derives,
+            self.constraint_compiles - before.constraint_compiles,
+            self.context_compiles - before.context_compiles,
+            self.schedule_runs - before.schedule_runs,
+        )
+    }
+}
+
+/// Parses and serves one protocol request line under an armed span
+/// recorder. For a `--trace` request the response gains a `"trace"`
+/// member: total and per-phase exclusive micros (zeros explicit, so a
+/// warm request visibly reports `"context_compile": 0`), the span tree,
+/// the cache disposition, and the solver-counter deltas.
+fn serve_request_line(shared: &Shared, request: &str) -> ServedLine {
+    obs::trace_begin();
+    let parsed = {
+        let _span = obs::span(obs::Phase::Resolve);
+        protocol::parse_request(request, &mut |name: &str| shared.catalog.resolve(name))
+    };
     match parsed {
         Err(e) => {
             shared.counters.parse_errors.fetch_add(1, Ordering::Relaxed);
@@ -1006,7 +1224,13 @@ fn serve_request_line(shared: &Shared, request: &str) -> (String, &'static str, 
                 .counters
                 .responses_err
                 .fetch_add(1, Ordering::Relaxed);
-            (protocol::render_parse_error(&e), "parse_error", "none")
+            ServedLine {
+                response: protocol::render_parse_error(&e),
+                outcome: "parse_error",
+                cache: "none",
+                indices: None,
+                trace: obs::trace_end(),
+            }
         }
         Ok(req) => {
             let kind_counter = match &req.op {
@@ -1015,6 +1239,7 @@ fn serve_request_line(shared: &Shared, request: &str) -> (String, &'static str, 
                 EngineOp::Bounds { .. } => &shared.counters.bounds_requests,
             };
             kind_counter.fetch_add(1, Ordering::Relaxed);
+            let before = req.trace.then(SolverCounters::now);
             let (result, disposition) = shared.engine.serve_one_traced(&req);
             let (outcome_counter, outcome) = if result.is_ok() {
                 (&shared.counters.responses_ok, "ok")
@@ -1022,13 +1247,33 @@ fn serve_request_line(shared: &Shared, request: &str) -> (String, &'static str, 
                 (&shared.counters.responses_err, "error")
             };
             outcome_counter.fetch_add(1, Ordering::Relaxed);
-            let cache = match disposition {
-                CacheDisposition::Hit => "hit",
-                CacheDisposition::Miss => "miss",
-                CacheDisposition::Coalesced => "coalesced",
-                CacheDisposition::Uncached => "uncached",
+            let cache = disposition.label();
+            let mut response = {
+                let _span = obs::span(obs::Phase::Render);
+                protocol::render_result(&req, &result)
             };
-            (protocol::render_result(&req, &result), outcome, cache)
+            let trace = obs::trace_end();
+            if let (Some(before), Some(tree)) = (before, trace.as_ref()) {
+                if response.ends_with('}') {
+                    response.pop();
+                    let _ = write!(
+                        response,
+                        ", \"trace\": {{\"total_micros\": {}, \"cache\": \"{cache}\", \
+                         \"phases\": {}, \"spans\": {}, \"counters\": {}}}}}",
+                        tree.total_micros,
+                        tree.phases_json(true),
+                        tree.spans_json(),
+                        SolverCounters::now().delta_json(&before),
+                    );
+                }
+            }
+            ServedLine {
+                response,
+                outcome,
+                cache,
+                indices: Some(kind_and_cache_indices(&req.op, disposition)),
+                trace,
+            }
         }
     }
 }
@@ -1296,6 +1541,43 @@ fn metrics_text(shared: &Shared) -> String {
         let _ = writeln!(out, "# TYPE {name} {kind}");
         for (labels, value) in samples {
             let _ = writeln!(out, "{name}{labels} {value}");
+        }
+    }
+    let _ = writeln!(out, "# TYPE soctam_build_info gauge");
+    let _ = writeln!(
+        out,
+        "soctam_build_info{{version=\"{}\"}} 1",
+        env!("CARGO_PKG_VERSION")
+    );
+    // Cumulative exclusive time per phase, in seconds. Every phase is
+    // rendered (zeros included) so a balancer roll-up sums a stable
+    // series set.
+    let _ = writeln!(out, "# TYPE soctam_phase_seconds_total counter");
+    for (i, phase) in obs::Phase::ALL.iter().enumerate() {
+        let micros = shared.phase_micros[i].load(Ordering::Relaxed);
+        let _ = writeln!(
+            out,
+            "soctam_phase_seconds_total{{phase=\"{}\"}} {:.6}",
+            phase.label(),
+            micros as f64 / 1e6
+        );
+    }
+    // Request-latency histograms per kind × cache disposition. Only
+    // populated cells render series (an exposition of 12 empty histograms
+    // would drown the real ones), but the `# TYPE` header is
+    // unconditional so scrapers and smoke tests can gate on the family.
+    let _ = writeln!(out, "# TYPE soctam_request_latency_seconds histogram");
+    for (k, kind) in KIND_LABELS.iter().enumerate() {
+        for (c, cache) in CACHE_LABELS.iter().enumerate() {
+            let snap = shared.latency[k][c].snapshot();
+            if snap.count == 0 {
+                continue;
+            }
+            snap.render_into(
+                &mut out,
+                "soctam_request_latency_seconds",
+                &format!("kind=\"{kind}\",cache=\"{cache}\""),
+            );
         }
     }
     // Fault-injection counts, one sample per armed spec. Only rendered

@@ -202,6 +202,80 @@ fn front_http_surface_rolls_up_backends_and_answers_parse_errors_locally() {
 }
 
 #[test]
+fn the_front_rolls_up_latency_histograms_bucket_for_bucket() {
+    let _guard = serialize();
+    let (backend_a, backend_b) = (backend(), backend());
+    let addrs = [backend_a.local_addr(), backend_b.local_addr()];
+    let front = front(&addrs, failover_cfg());
+
+    // Two passes of 8 keys through the front: one miss and one hit per
+    // key, the keys spread over both shards by affinity.
+    let mut conn = Connection::connect(front.local_addr()).expect("front connect");
+    for _ in 0..2 {
+        for key in keys(8) {
+            assert!(client::response_ok(&conn.request(&key).expect("answer")));
+        }
+    }
+
+    // Scrape each backend directly and sum its histogram samples by full
+    // series name. Bucket counts are cumulative per backend, and sums of
+    // cumulative counts are cumulative again — so the roll-up can (and
+    // must) match series for series.
+    let mut want: std::collections::BTreeMap<String, u64> = std::collections::BTreeMap::new();
+    for addr in addrs {
+        let (status, body) = client::http_get(addr, "/metrics").expect("backend metrics");
+        assert!(status.contains("200"), "{status}");
+        for line in body.lines() {
+            if line.starts_with("soctam_request_latency_seconds_bucket{")
+                || line.starts_with("soctam_request_latency_seconds_count{")
+            {
+                let (series, value) = line.rsplit_once(' ').expect("series then value");
+                *want.entry(series.to_owned()).or_default() +=
+                    value.parse::<u64>().expect("integral sample");
+            }
+        }
+    }
+    assert!(!want.is_empty(), "backends exposed no latency histograms");
+
+    let metrics = front.metrics();
+    assert!(
+        metrics.contains("# TYPE soctam_request_latency_seconds histogram"),
+        "{metrics}"
+    );
+    for (series, value) in &want {
+        assert_eq!(
+            metric_value(&metrics, series),
+            *value,
+            "roll-up diverged for `{series}`"
+        );
+    }
+    assert_eq!(
+        metric_value(
+            &metrics,
+            "soctam_request_latency_seconds_count{kind=\"bounds\",cache=\"miss\"}"
+        ),
+        8,
+        "8 distinct keys solved exactly once across the shards"
+    );
+
+    // The front's own books: every proxied line timed, and the front
+    // carries its prefixed build-info gauge next to the summed backend
+    // one.
+    assert_eq!(
+        metric_value(&metrics, "soctam_balance_proxy_latency_seconds_count"),
+        16
+    );
+    assert!(
+        metrics.contains("soctam_balance_build_info{version=\""),
+        "{metrics}"
+    );
+
+    front.shutdown();
+    backend_a.shutdown();
+    backend_b.shutdown();
+}
+
+#[test]
 fn killing_a_backend_fails_over_with_zero_client_visible_failures() {
     let _guard = serialize();
     let (backend_a, backend_b) = (backend(), backend());
